@@ -1,0 +1,298 @@
+// Package repro's root benchmarks regenerate every table and figure of
+// the paper at CI scale: one testing.B benchmark per evaluation
+// artifact, each reporting the paper-relevant quantities as custom
+// metrics (simulated seconds, speedups, candidate counts). The
+// full-size renditions live in cmd/ids-bench (-scale paper).
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"ids/internal/dtba"
+	"ids/internal/experiments"
+	"ids/internal/ids"
+	"ids/internal/kg"
+	"ids/internal/metrics"
+	"ids/internal/mpp"
+	"ids/internal/synth"
+)
+
+func benchScale() experiments.Scale {
+	sc := experiments.CIScale()
+	sc.NodesList = []int{4, 8, 16}
+	return sc
+}
+
+// BenchmarkTable1Ingest regenerates Table 1: per-source ingest of the
+// seven RDF datasets at the CI scale factor.
+func BenchmarkTable1Ingest(b *testing.B) {
+	sc := benchScale()
+	var total int
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1(sc, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total = 0
+		for _, r := range rows {
+			total += r.Generated
+		}
+	}
+	b.ReportMetric(float64(total), "triples/op")
+}
+
+// BenchmarkFig4aEndToEnd regenerates Fig 4(a): total and
+// excluding-docking times across the node sweep. Custom metrics carry
+// the simulated seconds of the largest configuration.
+func BenchmarkFig4aEndToEnd(b *testing.B) {
+	sc := benchScale()
+	var pts []experiments.ScalingPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = experiments.Fig4(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := pts[len(pts)-1]
+	first := pts[0]
+	b.ReportMetric(first.Total, "sim-total-small-s")
+	b.ReportMetric(last.Total, "sim-total-large-s")
+	b.ReportMetric(first.Total/last.Total, "total-speedup")
+	b.ReportMetric(float64(last.Docked), "candidates")
+}
+
+// BenchmarkFig4bBreakdown regenerates Fig 4(b): the per-phase
+// breakdown; metrics expose docking dominance at the largest node
+// count.
+func BenchmarkFig4bBreakdown(b *testing.B) {
+	sc := benchScale()
+	var pts []experiments.ScalingPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = experiments.Fig4(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := pts[len(pts)-1]
+	b.ReportMetric(last.Dock, "sim-dock-s")
+	b.ReportMetric(last.Scan+last.Join+last.Merge, "sim-sjm-s")
+	b.ReportMetric(last.Dock/last.Total, "dock-fraction")
+}
+
+// BenchmarkFig5Filter regenerates Fig 5: FILTER times across the node
+// sweep; the metric is the small/large scaling ratio (paper: 27 s ->
+// 7.7 s over 4x nodes, i.e. ~3.5x).
+func BenchmarkFig5Filter(b *testing.B) {
+	sc := benchScale()
+	var pts []experiments.ScalingPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = experiments.Fig4(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	first, last := pts[0], pts[len(pts)-1]
+	b.ReportMetric(first.Filter, "sim-filter-small-s")
+	b.ReportMetric(last.Filter, "sim-filter-large-s")
+	b.ReportMetric(first.Filter/last.Filter, "filter-speedup")
+}
+
+// BenchmarkTable2Cache regenerates Table 2: the cached vs uncached
+// selectivity sweep; metrics carry the best and worst speedups (paper
+// band: 5-15x).
+func BenchmarkTable2Cache(b *testing.B) {
+	sc := benchScale()
+	var rows []experiments.Table2Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Table2(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	minS, maxS := rows[0].Speedup, rows[0].Speedup
+	for _, r := range rows {
+		if r.Speedup < minS {
+			minS = r.Speedup
+		}
+		if r.Speedup > maxS {
+			maxS = r.Speedup
+		}
+	}
+	b.ReportMetric(minS, "min-speedup")
+	b.ReportMetric(maxS, "max-speedup")
+	b.ReportMetric(float64(rows[len(rows)-1].Compounds), "compounds@0.20")
+}
+
+// BenchmarkRebalanceAblation regenerates the §2.4.2 ablation: filter
+// makespan under none/count/cost balancing on a heterogeneous cluster.
+func BenchmarkRebalanceAblation(b *testing.B) {
+	sc := benchScale()
+	var rows []experiments.RebalanceRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.RebalanceAblation(sc, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	byPolicy := map[string]float64{}
+	for _, r := range rows {
+		byPolicy[r.Policy] = r.FilterSec
+	}
+	b.ReportMetric(byPolicy["none"], "sim-none-s")
+	b.ReportMetric(byPolicy["count"], "sim-count-s")
+	b.ReportMetric(byPolicy["cost"], "sim-cost-s")
+	if byPolicy["cost"] > 0 {
+		b.ReportMetric(byPolicy["none"]/byPolicy["cost"], "cost-vs-none-speedup")
+	}
+}
+
+// BenchmarkRebalanceWorkedExample evaluates the paper's §2.4.2 worked
+// example analytically (1.4M solutions over 900 heterogeneous ranks).
+func BenchmarkRebalanceWorkedExample(b *testing.B) {
+	var costAware, countBased float64
+	for i := 0; i < b.N; i++ {
+		costAware, countBased, _ = experiments.RebalanceExample()
+	}
+	b.ReportMetric(costAware, "cost-aware-makespan-s")
+	b.ReportMetric(countBased, "count-based-makespan-s")
+	b.ReportMetric(countBased/costAware, "improvement")
+}
+
+// BenchmarkReorderAblation regenerates the §2.4.3 ablation: FILTER
+// time with conjunct reordering off vs on.
+func BenchmarkReorderAblation(b *testing.B) {
+	sc := benchScale()
+	var rows []experiments.ReorderRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.ReorderAblation(sc, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].FilterSec, "sim-off-s")
+	b.ReportMetric(rows[1].FilterSec, "sim-on-s")
+}
+
+// BenchmarkWhatIsQuery regenerates the §1 claim that a "what-is" point
+// lookup returns in milliseconds.
+func BenchmarkWhatIsQuery(b *testing.B) {
+	sc := benchScale()
+	topo := mpp.Topology{Nodes: 2, RanksPerNode: sc.RanksPerNode}
+	ds, err := synth.BuildNCNPR(synth.NCNPRConfig{
+		Seed: sc.Seed, Shards: topo.Size(), SeqLen: 240,
+		Tiers:              synth.DefaultTable2Tiers(),
+		BackgroundProteins: sc.Background, SkipBackgroundSim: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := ids.NewEngine(ds.Graph, topo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sim float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := e.WhatIs(synth.TargetIRI)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim = res.Report.Makespan
+	}
+	b.ReportMetric(sim*1000, "sim-ms")
+}
+
+// BenchmarkCacheTiers regenerates the §3 tier-cost ladder for a
+// docking-artifact-sized object.
+func BenchmarkCacheTiers(b *testing.B) {
+	var rows []experiments.TierRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.CacheTiers(64 << 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		switch r.Path {
+		case "dram-local":
+			b.ReportMetric(r.Seconds*1e6, "dram-local-us")
+		case "stash(disk)":
+			b.ReportMetric(r.Seconds*1e3, "stash-ms")
+		case "recompute(dock)":
+			b.ReportMetric(r.Seconds, "recompute-s")
+		}
+	}
+}
+
+// BenchmarkDTBAVariance measures the DTBA cost distribution the paper
+// highlights as the motivation for per-UDF profiling (Fig 5
+// discussion): mostly ~1 s with a heavy tail.
+func BenchmarkDTBAVariance(b *testing.B) {
+	var s metrics.Summary
+	for i := 0; i < b.N; i++ {
+		s = metrics.Summary{}
+		for j := 0; j < 2000; j++ {
+			s.Add(dtba.Cost("MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQ", fmt.Sprintf("CC%d", j)))
+		}
+	}
+	b.ReportMetric(s.Mean(), "mean-s")
+	b.ReportMetric(s.Quantile(0.95), "p95-s")
+	b.ReportMetric(s.Max(), "max-s")
+}
+
+// BenchmarkAffinityAblation regenerates the §8 locality-scheduling
+// ablation: warm-cache query time and remote fetches, round-robin vs
+// affinity placement.
+func BenchmarkAffinityAblation(b *testing.B) {
+	sc := benchScale()
+	var rows []experiments.AffinityRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.AffinityAblation(sc, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rows[0].RemoteHits), "remote-hits-roundrobin")
+	b.ReportMetric(float64(rows[1].RemoteHits), "remote-hits-affinity")
+}
+
+// BenchmarkScanPlateau regenerates Fig 4(b)'s scan/join/merge plateau
+// in isolation: fixed graph, growing ranks, flattening total.
+func BenchmarkScanPlateau(b *testing.B) {
+	sc := benchScale()
+	var pts []experiments.PlateauPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = experiments.ScanPlateau(sc, []int{2, 4, 8, 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	first, last := pts[0], pts[len(pts)-1]
+	b.ReportMetric(first.ScanSec*1e6, "scan-small-us")
+	b.ReportMetric(last.ScanSec*1e6, "scan-large-us")
+	b.ReportMetric(last.TotalSec*1e6, "total-large-us")
+}
+
+// BenchmarkIngestNTriples measures bulk-load throughput into the
+// partitioned datastore (the substrate behind Table 1).
+func BenchmarkIngestNTriples(b *testing.B) {
+	g := kg.New(8)
+	n := synth.GenerateSource(g, synth.Table1Sources()[4], 1e-5, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g2 := kg.New(8)
+		synth.GenerateSource(g2, synth.Table1Sources()[4], 1e-5, 1)
+		g2.Seal()
+	}
+	b.ReportMetric(float64(n), "triples/op")
+}

@@ -1,0 +1,181 @@
+// ids-cli is the Datastore Client: it submits queries, imports and
+// reloads UDF modules, and inspects a running IDS endpoint.
+//
+// Usage:
+//
+//	ids-cli -e http://host:port query  'SELECT ...'
+//	ids-cli -e http://host:port module -name mymod -file code.ids [-reload]
+//	ids-cli -e http://host:port stats
+//	ids-cli -e http://host:port profile
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"ids/internal/ids"
+	"ids/internal/metrics"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: ids-cli -e <endpoint> <query|update|module|stats|profile> [args]")
+	os.Exit(2)
+}
+
+func runUpdate(c *ids.Client, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("update takes exactly one argument")
+	}
+	res, err := c.Update(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: applied %d of %d triples\n", res.Kind, res.Applied, res.Total)
+	return nil
+}
+
+func main() {
+	endpoint := flag.String("e", "http://127.0.0.1:7474", "IDS endpoint base URL")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	c := ids.NewClient(*endpoint)
+
+	var err error
+	switch args[0] {
+	case "query":
+		err = runQuery(c, args[1:])
+	case "update":
+		err = runUpdate(c, args[1:])
+	case "module":
+		err = runModule(c, args[1:])
+	case "snapshot":
+		err = runSnapshot(c, args[1:])
+	case "stats":
+		err = runStats(c)
+	case "profile":
+		err = runProfile(c)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func runQuery(c *ids.Client, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("query takes exactly one argument")
+	}
+	resp, err := c.Query(args[0])
+	if err != nil {
+		return err
+	}
+	t := metrics.NewTable("", resp.Vars...)
+	for _, row := range resp.Rows {
+		cells := make([]any, len(row))
+		for i, v := range row {
+			cells[i] = v
+		}
+		t.AddRow(cells...)
+	}
+	t.Render(os.Stdout)
+	fmt.Printf("\n%d rows; simulated %.3fs (wall %.3fs)\n", len(resp.Rows), resp.Makespan, resp.WallTime)
+	if len(resp.Phases) > 0 {
+		var parts []string
+		for name, v := range resp.Phases {
+			parts = append(parts, fmt.Sprintf("%s=%.3fs", name, v))
+		}
+		sort.Strings(parts)
+		fmt.Println("phases:", strings.Join(parts, " "))
+	}
+	return nil
+}
+
+func runModule(c *ids.Client, args []string) error {
+	fs := flag.NewFlagSet("module", flag.ExitOnError)
+	name := fs.String("name", "", "module name")
+	file := fs.String("file", "", "IDscript source file")
+	reload := fs.Bool("reload", false, "force reload")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" || *file == "" {
+		return fmt.Errorf("module requires -name and -file")
+	}
+	src, err := os.ReadFile(*file)
+	if err != nil {
+		return err
+	}
+	if *reload {
+		err = c.ReloadModule(*name, string(src))
+	} else {
+		err = c.LoadModule(*name, string(src))
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("module %s loaded (reload=%v)\n", *name, *reload)
+	return nil
+}
+
+func runSnapshot(c *ids.Client, args []string) error {
+	fs := flag.NewFlagSet("snapshot", flag.ExitOnError)
+	out := fs.String("o", "graph.idsnap", "output file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := c.Snapshot(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	info, err := os.Stat(*out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("snapshot written to %s (%d bytes)\n", *out, info.Size())
+	return nil
+}
+
+func runStats(c *ids.Client) error {
+	s, err := c.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("triples:  %d\nterms:    %d\nshards:   %d\nnodes:    %d\nranks:    %d\nqueries:  %d\nudfs:     %s\n",
+		s.Triples, s.Terms, s.Shards, s.Nodes, s.Ranks, s.Queries, strings.Join(s.UDFs, ", "))
+	return nil
+}
+
+func runProfile(c *ids.Client) error {
+	prof, err := c.Profile()
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(prof))
+	for n := range prof {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	t := metrics.NewTable("UDF profile (merged over ranks)",
+		"udf", "execs", "total(s)", "mean(s)", "rejections")
+	for _, n := range names {
+		s := prof[n]
+		t.AddRow(n, s.Execs, s.TotalSeconds, s.MeanSeconds(), s.Rejections)
+	}
+	t.Render(os.Stdout)
+	return nil
+}

@@ -1,0 +1,90 @@
+// ids-server launches one IDS instance: it builds (or loads) the
+// knowledge graph, opens the HTTP query endpoint, and blocks. This is
+// the Datastore Launcher + backend of the deployment model.
+//
+// Usage:
+//
+//	ids-server [-addr host:port] [-nodes N] [-rpn R]
+//	           [-data graph.nt | -synth-ncnpr] [-background N]
+//
+// With -synth-ncnpr the server hosts the generated NCNPR
+// drug-repurposing graph with the workflow UDFs (ncnpr.sw,
+// ncnpr.pic50, ncnpr.dtba) pre-registered.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"ids/internal/ids"
+	"ids/internal/kg"
+	"ids/internal/mpp"
+	"ids/internal/synth"
+	"ids/internal/workflow"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7474", "listen address")
+	nodes := flag.Int("nodes", 2, "simulated compute nodes")
+	rpn := flag.Int("rpn", 4, "ranks per node")
+	dataPath := flag.String("data", "", "N-Triples file to load")
+	snapPath := flag.String("snapshot", "", "binary snapshot to restore (see ids-cli snapshot)")
+	synthNCNPR := flag.Bool("synth-ncnpr", false, "host the synthetic NCNPR graph with workflow UDFs")
+	background := flag.Int("background", 2000, "background proteins for -synth-ncnpr")
+	flag.Parse()
+
+	topo := mpp.Topology{Nodes: *nodes, RanksPerNode: *rpn}
+	cfg := ids.LaunchConfig{Topo: topo, Addr: *addr, NTriplesPath: *dataPath}
+
+	if *snapPath != "" {
+		f, err := os.Open(*snapPath)
+		if err != nil {
+			log.Fatalf("opening snapshot: %v", err)
+		}
+		g, err := kg.LoadSnapshot(f, topo.Size())
+		f.Close()
+		if err != nil {
+			log.Fatalf("restoring snapshot: %v", err)
+		}
+		cfg.Graph = g
+		fmt.Printf("restored snapshot %s: %d triples\n", *snapPath, g.Len())
+	}
+
+	var ds *synth.Dataset
+	if *synthNCNPR {
+		scfg := synth.DefaultNCNPR(topo.Size())
+		scfg.BackgroundProteins = *background
+		scfg.SkipBackgroundSim = *background > 2000
+		var err error
+		ds, err = synth.BuildNCNPR(scfg)
+		if err != nil {
+			log.Fatalf("building NCNPR graph: %v", err)
+		}
+		cfg.Graph = ds.Graph
+	}
+
+	inst, err := ids.Launcher{}.Launch(cfg)
+	if err != nil {
+		log.Fatalf("launch: %v", err)
+	}
+	defer inst.Teardown()
+
+	if ds != nil {
+		if _, err := workflow.New(inst.Engine, ds, workflow.DefaultConfig(), nil); err != nil {
+			log.Fatalf("registering workflow UDFs: %v", err)
+		}
+		fmt.Printf("NCNPR graph: %d triples, target %s\n", ds.Graph.Len(), synth.TargetIRI)
+	}
+	fmt.Printf("IDS endpoint listening on http://%s (%d nodes x %d ranks, %d triples)\n",
+		inst.Addr, topo.Nodes, topo.RanksPerNode, inst.Engine.Graph.Len())
+	fmt.Println("POST /query, POST /module, GET /profile, GET /stats, GET /healthz")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("\nteardown")
+	inst.DumpLogs(os.Stdout)
+}

@@ -1,0 +1,11 @@
+// Package repro is the root of the IDS (Intelligent Data Search)
+// reproduction — see README.md for the tour, DESIGN.md for the system
+// inventory and paper substitutions, and EXPERIMENTS.md for
+// paper-vs-measured results.
+//
+// The library lives under internal/: the engine facade is
+// internal/ids, the NCNPR drug-repurposing workflow is
+// internal/workflow, and every evaluation artifact is regenerable via
+// internal/experiments (driven by cmd/ids-bench and the benchmarks in
+// bench_test.go).
+package repro

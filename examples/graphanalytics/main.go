@@ -1,0 +1,173 @@
+// Graph analytics: distributed PageRank over the knowledge graph on
+// the rank runtime — the paper lists accelerating "domain-specific
+// UDFs and graph algorithms such as PageRank" among IDS's core
+// objectives. Edges live sharded across ranks; each iteration
+// exchanges rank mass with an AllToAll, exactly like the engine's
+// joins.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"ids/internal/dict"
+	"ids/internal/kg"
+	"ids/internal/mpp"
+	"ids/internal/synth"
+	"ids/internal/triple"
+)
+
+const (
+	damping    = 0.85
+	iterations = 20
+)
+
+func main() {
+	topo := mpp.Topology{Nodes: 2, RanksPerNode: 4}
+	ds, err := synth.BuildNCNPR(synth.DefaultNCNPR(topo.Size()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := ds.Graph
+	inhibits, ok := g.Dict.LookupIRI(synth.PredInhibits)
+	if !ok {
+		log.Fatal("inhibits predicate missing")
+	}
+
+	// Collect the node set (compounds and proteins on inhibit edges).
+	nodeSet := map[dict.ID]bool{}
+	for s := 0; s < g.NumShards(); s++ {
+		g.Shard(s).Match(triple.Pattern{P: inhibits}, func(t triple.Triple) bool {
+			nodeSet[t.S] = true
+			nodeSet[t.O] = true
+			return true
+		})
+	}
+	nodes := make([]dict.ID, 0, len(nodeSet))
+	for id := range nodeSet {
+		nodes = append(nodes, id)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	index := make(map[dict.ID]int, len(nodes))
+	for i, id := range nodes {
+		index[id] = i
+	}
+	n := len(nodes)
+	fmt.Printf("PageRank over %d vertices (inhibitor bipartite graph), %d ranks\n", n, topo.Size())
+
+	owner := func(v int) int { return v % topo.Size() }
+	final := make([]float64, n)
+
+	rep, err := mpp.Run(topo, mpp.DefaultNet(), 1, func(r *mpp.Rank) error {
+		// Each rank owns the edges of its shard (treated as
+		// undirected for the bipartite walk).
+		type edge struct{ from, to int }
+		var edges []edge
+		g.Shard(r.ID()).Match(triple.Pattern{P: inhibits}, func(t triple.Triple) bool {
+			a, b := index[t.S], index[t.O]
+			edges = append(edges, edge{a, b}, edge{b, a})
+			return true
+		})
+		// Degree = global reduction over per-rank partial degrees.
+		degLocal := make([]int, n)
+		for _, e := range edges {
+			degLocal[e.from]++
+		}
+		degParts, err := mpp.AllGatherSlice(r, degLocal)
+		if err != nil {
+			return err
+		}
+		deg := make([]int, n)
+		for _, part := range degParts {
+			for v, d := range part {
+				deg[v] += d
+			}
+		}
+
+		rank := make([]float64, n)
+		for v := range rank {
+			rank[v] = 1.0 / float64(n)
+		}
+		for it := 0; it < iterations; it++ {
+			// Push mass along local edges, routed to the vertex owner.
+			send := make([][]float64, r.Size())
+			type contrib struct {
+				v    int
+				mass float64
+			}
+			buckets := make([][]contrib, r.Size())
+			for _, e := range edges {
+				if deg[e.from] == 0 {
+					continue
+				}
+				buckets[owner(e.to)] = append(buckets[owner(e.to)],
+					contrib{e.to, rank[e.from] / float64(deg[e.from])})
+			}
+			_ = send
+			flat := make([][]float64, r.Size())
+			for dst, bs := range buckets {
+				arr := make([]float64, 0, len(bs)*2)
+				for _, c := range bs {
+					arr = append(arr, float64(c.v), c.mass)
+				}
+				flat[dst] = arr
+			}
+			recv, err := mpp.AllToAll(r, flat)
+			if err != nil {
+				return err
+			}
+			// Owners accumulate, then everyone gathers the new vector.
+			mine := make([]float64, n)
+			for _, part := range recv {
+				for i := 0; i+1 < len(part); i += 2 {
+					mine[int(part[i])] += part[i+1]
+				}
+			}
+			parts, err := mpp.AllGatherSlice(r, mine)
+			if err != nil {
+				return err
+			}
+			for v := range rank {
+				sum := 0.0
+				for _, p := range parts {
+					sum += p[v]
+				}
+				if owner(v) >= 0 { // every vertex gets the damped update
+					rank[v] = (1-damping)/float64(n) + damping*sum
+				}
+			}
+			r.Charge(float64(len(edges)) * 2e-8) // modeled per-edge cost
+		}
+		if r.ID() == 0 {
+			copy(final, rank)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type scored struct {
+		id dict.ID
+		pr float64
+	}
+	var top []scored
+	for i, id := range nodes {
+		top = append(top, scored{id, final[i]})
+	}
+	sort.Slice(top, func(i, j int) bool { return top[i].pr > top[j].pr })
+	fmt.Printf("converged in %d iterations, simulated %.4fs\n\n", iterations, rep.Makespan)
+	fmt.Println("top 10 hubs (proteins with the most inhibitors rank highest):")
+	for i := 0; i < 10 && i < len(top); i++ {
+		term := g.Dict.MustDecode(top[i].id)
+		fmt.Printf("  %2d. %-55s %.5f\n", i+1, term.Value, top[i].pr)
+	}
+	var sum float64
+	for _, s := range top {
+		sum += s.pr
+	}
+	fmt.Printf("\nmass conservation check: sum(PR) = %.6f (want ~1)\n", sum)
+}
+
+var _ = kg.New // keep the kg import explicit for readers

@@ -1,0 +1,3 @@
+module ids
+
+go 1.22

@@ -1,0 +1,285 @@
+// Package align implements the Smith-Waterman local alignment
+// algorithm used by the NCNPR workflow's cheapest filter UDF. The
+// paper uses the SIMD SSW library (Zhao et al. 2013) at < 1 ms per
+// comparison; this package provides the same algorithm with a scalar
+// affine-gap kernel plus an SSW-style query-profile optimization, and
+// a traceback variant for producing full alignments.
+package align
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Scorer holds the substitution matrix and affine gap penalties for an
+// alignment run. Scorers are immutable after construction and safe for
+// concurrent use.
+type Scorer struct {
+	matrix    *[24][24]int8
+	gapOpen   int // penalty charged when a gap is opened (positive)
+	gapExtend int // penalty charged per gap extension (positive)
+}
+
+// NewBLOSUM62 returns a scorer with the BLOSUM62 matrix and the SSW
+// default gap penalties (open 11, extend 1).
+func NewBLOSUM62() *Scorer {
+	return &Scorer{matrix: &blosum62, gapOpen: 11, gapExtend: 1}
+}
+
+// NewScorer returns a BLOSUM62 scorer with custom gap penalties.
+func NewScorer(gapOpen, gapExtend int) (*Scorer, error) {
+	if gapOpen < 0 || gapExtend < 0 {
+		return nil, fmt.Errorf("align: negative gap penalties (open=%d extend=%d)", gapOpen, gapExtend)
+	}
+	return &Scorer{matrix: &blosum62, gapOpen: gapOpen, gapExtend: gapExtend}, nil
+}
+
+// ErrEmptySequence is returned when either input sequence is empty.
+var ErrEmptySequence = errors.New("align: empty sequence")
+
+// ErrBadResidue is returned when a sequence contains a character
+// outside the substitution-matrix alphabet.
+var ErrBadResidue = errors.New("align: residue outside alphabet")
+
+// encode maps a protein sequence to matrix row indexes.
+func encode(seq string) ([]int8, error) {
+	if len(seq) == 0 {
+		return nil, ErrEmptySequence
+	}
+	out := make([]int8, len(seq))
+	for i := 0; i < len(seq); i++ {
+		idx := residueIndex[seq[i]]
+		if idx < 0 {
+			return nil, fmt.Errorf("%w: %q at %d", ErrBadResidue, seq[i], i)
+		}
+		out[i] = idx
+	}
+	return out, nil
+}
+
+// Result is the outcome of a local alignment.
+type Result struct {
+	Score int
+	// EndQuery/EndTarget are the 0-based inclusive end positions of
+	// the optimal local alignment in the query and target.
+	EndQuery  int
+	EndTarget int
+}
+
+// Profile is a preprocessed query: a per-residue score column for each
+// query position, the SSW-style optimization that removes the matrix
+// lookup from the inner loop. Build once per query, reuse against many
+// targets.
+type Profile struct {
+	scorer *Scorer
+	length int
+	// cols[r][i] = matrix[r][query[i]] for residue class r.
+	cols      [24][]int8
+	selfScore int
+}
+
+// NewProfile preprocesses a query sequence.
+func (s *Scorer) NewProfile(query string) (*Profile, error) {
+	q, err := encode(query)
+	if err != nil {
+		return nil, err
+	}
+	p := &Profile{scorer: s, length: len(q)}
+	for r := 0; r < 24; r++ {
+		col := make([]int8, len(q))
+		for i, qc := range q {
+			col[i] = s.matrix[r][qc]
+		}
+		p.cols[r] = col
+	}
+	for _, qc := range q {
+		p.selfScore += int(s.matrix[qc][qc])
+	}
+	return p, nil
+}
+
+// SelfScore returns the score of aligning the profile's query against
+// itself — the normalization denominator for Similarity.
+func (p *Profile) SelfScore() int { return p.selfScore }
+
+// Length returns the query length.
+func (p *Profile) Length() int { return p.length }
+
+// Align runs affine-gap Smith-Waterman of the profiled query against
+// target, using two rolling DP rows (score-only, O(target) memory).
+func (p *Profile) Align(target string) (Result, error) {
+	t, err := encode(target)
+	if err != nil {
+		return Result{}, err
+	}
+	s := p.scorer
+	n := p.length
+	// H[j]: best score ending at (i, j); E[j]: best with gap in query.
+	H := make([]int, n+1)
+	E := make([]int, n+1)
+	best := Result{EndQuery: -1, EndTarget: -1}
+	for i := 0; i < len(t); i++ {
+		col := p.cols[t[i]]
+		f := 0       // best with gap in target for current row
+		diag := H[0] // H[i-1][j-1]
+		for j := 1; j <= n; j++ {
+			e := max(E[j]-s.gapExtend, H[j]-s.gapOpen)
+			f = max(f-s.gapExtend, H[j-1]-s.gapOpen)
+			h := diag + int(col[j-1])
+			if e > h {
+				h = e
+			}
+			if f > h {
+				h = f
+			}
+			if h < 0 {
+				h = 0
+			}
+			diag = H[j]
+			H[j] = h
+			E[j] = e
+			if h > best.Score {
+				best = Result{Score: h, EndQuery: j - 1, EndTarget: i}
+			}
+		}
+	}
+	return best, nil
+}
+
+// Similarity returns the normalized local-alignment similarity of the
+// profiled query to target in [0, 1]: SW score divided by the query
+// self-score. This is the quantity thresholded by the Table 2
+// selectivity sweep.
+func (p *Profile) Similarity(target string) (float64, error) {
+	r, err := p.Align(target)
+	if err != nil {
+		return 0, err
+	}
+	if p.selfScore <= 0 {
+		return 0, nil
+	}
+	sim := float64(r.Score) / float64(p.selfScore)
+	if sim > 1 {
+		sim = 1
+	}
+	return sim, nil
+}
+
+// Local is a convenience that profiles query and aligns it against
+// target once.
+func (s *Scorer) Local(query, target string) (Result, error) {
+	p, err := s.NewProfile(query)
+	if err != nil {
+		return Result{}, err
+	}
+	return p.Align(target)
+}
+
+// Alignment is a full traceback alignment.
+type Alignment struct {
+	Result
+	// StartQuery/StartTarget are 0-based inclusive starts.
+	StartQuery  int
+	StartTarget int
+	// AlignedQuery/AlignedTarget are the gapped alignment strings.
+	AlignedQuery  string
+	AlignedTarget string
+	Matches       int // exact residue matches
+}
+
+// Identity returns the fraction of alignment columns that are exact
+// matches.
+func (a Alignment) Identity() float64 {
+	if len(a.AlignedQuery) == 0 {
+		return 0
+	}
+	return float64(a.Matches) / float64(len(a.AlignedQuery))
+}
+
+// Traceback runs full-matrix Smith-Waterman with traceback. It uses
+// O(len(query)*len(target)) memory; intended for the short candidate
+// lists that survive filtering, not the bulk scan.
+func (s *Scorer) Traceback(query, target string) (Alignment, error) {
+	q, err := encode(query)
+	if err != nil {
+		return Alignment{}, err
+	}
+	t, err := encode(target)
+	if err != nil {
+		return Alignment{}, err
+	}
+	m, n := len(t), len(q)
+	// dp[i][j] over target i, query j (1-based).
+	dp := make([][]int, m+1)
+	eTab := make([][]int, m+1)
+	fTab := make([][]int, m+1)
+	for i := range dp {
+		dp[i] = make([]int, n+1)
+		eTab[i] = make([]int, n+1)
+		fTab[i] = make([]int, n+1)
+	}
+	best, bi, bj := 0, 0, 0
+	for i := 1; i <= m; i++ {
+		for j := 1; j <= n; j++ {
+			e := max(eTab[i][j-1]-s.gapExtend, dp[i][j-1]-s.gapOpen)
+			f := max(fTab[i-1][j]-s.gapExtend, dp[i-1][j]-s.gapOpen)
+			h := dp[i-1][j-1] + int(s.matrix[t[i-1]][q[j-1]])
+			h = max(h, max(e, f))
+			if h < 0 {
+				h = 0
+			}
+			dp[i][j], eTab[i][j], fTab[i][j] = h, e, f
+			if h > best {
+				best, bi, bj = h, i, j
+			}
+		}
+	}
+	// Traceback from (bi, bj) until a zero cell.
+	var aq, at strings.Builder
+	i, j := bi, bj
+	matches := 0
+	for i > 0 && j > 0 && dp[i][j] > 0 {
+		h := dp[i][j]
+		switch {
+		case h == dp[i-1][j-1]+int(s.matrix[t[i-1]][q[j-1]]):
+			aq.WriteByte(query[j-1])
+			at.WriteByte(target[i-1])
+			if query[j-1] == target[i-1] {
+				matches++
+			}
+			i, j = i-1, j-1
+		case h == eTab[i][j]:
+			aq.WriteByte(query[j-1])
+			at.WriteByte('-')
+			j--
+		default:
+			aq.WriteByte('-')
+			at.WriteByte(target[i-1])
+			i--
+		}
+	}
+	return Alignment{
+		Result:        Result{Score: best, EndQuery: bj - 1, EndTarget: bi - 1},
+		StartQuery:    j,
+		StartTarget:   i,
+		AlignedQuery:  reverse(aq.String()),
+		AlignedTarget: reverse(at.String()),
+		Matches:       matches,
+	}, nil
+}
+
+func reverse(s string) string {
+	b := []byte(s)
+	for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
+		b[i], b[j] = b[j], b[i]
+	}
+	return string(b)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

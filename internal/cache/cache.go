@@ -1,0 +1,508 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"ids/internal/fam"
+	"ids/internal/store"
+)
+
+// Tier identifies a cache storage tier.
+type Tier int
+
+// Cache tiers, fastest first.
+const (
+	TierDRAM Tier = iota
+	TierSSD
+)
+
+func (t Tier) String() string {
+	if t == TierDRAM {
+		return "dram"
+	}
+	return "ssd"
+}
+
+// Location is one placement of a cached object.
+type Location struct {
+	Node int
+	Tier Tier
+}
+
+// ErrMiss is a total miss: the object is in no tier and not in the
+// backing stash — the caller must recompute (e.g. re-run docking).
+var ErrMiss = errors.New("cache: total miss")
+
+// Config sizes and parameterizes the cache.
+type Config struct {
+	Nodes       int
+	DRAMPerNode int64
+	SSDPerNode  int64
+	Policy      string // "lru" (default), "lfu", "2q"
+	Net         fam.NetModel
+	// SSDLatency/SSDBandwidth model local NVMe access.
+	SSDLatency   float64
+	SSDBandwidth float64
+}
+
+// DefaultConfig returns a small two-node cache configuration.
+func DefaultConfig() Config {
+	return Config{
+		Nodes:        2,
+		DRAMPerNode:  64 << 20,
+		SSDPerNode:   512 << 20,
+		Policy:       "lru",
+		Net:          fam.DefaultNet(),
+		SSDLatency:   100e-6,
+		SSDBandwidth: 3e9,
+	}
+}
+
+// Stats counts cache outcomes.
+type Stats struct {
+	DRAMHitsLocal  int64
+	DRAMHitsRemote int64
+	SSDHits        int64
+	StashHits      int64
+	Misses         int64
+	Puts           int64
+	Spills         int64 // DRAM -> SSD demotions
+	Evictions      int64 // dropped from SSD (still in stash)
+}
+
+type meta struct {
+	hash      string
+	size      int
+	locations []Location
+}
+
+type cacheNode struct {
+	id      int
+	dram    Policy
+	ssd     Policy
+	ssdData map[string][]byte
+	ssdUsed int64
+	down    bool
+}
+
+// Cache is the globally shared client-side cache.
+type Cache struct {
+	mu      sync.Mutex
+	cfg     Config
+	fabric  *fam.FAM
+	nodes   []*cacheNode
+	objects map[string]*meta
+	backing *store.Store
+	stats   Stats
+}
+
+// dramRegion is the FAM region holding all DRAM-tier objects.
+const dramRegion = "cache-dram"
+
+// New builds a cache over the given backing stash.
+func New(cfg Config, backing *store.Store) (*Cache, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("cache: need at least one node")
+	}
+	if backing == nil {
+		return nil, fmt.Errorf("cache: nil backing store")
+	}
+	fabric := fam.New(cfg.Nodes, cfg.DRAMPerNode, cfg.Net)
+	if err := fabric.CreateRegion(dramRegion, cfg.DRAMPerNode*int64(cfg.Nodes)); err != nil {
+		return nil, err
+	}
+	c := &Cache{cfg: cfg, fabric: fabric, objects: map[string]*meta{}, backing: backing}
+	for i := 0; i < cfg.Nodes; i++ {
+		dp, err := NewPolicy(cfg.Policy)
+		if err != nil {
+			return nil, err
+		}
+		sp, err := NewPolicy(cfg.Policy)
+		if err != nil {
+			return nil, err
+		}
+		c.nodes = append(c.nodes, &cacheNode{
+			id: i, dram: dp, ssd: sp, ssdData: map[string][]byte{},
+		})
+	}
+	return c, nil
+}
+
+// Nodes returns the cache node count.
+func (c *Cache) Nodes() int { return len(c.nodes) }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// ssdCost models one local-SSD access of n bytes.
+func (c *Cache) ssdCost(n int) float64 {
+	if c.cfg.SSDBandwidth <= 0 {
+		return c.cfg.SSDLatency
+	}
+	return c.cfg.SSDLatency + float64(n)/c.cfg.SSDBandwidth
+}
+
+// dramItemName namespaces FAM items per node so an object may exist in
+// several nodes' DRAM after relocation.
+func dramItemName(node int, name string) string {
+	return fmt.Sprintf("n%d/%s", node, name)
+}
+
+// hasLoc reports whether m records the location.
+func (m *meta) hasLoc(l Location) bool {
+	for _, x := range m.locations {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *meta) dropLoc(l Location) {
+	out := m.locations[:0]
+	for _, x := range m.locations {
+		if x != l {
+			out = append(out, x)
+		}
+	}
+	m.locations = out
+}
+
+// Put stores data under name: write-through to the backing stash
+// (authoritative copy), then placement into hintNode's DRAM tier with
+// spill-to-SSD eviction. The meter accrues all modeled time.
+func (c *Cache) Put(m *fam.Meter, name string, data []byte, hintNode int) error {
+	hash, wcost, err := c.backing.Put(name, data)
+	if err != nil {
+		return err
+	}
+	meterAdd(m, wcost, len(data))
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Puts++
+	mt, ok := c.objects[name]
+	if !ok {
+		mt = &meta{}
+		c.objects[name] = mt
+	}
+	mt.hash = hash
+	mt.size = len(data)
+	if hintNode < 0 || hintNode >= len(c.nodes) {
+		hintNode = int(fam.ObjectID(name) % uint64(len(c.nodes)))
+	}
+	return c.placeDRAMLocked(m, name, data, hintNode)
+}
+
+// placeDRAMLocked inserts data into node's DRAM, evicting (spilling to
+// SSD) until it fits. Objects larger than the DRAM tier go straight to
+// SSD.
+func (c *Cache) placeDRAMLocked(m *fam.Meter, name string, data []byte, nodeID int) error {
+	n := c.nodes[nodeID]
+	if n.down {
+		return nil // cache insertion is best-effort on a down node
+	}
+	mt := c.objects[name]
+	loc := Location{Node: nodeID, Tier: TierDRAM}
+	if mt.hasLoc(loc) {
+		// Refresh contents in place.
+		d, err := c.fabric.Lookup(dramRegion, dramItemName(nodeID, name))
+		if err == nil && d.Size == len(data) {
+			return c.fabric.Put(m, d, 0, data, true)
+		}
+		// Size changed: drop and re-place.
+		_ = c.fabric.Deallocate(d)
+		n.dram.Remove(name)
+		mt.dropLoc(loc)
+	}
+	if int64(len(data)) > c.cfg.DRAMPerNode {
+		return c.placeSSDLocked(m, name, data, nodeID)
+	}
+	for {
+		d, err := c.fabric.Allocate(dramRegion, dramItemName(nodeID, name), len(data), nodeID)
+		if err == nil {
+			if err := c.fabric.Put(m, d, 0, data, true); err != nil {
+				return err
+			}
+			n.dram.Add(name)
+			mt.locations = append(mt.locations, loc)
+			return nil
+		}
+		if !errors.Is(err, fam.ErrNoCapacity) {
+			return err
+		}
+		victim, ok := n.dram.Victim()
+		if !ok {
+			// Nothing to evict (object bigger than free space for
+			// structural reasons): fall through to SSD.
+			return c.placeSSDLocked(m, name, data, nodeID)
+		}
+		if err := c.spillLocked(m, victim, nodeID); err != nil {
+			return err
+		}
+	}
+}
+
+// spillLocked demotes victim from node DRAM to node SSD.
+func (c *Cache) spillLocked(m *fam.Meter, victim string, nodeID int) error {
+	d, err := c.fabric.Lookup(dramRegion, dramItemName(nodeID, victim))
+	if err != nil {
+		return err
+	}
+	data, err := c.fabric.Get(m, d, 0, d.Size, true)
+	if err != nil {
+		return err
+	}
+	if err := c.fabric.Deallocate(d); err != nil {
+		return err
+	}
+	mt := c.objects[victim]
+	mt.dropLoc(Location{Node: nodeID, Tier: TierDRAM})
+	c.stats.Spills++
+	return c.placeSSDLocked(m, victim, data, nodeID)
+}
+
+// placeSSDLocked inserts data into node's SSD tier, evicting entirely
+// (backing store still holds it) until it fits.
+func (c *Cache) placeSSDLocked(m *fam.Meter, name string, data []byte, nodeID int) error {
+	n := c.nodes[nodeID]
+	if int64(len(data)) > c.cfg.SSDPerNode {
+		return nil // too large to cache; stash-only
+	}
+	mt := c.objects[name]
+	loc := Location{Node: nodeID, Tier: TierSSD}
+	if mt.hasLoc(loc) {
+		n.ssdUsed += int64(len(data)) - int64(len(n.ssdData[name]))
+		n.ssdData[name] = data
+		meterAdd(m, c.ssdCost(len(data)), len(data))
+		return nil
+	}
+	for n.ssdUsed+int64(len(data)) > c.cfg.SSDPerNode {
+		victim, ok := n.ssd.Victim()
+		if !ok {
+			return nil
+		}
+		n.ssdUsed -= int64(len(n.ssdData[victim]))
+		delete(n.ssdData, victim)
+		c.objects[victim].dropLoc(loc)
+		c.stats.Evictions++
+	}
+	n.ssdData[name] = data
+	n.ssdUsed += int64(len(data))
+	n.ssd.Add(name)
+	mt.locations = append(mt.locations, loc)
+	meterAdd(m, c.ssdCost(len(data)), len(data))
+	return nil
+}
+
+func meterAdd(m *fam.Meter, sec float64, bytes int) {
+	if m == nil {
+		return
+	}
+	m.Seconds += sec
+	m.Ops++
+	m.Bytes += bytes
+}
+
+// Get retrieves name for a reader on fromNode, searching local DRAM,
+// remote DRAM, local SSD, remote SSD, then the backing stash (which
+// repopulates the reader's DRAM). A total miss returns ErrMiss.
+func (c *Cache) Get(m *fam.Meter, name string, fromNode int) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	mt, ok := c.objects[name]
+	if ok {
+		// Preference order: local DRAM, remote DRAM, local SSD,
+		// remote SSD.
+		best := -1
+		score := func(l Location) int {
+			s := 0
+			if l.Tier == TierSSD {
+				s += 2
+			}
+			if l.Node != fromNode {
+				s++
+			}
+			return s
+		}
+		for i, l := range mt.locations {
+			if c.nodes[l.Node].down {
+				continue
+			}
+			if best < 0 || score(l) < score(mt.locations[best]) {
+				best = i
+			}
+		}
+		if best >= 0 {
+			l := mt.locations[best]
+			local := l.Node == fromNode
+			if l.Tier == TierDRAM {
+				d, err := c.fabric.Lookup(dramRegion, dramItemName(l.Node, name))
+				if err == nil {
+					data, err := c.fabric.Get(m, d, 0, d.Size, local)
+					if err == nil {
+						c.nodes[l.Node].dram.Touch(name)
+						if local {
+							c.stats.DRAMHitsLocal++
+						} else {
+							c.stats.DRAMHitsRemote++
+						}
+						return data, nil
+					}
+				}
+				// Fabric lost it (failure race): fall through to stash.
+			} else {
+				data := c.nodes[l.Node].ssdData[name]
+				if data != nil {
+					c.nodes[l.Node].ssd.Touch(name)
+					cost := c.ssdCost(len(data))
+					if !local {
+						cost += c.cfg.Net.Cost(len(data), false)
+					}
+					meterAdd(m, cost, len(data))
+					c.stats.SSDHits++
+					return data, nil
+				}
+			}
+		}
+	}
+	// Disk stash fallback.
+	data, rcost, err := c.backing.Get(name)
+	if err == nil {
+		meterAdd(m, rcost, len(data))
+		c.stats.StashHits++
+		if mt == nil {
+			mt = &meta{hash: store.Hash(data), size: len(data)}
+			c.objects[name] = mt
+		}
+		// Repopulate the reader's DRAM for future hits.
+		if fromNode >= 0 && fromNode < len(c.nodes) {
+			if err := c.placeDRAMLocked(m, name, data, fromNode); err != nil {
+				return nil, err
+			}
+		}
+		return data, nil
+	}
+	c.stats.Misses++
+	return nil, fmt.Errorf("%w: %s", ErrMiss, name)
+}
+
+// WhereIs answers the locality query: every live location of name.
+// Schedulers use this to co-locate computation with data (paper §8).
+func (c *Cache) WhereIs(name string) []Location {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	mt, ok := c.objects[name]
+	if !ok {
+		return nil
+	}
+	var out []Location
+	for _, l := range mt.locations {
+		if !c.nodes[l.Node].down {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Has reports whether name is cached in any tier or present in the
+// stash.
+func (c *Cache) Has(name string) bool {
+	if len(c.WhereIs(name)) > 0 {
+		return true
+	}
+	return c.backing.Has(name)
+}
+
+// Relocate moves the DRAM copy of name to the target node (operator
+// hint / affinity policy).
+func (c *Cache) Relocate(m *fam.Meter, name string, toNode int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	mt, ok := c.objects[name]
+	if !ok {
+		return fmt.Errorf("cache: unknown object %s", name)
+	}
+	if toNode < 0 || toNode >= len(c.nodes) {
+		return fmt.Errorf("cache: bad node %d", toNode)
+	}
+	for _, l := range mt.locations {
+		if l.Tier != TierDRAM || c.nodes[l.Node].down || l.Node == toNode {
+			continue
+		}
+		d, err := c.fabric.Lookup(dramRegion, dramItemName(l.Node, name))
+		if err != nil {
+			continue
+		}
+		data, err := c.fabric.Get(m, d, 0, d.Size, false)
+		if err != nil {
+			continue
+		}
+		_ = c.fabric.Deallocate(d)
+		c.nodes[l.Node].dram.Remove(name)
+		mt.dropLoc(l)
+		return c.placeDRAMLocked(m, name, data, toNode)
+	}
+	// No DRAM copy elsewhere: pull from SSD or stash.
+	data, _, err := c.backing.Get(name)
+	if err != nil {
+		return err
+	}
+	return c.placeDRAMLocked(m, name, data, toNode)
+}
+
+// FailNode simulates losing a cache node: its DRAM and SSD contents
+// vanish; backing copies remain, so later Gets repopulate.
+func (c *Cache) FailNode(id int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if id < 0 || id >= len(c.nodes) {
+		return fmt.Errorf("cache: bad node %d", id)
+	}
+	n := c.nodes[id]
+	n.down = true
+	if err := c.fabric.FailServer(id); err != nil {
+		return err
+	}
+	for name := range n.ssdData {
+		c.objects[name].dropLoc(Location{Node: id, Tier: TierSSD})
+	}
+	for name, mt := range c.objects {
+		_ = name
+		mt.dropLoc(Location{Node: id, Tier: TierDRAM})
+	}
+	n.ssdData = map[string][]byte{}
+	n.ssdUsed = 0
+	dp, _ := NewPolicy(c.cfg.Policy)
+	sp, _ := NewPolicy(c.cfg.Policy)
+	n.dram, n.ssd = dp, sp
+	return nil
+}
+
+// RecoverNode rejoins a failed node, empty.
+func (c *Cache) RecoverNode(id int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if id < 0 || id >= len(c.nodes) {
+		return fmt.Errorf("cache: bad node %d", id)
+	}
+	c.nodes[id].down = false
+	return c.fabric.RecoverServer(id)
+}
+
+// ObjectHash returns the recorded content hash of name.
+func (c *Cache) ObjectHash(name string) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	mt, ok := c.objects[name]
+	if !ok {
+		return "", false
+	}
+	return mt.hash, true
+}

@@ -1,0 +1,201 @@
+// Package cache implements the globally shared, multi-tier, client-
+// side cache of paper §3: per-node DRAM and SSD tiers consolidated by
+// a distributed Cache Manager that tracks metadata and data locality,
+// spills DRAM to SSD under pressure, writes through to a persistent
+// backing stash, answers locality queries for schedulers, and
+// repopulates after node failures. Remote DRAM access rides the
+// OpenFAM-style fabric from internal/fam.
+package cache
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// Policy is a cache eviction policy over object names. Implementations
+// are not safe for concurrent use; the Cache serializes access.
+type Policy interface {
+	// Add inserts a new key (must not be present).
+	Add(key string)
+	// Touch records an access to key (no-op if absent).
+	Touch(key string)
+	// Remove deletes key if present.
+	Remove(key string)
+	// Victim removes and returns the next eviction candidate.
+	Victim() (string, bool)
+	// Len returns the number of tracked keys.
+	Len() int
+}
+
+// NewPolicy constructs a policy by name: "lru", "lfu" or "2q".
+func NewPolicy(name string) (Policy, error) {
+	switch name {
+	case "lru", "":
+		return newLRU(), nil
+	case "lfu":
+		return newLFU(), nil
+	case "2q":
+		return newTwoQ(), nil
+	default:
+		return nil, fmt.Errorf("cache: unknown policy %q", name)
+	}
+}
+
+// --- LRU ---
+
+type lru struct {
+	ll  *list.List // front = most recent
+	idx map[string]*list.Element
+}
+
+func newLRU() *lru { return &lru{ll: list.New(), idx: map[string]*list.Element{}} }
+
+func (p *lru) Add(key string) { p.idx[key] = p.ll.PushFront(key) }
+
+func (p *lru) Touch(key string) {
+	if e, ok := p.idx[key]; ok {
+		p.ll.MoveToFront(e)
+	}
+}
+
+func (p *lru) Remove(key string) {
+	if e, ok := p.idx[key]; ok {
+		p.ll.Remove(e)
+		delete(p.idx, key)
+	}
+}
+
+func (p *lru) Victim() (string, bool) {
+	e := p.ll.Back()
+	if e == nil {
+		return "", false
+	}
+	key := e.Value.(string)
+	p.ll.Remove(e)
+	delete(p.idx, key)
+	return key, true
+}
+
+func (p *lru) Len() int { return p.ll.Len() }
+
+// --- LFU (frequency buckets with LRU tie-break inside a bucket) ---
+
+type lfuEntry struct {
+	key  string
+	freq int
+	elem *list.Element
+}
+
+type lfu struct {
+	entries map[string]*lfuEntry
+	buckets map[int]*list.List // freq -> keys, front = most recent
+	minFreq int
+}
+
+func newLFU() *lfu {
+	return &lfu{entries: map[string]*lfuEntry{}, buckets: map[int]*list.List{}}
+}
+
+func (p *lfu) bucket(freq int) *list.List {
+	b, ok := p.buckets[freq]
+	if !ok {
+		b = list.New()
+		p.buckets[freq] = b
+	}
+	return b
+}
+
+func (p *lfu) Add(key string) {
+	e := &lfuEntry{key: key, freq: 1}
+	e.elem = p.bucket(1).PushFront(e)
+	p.entries[key] = e
+	p.minFreq = 1
+}
+
+func (p *lfu) Touch(key string) {
+	e, ok := p.entries[key]
+	if !ok {
+		return
+	}
+	old := p.buckets[e.freq]
+	old.Remove(e.elem)
+	if old.Len() == 0 && p.minFreq == e.freq {
+		p.minFreq++
+	}
+	e.freq++
+	e.elem = p.bucket(e.freq).PushFront(e)
+}
+
+func (p *lfu) Remove(key string) {
+	e, ok := p.entries[key]
+	if !ok {
+		return
+	}
+	p.buckets[e.freq].Remove(e.elem)
+	delete(p.entries, key)
+	p.fixMin()
+}
+
+func (p *lfu) fixMin() {
+	if len(p.entries) == 0 {
+		p.minFreq = 0
+		return
+	}
+	for p.minFreq == 0 || p.buckets[p.minFreq] == nil || p.buckets[p.minFreq].Len() == 0 {
+		p.minFreq++
+	}
+}
+
+func (p *lfu) Victim() (string, bool) {
+	if len(p.entries) == 0 {
+		return "", false
+	}
+	p.fixMin()
+	b := p.buckets[p.minFreq]
+	e := b.Back().Value.(*lfuEntry)
+	b.Remove(e.elem)
+	delete(p.entries, e.key)
+	if len(p.entries) > 0 {
+		p.fixMin()
+	}
+	return e.key, true
+}
+
+func (p *lfu) Len() int { return len(p.entries) }
+
+// --- 2Q (simplified: probationary FIFO + protected LRU) ---
+
+type twoQ struct {
+	in   *lru // probationary: first-time entries
+	main *lru // protected: re-referenced entries
+	// inCapFrac is not enforced by bytes here; Victim prefers the
+	// probationary queue, which realizes 2Q's scan resistance.
+}
+
+func newTwoQ() *twoQ { return &twoQ{in: newLRU(), main: newLRU()} }
+
+func (p *twoQ) Add(key string) { p.in.Add(key) }
+
+func (p *twoQ) Touch(key string) {
+	if _, ok := p.in.idx[key]; ok {
+		// Promotion on re-reference.
+		p.in.Remove(key)
+		p.main.Add(key)
+		return
+	}
+	p.main.Touch(key)
+}
+
+func (p *twoQ) Remove(key string) {
+	p.in.Remove(key)
+	p.main.Remove(key)
+}
+
+func (p *twoQ) Victim() (string, bool) {
+	if k, ok := p.in.Victim(); ok {
+		return k, true
+	}
+	return p.main.Victim()
+}
+
+func (p *twoQ) Len() int { return p.in.Len() + p.main.Len() }

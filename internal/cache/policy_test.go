@@ -1,0 +1,186 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPolicy(t *testing.T) {
+	for _, name := range []string{"", "lru", "lfu", "2q"} {
+		p, err := NewPolicy(name)
+		if err != nil || p == nil {
+			t.Fatalf("NewPolicy(%q): %v", name, err)
+		}
+	}
+	if _, err := NewPolicy("fifo2"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	p := newLRU()
+	p.Add("a")
+	p.Add("b")
+	p.Add("c")
+	p.Touch("a") // a most recent; b is now LRU
+	v, ok := p.Victim()
+	if !ok || v != "b" {
+		t.Fatalf("victim = %q, want b", v)
+	}
+	v, _ = p.Victim()
+	if v != "c" {
+		t.Fatalf("victim = %q, want c", v)
+	}
+	v, _ = p.Victim()
+	if v != "a" {
+		t.Fatalf("victim = %q, want a", v)
+	}
+	if _, ok := p.Victim(); ok {
+		t.Fatal("victim from empty policy")
+	}
+}
+
+func TestLRURemove(t *testing.T) {
+	p := newLRU()
+	p.Add("a")
+	p.Add("b")
+	p.Remove("a")
+	p.Remove("ghost") // no-op
+	if p.Len() != 1 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	v, _ := p.Victim()
+	if v != "b" {
+		t.Fatalf("victim = %q", v)
+	}
+}
+
+func TestLFUPrefersColdKeys(t *testing.T) {
+	p := newLFU()
+	p.Add("hot")
+	p.Add("cold")
+	for i := 0; i < 5; i++ {
+		p.Touch("hot")
+	}
+	v, ok := p.Victim()
+	if !ok || v != "cold" {
+		t.Fatalf("victim = %q, want cold", v)
+	}
+	v, _ = p.Victim()
+	if v != "hot" {
+		t.Fatalf("victim = %q, want hot", v)
+	}
+}
+
+func TestLFUTieBreakLRU(t *testing.T) {
+	p := newLFU()
+	p.Add("x")
+	p.Add("y")
+	p.Touch("x")
+	p.Touch("y")
+	// Same frequency; x was touched earlier so it is staler.
+	v, _ := p.Victim()
+	if v != "x" {
+		t.Fatalf("victim = %q, want x", v)
+	}
+}
+
+func TestLFURemove(t *testing.T) {
+	p := newLFU()
+	p.Add("a")
+	p.Add("b")
+	p.Touch("a")
+	p.Remove("a")
+	p.Remove("ghost")
+	if p.Len() != 1 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	v, _ := p.Victim()
+	if v != "b" {
+		t.Fatalf("victim = %q", v)
+	}
+}
+
+func TestTwoQScanResistance(t *testing.T) {
+	p := newTwoQ()
+	// "hot" is referenced twice -> promoted to the protected queue.
+	p.Add("hot")
+	p.Touch("hot")
+	// A scan of one-time keys floods the probationary queue.
+	for i := 0; i < 10; i++ {
+		p.Add(fmt.Sprintf("scan%d", i))
+	}
+	// Victims must all be scan keys before "hot" is ever considered.
+	for i := 0; i < 10; i++ {
+		v, ok := p.Victim()
+		if !ok || v == "hot" {
+			t.Fatalf("2Q evicted hot key at position %d", i)
+		}
+	}
+	v, _ := p.Victim()
+	if v != "hot" {
+		t.Fatalf("last victim = %q, want hot", v)
+	}
+}
+
+func TestTwoQRemove(t *testing.T) {
+	p := newTwoQ()
+	p.Add("a")
+	p.Touch("a") // promoted
+	p.Add("b")
+	p.Remove("a")
+	if p.Len() != 1 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+}
+
+// Property: for every policy, the number of victims equals the number
+// of adds, each added key is returned exactly once, and Len reaches 0.
+func TestPolicyConservationProperty(t *testing.T) {
+	for _, name := range []string{"lru", "lfu", "2q"} {
+		name := name
+		f := func(ops []uint8) bool {
+			p, err := NewPolicy(name)
+			if err != nil {
+				return false
+			}
+			present := map[string]bool{}
+			for i, op := range ops {
+				key := fmt.Sprintf("k%d", int(op)%16)
+				switch i % 3 {
+				case 0:
+					if !present[key] {
+						p.Add(key)
+						present[key] = true
+					}
+				case 1:
+					p.Touch(key)
+				case 2:
+					if i%6 == 5 {
+						p.Remove(key)
+						delete(present, key)
+					}
+				}
+			}
+			if p.Len() != len(present) {
+				return false
+			}
+			seen := map[string]bool{}
+			for {
+				v, ok := p.Victim()
+				if !ok {
+					break
+				}
+				if seen[v] || !present[v] {
+					return false
+				}
+				seen[v] = true
+			}
+			return len(seen) == len(present) && p.Len() == 0
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}

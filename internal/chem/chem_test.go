@@ -1,0 +1,322 @@
+package chem
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mustParse(t *testing.T, s string) *Mol {
+	t.Helper()
+	m, err := ParseSMILES(s)
+	if err != nil {
+		t.Fatalf("ParseSMILES(%q): %v", s, err)
+	}
+	return m
+}
+
+func TestParseMethane(t *testing.T) {
+	m := mustParse(t, "C")
+	if len(m.Atoms) != 1 || len(m.Bonds) != 0 {
+		t.Fatalf("atoms=%d bonds=%d", len(m.Atoms), len(m.Bonds))
+	}
+	if h := m.ImplicitH(0); h != 4 {
+		t.Fatalf("methane implicit H = %d, want 4", h)
+	}
+	if w := m.MolWeight(); math.Abs(w-16.043) > 0.01 {
+		t.Fatalf("methane MW = %f, want ~16.04", w)
+	}
+}
+
+func TestParseEthanol(t *testing.T) {
+	m := mustParse(t, "CCO")
+	if len(m.Atoms) != 3 || len(m.Bonds) != 2 {
+		t.Fatalf("atoms=%d bonds=%d", len(m.Atoms), len(m.Bonds))
+	}
+	if w := m.MolWeight(); math.Abs(w-46.07) > 0.05 {
+		t.Fatalf("ethanol MW = %f, want ~46.07", w)
+	}
+	if d := m.HBondDonors(); d != 1 {
+		t.Fatalf("ethanol donors = %d, want 1", d)
+	}
+	if a := m.HBondAcceptors(); a != 1 {
+		t.Fatalf("ethanol acceptors = %d, want 1", a)
+	}
+}
+
+func TestParseBenzene(t *testing.T) {
+	m := mustParse(t, "c1ccccc1")
+	if len(m.Atoms) != 6 || len(m.Bonds) != 6 {
+		t.Fatalf("atoms=%d bonds=%d", len(m.Atoms), len(m.Bonds))
+	}
+	if r := m.RingCount(); r != 1 {
+		t.Fatalf("benzene rings = %d, want 1", r)
+	}
+	for _, b := range m.Bonds {
+		if !b.Aromatic {
+			t.Fatal("benzene bond not aromatic")
+		}
+	}
+	if w := m.MolWeight(); math.Abs(w-78.11) > 0.1 {
+		t.Fatalf("benzene MW = %f, want ~78.11", w)
+	}
+}
+
+func TestParseDoubleTripleBonds(t *testing.T) {
+	m := mustParse(t, "C=C")
+	if m.Bonds[0].Order != 2 {
+		t.Fatalf("order = %d, want 2", m.Bonds[0].Order)
+	}
+	if h := m.ImplicitH(0); h != 2 {
+		t.Fatalf("ethylene H = %d, want 2", h)
+	}
+	m = mustParse(t, "C#N")
+	if m.Bonds[0].Order != 3 {
+		t.Fatalf("order = %d, want 3", m.Bonds[0].Order)
+	}
+	if h := m.ImplicitH(1); h != 0 {
+		t.Fatalf("nitrile N H = %d, want 0", h)
+	}
+}
+
+func TestParseBranches(t *testing.T) {
+	// Isobutane: central carbon with three methyls.
+	m := mustParse(t, "CC(C)C")
+	if len(m.Atoms) != 4 || len(m.Bonds) != 3 {
+		t.Fatalf("atoms=%d bonds=%d", len(m.Atoms), len(m.Bonds))
+	}
+	if deg := len(m.Neighbors(1)); deg != 3 {
+		t.Fatalf("central degree = %d, want 3", deg)
+	}
+}
+
+func TestParseBracketAtoms(t *testing.T) {
+	m := mustParse(t, "[NH4+]")
+	a := m.Atoms[0]
+	if a.Element != "N" || a.Charge != 1 || a.ExplicitH != 4 {
+		t.Fatalf("atom = %+v", a)
+	}
+	m = mustParse(t, "[13CH4]")
+	if m.Atoms[0].Isotope != 13 || m.Atoms[0].ExplicitH != 4 {
+		t.Fatalf("atom = %+v", m.Atoms[0])
+	}
+	m = mustParse(t, "[O-]C(=O)C")
+	if m.Atoms[0].Charge != -1 {
+		t.Fatalf("charge = %d", m.Atoms[0].Charge)
+	}
+	m = mustParse(t, "[Fe+2]")
+	if m.Atoms[0].Element != "Fe" || m.Atoms[0].Charge != 2 {
+		t.Fatalf("atom = %+v", m.Atoms[0])
+	}
+}
+
+func TestParseAromaticNWithH(t *testing.T) {
+	// Pyrrole.
+	m := mustParse(t, "c1cc[nH]c1")
+	n := m.Atoms[3]
+	if n.Element != "N" || !n.Aromatic || n.ExplicitH != 1 {
+		t.Fatalf("pyrrole N = %+v", n)
+	}
+}
+
+func TestParseRingClosures(t *testing.T) {
+	// Naphthalene: two fused rings.
+	m := mustParse(t, "c1ccc2ccccc2c1")
+	if m.RingCount() != 2 {
+		t.Fatalf("naphthalene rings = %d, want 2", m.RingCount())
+	}
+	// %nn labels.
+	m = mustParse(t, "C%10CC%10")
+	if m.RingCount() != 1 {
+		t.Fatalf("%%nn ring = %d, want 1", m.RingCount())
+	}
+}
+
+func TestParseDisconnected(t *testing.T) {
+	m := mustParse(t, "C.C")
+	if len(m.Atoms) != 2 || len(m.Bonds) != 0 {
+		t.Fatalf("atoms=%d bonds=%d", len(m.Atoms), len(m.Bonds))
+	}
+}
+
+func TestParseTwoLetterElements(t *testing.T) {
+	m := mustParse(t, "ClCCBr")
+	if m.Atoms[0].Element != "Cl" || m.Atoms[3].Element != "Br" {
+		t.Fatalf("atoms = %+v", m.Atoms)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "C(", "C)", "C1CC", "[C", "[]", "C(=O", "1CC1", "X", "[1]", "%1C",
+	}
+	for _, s := range bad {
+		if _, err := ParseSMILES(s); err == nil {
+			t.Errorf("ParseSMILES(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestAspirinDescriptors(t *testing.T) {
+	// Aspirin: CC(=O)Oc1ccccc1C(=O)O — MW 180.16.
+	m := mustParse(t, "CC(=O)Oc1ccccc1C(=O)O")
+	if w := m.MolWeight(); math.Abs(w-180.16) > 0.5 {
+		t.Fatalf("aspirin MW = %f, want ~180.16", w)
+	}
+	if m.HeavyAtoms() != 13 {
+		t.Fatalf("heavy atoms = %d, want 13", m.HeavyAtoms())
+	}
+	if m.RingCount() != 1 {
+		t.Fatalf("rings = %d, want 1", m.RingCount())
+	}
+	if d := m.HBondDonors(); d != 1 {
+		t.Fatalf("donors = %d, want 1", d)
+	}
+	if a := m.HBondAcceptors(); a != 4 {
+		t.Fatalf("acceptors = %d, want 4", a)
+	}
+	if v := m.LipinskiViolations(); v != 0 {
+		t.Fatalf("violations = %d, want 0", v)
+	}
+}
+
+func TestCaffeineParses(t *testing.T) {
+	m := mustParse(t, "Cn1cnc2c1c(=O)n(C)c(=O)n2C")
+	if w := m.MolWeight(); math.Abs(w-194.19) > 1.5 {
+		t.Fatalf("caffeine MW = %f, want ~194", w)
+	}
+	if m.RingCount() != 2 {
+		t.Fatalf("caffeine rings = %d, want 2", m.RingCount())
+	}
+}
+
+func TestRotatableBonds(t *testing.T) {
+	// Butane has one rotatable bond (C2-C3).
+	if n := mustParse(t, "CCCC").RotatableBonds(); n != 1 {
+		t.Fatalf("butane rotatable = %d, want 1", n)
+	}
+	// Cyclohexane has none.
+	if n := mustParse(t, "C1CCCCC1").RotatableBonds(); n != 0 {
+		t.Fatalf("cyclohexane rotatable = %d, want 0", n)
+	}
+	// Biphenyl has exactly the inter-ring bond.
+	if n := mustParse(t, "c1ccccc1-c1ccccc1").RotatableBonds(); n != 1 {
+		t.Fatalf("biphenyl rotatable = %d, want 1", n)
+	}
+}
+
+func TestLogPOrdering(t *testing.T) {
+	// Hexane should be more lipophilic than ethanol.
+	hexane := mustParse(t, "CCCCCC").LogP()
+	ethanol := mustParse(t, "CCO").LogP()
+	if hexane <= ethanol {
+		t.Fatalf("logP hexane %f <= ethanol %f", hexane, ethanol)
+	}
+}
+
+func TestPIC50(t *testing.T) {
+	// 1 nM -> pIC50 9; 1 uM -> 6.
+	if p := PIC50FromIC50nM(1); math.Abs(p-9) > 1e-9 {
+		t.Fatalf("pIC50(1nM) = %f, want 9", p)
+	}
+	if p := PIC50FromIC50nM(1000); math.Abs(p-6) > 1e-9 {
+		t.Fatalf("pIC50(1uM) = %f, want 6", p)
+	}
+	if p := PIC50FromIC50nM(0); p != 0 {
+		t.Fatalf("pIC50(0) = %f, want 0", p)
+	}
+	if p := PIC50FromIC50nM(-5); p != 0 {
+		t.Fatalf("pIC50(-5) = %f, want 0", p)
+	}
+}
+
+func TestPIC50RoundTripProperty(t *testing.T) {
+	f := func(raw uint32) bool {
+		nM := float64(raw%1000000) + 0.1
+		p := PIC50FromIC50nM(nM)
+		back := IC50nMFromPIC50(p)
+		return math.Abs(back-nM)/nM < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFingerprintSelfSimilarity(t *testing.T) {
+	m := mustParse(t, "CC(=O)Oc1ccccc1C(=O)O")
+	fp := m.PathFingerprint()
+	if fp.PopCount() == 0 {
+		t.Fatal("empty fingerprint for aspirin")
+	}
+	if sim := Tanimoto(fp, fp); sim != 1 {
+		t.Fatalf("self Tanimoto = %f, want 1", sim)
+	}
+}
+
+func TestFingerprintDiscriminates(t *testing.T) {
+	aspirin := mustParse(t, "CC(=O)Oc1ccccc1C(=O)O").PathFingerprint()
+	salicylic := mustParse(t, "OC(=O)c1ccccc1O").PathFingerprint()
+	hexane := mustParse(t, "CCCCCC").PathFingerprint()
+	near := Tanimoto(aspirin, salicylic)
+	far := Tanimoto(aspirin, hexane)
+	if near <= far {
+		t.Fatalf("Tanimoto ordering wrong: similar %f <= dissimilar %f", near, far)
+	}
+}
+
+func TestTanimotoEmpty(t *testing.T) {
+	var a, b Fingerprint
+	if Tanimoto(&a, &b) != 1 {
+		t.Fatal("empty/empty Tanimoto should be 1")
+	}
+}
+
+func TestTanimotoBoundsProperty(t *testing.T) {
+	f := func(aw, bw [4]uint64) bool {
+		var a, b Fingerprint
+		copy(a[:4], aw[:])
+		copy(b[:4], bw[:])
+		s := Tanimoto(&a, &b)
+		return s >= 0 && s <= 1 && Tanimoto(&a, &b) == Tanimoto(&b, &a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFPVector(t *testing.T) {
+	m := mustParse(t, "CCO")
+	fp := m.PathFingerprint()
+	v := fp.FPVector()
+	if len(v) != FPBits {
+		t.Fatalf("len = %d", len(v))
+	}
+	ones := 0
+	for _, x := range v {
+		if x == 1 {
+			ones++
+		}
+	}
+	if ones != fp.PopCount() {
+		t.Fatalf("vector ones %d != popcount %d", ones, fp.PopCount())
+	}
+}
+
+func BenchmarkParseSMILES(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseSMILES("CC(=O)Oc1ccccc1C(=O)O"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPathFingerprint(b *testing.B) {
+	m, err := ParseSMILES("Cn1cnc2c1c(=O)n(C)c(=O)n2C")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PathFingerprint()
+	}
+}

@@ -1,0 +1,112 @@
+package chem
+
+import (
+	"hash/fnv"
+	"math/bits"
+)
+
+// FPBits is the fingerprint width in bits.
+const FPBits = 1024
+
+// Fingerprint is a hashed path fingerprint (Daylight-style): every
+// linear atom/bond path up to length 5 sets one bit.
+type Fingerprint [FPBits / 64]uint64
+
+// Set sets bit i.
+func (f *Fingerprint) Set(i uint32) { f[(i%FPBits)/64] |= 1 << ((i % FPBits) % 64) }
+
+// PopCount returns the number of set bits.
+func (f *Fingerprint) PopCount() int {
+	n := 0
+	for _, w := range f {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Tanimoto returns the Tanimoto similarity |A∩B| / |A∪B| of two
+// fingerprints, in [0, 1]. Two empty fingerprints have similarity 1.
+func Tanimoto(a, b *Fingerprint) float64 {
+	inter, union := 0, 0
+	for i := range a {
+		inter += bits.OnesCount64(a[i] & b[i])
+		union += bits.OnesCount64(a[i] | b[i])
+	}
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+const maxPathLen = 5
+
+// PathFingerprint computes the molecule's hashed path fingerprint.
+func (m *Mol) PathFingerprint() *Fingerprint {
+	fp := &Fingerprint{}
+	buf := make([]byte, 0, 64)
+	visited := make([]bool, len(m.Atoms))
+	var walk func(at, depth int)
+	walk = func(at, depth int) {
+		buf = append(buf, atomCode(m.Atoms[at])...)
+		fp.Set(hashPath(buf))
+		if depth < maxPathLen {
+			visited[at] = true
+			for _, bi := range m.adj[at] {
+				b := m.Bonds[bi]
+				nb := m.Other(b, at)
+				if visited[nb] {
+					continue
+				}
+				mark := len(buf)
+				buf = append(buf, bondCode(b))
+				walk(nb, depth+1)
+				buf = buf[:mark]
+			}
+			visited[at] = false
+		}
+		buf = buf[:len(buf)-len(atomCode(m.Atoms[at]))]
+	}
+	for i := range m.Atoms {
+		walk(i, 0)
+	}
+	return fp
+}
+
+func atomCode(a Atom) string {
+	if a.Aromatic {
+		return a.Element + "~"
+	}
+	return a.Element
+}
+
+func bondCode(b Bond) byte {
+	if b.Aromatic {
+		return ':'
+	}
+	switch b.Order {
+	case 2:
+		return '='
+	case 3:
+		return '#'
+	default:
+		return '-'
+	}
+}
+
+func hashPath(p []byte) uint32 {
+	h := fnv.New32a()
+	h.Write(p)
+	return h.Sum32()
+}
+
+// FPVector returns the fingerprint as a dense float32 vector for use
+// with the vector store (each bit becomes 0 or 1).
+func (f *Fingerprint) FPVector() []float32 {
+	v := make([]float32, FPBits)
+	for i := 0; i < FPBits; i++ {
+		if f[i/64]&(1<<(i%64)) != 0 {
+			v[i] = 1
+		}
+	}
+	return v
+}

@@ -1,0 +1,167 @@
+package dtba
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const (
+	protA = "MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQ"
+	protB = "GSHMSLFDFFKNKGSAAATELTSLMEQLNTLTL"
+	smiA  = "CC(=O)Oc1ccccc1C(=O)O"
+	smiB  = "CCCCCC"
+)
+
+func TestPredictInRange(t *testing.T) {
+	p := New(1)
+	pairs := [][2]string{{protA, smiA}, {protA, smiB}, {protB, smiA}, {protB, smiB}}
+	for _, pr := range pairs {
+		v, err := p.Predict(pr[0], pr[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < 4 || v > 11 {
+			t.Fatalf("Predict(%q,%q) = %f, out of pKd range", pr[0][:5], pr[1], v)
+		}
+	}
+}
+
+func TestPredictDeterministic(t *testing.T) {
+	p1, p2 := New(42), New(42)
+	a, err := p1.Predict(protA, smiA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p2.Predict(protA, smiA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed, different outputs: %f vs %f", a, b)
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, _ := New(1).Predict(protA, smiA)
+	b, _ := New(2).Predict(protA, smiA)
+	if a == b {
+		t.Fatalf("different seeds produced identical prediction %f", a)
+	}
+}
+
+func TestPredictSensitiveToInputs(t *testing.T) {
+	p := New(7)
+	base, _ := p.Predict(protA, smiA)
+	other, _ := p.Predict(protA, smiB)
+	if base == other {
+		t.Fatal("prediction insensitive to compound")
+	}
+	other2, _ := p.Predict(protB, smiA)
+	if base == other2 {
+		t.Fatal("prediction insensitive to protein")
+	}
+}
+
+func TestPredictEmptyInputs(t *testing.T) {
+	p := New(1)
+	if _, err := p.Predict("", smiA); !errors.Is(err, ErrEmptyInput) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := p.Predict(protA, ""); !errors.Is(err, ErrEmptyInput) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPredictShortInputs(t *testing.T) {
+	p := New(1)
+	// Shorter than the k-gram sizes; must not panic.
+	v, err := p.Predict("MK", "C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < 4 || v > 11 {
+		t.Fatalf("short input prediction %f out of range", v)
+	}
+}
+
+func TestCostDistribution(t *testing.T) {
+	// Deterministic.
+	if Cost(protA, smiA) != Cost(protA, smiA) {
+		t.Fatal("Cost not deterministic")
+	}
+	// Range and tail: sample many pairs.
+	minC, maxC := math.Inf(1), 0.0
+	tail := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		c := Cost(protA, smiA+string(rune('a'+i%26))+string(rune('0'+i%10))+string(rune('A'+(i/260)%26)))
+		if c < minC {
+			minC = c
+		}
+		if c > maxC {
+			maxC = c
+		}
+		if c > 1.2 {
+			tail++
+		}
+	}
+	if minC < 0.1 || maxC > 5 {
+		t.Fatalf("cost range [%f, %f] out of spec", minC, maxC)
+	}
+	if tail == 0 || tail > n/5 {
+		t.Fatalf("heavy tail count %d of %d implausible", tail, n)
+	}
+}
+
+// Property: predictions always stay in the pKd band for arbitrary
+// printable inputs.
+func TestPredictRangeProperty(t *testing.T) {
+	p := New(3)
+	f := func(prot, smi string) bool {
+		if prot == "" || smi == "" {
+			return true
+		}
+		v, err := p.Predict(prot, smi)
+		return err == nil && v >= 4 && v <= 11 && !math.IsNaN(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredictionsSpread(t *testing.T) {
+	// The model should not collapse to a constant: across 100 random
+	// compounds the spread must exceed a minimal width.
+	p := New(9)
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	smiles := []string{"C", "CC", "CCO", "c1ccccc1", "CC(=O)O", "CCN", "CCCl", "C=O", "C#N", "CCCC"}
+	for _, prot := range []string{protA, protB, protA + protB} {
+		for _, s := range smiles {
+			v, err := p.Predict(prot, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v < minV {
+				minV = v
+			}
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if maxV-minV < 0.05 {
+		t.Fatalf("prediction spread %f too narrow (model collapsed)", maxV-minV)
+	}
+}
+
+func BenchmarkPredict(b *testing.B) {
+	p := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Predict(protA, smiA); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package exec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"ids/internal/dict"
+	"ids/internal/expr"
+)
+
+// Table serialization: a compact binary codec so solution tables can
+// be stashed in the global cache (the paper's §8 plan of caching IDS-
+// internal artifacts through OpenFAM instead of CGE's restrictive
+// serialization). ID values are dictionary references, so an encoded
+// table is only meaningful to an engine holding the same dictionary —
+// result-cache keys must incorporate the graph identity.
+
+const codecVersion = 1
+
+// ErrCodec reports a malformed encoded table.
+var ErrCodec = errors.New("exec: malformed encoded table")
+
+// Encode serializes the table.
+func (t *Table) Encode() []byte {
+	var buf []byte
+	buf = append(buf, codecVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(t.Vars)))
+	for _, v := range t.Vars {
+		buf = appendString(buf, v)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(t.Rows)))
+	for _, row := range t.Rows {
+		for _, v := range row {
+			buf = append(buf, byte(v.Kind))
+			switch v.Kind {
+			case expr.KindID:
+				buf = binary.AppendUvarint(buf, uint64(v.ID))
+			case expr.KindFloat:
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.Num))
+			case expr.KindString:
+				buf = appendString(buf, v.Str)
+			case expr.KindBool:
+				if v.Bool {
+					buf = append(buf, 1)
+				} else {
+					buf = append(buf, 0)
+				}
+			}
+		}
+	}
+	return buf
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// DecodeTable deserializes a table produced by Encode.
+func DecodeTable(data []byte) (*Table, error) {
+	d := &decoder{buf: data}
+	ver, err := d.byte()
+	if err != nil || ver != codecVersion {
+		return nil, fmt.Errorf("%w: bad version", ErrCodec)
+	}
+	nvars, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nvars > 1<<16 {
+		return nil, fmt.Errorf("%w: implausible header", ErrCodec)
+	}
+	t := &Table{Vars: make([]string, nvars)}
+	for i := range t.Vars {
+		s, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		t.Vars[i] = s
+	}
+	nrows, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = make([][]expr.Value, 0, min(int(nrows), 1<<20))
+	for r := uint64(0); r < nrows; r++ {
+		row := make([]expr.Value, nvars)
+		for c := range row {
+			kind, err := d.byte()
+			if err != nil {
+				return nil, err
+			}
+			v := expr.Value{Kind: expr.Kind(kind)}
+			switch v.Kind {
+			case expr.KindNull:
+			case expr.KindID:
+				u, err := d.uvarint()
+				if err != nil {
+					return nil, err
+				}
+				v.ID = dict.ID(u)
+			case expr.KindFloat:
+				u, err := d.u64()
+				if err != nil {
+					return nil, err
+				}
+				v.Num = math.Float64frombits(u)
+			case expr.KindString:
+				s, err := d.str()
+				if err != nil {
+					return nil, err
+				}
+				v.Str = s
+			case expr.KindBool:
+				b, err := d.byte()
+				if err != nil {
+					return nil, err
+				}
+				v.Bool = b == 1
+			default:
+				return nil, fmt.Errorf("%w: unknown kind %d", ErrCodec, kind)
+			}
+			row[c] = v
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	if len(d.buf[d.off:]) != 0 {
+		return nil, fmt.Errorf("%w: trailing bytes", ErrCodec)
+	}
+	return t, nil
+}
+
+type decoder struct {
+	buf []byte
+	off int
+}
+
+func (d *decoder) byte() (byte, error) {
+	if d.off >= len(d.buf) {
+		return 0, fmt.Errorf("%w: truncated", ErrCodec)
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b, nil
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	u, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: bad varint", ErrCodec)
+	}
+	d.off += n
+	return u, nil
+}
+
+func (d *decoder) u64() (uint64, error) {
+	if d.off+8 > len(d.buf) {
+		return 0, fmt.Errorf("%w: truncated", ErrCodec)
+	}
+	u := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return u, nil
+}
+
+func (d *decoder) str() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if d.off+int(n) > len(d.buf) {
+		return "", fmt.Errorf("%w: truncated string", ErrCodec)
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,131 @@
+package exec
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"ids/internal/dict"
+	"ids/internal/expr"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	tab := NewTable("a", "b", "c", "d", "e")
+	tab.Append([]expr.Value{
+		expr.IDVal(42), expr.Float(3.14), expr.String("hello"), expr.Bool(true), expr.Null,
+	})
+	tab.Append([]expr.Value{
+		expr.IDVal(0), expr.Float(-1e300), expr.String(""), expr.Bool(false), expr.Null,
+	})
+	data := tab.Encode()
+	back, err := DecodeTable(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Vars) != 5 || back.Vars[2] != "c" {
+		t.Fatalf("vars = %v", back.Vars)
+	}
+	if len(back.Rows) != 2 {
+		t.Fatalf("rows = %d", len(back.Rows))
+	}
+	for r := range tab.Rows {
+		for c := range tab.Rows[r] {
+			if tab.Rows[r][c] != back.Rows[r][c] {
+				t.Fatalf("cell %d,%d: %v != %v", r, c, tab.Rows[r][c], back.Rows[r][c])
+			}
+		}
+	}
+}
+
+func TestCodecEmptyTable(t *testing.T) {
+	tab := NewTable()
+	back, err := DecodeTable(tab.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Vars) != 0 || len(back.Rows) != 0 {
+		t.Fatalf("back = %+v", back)
+	}
+}
+
+func TestCodecRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{99},             // bad version
+		{1, 0xff},        // truncated varint
+		{1, 1},           // missing var name
+		{1, 0, 1, 1, 77}, // bad value kind
+	}
+	for i, c := range cases {
+		if _, err := DecodeTable(c); !errors.Is(err, ErrCodec) {
+			t.Errorf("case %d: err = %v", i, err)
+		}
+	}
+	// Trailing bytes rejected.
+	good := NewTable("x")
+	good.Append([]expr.Value{expr.Float(1)})
+	data := append(good.Encode(), 0xAB)
+	if _, err := DecodeTable(data); !errors.Is(err, ErrCodec) {
+		t.Errorf("trailing bytes accepted: %v", err)
+	}
+}
+
+// Property: arbitrary tables survive the round trip.
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(ids []uint32, nums []float64, strs []string, bools []bool) bool {
+		tab := NewTable("id", "num", "str", "bool")
+		n := len(ids)
+		for _, x := range []int{len(nums), len(strs), len(bools)} {
+			if x < n {
+				n = x
+			}
+		}
+		if n > 50 {
+			n = 50
+		}
+		for i := 0; i < n; i++ {
+			tab.Append([]expr.Value{
+				expr.IDVal(dict.ID(ids[i])),
+				expr.Float(nums[i]),
+				expr.String(strs[i]),
+				expr.Bool(bools[i]),
+			})
+		}
+		back, err := DecodeTable(tab.Encode())
+		if err != nil || len(back.Rows) != n {
+			return false
+		}
+		for r := range tab.Rows {
+			for c := range tab.Rows[r] {
+				a, b := tab.Rows[r][c], back.Rows[r][c]
+				// NaN != NaN; compare bit-level via encoded equality.
+				if a.Kind != b.Kind {
+					return false
+				}
+				if a.Kind == expr.KindFloat {
+					if a.Num != b.Num && !(a.Num != a.Num && b.Num != b.Num) {
+						return false
+					}
+				} else if a != b {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncodeTable(b *testing.B) {
+	tab := NewTable("a", "b")
+	for i := 0; i < 1000; i++ {
+		tab.Append([]expr.Value{expr.IDVal(dict.ID(i)), expr.Float(float64(i))})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Encode()
+	}
+}

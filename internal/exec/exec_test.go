@@ -1,0 +1,641 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"testing"
+
+	"ids/internal/dict"
+	"ids/internal/expr"
+	"ids/internal/kg"
+	"ids/internal/mpp"
+	"ids/internal/sparql"
+	"ids/internal/triple"
+	"ids/internal/udf"
+)
+
+func topo(n int) mpp.Topology { return mpp.Topology{Nodes: 1, RanksPerNode: n} }
+
+func buildGraph(nshards int) *kg.Graph {
+	g := kg.New(nshards)
+	iri := func(s string) dict.Term { return dict.Term{Kind: dict.IRI, Value: s} }
+	lit := func(s string) dict.Term { return dict.Term{Kind: dict.Literal, Value: s} }
+	for i := 0; i < 20; i++ {
+		s := iri(fmt.Sprintf("http://x/person%d", i))
+		g.Add(s, iri("http://x/age"), lit(fmt.Sprintf("%d", 20+i)))
+		g.Add(s, iri("http://x/name"), lit(fmt.Sprintf("p%d", i)))
+		if i > 0 {
+			g.Add(s, iri("http://x/knows"), iri(fmt.Sprintf("http://x/person%d", i-1)))
+		}
+	}
+	g.Seal()
+	return g
+}
+
+func pat(s, p, o string) sparql.TriplePattern {
+	mk := func(x string) sparql.TermOrVar {
+		if len(x) > 0 && x[0] == '?' {
+			return sparql.V(x[1:])
+		}
+		if len(x) > 0 && x[0] == '"' {
+			return sparql.T(dict.Term{Kind: dict.Literal, Value: x[1 : len(x)-1]})
+		}
+		return sparql.T(dict.Term{Kind: dict.IRI, Value: x})
+	}
+	return sparql.TriplePattern{S: mk(s), P: mk(p), O: mk(o)}
+}
+
+// runWorld executes body on an n-rank world, failing the test on error.
+func runWorld(t *testing.T, n int, body func(r *mpp.Rank) error) *mpp.Report {
+	t.Helper()
+	rep, err := mpp.Run(topo(n), mpp.DefaultNet(), 1, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestScanDistributed(t *testing.T) {
+	g := buildGraph(4)
+	var mu sync.Mutex
+	total := 0
+	runWorld(t, 4, func(r *mpp.Rank) error {
+		tab, err := Scan(r, g.Shard(r.ID()), g.Dict, pat("?s", "http://x/age", "?a"))
+		if err != nil {
+			return err
+		}
+		if len(tab.Vars) != 2 || tab.Vars[0] != "s" || tab.Vars[1] != "a" {
+			return fmt.Errorf("vars = %v", tab.Vars)
+		}
+		mu.Lock()
+		total += tab.Len()
+		mu.Unlock()
+		return nil
+	})
+	if total != 20 {
+		t.Fatalf("scanned %d age triples across ranks, want 20", total)
+	}
+}
+
+func TestScanUnknownTermEmpty(t *testing.T) {
+	g := buildGraph(2)
+	runWorld(t, 2, func(r *mpp.Rank) error {
+		tab, err := Scan(r, g.Shard(r.ID()), g.Dict, pat("?s", "http://x/doesnotexist", "?o"))
+		if err != nil {
+			return err
+		}
+		if tab.Len() != 0 {
+			return fmt.Errorf("unknown predicate matched %d", tab.Len())
+		}
+		return nil
+	})
+}
+
+func TestScanRepeatedVariable(t *testing.T) {
+	g := kg.New(1)
+	iri := func(s string) dict.Term { return dict.Term{Kind: dict.IRI, Value: s} }
+	g.Add(iri("http://x/a"), iri("http://x/self"), iri("http://x/a"))
+	g.Add(iri("http://x/a"), iri("http://x/self"), iri("http://x/b"))
+	g.Seal()
+	runWorld(t, 1, func(r *mpp.Rank) error {
+		tab, err := Scan(r, g.Shard(0), g.Dict, pat("?x", "http://x/self", "?x"))
+		if err != nil {
+			return err
+		}
+		if tab.Len() != 1 {
+			return fmt.Errorf("repeated var matched %d rows, want 1", tab.Len())
+		}
+		return nil
+	})
+}
+
+func TestHashJoinMatchesReference(t *testing.T) {
+	g := buildGraph(4)
+	// Reference: join age and knows on ?s serially.
+	type pair struct{ s, a, k dict.ID }
+	want := map[pair]bool{}
+	ageP, _ := g.Dict.LookupIRI("http://x/age")
+	knowsP, _ := g.Dict.LookupIRI("http://x/knows")
+	// Build reference from graph contents.
+	ages := map[dict.ID]dict.ID{}
+	knows := map[dict.ID][]dict.ID{}
+	for i := 0; i < g.NumShards(); i++ {
+		g.Shard(i).Match(triple.Pattern{P: ageP}, func(tr triple.Triple) bool {
+			ages[tr.S] = tr.O
+			return true
+		})
+		g.Shard(i).Match(triple.Pattern{P: knowsP}, func(tr triple.Triple) bool {
+			knows[tr.S] = append(knows[tr.S], tr.O)
+			return true
+		})
+	}
+	for s, a := range ages {
+		for _, k := range knows[s] {
+			want[pair{s, a, k}] = true
+		}
+	}
+	var mu sync.Mutex
+	got := map[pair]bool{}
+	runWorld(t, 4, func(r *mpp.Rank) error {
+		left, err := Scan(r, g.Shard(r.ID()), g.Dict, pat("?s", "http://x/age", "?a"))
+		if err != nil {
+			return err
+		}
+		right, err := Scan(r, g.Shard(r.ID()), g.Dict, pat("?s", "http://x/knows", "?k"))
+		if err != nil {
+			return err
+		}
+		joined, err := HashJoin(r, left, right)
+		if err != nil {
+			return err
+		}
+		si, ai, ki := joined.Col("s"), joined.Col("a"), joined.Col("k")
+		mu.Lock()
+		for _, row := range joined.Rows {
+			got[pair{row[si].ID, row[ai].ID, row[ki].ID}] = true
+		}
+		mu.Unlock()
+		return nil
+	})
+	if len(got) != len(want) {
+		t.Fatalf("join produced %d pairs, want %d", len(got), len(want))
+	}
+	for p := range want {
+		if !got[p] {
+			t.Fatalf("missing pair %+v", p)
+		}
+	}
+}
+
+func TestHashJoinCrossProduct(t *testing.T) {
+	var totalRows int
+	var mu sync.Mutex
+	runWorld(t, 2, func(r *mpp.Rank) error {
+		left := NewTable("a")
+		right := NewTable("b")
+		if r.ID() == 0 {
+			left.Append(row(expr.Float(1)))
+			left.Append(row(expr.Float(2)))
+			right.Append(row(expr.String("x")))
+		} else {
+			right.Append(row(expr.String("y")))
+		}
+		out, err := HashJoin(r, left, right)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		totalRows += out.Len()
+		mu.Unlock()
+		return nil
+	})
+	// 2 left rows x 2 replicated right rows.
+	if totalRows != 4 {
+		t.Fatalf("cross product rows = %d, want 4", totalRows)
+	}
+}
+
+func TestGatherAndDistinctGlobal(t *testing.T) {
+	runWorld(t, 4, func(r *mpp.Rank) error {
+		tab := NewTable("v")
+		// Every rank holds the same two rows -> global distinct = 2.
+		tab.Append(row(expr.Float(1)))
+		tab.Append(row(expr.Float(2)))
+		dedup, err := DistinctGlobal(r, tab)
+		if err != nil {
+			return err
+		}
+		gathered, err := Gather(r, dedup)
+		if err != nil {
+			return err
+		}
+		if gathered.Len() != 2 {
+			return fmt.Errorf("global distinct = %d rows, want 2", gathered.Len())
+		}
+		return nil
+	})
+}
+
+// --- Re-balancing ---
+
+func TestCountTargets(t *testing.T) {
+	got := CountTargets(10, 4)
+	want := []int{3, 3, 2, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CountTargets = %v", got)
+		}
+	}
+	sum := 0
+	for _, x := range CountTargets(7, 3) {
+		sum += x
+	}
+	if sum != 7 {
+		t.Fatal("CountTargets does not conserve total")
+	}
+}
+
+func TestCostTargetsPaperExample(t *testing.T) {
+	// Paper §2.4.2 worked example: 1.4M solutions over 900 ranks; 500
+	// ranks at 100 ops/s, 300 at 200 ops/s, 100 at 300 ops/s. The
+	// assignment must be proportional 1:2:3 — slow ranks 1000, medium
+	// 2000, fast 3000 solutions (the paper's chunk*ratio shape).
+	rates := make([]float64, 900)
+	for i := 0; i < 500; i++ {
+		rates[i] = 100
+	}
+	for i := 500; i < 800; i++ {
+		rates[i] = 200
+	}
+	for i := 800; i < 900; i++ {
+		rates[i] = 300
+	}
+	targets := CostTargets(1_400_000, rates)
+	if targets[0] != 1000 || targets[499] != 1000 {
+		t.Fatalf("slow rank target = %d, want 1000", targets[0])
+	}
+	if targets[500] != 2000 || targets[799] != 2000 {
+		t.Fatalf("medium rank target = %d, want 2000", targets[500])
+	}
+	if targets[800] != 3000 || targets[899] != 3000 {
+		t.Fatalf("fast rank target = %d, want 3000", targets[800])
+	}
+	// Makespan: cost-aware 10s bound vs count-based ~15.6s, the
+	// paper's claimed improvement direction.
+	costTime := EstimatedMakespan(targets, rates)
+	countTime := EstimatedMakespan(CountTargets(1_400_000, len(rates)), rates)
+	if math.Abs(costTime-10) > 1e-9 {
+		t.Fatalf("cost-aware makespan = %f, want 10", costTime)
+	}
+	if countTime <= costTime {
+		t.Fatalf("count-based %f not worse than cost-aware %f", countTime, costTime)
+	}
+}
+
+func TestCostTargetsConserveTotal(t *testing.T) {
+	rates := []float64{1, 3, 0, 2.5, 7}
+	for _, total := range []int{0, 1, 17, 1000, 99999} {
+		targets := CostTargets(total, rates)
+		sum := 0
+		for _, x := range targets {
+			sum += x
+		}
+		if sum != total {
+			t.Fatalf("total %d: targets %v sum %d", total, targets, sum)
+		}
+	}
+	// All-zero rates degrade to count-based.
+	targets := CostTargets(10, []float64{0, 0})
+	if targets[0] != 5 || targets[1] != 5 {
+		t.Fatalf("zero-rate targets = %v", targets)
+	}
+}
+
+func TestTransferPlanConserves(t *testing.T) {
+	current := []int{10, 0, 5, 1}
+	target := []int{4, 4, 4, 4}
+	plan := TransferPlan(append([]int{}, current...), target)
+	moved := make([]int, 4)
+	for from := range plan {
+		for to, n := range plan[from] {
+			if n < 0 {
+				t.Fatal("negative transfer")
+			}
+			moved[from] -= n
+			moved[to] += n
+		}
+	}
+	for i := range current {
+		if current[i]+moved[i] != target[i] {
+			t.Fatalf("rank %d: %d + %d != %d", i, current[i], moved[i], target[i])
+		}
+	}
+}
+
+func TestSendRowMatchesTransferPlan(t *testing.T) {
+	current := []int{10, 0, 5, 1, 0, 8}
+	target := []int{4, 4, 4, 4, 4, 4}
+	plan := TransferPlan(append([]int{}, current...), target)
+	for me := range current {
+		row := SendRow(append([]int{}, current...), target, me)
+		for dst := range row {
+			if row[dst] != plan[me][dst] {
+				t.Fatalf("SendRow(%d)[%d] = %d, plan = %d", me, dst, row[dst], plan[me][dst])
+			}
+		}
+	}
+}
+
+func TestRebalanceCountEndToEnd(t *testing.T) {
+	counts := make([]int, 4)
+	runWorld(t, 4, func(r *mpp.Rank) error {
+		tab := NewTable("v")
+		// Rank 0 holds everything.
+		if r.ID() == 0 {
+			for i := 0; i < 100; i++ {
+				tab.Append(row(expr.Float(float64(i))))
+			}
+		}
+		out, err := Rebalance(r, tab, RebalanceCount, 1)
+		if err != nil {
+			return err
+		}
+		counts[r.ID()] = out.Len()
+		return nil
+	})
+	for i, c := range counts {
+		if c != 25 {
+			t.Fatalf("rank %d has %d rows after count rebalance: %v", i, c, counts)
+		}
+	}
+}
+
+func TestRebalanceCostProportional(t *testing.T) {
+	counts := make([]int, 4)
+	runWorld(t, 4, func(r *mpp.Rank) error {
+		tab := NewTable("v")
+		if r.ID() == 0 {
+			for i := 0; i < 120; i++ {
+				tab.Append(row(expr.Float(float64(i))))
+			}
+		}
+		// Rank rates 1,1,2,2 -> targets 20,20,40,40.
+		rate := 1.0
+		if r.ID() >= 2 {
+			rate = 2.0
+		}
+		out, err := Rebalance(r, tab, RebalanceCost, rate)
+		if err != nil {
+			return err
+		}
+		counts[r.ID()] = out.Len()
+		return nil
+	})
+	want := []int{20, 20, 40, 40}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("counts = %v, want %v", counts, want)
+		}
+	}
+}
+
+func TestRebalanceCostSimilarSpeedsFallsBack(t *testing.T) {
+	counts := make([]int, 4)
+	runWorld(t, 4, func(r *mpp.Rank) error {
+		tab := NewTable("v")
+		if r.ID() == 0 {
+			for i := 0; i < 100; i++ {
+				tab.Append(row(expr.Float(float64(i))))
+			}
+		}
+		// Within 20% of each other: must fall back to count-based.
+		rate := 1.0 + 0.05*float64(r.ID())
+		out, err := Rebalance(r, tab, RebalanceCost, rate)
+		if err != nil {
+			return err
+		}
+		counts[r.ID()] = out.Len()
+		return nil
+	})
+	for i, c := range counts {
+		if c != 25 {
+			t.Fatalf("rank %d: %d rows; similar speeds should equalize: %v", i, c, counts)
+		}
+	}
+}
+
+func TestRebalancePreservesRows(t *testing.T) {
+	var mu sync.Mutex
+	var all []float64
+	runWorld(t, 3, func(r *mpp.Rank) error {
+		tab := NewTable("v")
+		for i := 0; i < (r.ID()+1)*10; i++ {
+			tab.Append(row(expr.Float(float64(r.ID()*1000 + i))))
+		}
+		out, err := Rebalance(r, tab, RebalanceCount, 1)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		for _, rw := range out.Rows {
+			all = append(all, rw[0].Num)
+		}
+		mu.Unlock()
+		return nil
+	})
+	if len(all) != 60 {
+		t.Fatalf("total rows = %d, want 60", len(all))
+	}
+	sort.Float64s(all)
+	for i := 1; i < len(all); i++ {
+		if all[i] == all[i-1] {
+			t.Fatalf("row duplicated during rebalance: %f", all[i])
+		}
+	}
+}
+
+func TestRebalanceNoneIsIdentity(t *testing.T) {
+	runWorld(t, 2, func(r *mpp.Rank) error {
+		tab := NewTable("v")
+		tab.Append(row(expr.Float(float64(r.ID()))))
+		out, err := Rebalance(r, tab, RebalanceNone, 1)
+		if err != nil {
+			return err
+		}
+		if out != tab {
+			return errors.New("RebalanceNone should return the same table")
+		}
+		return nil
+	})
+}
+
+// --- Filter ---
+
+func newTestRegistry(t *testing.T) *udf.Registry {
+	t.Helper()
+	reg := udf.NewRegistry()
+	err := reg.RegisterWithCost("gt10", func(args []expr.Value) (expr.Value, error) {
+		return expr.Bool(args[0].Num > 10), nil
+	}, func([]expr.Value) float64 { return 0.01 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = reg.RegisterWithCost("expensiveTrue", func(args []expr.Value) (expr.Value, error) {
+		return expr.Bool(true), nil
+	}, func([]expr.Value) float64 { return 1.0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func filterTable(n int) *Table {
+	tab := NewTable("v")
+	for i := 0; i < n; i++ {
+		tab.Append(row(expr.Float(float64(i))))
+	}
+	return tab
+}
+
+func TestFilterBasic(t *testing.T) {
+	reg := newTestRegistry(t)
+	runWorld(t, 1, func(r *mpp.Rank) error {
+		prof := udf.NewProfiler()
+		e := &expr.Call{Name: "gt10", Args: []expr.Expr{&expr.Var{Name: "v"}}}
+		out, stats, err := Filter(r, filterTable(20), e, reg, prof, nil, FilterOpts{})
+		if err != nil {
+			return err
+		}
+		if out.Len() != 9 { // 11..19
+			return fmt.Errorf("passed %d rows, want 9", out.Len())
+		}
+		if stats.Evaluated != 20 || stats.Passed != 9 {
+			return fmt.Errorf("stats = %+v", stats)
+		}
+		s := prof.Get("gt10")
+		if s.Execs != 20 || s.Rejections != 11 {
+			return fmt.Errorf("profile = %+v", s)
+		}
+		if math.Abs(s.TotalSeconds-0.2) > 1e-9 {
+			return fmt.Errorf("total = %f", s.TotalSeconds)
+		}
+		return nil
+	})
+}
+
+func TestFilterChargesClock(t *testing.T) {
+	reg := newTestRegistry(t)
+	rep := runWorld(t, 1, func(r *mpp.Rank) error {
+		prof := udf.NewProfiler()
+		e := &expr.Call{Name: "expensiveTrue", Args: []expr.Expr{&expr.Var{Name: "v"}}}
+		_, _, err := Filter(r, filterTable(5), e, reg, prof, nil, FilterOpts{})
+		return err
+	})
+	if math.Abs(rep.Makespan-5.0) > 0.1 {
+		t.Fatalf("makespan = %f, want ~5 (5 rows x 1s)", rep.Makespan)
+	}
+}
+
+func TestFilterSpeedFactor(t *testing.T) {
+	reg := newTestRegistry(t)
+	rep := runWorld(t, 1, func(r *mpp.Rank) error {
+		prof := udf.NewProfiler()
+		e := &expr.Call{Name: "expensiveTrue", Args: []expr.Expr{&expr.Var{Name: "v"}}}
+		_, _, err := Filter(r, filterTable(5), e, reg, prof, nil, FilterOpts{SpeedFactor: 2})
+		if err != nil {
+			return err
+		}
+		if got, _ := prof.EstimateCost("expensiveTrue"); math.Abs(got-2.0) > 1e-9 {
+			return fmt.Errorf("profiled mean = %f, want 2 (speed factor applied)", got)
+		}
+		return nil
+	})
+	if math.Abs(rep.Makespan-10.0) > 0.1 {
+		t.Fatalf("makespan = %f, want ~10", rep.Makespan)
+	}
+}
+
+func TestFilterShortCircuitSavesCost(t *testing.T) {
+	reg := newTestRegistry(t)
+	runWorld(t, 1, func(r *mpp.Rank) error {
+		prof := udf.NewProfiler()
+		// gt10 rejects 0..10, so expensiveTrue must only run for the
+		// 9 surviving rows when ordered cheap-first.
+		e := &expr.And{Children: []expr.Expr{
+			&expr.Call{Name: "gt10", Args: []expr.Expr{&expr.Var{Name: "v"}}},
+			&expr.Call{Name: "expensiveTrue", Args: []expr.Expr{&expr.Var{Name: "v"}}},
+		}}
+		_, _, err := Filter(r, filterTable(20), e, reg, prof, nil, FilterOpts{})
+		if err != nil {
+			return err
+		}
+		if got := prof.Get("expensiveTrue").Execs; got != 9 {
+			return fmt.Errorf("expensive UDF ran %d times, want 9", got)
+		}
+		return nil
+	})
+}
+
+func TestFilterReorderingMovesCheapFirst(t *testing.T) {
+	reg := newTestRegistry(t)
+	runWorld(t, 1, func(r *mpp.Rank) error {
+		prof := udf.NewProfiler()
+		// Warm the profile so the optimizer knows the costs.
+		prof.Record("gt10", 0.01, true)
+		prof.Record("expensiveTrue", 1.0, false)
+		// Expensive first in the written query.
+		e := &expr.And{Children: []expr.Expr{
+			&expr.Call{Name: "expensiveTrue", Args: []expr.Expr{&expr.Var{Name: "v"}}},
+			&expr.Call{Name: "gt10", Args: []expr.Expr{&expr.Var{Name: "v"}}},
+		}}
+		_, stats, err := Filter(r, filterTable(20), e, reg, prof, nil, FilterOpts{Reorder: true})
+		if err != nil {
+			return err
+		}
+		// With reordering the cheap gt10 runs first; expensiveTrue only
+		// on survivors (9 of 20) plus the warmup record.
+		if got := prof.Get("expensiveTrue").Execs - 1; got != 9 {
+			return fmt.Errorf("expensive execs = %d, want 9", got)
+		}
+		if len(stats.Order) != 2 || stats.Order[0] != "gt10(?v)" {
+			return fmt.Errorf("order = %v", stats.Order)
+		}
+		return nil
+	})
+}
+
+func TestFilterErrorRowsDropped(t *testing.T) {
+	reg := udf.NewRegistry()
+	_ = reg.Register("failOdd", func(args []expr.Value) (expr.Value, error) {
+		if int(args[0].Num)%2 == 1 {
+			return expr.Null, errors.New("odd input")
+		}
+		return expr.Bool(true), nil
+	})
+	runWorld(t, 1, func(r *mpp.Rank) error {
+		prof := udf.NewProfiler()
+		e := &expr.Call{Name: "failOdd", Args: []expr.Expr{&expr.Var{Name: "v"}}}
+		out, stats, err := Filter(r, filterTable(10), e, reg, prof, nil, FilterOpts{})
+		if err != nil {
+			return err
+		}
+		if out.Len() != 5 || stats.Errors != 5 {
+			return fmt.Errorf("passed=%d errors=%d, want 5/5", out.Len(), stats.Errors)
+		}
+		// Errored evaluations count as rejections in the profile.
+		if prof.Get("failOdd").Rejections != 5 {
+			return fmt.Errorf("rejections = %d", prof.Get("failOdd").Rejections)
+		}
+		return nil
+	})
+}
+
+func TestFilterWithRebalance(t *testing.T) {
+	reg := newTestRegistry(t)
+	counts := make([]int, 4)
+	runWorld(t, 4, func(r *mpp.Rank) error {
+		prof := udf.NewProfiler()
+		tab := NewTable("v")
+		if r.ID() == 0 {
+			for i := 0; i < 80; i++ {
+				tab.Append(row(expr.Float(float64(i + 100))))
+			}
+		}
+		e := &expr.Call{Name: "gt10", Args: []expr.Expr{&expr.Var{Name: "v"}}}
+		out, stats, err := Filter(r, tab, e, reg, prof, nil, FilterOpts{Rebalance: RebalanceCount})
+		if err != nil {
+			return err
+		}
+		counts[r.ID()] = stats.Evaluated
+		_ = out
+		return nil
+	})
+	for i, c := range counts {
+		if c != 20 {
+			t.Fatalf("rank %d evaluated %d rows, want 20: %v", i, c, counts)
+		}
+	}
+}

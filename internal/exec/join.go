@@ -1,0 +1,277 @@
+package exec
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"ids/internal/expr"
+	"ids/internal/mpp"
+)
+
+// joinCostPerRow is the modeled hash-join cost per probed row.
+const joinCostPerRow = 1e-7
+
+// sharedVars returns the variables common to both headers.
+func sharedVars(a, b *Table) []string {
+	var out []string
+	for _, v := range a.Vars {
+		if b.Col(v) >= 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// joinKey serializes the shared-variable values of a row.
+func joinKey(row []expr.Value, idx []int) string {
+	key := make([]byte, 0, len(idx)*10)
+	for _, c := range idx {
+		v := row[c]
+		key = append(key, byte(v.Kind))
+		switch v.Kind {
+		case expr.KindID:
+			key = appendUint(key, uint64(v.ID))
+		case expr.KindFloat:
+			key = append(key, []byte(fmt.Sprintf("%g", v.Num))...)
+		case expr.KindString:
+			key = append(key, []byte(v.Str)...)
+		case expr.KindBool:
+			if v.Bool {
+				key = append(key, 1)
+			}
+		}
+		key = append(key, 0xfe)
+	}
+	return string(key)
+}
+
+func hashKey(k string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(k))
+	return h.Sum64()
+}
+
+// partitionByKey routes each row to the rank owning its join key.
+func partitionByKey(p int, rows [][]expr.Value, idx []int) [][][]expr.Value {
+	out := make([][][]expr.Value, p)
+	for _, row := range rows {
+		dst := int(hashKey(joinKey(row, idx)) % uint64(p))
+		out[dst] = append(out[dst], row)
+	}
+	return out
+}
+
+// HashJoin joins the rank-partitioned tables left and right on their
+// shared variables: both sides are hash-repartitioned across ranks by
+// join key (an AllToAll exchange), then joined locally. With no shared
+// variables the right side is replicated and a cross product is
+// produced (the planner only does this for small right sides).
+func HashJoin(r *mpp.Rank, left, right *Table) (*Table, error) {
+	shared := sharedVars(left, right)
+	outVars := append([]string{}, left.Vars...)
+	for _, v := range right.Vars {
+		if left.Col(v) < 0 {
+			outVars = append(outVars, v)
+		}
+	}
+	out := NewTable(outVars...)
+
+	if len(shared) == 0 {
+		// Cross product with replicated right side.
+		allRight, err := mpp.AllGatherSlice(r, right.Rows)
+		if err != nil {
+			return nil, err
+		}
+		for _, lrow := range left.Rows {
+			for _, part := range allRight {
+				for _, rrow := range part {
+					out.Rows = append(out.Rows, append(append([]expr.Value{}, lrow...), rrow...))
+				}
+			}
+		}
+		r.Charge(float64(len(out.Rows)) * joinCostPerRow)
+		return out, nil
+	}
+
+	p := r.Size()
+	lIdx := make([]int, len(shared))
+	rIdx := make([]int, len(shared))
+	for i, v := range shared {
+		lIdx[i] = left.Col(v)
+		rIdx[i] = right.Col(v)
+	}
+
+	lParts := partitionByKey(p, left.Rows, lIdx)
+	rParts := partitionByKey(p, right.Rows, rIdx)
+	lRecv, err := mpp.AllToAll(r, lParts)
+	if err != nil {
+		return nil, err
+	}
+	rRecv, err := mpp.AllToAll(r, rParts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Build on the (usually smaller) right side, probe with the left.
+	build := map[string][][]expr.Value{}
+	for _, part := range rRecv {
+		for _, row := range part {
+			k := joinKey(row, rIdx)
+			build[k] = append(build[k], row)
+		}
+	}
+	// Columns of right to append (those not shared).
+	var rAppend []int
+	for i, v := range right.Vars {
+		if left.Col(v) < 0 {
+			rAppend = append(rAppend, i)
+		}
+	}
+	probes := 0
+	for _, part := range lRecv {
+		for _, lrow := range part {
+			probes++
+			matches := build[joinKey(lrow, lIdx)]
+			for _, rrow := range matches {
+				row := make([]expr.Value, 0, len(outVars))
+				row = append(row, lrow...)
+				for _, c := range rAppend {
+					row = append(row, rrow[c])
+				}
+				out.Rows = append(out.Rows, row)
+			}
+		}
+	}
+	r.Charge(float64(probes+len(out.Rows)) * joinCostPerRow)
+	return out, nil
+}
+
+// LeftJoin joins right into left with OPTIONAL semantics: left rows
+// without a match survive with null-filled right columns. Both sides
+// hash-repartition by the shared variables; with no shared variables
+// every left row pairs with every replicated right row, or survives
+// null-extended when the right side is globally empty.
+func LeftJoin(r *mpp.Rank, left, right *Table) (*Table, error) {
+	shared := sharedVars(left, right)
+	outVars := append([]string{}, left.Vars...)
+	var rAppend []int
+	for i, v := range right.Vars {
+		if left.Col(v) < 0 {
+			outVars = append(outVars, v)
+			rAppend = append(rAppend, i)
+		}
+	}
+	out := NewTable(outVars...)
+	nullExtend := func(lrow []expr.Value) []expr.Value {
+		row := make([]expr.Value, 0, len(outVars))
+		row = append(row, lrow...)
+		for range rAppend {
+			row = append(row, expr.Null)
+		}
+		return row
+	}
+
+	if len(shared) == 0 {
+		allRight, err := mpp.AllGatherSlice(r, right.Rows)
+		if err != nil {
+			return nil, err
+		}
+		total := 0
+		for _, part := range allRight {
+			total += len(part)
+		}
+		for _, lrow := range left.Rows {
+			if total == 0 {
+				out.Rows = append(out.Rows, nullExtend(lrow))
+				continue
+			}
+			for _, part := range allRight {
+				for _, rrow := range part {
+					row := append(append([]expr.Value{}, lrow...), rrow...)
+					out.Rows = append(out.Rows, row)
+				}
+			}
+		}
+		r.Charge(float64(len(out.Rows)) * joinCostPerRow)
+		return out, nil
+	}
+
+	p := r.Size()
+	lIdx := make([]int, len(shared))
+	rIdx := make([]int, len(shared))
+	for i, v := range shared {
+		lIdx[i] = left.Col(v)
+		rIdx[i] = right.Col(v)
+	}
+	lRecv, err := mpp.AllToAll(r, partitionByKey(p, left.Rows, lIdx))
+	if err != nil {
+		return nil, err
+	}
+	rRecv, err := mpp.AllToAll(r, partitionByKey(p, right.Rows, rIdx))
+	if err != nil {
+		return nil, err
+	}
+	build := map[string][][]expr.Value{}
+	for _, part := range rRecv {
+		for _, row := range part {
+			k := joinKey(row, rIdx)
+			build[k] = append(build[k], row)
+		}
+	}
+	probes := 0
+	for _, part := range lRecv {
+		for _, lrow := range part {
+			probes++
+			matches := build[joinKey(lrow, lIdx)]
+			if len(matches) == 0 {
+				out.Rows = append(out.Rows, nullExtend(lrow))
+				continue
+			}
+			for _, rrow := range matches {
+				row := make([]expr.Value, 0, len(outVars))
+				row = append(row, lrow...)
+				for _, c := range rAppend {
+					row = append(row, rrow[c])
+				}
+				out.Rows = append(out.Rows, row)
+			}
+		}
+	}
+	r.Charge(float64(probes+len(out.Rows)) * joinCostPerRow)
+	return out, nil
+}
+
+// Gather concentrates all rows of the distributed table onto every
+// rank (the engine reads results from rank 0).
+func Gather(r *mpp.Rank, t *Table) (*Table, error) {
+	parts, err := mpp.AllGatherSlice(r, t.Rows)
+	if err != nil {
+		return nil, err
+	}
+	out := NewTable(t.Vars...)
+	for _, part := range parts {
+		out.Rows = append(out.Rows, part...)
+	}
+	return out, nil
+}
+
+// DistinctGlobal removes duplicates across ranks: rows are hash-
+// partitioned so duplicates meet on one rank, then deduplicated
+// locally.
+func DistinctGlobal(r *mpp.Rank, t *Table) (*Table, error) {
+	p := r.Size()
+	idx := make([]int, len(t.Vars))
+	for i := range idx {
+		idx[i] = i
+	}
+	parts := partitionByKey(p, t.Rows, idx)
+	recv, err := mpp.AllToAll(r, parts)
+	if err != nil {
+		return nil, err
+	}
+	merged := NewTable(t.Vars...)
+	for _, part := range recv {
+		merged.Rows = append(merged.Rows, part...)
+	}
+	return merged.DistinctLocal(), nil
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"ids/internal/cache"
+	"ids/internal/dock"
+	"ids/internal/fam"
+	"ids/internal/store"
+)
+
+// TierRow is one access path of the cache-tier microbenchmark.
+type TierRow struct {
+	Path    string
+	Seconds float64
+}
+
+func tmpDir() string {
+	d, err := os.MkdirTemp("", "ids-exp-")
+	if err != nil {
+		return os.TempDir()
+	}
+	return d
+}
+
+// CacheTiers measures the modeled access cost of every tier of the
+// global cache for a docking-output-sized object, plus the recompute
+// cost a total miss implies. Ordering (DRAM local < DRAM remote < SSD
+// < stash << recompute) is the paper's motivation for multi-tier
+// caching.
+func CacheTiers(objBytes int) ([]TierRow, error) {
+	backing, err := store.Open(fmt.Sprintf("%s/tiers-%d", tmpDir(), time.Now().UnixNano()))
+	if err != nil {
+		return nil, err
+	}
+	cfg := cache.DefaultConfig()
+	cfg.Nodes = 2
+	cfg.DRAMPerNode = int64(objBytes) * 4
+	c, err := cache.New(cfg, backing)
+	if err != nil {
+		return nil, err
+	}
+	payload := make([]byte, objBytes)
+
+	rows := make([]TierRow, 0, 5)
+	measure := func(name string, f func(m *fam.Meter) error) error {
+		var m fam.Meter
+		if err := f(&m); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		rows = append(rows, TierRow{Path: name, Seconds: m.Seconds})
+		return nil
+	}
+
+	if err := c.Put(nil, "obj", payload, 0); err != nil {
+		return nil, err
+	}
+	if err := measure("dram-local", func(m *fam.Meter) error {
+		_, err := c.Get(m, "obj", 0)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if err := measure("dram-remote", func(m *fam.Meter) error {
+		_, err := c.Get(m, "obj", 1)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	// Spill the object to SSD by flooding node 0's DRAM.
+	for i := 0; i < 5; i++ {
+		if err := c.Put(nil, fmt.Sprintf("filler%d", i), payload, 0); err != nil {
+			return nil, err
+		}
+	}
+	locs := c.WhereIs("obj")
+	onSSD := false
+	for _, l := range locs {
+		if l.Tier == cache.TierSSD {
+			onSSD = true
+		}
+	}
+	if onSSD {
+		if err := measure("ssd-local", func(m *fam.Meter) error {
+			_, err := c.Get(m, "obj", 0)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+	}
+	// Stash: an object in no tier.
+	if _, _, err := backing.Put("stash-only", payload); err != nil {
+		return nil, err
+	}
+	if err := measure("stash(disk)", func(m *fam.Meter) error {
+		_, err := c.Get(m, "stash-only", 0)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	// Recompute: average virtual docking cost over a few ligands.
+	sum := 0.0
+	const n = 16
+	for i := 0; i < n; i++ {
+		sum += dock.Cost(fmt.Sprintf("CCO%d", i))
+	}
+	rows = append(rows, TierRow{Path: "recompute(dock)", Seconds: sum / n})
+	return rows, nil
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ids/internal/ids"
+	"ids/internal/mpp"
+	"ids/internal/synth"
+)
+
+// PlateauPoint is one node count of the scan-plateau microbenchmark.
+type PlateauPoint struct {
+	Nodes     int
+	Ranks     int
+	ScanSec   float64
+	MergeSec  float64
+	TotalSec  float64
+	RowsTotal int
+}
+
+// ScanPlateau reproduces Fig 4(b)'s scan/join/merge observation in
+// isolation: a scan-heavy query over a FIXED graph is run at growing
+// node counts. Scan time shrinks while ranks still have triples to
+// chew, then the per-query constants (collective latencies) dominate
+// and the curve flattens — "ranks exhaust useful work", as the paper
+// puts it (256 nodes can process >1T edges, the graph has only 100B).
+func ScanPlateau(sc Scale, nodesList []int) ([]PlateauPoint, error) {
+	var out []PlateauPoint
+	for _, nodes := range nodesList {
+		topo := mpp.Topology{Nodes: nodes, RanksPerNode: sc.RanksPerNode}
+		ds, err := sc.dataset(topo.Size())
+		if err != nil {
+			return nil, err
+		}
+		e, err := ids.NewEngine(ds.Graph, topo)
+		if err != nil {
+			return nil, err
+		}
+		q := fmt.Sprintf(`SELECT ?p ?seq WHERE { ?p <%s> ?seq . }`, synth.PredSequence)
+		res, err := e.Query(q)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, PlateauPoint{
+			Nodes:     nodes,
+			Ranks:     topo.Size(),
+			ScanSec:   res.Report.PhaseMax("scan"),
+			MergeSec:  res.Report.PhaseMax("merge"),
+			TotalSec:  res.Report.Makespan,
+			RowsTotal: len(res.Rows),
+		})
+	}
+	return out, nil
+}

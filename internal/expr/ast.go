@@ -1,0 +1,227 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is one node of an expression tree.
+type Expr interface {
+	// String renders the expression in query syntax.
+	String() string
+}
+
+// Var references a solution variable by name (without the '?').
+type Var struct{ Name string }
+
+func (v *Var) String() string { return "?" + v.Name }
+
+// Const is a literal constant.
+type Const struct{ Val Value }
+
+func (c *Const) String() string { return c.Val.String() }
+
+// CmpOp is a comparison operator.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	EQ CmpOp = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+func (o CmpOp) String() string {
+	switch o {
+	case EQ:
+		return "="
+	case NE:
+		return "!="
+	case LT:
+		return "<"
+	case LE:
+		return "<="
+	case GT:
+		return ">"
+	default:
+		return ">="
+	}
+}
+
+// Cmp compares two sub-expressions.
+type Cmp struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+func (c *Cmp) String() string {
+	return fmt.Sprintf("(%s %s %s)", c.L, c.Op, c.R)
+}
+
+// ArithOp is an arithmetic operator.
+type ArithOp uint8
+
+// Arithmetic operators.
+const (
+	Add ArithOp = iota
+	Sub
+	Mul
+	Div
+)
+
+func (o ArithOp) String() string {
+	switch o {
+	case Add:
+		return "+"
+	case Sub:
+		return "-"
+	case Mul:
+		return "*"
+	default:
+		return "/"
+	}
+}
+
+// Arith combines two numeric sub-expressions.
+type Arith struct {
+	Op   ArithOp
+	L, R Expr
+}
+
+func (a *Arith) String() string {
+	return fmt.Sprintf("(%s %s %s)", a.L, a.Op, a.R)
+}
+
+// And is a conjunction of one or more children (the reorderable
+// FILTER chain).
+type And struct{ Children []Expr }
+
+func (a *And) String() string {
+	parts := make([]string, len(a.Children))
+	for i, c := range a.Children {
+		parts[i] = c.String()
+	}
+	return "(" + strings.Join(parts, " && ") + ")"
+}
+
+// Or is a disjunction.
+type Or struct{ Children []Expr }
+
+func (o *Or) String() string {
+	parts := make([]string, len(o.Children))
+	for i, c := range o.Children {
+		parts[i] = c.String()
+	}
+	return "(" + strings.Join(parts, " || ") + ")"
+}
+
+// Not negates a sub-expression.
+type Not struct{ Child Expr }
+
+func (n *Not) String() string { return "!(" + n.Child.String() + ")" }
+
+// Call invokes a registered UDF.
+type Call struct {
+	Name string
+	Args []Expr
+}
+
+func (c *Call) String() string {
+	parts := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		parts[i] = a.String()
+	}
+	return c.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Vars returns the distinct variable names referenced by e, in first-
+// appearance order.
+func Vars(e Expr) []string {
+	var out []string
+	seen := map[string]bool{}
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch n := e.(type) {
+		case *Var:
+			if !seen[n.Name] {
+				seen[n.Name] = true
+				out = append(out, n.Name)
+			}
+		case *Cmp:
+			walk(n.L)
+			walk(n.R)
+		case *Arith:
+			walk(n.L)
+			walk(n.R)
+		case *And:
+			for _, c := range n.Children {
+				walk(c)
+			}
+		case *Or:
+			for _, c := range n.Children {
+				walk(c)
+			}
+		case *Not:
+			walk(n.Child)
+		case *Call:
+			for _, a := range n.Args {
+				walk(a)
+			}
+		}
+	}
+	walk(e)
+	return out
+}
+
+// CallNames returns the distinct UDF names invoked anywhere in e.
+func CallNames(e Expr) []string {
+	var out []string
+	seen := map[string]bool{}
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch n := e.(type) {
+		case *Cmp:
+			walk(n.L)
+			walk(n.R)
+		case *Arith:
+			walk(n.L)
+			walk(n.R)
+		case *And:
+			for _, c := range n.Children {
+				walk(c)
+			}
+		case *Or:
+			for _, c := range n.Children {
+				walk(c)
+			}
+		case *Not:
+			walk(n.Child)
+		case *Call:
+			if !seen[n.Name] {
+				seen[n.Name] = true
+				out = append(out, n.Name)
+			}
+			for _, a := range n.Args {
+				walk(a)
+			}
+		}
+	}
+	walk(e)
+	return out
+}
+
+// Conjuncts flattens nested And nodes into a conjunct list; a non-And
+// expression is a single conjunct.
+func Conjuncts(e Expr) []Expr {
+	if a, ok := e.(*And); ok {
+		var out []Expr
+		for _, c := range a.Children {
+			out = append(out, Conjuncts(c)...)
+		}
+		return out
+	}
+	return []Expr{e}
+}

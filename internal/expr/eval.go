@@ -1,0 +1,193 @@
+package expr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Env supplies variable bindings during evaluation.
+type Env interface {
+	// Lookup returns the value bound to the named variable.
+	Lookup(name string) (Value, bool)
+}
+
+// MapEnv is an Env backed by a map; convenient in tests and UDF glue.
+type MapEnv map[string]Value
+
+// Lookup implements Env.
+func (m MapEnv) Lookup(name string) (Value, bool) {
+	v, ok := m[name]
+	return v, ok
+}
+
+// FuncResolver dispatches UDF calls. The returned cost is the virtual
+// execution time in seconds the caller should charge and record in the
+// per-rank profile.
+type FuncResolver interface {
+	CallUDF(name string, args []Value) (result Value, cost float64, err error)
+}
+
+// Ctx carries everything evaluation needs.
+type Ctx struct {
+	Env   Env
+	Funcs FuncResolver
+	Terms Resolver
+	// Cost accumulates the total UDF virtual seconds charged during
+	// evaluations through this context.
+	Cost float64
+}
+
+// Evaluation errors.
+var (
+	ErrUnboundVar   = errors.New("expr: unbound variable")
+	ErrNoResolver   = errors.New("expr: UDF call without resolver")
+	ErrIncomparable = errors.New("expr: incomparable values")
+	ErrNotNumeric   = errors.New("expr: non-numeric operand")
+	ErrDivByZero    = errors.New("expr: division by zero")
+)
+
+// Eval evaluates e under ctx.
+func Eval(e Expr, ctx *Ctx) (Value, error) {
+	switch n := e.(type) {
+	case *Const:
+		return n.Val, nil
+	case *Var:
+		v, ok := ctx.Env.Lookup(n.Name)
+		if !ok {
+			return Null, fmt.Errorf("%w: ?%s", ErrUnboundVar, n.Name)
+		}
+		return v, nil
+	case *Cmp:
+		l, err := Eval(n.L, ctx)
+		if err != nil {
+			return Null, err
+		}
+		r, err := Eval(n.R, ctx)
+		if err != nil {
+			return Null, err
+		}
+		if l.IsNull() || r.IsNull() {
+			// SPARQL: comparisons over unbound values are errors, and
+			// an erroring FILTER drops the row (OPTIONAL nulls).
+			return Null, fmt.Errorf("%w: null operand", ErrIncomparable)
+		}
+		c, ok := Compare(l, r, ctx.Terms)
+		if !ok {
+			// Identity (in)equality still works across kinds.
+			if n.Op == EQ {
+				return Bool(false), nil
+			}
+			if n.Op == NE {
+				return Bool(true), nil
+			}
+			return Null, fmt.Errorf("%w: %s vs %s", ErrIncomparable, l, r)
+		}
+		switch n.Op {
+		case EQ:
+			return Bool(c == 0), nil
+		case NE:
+			return Bool(c != 0), nil
+		case LT:
+			return Bool(c < 0), nil
+		case LE:
+			return Bool(c <= 0), nil
+		case GT:
+			return Bool(c > 0), nil
+		default:
+			return Bool(c >= 0), nil
+		}
+	case *Arith:
+		l, err := evalNumeric(n.L, ctx)
+		if err != nil {
+			return Null, err
+		}
+		r, err := evalNumeric(n.R, ctx)
+		if err != nil {
+			return Null, err
+		}
+		switch n.Op {
+		case Add:
+			return Float(l + r), nil
+		case Sub:
+			return Float(l - r), nil
+		case Mul:
+			return Float(l * r), nil
+		default:
+			if r == 0 {
+				return Null, ErrDivByZero
+			}
+			return Float(l / r), nil
+		}
+	case *And:
+		for _, c := range n.Children {
+			v, err := Eval(c, ctx)
+			if err != nil {
+				return Null, err
+			}
+			if !v.Truthy() {
+				return Bool(false), nil
+			}
+		}
+		return Bool(true), nil
+	case *Or:
+		for _, c := range n.Children {
+			v, err := Eval(c, ctx)
+			if err != nil {
+				return Null, err
+			}
+			if v.Truthy() {
+				return Bool(true), nil
+			}
+		}
+		return Bool(false), nil
+	case *Not:
+		v, err := Eval(n.Child, ctx)
+		if err != nil {
+			return Null, err
+		}
+		return Bool(!v.Truthy()), nil
+	case *Call:
+		if ctx.Funcs == nil {
+			return Null, fmt.Errorf("%w: %s", ErrNoResolver, n.Name)
+		}
+		args := make([]Value, len(n.Args))
+		for i, a := range n.Args {
+			v, err := Eval(a, ctx)
+			if err != nil {
+				return Null, err
+			}
+			// UDFs receive concrete values, never raw IDs.
+			args[i] = resolve(v, ctx.Terms)
+		}
+		out, cost, err := ctx.Funcs.CallUDF(n.Name, args)
+		ctx.Cost += cost
+		if err != nil {
+			return Null, fmt.Errorf("expr: UDF %s: %w", n.Name, err)
+		}
+		return out, nil
+	default:
+		return Null, fmt.Errorf("expr: unknown node %T", e)
+	}
+}
+
+func evalNumeric(e Expr, ctx *Ctx) (float64, error) {
+	v, err := Eval(e, ctx)
+	if err != nil {
+		return 0, err
+	}
+	v = resolve(v, ctx.Terms)
+	if v.Kind != KindFloat {
+		return 0, fmt.Errorf("%w: %s", ErrNotNumeric, v)
+	}
+	return v.Num, nil
+}
+
+// EvalBool evaluates e and coerces the result to its effective boolean
+// value.
+func EvalBool(e Expr, ctx *Ctx) (bool, error) {
+	v, err := Eval(e, ctx)
+	if err != nil {
+		return false, err
+	}
+	return v.Truthy(), nil
+}

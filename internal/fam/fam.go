@@ -1,0 +1,449 @@
+// Package fam implements an OpenFAM-shaped disaggregated-memory API:
+// named regions of fabric-attached memory served by memory servers,
+// with data items allocated inside regions and accessed by get/put/
+// gather/scatter and atomic operations. The paper's global cache uses
+// OpenFAM as its RDMA transport; this package provides the same
+// programming model over in-process memory servers with an alpha-beta
+// network cost model, so callers can charge realistic virtual time for
+// remote access.
+package fam
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+)
+
+// Errors returned by the FAM API.
+var (
+	ErrExists       = errors.New("fam: name already exists")
+	ErrNotFound     = errors.New("fam: not found")
+	ErrOutOfRange   = errors.New("fam: offset out of range")
+	ErrNoCapacity   = errors.New("fam: insufficient capacity")
+	ErrServerDown   = errors.New("fam: memory server unavailable")
+	ErrInvalidSize  = errors.New("fam: invalid size")
+	ErrCASMismatch  = errors.New("fam: compare-and-swap mismatch")
+	ErrRegionExists = errors.New("fam: region already exists")
+)
+
+// NetModel is the fabric cost model for remote memory access.
+type NetModel struct {
+	Latency   float64 // seconds per operation (one-sided RDMA verb)
+	Bandwidth float64 // bytes per second
+	// LocalLatency applies when client and server share a node.
+	LocalLatency float64
+}
+
+// DefaultNet approximates Slingshot RDMA: 2 us verbs, 25 GB/s.
+func DefaultNet() NetModel {
+	return NetModel{Latency: 2e-6, Bandwidth: 25e9, LocalLatency: 2e-7}
+}
+
+// Cost returns the modeled seconds for transferring n bytes, local or
+// remote.
+func (m NetModel) Cost(n int, local bool) float64 {
+	lat := m.Latency
+	if local {
+		lat = m.LocalLatency
+	}
+	if m.Bandwidth <= 0 {
+		return lat
+	}
+	return lat + float64(n)/m.Bandwidth
+}
+
+// Meter accumulates modeled access time; nil meters are safe to pass.
+type Meter struct {
+	Seconds float64
+	Ops     int
+	Bytes   int
+}
+
+func (m *Meter) add(sec float64, bytes int) {
+	if m == nil {
+		return
+	}
+	m.Seconds += sec
+	m.Ops++
+	m.Bytes += bytes
+}
+
+// Descriptor identifies an allocated data item, as in OpenFAM.
+type Descriptor struct {
+	Region string
+	Name   string
+	Server int
+	Size   int
+}
+
+type item struct {
+	data []byte
+}
+
+type server struct {
+	mu       sync.Mutex
+	id       int
+	capacity int64
+	used     int64
+	items    map[string]*item // key: region/name
+	down     bool
+}
+
+type region struct {
+	name string
+	size int64
+	used int64
+}
+
+// FAM is the fabric: a set of memory servers plus the region/item
+// namespace (the role OpenFAM's metadata service plays).
+type FAM struct {
+	mu      sync.Mutex
+	servers []*server
+	regions map[string]*region
+	items   map[string]Descriptor // region/name -> descriptor
+	net     NetModel
+	nextSrv int
+}
+
+// New creates a fabric of n memory servers with capPerServer bytes
+// each.
+func New(n int, capPerServer int64, net NetModel) *FAM {
+	if n <= 0 {
+		n = 1
+	}
+	f := &FAM{
+		regions: map[string]*region{},
+		items:   map[string]Descriptor{},
+		net:     net,
+	}
+	for i := 0; i < n; i++ {
+		f.servers = append(f.servers, &server{
+			id:       i,
+			capacity: capPerServer,
+			items:    map[string]*item{},
+		})
+	}
+	return f
+}
+
+// NumServers returns the memory-server count.
+func (f *FAM) NumServers() int { return len(f.servers) }
+
+// CreateRegion declares a named region with a size quota.
+func (f *FAM) CreateRegion(name string, size int64) error {
+	if size <= 0 {
+		return ErrInvalidSize
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.regions[name]; ok {
+		return fmt.Errorf("%w: %s", ErrRegionExists, name)
+	}
+	f.regions[name] = &region{name: name, size: size}
+	return nil
+}
+
+// DestroyRegion removes a region and every item in it.
+func (f *FAM) DestroyRegion(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.regions[name]; !ok {
+		return fmt.Errorf("%w: region %s", ErrNotFound, name)
+	}
+	prefix := name + "/"
+	for key, d := range f.items {
+		if len(key) > len(prefix) && key[:len(prefix)] == prefix {
+			f.freeLocked(d)
+			delete(f.items, key)
+		}
+	}
+	delete(f.regions, name)
+	return nil
+}
+
+func itemKey(regionName, name string) string { return regionName + "/" + name }
+
+// Allocate creates a data item of the given size in the region,
+// placing it on the least-loaded live server (ties broken round-robin)
+// unless preferServer >= 0 requests explicit placement.
+func (f *FAM) Allocate(regionName, name string, size int, preferServer int) (Descriptor, error) {
+	if size <= 0 {
+		return Descriptor{}, ErrInvalidSize
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	reg, ok := f.regions[regionName]
+	if !ok {
+		return Descriptor{}, fmt.Errorf("%w: region %s", ErrNotFound, regionName)
+	}
+	key := itemKey(regionName, name)
+	if _, ok := f.items[key]; ok {
+		return Descriptor{}, fmt.Errorf("%w: %s", ErrExists, key)
+	}
+	if reg.used+int64(size) > reg.size {
+		return Descriptor{}, fmt.Errorf("%w: region %s", ErrNoCapacity, regionName)
+	}
+	srvID := -1
+	if preferServer >= 0 {
+		// Explicit placement is strict: the caller asked for this
+		// server, so a full or down server is a capacity error, not a
+		// silent fallback (the cache layer relies on this to trigger
+		// its own eviction).
+		if preferServer >= len(f.servers) {
+			return Descriptor{}, fmt.Errorf("%w: server %d", ErrNotFound, preferServer)
+		}
+		s := f.servers[preferServer]
+		if s.down {
+			return Descriptor{}, fmt.Errorf("%w: server %d", ErrServerDown, preferServer)
+		}
+		if s.used+int64(size) > s.capacity {
+			return Descriptor{}, fmt.Errorf("%w: server %d", ErrNoCapacity, preferServer)
+		}
+		srvID = preferServer
+	}
+	if srvID < 0 {
+		var best *server
+		for i := 0; i < len(f.servers); i++ {
+			s := f.servers[(f.nextSrv+i)%len(f.servers)]
+			if s.down || s.used+int64(size) > s.capacity {
+				continue
+			}
+			if best == nil || s.used < best.used {
+				best = s
+			}
+		}
+		if best == nil {
+			return Descriptor{}, ErrNoCapacity
+		}
+		srvID = best.id
+		f.nextSrv = (srvID + 1) % len(f.servers)
+	}
+	s := f.servers[srvID]
+	s.mu.Lock()
+	s.items[key] = &item{data: make([]byte, size)}
+	s.used += int64(size)
+	s.mu.Unlock()
+	reg.used += int64(size)
+	d := Descriptor{Region: regionName, Name: name, Server: srvID, Size: size}
+	f.items[key] = d
+	return d, nil
+}
+
+// Lookup returns the descriptor of an existing item.
+func (f *FAM) Lookup(regionName, name string) (Descriptor, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	d, ok := f.items[itemKey(regionName, name)]
+	if !ok {
+		return Descriptor{}, fmt.Errorf("%w: %s", ErrNotFound, itemKey(regionName, name))
+	}
+	return d, nil
+}
+
+// Deallocate frees an item.
+func (f *FAM) Deallocate(d Descriptor) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	key := itemKey(d.Region, d.Name)
+	if _, ok := f.items[key]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	f.freeLocked(d)
+	delete(f.items, key)
+	return nil
+}
+
+func (f *FAM) freeLocked(d Descriptor) {
+	if reg, ok := f.regions[d.Region]; ok {
+		reg.used -= int64(d.Size)
+	}
+	s := f.servers[d.Server]
+	s.mu.Lock()
+	if _, ok := s.items[itemKey(d.Region, d.Name)]; ok {
+		delete(s.items, itemKey(d.Region, d.Name))
+		s.used -= int64(d.Size)
+	}
+	s.mu.Unlock()
+}
+
+// access fetches the item's storage, checking server health and
+// bounds.
+func (f *FAM) access(d Descriptor, off, n int) (*item, error) {
+	if off < 0 || n < 0 || off+n > d.Size {
+		return nil, ErrOutOfRange
+	}
+	if d.Server < 0 || d.Server >= len(f.servers) {
+		return nil, ErrNotFound
+	}
+	s := f.servers[d.Server]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.down {
+		return nil, fmt.Errorf("%w: server %d", ErrServerDown, s.id)
+	}
+	it, ok := s.items[itemKey(d.Region, d.Name)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s (lost on failure?)", ErrNotFound, d.Name)
+	}
+	return it, nil
+}
+
+// Put writes data into the item at offset. local marks a same-node
+// access for the cost model.
+func (f *FAM) Put(m *Meter, d Descriptor, off int, data []byte, local bool) error {
+	it, err := f.access(d, off, len(data))
+	if err != nil {
+		return err
+	}
+	s := f.servers[d.Server]
+	s.mu.Lock()
+	copy(it.data[off:], data)
+	s.mu.Unlock()
+	m.add(f.net.Cost(len(data), local), len(data))
+	return nil
+}
+
+// Get reads n bytes from the item at offset.
+func (f *FAM) Get(m *Meter, d Descriptor, off, n int, local bool) ([]byte, error) {
+	it, err := f.access(d, off, n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	s := f.servers[d.Server]
+	s.mu.Lock()
+	copy(out, it.data[off:off+n])
+	s.mu.Unlock()
+	m.add(f.net.Cost(n, local), n)
+	return out, nil
+}
+
+// Scatter writes strided chunks: data is split into len(offsets)
+// equal chunks written at each offset.
+func (f *FAM) Scatter(m *Meter, d Descriptor, offsets []int, data []byte, local bool) error {
+	if len(offsets) == 0 || len(data)%len(offsets) != 0 {
+		return ErrInvalidSize
+	}
+	chunk := len(data) / len(offsets)
+	for i, off := range offsets {
+		if err := f.Put(m, d, off, data[i*chunk:(i+1)*chunk], local); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Gather reads strided chunks of chunkLen from each offset.
+func (f *FAM) Gather(m *Meter, d Descriptor, offsets []int, chunkLen int, local bool) ([]byte, error) {
+	out := make([]byte, 0, len(offsets)*chunkLen)
+	for _, off := range offsets {
+		b, err := f.Get(m, d, off, chunkLen, local)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b...)
+	}
+	return out, nil
+}
+
+// FetchAdd atomically adds delta to the int64 at offset and returns
+// the previous value.
+func (f *FAM) FetchAdd(m *Meter, d Descriptor, off int, delta int64, local bool) (int64, error) {
+	it, err := f.access(d, off, 8)
+	if err != nil {
+		return 0, err
+	}
+	s := f.servers[d.Server]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := int64(readU64(it.data[off:]))
+	writeU64(it.data[off:], uint64(old+delta))
+	m.add(f.net.Cost(8, local), 8)
+	return old, nil
+}
+
+// CompareSwap atomically replaces the int64 at offset if it equals
+// expect; it returns the previous value and ErrCASMismatch when the
+// comparison fails.
+func (f *FAM) CompareSwap(m *Meter, d Descriptor, off int, expect, replace int64, local bool) (int64, error) {
+	it, err := f.access(d, off, 8)
+	if err != nil {
+		return 0, err
+	}
+	s := f.servers[d.Server]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := int64(readU64(it.data[off:]))
+	m.add(f.net.Cost(8, local), 8)
+	if old != expect {
+		return old, ErrCASMismatch
+	}
+	writeU64(it.data[off:], uint64(replace))
+	return old, nil
+}
+
+func readU64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func writeU64(b []byte, u uint64) {
+	b[0], b[1], b[2], b[3] = byte(u), byte(u>>8), byte(u>>16), byte(u>>24)
+	b[4], b[5], b[6], b[7] = byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56)
+}
+
+// FailServer marks a server down and discards its contents (fabric
+// memory is volatile; the paper repopulates from backing storage).
+func (f *FAM) FailServer(id int) error {
+	if id < 0 || id >= len(f.servers) {
+		return ErrNotFound
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := f.servers[id]
+	s.mu.Lock()
+	s.down = true
+	for key := range s.items {
+		if d, ok := f.items[key]; ok {
+			if reg, okr := f.regions[d.Region]; okr {
+				reg.used -= int64(d.Size)
+			}
+			delete(f.items, key)
+		}
+		delete(s.items, key)
+	}
+	s.used = 0
+	s.mu.Unlock()
+	return nil
+}
+
+// RecoverServer brings a failed server back, empty.
+func (f *FAM) RecoverServer(id int) error {
+	if id < 0 || id >= len(f.servers) {
+		return ErrNotFound
+	}
+	s := f.servers[id]
+	s.mu.Lock()
+	s.down = false
+	s.mu.Unlock()
+	return nil
+}
+
+// ServerUsage returns (used, capacity) of a server.
+func (f *FAM) ServerUsage(id int) (int64, int64) {
+	s := f.servers[id]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.used, s.capacity
+}
+
+// ObjectID computes the 64-bit object ID of a name — the hash/ID
+// helper the paper's TR-Cache C API exposes for addressing cached
+// objects.
+func ObjectID(name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return h.Sum64()
+}

@@ -1,0 +1,203 @@
+// Package feature implements the feature-store face of the IDS 3-in-1
+// datastore: schema'd feature rows keyed by entity, with versioned
+// writes and point lookups. The NCNPR workflow stores per-compound
+// descriptors (molecular weight, logP, pIC50, ...) here so that filter
+// UDFs can read them without recomputation.
+package feature
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"ids/internal/expr"
+)
+
+// FieldType constrains a schema column.
+type FieldType int
+
+// Field types.
+const (
+	Float FieldType = iota
+	String
+	Bool
+)
+
+func (t FieldType) String() string {
+	switch t {
+	case Float:
+		return "float"
+	case String:
+		return "string"
+	default:
+		return "bool"
+	}
+}
+
+// Field is one schema column.
+type Field struct {
+	Name string
+	Type FieldType
+}
+
+// Schema is an ordered field list.
+type Schema []Field
+
+// Col returns the index of the named field, or -1.
+func (s Schema) Col(name string) int {
+	for i, f := range s {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Errors.
+var (
+	ErrNoEntity   = errors.New("feature: entity not found")
+	ErrNoField    = errors.New("feature: field not in schema")
+	ErrTypeClash  = errors.New("feature: value type does not match schema")
+	ErrBadVersion = errors.New("feature: version not found")
+	ErrWidth      = errors.New("feature: row width does not match schema")
+)
+
+type versionedRow struct {
+	version int
+	values  []expr.Value
+}
+
+// Store is a concurrency-safe versioned feature store.
+type Store struct {
+	mu      sync.RWMutex
+	schema  Schema
+	rows    map[string][]versionedRow // entity -> versions ascending
+	nextVer int
+}
+
+// New creates a store with the given schema.
+func New(schema Schema) (*Store, error) {
+	if len(schema) == 0 {
+		return nil, errors.New("feature: empty schema")
+	}
+	seen := map[string]bool{}
+	for _, f := range schema {
+		if f.Name == "" || seen[f.Name] {
+			return nil, fmt.Errorf("feature: invalid or duplicate field %q", f.Name)
+		}
+		seen[f.Name] = true
+	}
+	return &Store{schema: schema, rows: map[string][]versionedRow{}, nextVer: 1}, nil
+}
+
+// Schema returns the store's schema.
+func (s *Store) Schema() Schema { return s.schema }
+
+func checkType(t FieldType, v expr.Value) bool {
+	switch t {
+	case Float:
+		return v.Kind == expr.KindFloat
+	case String:
+		return v.Kind == expr.KindString
+	default:
+		return v.Kind == expr.KindBool
+	}
+}
+
+// Put writes a full row for entity, returning the new version number.
+func (s *Store) Put(entity string, values []expr.Value) (int, error) {
+	if len(values) != len(s.schema) {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrWidth, len(values), len(s.schema))
+	}
+	for i, v := range values {
+		if !checkType(s.schema[i].Type, v) {
+			return 0, fmt.Errorf("%w: field %s got %s", ErrTypeClash, s.schema[i].Name, v)
+		}
+	}
+	cp := make([]expr.Value, len(values))
+	copy(cp, values)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ver := s.nextVer
+	s.nextVer++
+	s.rows[entity] = append(s.rows[entity], versionedRow{version: ver, values: cp})
+	return ver, nil
+}
+
+// Latest returns the most recent row of entity.
+func (s *Store) Latest(entity string) ([]expr.Value, int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	vs := s.rows[entity]
+	if len(vs) == 0 {
+		return nil, 0, fmt.Errorf("%w: %s", ErrNoEntity, entity)
+	}
+	last := vs[len(vs)-1]
+	out := make([]expr.Value, len(last.values))
+	copy(out, last.values)
+	return out, last.version, nil
+}
+
+// At returns the row of entity as of the given version (the newest
+// write with version <= v).
+func (s *Store) At(entity string, v int) ([]expr.Value, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	vs := s.rows[entity]
+	if len(vs) == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrNoEntity, entity)
+	}
+	i := sort.Search(len(vs), func(i int) bool { return vs[i].version > v })
+	if i == 0 {
+		return nil, fmt.Errorf("%w: %s@%d", ErrBadVersion, entity, v)
+	}
+	row := vs[i-1]
+	out := make([]expr.Value, len(row.values))
+	copy(out, row.values)
+	return out, nil
+}
+
+// GetField returns one field of the latest row.
+func (s *Store) GetField(entity, field string) (expr.Value, error) {
+	c := s.schema.Col(field)
+	if c < 0 {
+		return expr.Null, fmt.Errorf("%w: %s", ErrNoField, field)
+	}
+	row, _, err := s.Latest(entity)
+	if err != nil {
+		return expr.Null, err
+	}
+	return row[c], nil
+}
+
+// Entities returns all entity keys, sorted.
+func (s *Store) Entities() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.rows))
+	for e := range s.rows {
+		out = append(out, e)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of entities.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.rows)
+}
+
+// UDF returns a lookup UDF closure: given (entity), it returns the
+// named field of the latest row — how the feature store plugs into
+// FILTER expressions.
+func (s *Store) UDF(field string) func(args []expr.Value) (expr.Value, error) {
+	return func(args []expr.Value) (expr.Value, error) {
+		if len(args) != 1 || args[0].Kind != expr.KindString {
+			return expr.Null, errors.New("feature: UDF expects one string entity key")
+		}
+		return s.GetField(args[0].Str, field)
+	}
+}

@@ -1,0 +1,148 @@
+package feature
+
+import (
+	"errors"
+	"testing"
+
+	"ids/internal/expr"
+)
+
+func compoundSchema() Schema {
+	return Schema{
+		{Name: "mw", Type: Float},
+		{Name: "smiles", Type: String},
+		{Name: "active", Type: Bool},
+	}
+}
+
+func mustStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := New(compoundSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func rowOf(mw float64, smi string, act bool) []expr.Value {
+	return []expr.Value{expr.Float(mw), expr.String(smi), expr.Bool(act)}
+}
+
+func TestPutLatest(t *testing.T) {
+	s := mustStore(t)
+	v1, err := s.Put("aspirin", rowOf(180.16, "CC(=O)Oc1ccccc1C(=O)O", true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, ver, err := s.Latest("aspirin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != v1 || row[0].Num != 180.16 {
+		t.Fatalf("Latest = %v @%d", row, ver)
+	}
+}
+
+func TestSchemaValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("empty schema accepted")
+	}
+	if _, err := New(Schema{{Name: "a", Type: Float}, {Name: "a", Type: String}}); err == nil {
+		t.Fatal("duplicate field accepted")
+	}
+	if _, err := New(Schema{{Name: "", Type: Float}}); err == nil {
+		t.Fatal("empty field name accepted")
+	}
+}
+
+func TestPutValidation(t *testing.T) {
+	s := mustStore(t)
+	if _, err := s.Put("x", rowOf(1, "C", true)[:2]); !errors.Is(err, ErrWidth) {
+		t.Fatalf("err = %v", err)
+	}
+	bad := []expr.Value{expr.String("not a float"), expr.String("C"), expr.Bool(true)}
+	if _, err := s.Put("x", bad); !errors.Is(err, ErrTypeClash) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVersioning(t *testing.T) {
+	s := mustStore(t)
+	v1, _ := s.Put("c", rowOf(100, "C", false))
+	v2, _ := s.Put("c", rowOf(200, "CC", true))
+	if v2 <= v1 {
+		t.Fatalf("versions not increasing: %d %d", v1, v2)
+	}
+	old, err := s.At("c", v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old[0].Num != 100 {
+		t.Fatalf("At(v1) = %v", old)
+	}
+	cur, err := s.At("c", v2+100)
+	if err != nil || cur[0].Num != 200 {
+		t.Fatalf("At(future) = %v, %v", cur, err)
+	}
+	if _, err := s.At("c", v1-1); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := s.At("ghost", v1); !errors.Is(err, ErrNoEntity) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGetField(t *testing.T) {
+	s := mustStore(t)
+	_, _ = s.Put("c", rowOf(42, "CCO", true))
+	v, err := s.GetField("c", "smiles")
+	if err != nil || v.Str != "CCO" {
+		t.Fatalf("GetField = %s, %v", v, err)
+	}
+	if _, err := s.GetField("c", "nope"); !errors.Is(err, ErrNoField) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := s.GetField("ghost", "mw"); !errors.Is(err, ErrNoEntity) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEntitiesSorted(t *testing.T) {
+	s := mustStore(t)
+	_, _ = s.Put("b", rowOf(1, "C", true))
+	_, _ = s.Put("a", rowOf(2, "C", true))
+	got := s.Entities()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Entities = %v", got)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestUDFClosure(t *testing.T) {
+	s := mustStore(t)
+	_, _ = s.Put("aspirin", rowOf(180.16, "CC(=O)O", true))
+	fn := s.UDF("mw")
+	v, err := fn([]expr.Value{expr.String("aspirin")})
+	if err != nil || v.Num != 180.16 {
+		t.Fatalf("UDF = %s, %v", v, err)
+	}
+	if _, err := fn([]expr.Value{expr.Float(1)}); err == nil {
+		t.Fatal("UDF accepted non-string key")
+	}
+	if _, err := fn(nil); err == nil {
+		t.Fatal("UDF accepted no args")
+	}
+}
+
+func TestPutIsolatesCallerSlice(t *testing.T) {
+	s := mustStore(t)
+	row := rowOf(1, "C", true)
+	_, _ = s.Put("c", row)
+	row[0] = expr.Float(999)
+	got, _, _ := s.Latest("c")
+	if got[0].Num != 1 {
+		t.Fatal("Put aliased caller slice")
+	}
+}

@@ -1,0 +1,143 @@
+package ids
+
+import (
+	"math"
+	"strconv"
+	"testing"
+)
+
+func TestCountStar(t *testing.T) {
+	e := newEngine(t, 4)
+	res, err := e.Query(`SELECT (COUNT(*) AS ?n) WHERE { ?s <http://x/age> ?a . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Num != 5 {
+		t.Fatalf("count = %v", res.Rows)
+	}
+	if res.Vars[0] != "n" {
+		t.Fatalf("vars = %v", res.Vars)
+	}
+}
+
+func TestCountEmptyResult(t *testing.T) {
+	e := newEngine(t, 4)
+	res, err := e.Query(`SELECT (COUNT(*) AS ?n) WHERE { ?s <http://x/ghostpred> ?a . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Num != 0 {
+		t.Fatalf("count over empty = %v", res.Rows)
+	}
+}
+
+func TestGroupByWithCount(t *testing.T) {
+	e := newEngine(t, 4)
+	// Group the knows edges by subject.
+	res, err := e.Query(`
+		SELECT ?s (COUNT(?k) AS ?n) WHERE {
+			?s <http://x/knows> ?k .
+		} GROUP BY ?s ORDER BY ?s`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("groups = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row[1].Num != 1 {
+			t.Fatalf("group count = %v", row)
+		}
+	}
+}
+
+func TestNumericAggregates(t *testing.T) {
+	e := newEngine(t, 4)
+	res, err := e.Query(`
+		SELECT (SUM(?a) AS ?total) (AVG(?a) AS ?mean) (MIN(?a) AS ?lo) (MAX(?a) AS ?hi)
+		WHERE { ?s <http://x/age> ?a . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Rows[0]
+	// ages: 36, 45, 41, 72, 29 -> sum 223, mean 44.6, min 29, max 72.
+	if row[0].Num != 223 {
+		t.Fatalf("sum = %v", row[0])
+	}
+	if math.Abs(row[1].Num-44.6) > 1e-9 {
+		t.Fatalf("avg = %v", row[1])
+	}
+	if row[2].Num != 29 || row[3].Num != 72 {
+		t.Fatalf("min/max = %v %v", row[2], row[3])
+	}
+}
+
+func TestGroupByOrderByAlias(t *testing.T) {
+	e := newEngine(t, 4)
+	// Count name-triples per subject, order by the count alias.
+	res, err := e.Query(`
+		SELECT ?s (COUNT(*) AS ?n) WHERE {
+			?s ?p ?o .
+		} GROUP BY ?s ORDER BY DESC(?n) ?s LIMIT 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// ada and grace have 4 triples each (type,name,age,knows).
+	if res.Rows[0][1].Num != 4 {
+		t.Fatalf("top count = %v", res.Rows[0])
+	}
+}
+
+func TestAggregateValidation(t *testing.T) {
+	e := newEngine(t, 2)
+	bad := []string{
+		`SELECT ?s (COUNT(*) AS ?n) WHERE { ?s <http://x/age> ?a . }`,               // ?s not grouped
+		`SELECT (COUNT(?ghost) AS ?n) WHERE { ?s <http://x/age> ?a . }`,             // unbound agg var
+		`SELECT (SUM(*) AS ?n) WHERE { ?s <http://x/age> ?a . }`,                    // SUM(*)
+		`SELECT ?s WHERE { ?s <http://x/age> ?a . } GROUP BY ?s`,                    // group w/o aggregates
+		`SELECT (COUNT(?a) AS ?n) WHERE { ?s <http://x/age> ?a . } GROUP BY ?ghost`, // unbound group var
+		`SELECT (BOGUS(?a) AS ?n) WHERE { ?s <http://x/age> ?a . }`,                 // unknown func
+		`SELECT (COUNT(?a) ?n) WHERE { ?s <http://x/age> ?a . }`,                    // missing AS
+	}
+	for _, q := range bad {
+		if _, err := e.Query(q); err == nil {
+			t.Errorf("Query(%q) succeeded", q)
+		}
+	}
+}
+
+func TestCountDistinctViaSubquerylessForm(t *testing.T) {
+	// DISTINCT applies to the solution set before aggregation.
+	e := newEngine(t, 4)
+	res, err := e.Query(`
+		SELECT DISTINCT ?p (COUNT(*) AS ?n) WHERE { ?s ?p ?o . } GROUP BY ?p ORDER BY ?p`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predicates: age, knows, name, type.
+	if len(res.Rows) != 4 {
+		t.Fatalf("predicate groups = %d", len(res.Rows))
+	}
+	total := 0.0
+	for _, row := range res.Rows {
+		total += row[1].Num
+	}
+	if int(total) != e.Graph.Len() {
+		t.Fatalf("group counts sum to %v, graph has %d", total, e.Graph.Len())
+	}
+}
+
+func TestAggregateDecodes(t *testing.T) {
+	e := newEngine(t, 2)
+	res, err := e.Query(`SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := e.Strings(res)[0][0]
+	if _, err := strconv.ParseFloat(s, 64); err != nil {
+		t.Fatalf("count decodes to %q", s)
+	}
+}

@@ -1,0 +1,132 @@
+package ids
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"ids/internal/udf"
+)
+
+// Client is the Datastore Client: it submits queries and updates,
+// imports user code, and fetches statistics from a running IDS
+// endpoint.
+type Client struct {
+	Base string
+	HTTP *http.Client
+}
+
+// NewClient targets the given base URL (e.g. "http://127.0.0.1:8080").
+func NewClient(base string) *Client {
+	return &Client{Base: base, HTTP: &http.Client{Timeout: 120 * time.Second}}
+}
+
+func (c *Client) post(path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	resp, err := c.HTTP.Post(c.Base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		if e.Error != "" {
+			return fmt.Errorf("ids client: %s", e.Error)
+		}
+		return fmt.Errorf("ids client: %s returned %s", path, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func (c *Client) get(path string, out any) error {
+	resp, err := c.HTTP.Get(c.Base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("ids client: %s returned %s", path, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Query runs a query remotely.
+func (c *Client) Query(q string) (*QueryResponse, error) {
+	var out QueryResponse
+	if err := c.post("/query", QueryRequest{Query: q}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Update applies an INSERT DATA / DELETE DATA statement remotely.
+func (c *Client) Update(u string) (*UpdateResult, error) {
+	var out UpdateResult
+	if err := c.post("/update", UpdateRequest{Update: u}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// LoadModule imports an IDscript module (cached on the server).
+func (c *Client) LoadModule(name, source string) error {
+	var out ModuleResponse
+	return c.post("/module", ModuleRequest{Name: name, Source: source}, &out)
+}
+
+// ReloadModule force-reloads a module on the server.
+func (c *Client) ReloadModule(name, source string) error {
+	var out ModuleResponse
+	return c.post("/module", ModuleRequest{Name: name, Source: source, Reload: true}, &out)
+}
+
+// Profile fetches the merged per-UDF profile.
+func (c *Client) Profile() (map[string]udf.Stats, error) {
+	var out map[string]udf.Stats
+	if err := c.get("/profile", &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Stats fetches instance statistics.
+func (c *Client) Stats() (*StatsResponse, error) {
+	var out StatsResponse
+	if err := c.get("/stats", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Snapshot streams the remote graph's binary snapshot into w.
+func (c *Client) Snapshot(w io.Writer) error {
+	resp, err := c.HTTP.Get(c.Base + "/snapshot")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("ids client: /snapshot returned %s", resp.Status)
+	}
+	_, err = io.Copy(w, resp.Body)
+	return err
+}
+
+// Healthy reports whether the endpoint responds.
+func (c *Client) Healthy() bool {
+	resp, err := c.HTTP.Get(c.Base + "/healthz")
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}

@@ -1,0 +1,341 @@
+// Package ids is the framework facade of the Intelligent Data Search
+// reproduction: the Engine combines the knowledge graph, the UDF
+// registry with its dynamic-module loader, and the MPP runtime into a
+// queryable backend; the Launcher/Agent/Client/HTTP layers mirror the
+// paper's deployment components (Datastore Launcher, Datastore Agent,
+// Datastore Client, IDS backend).
+package ids
+
+import (
+	"fmt"
+	"strings"
+
+	"ids/internal/cache"
+	"ids/internal/dict"
+	"ids/internal/exec"
+	"ids/internal/expr"
+	"ids/internal/kg"
+	"ids/internal/mpp"
+	"ids/internal/plan"
+	"ids/internal/script"
+	"ids/internal/sparql"
+	"ids/internal/text"
+	"ids/internal/udf"
+	"ids/internal/vecstore"
+)
+
+// Options tunes query execution; the zero value enables the paper's
+// optimizations.
+type Options struct {
+	// Reorder enables §2.4.3 FILTER conjunct reordering.
+	Reorder bool
+	// Rebalance selects §2.4.2 solution re-balancing before FILTERs.
+	Rebalance exec.RebalanceMode
+	// SpeedFactor models heterogeneous node speeds per rank (nil =
+	// homogeneous).
+	SpeedFactor func(rank int) float64
+}
+
+// DefaultOptions enables reordering and cost-aware re-balancing.
+func DefaultOptions() Options {
+	return Options{Reorder: true, Rebalance: exec.RebalanceCost}
+}
+
+// Engine is one running IDS backend instance.
+type Engine struct {
+	Graph  *kg.Graph
+	Reg    *udf.Registry
+	Loader *script.Loader
+	Topo   mpp.Topology
+	Net    mpp.NetModel
+	Seed   int64
+	Opts   Options
+
+	stats     *plan.Stats
+	profilers []*udf.Profiler
+	// resultCache, when set, stashes whole query results in the
+	// global cache (see resultcache.go).
+	resultCache *cache.Cache
+	// textIndex, when set, backs keyword search (see textsearch.go).
+	textIndex *text.Index
+	// vectors holds attached vector stores (see vectors.go).
+	vectors map[string]*vecstore.Store
+	// updates counts applied update statements; part of the result-
+	// cache key so updates invalidate stale entries.
+	updates int64
+}
+
+// NewEngine wires an engine over a sealed graph. The graph must have
+// exactly one shard per rank.
+func NewEngine(g *kg.Graph, topo mpp.Topology) (*Engine, error) {
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	if g.NumShards() != topo.Size() {
+		return nil, fmt.Errorf("ids: graph has %d shards but topology has %d ranks",
+			g.NumShards(), topo.Size())
+	}
+	e := &Engine{
+		Graph:  g,
+		Reg:    udf.NewRegistry(),
+		Loader: script.NewLoader(),
+		Topo:   topo,
+		Net:    mpp.DefaultNet(),
+		Seed:   1,
+		Opts:   DefaultOptions(),
+		stats:  plan.StatsFromGraph(g),
+	}
+	e.profilers = make([]*udf.Profiler, topo.Size())
+	for i := range e.profilers {
+		e.profilers[i] = udf.NewProfiler()
+	}
+	return e, nil
+}
+
+// Profiler returns rank r's persistent UDF profile (lives across
+// queries, as the paper specifies).
+func (e *Engine) Profiler(r int) *udf.Profiler { return e.profilers[r] }
+
+// Result is a completed query.
+type Result struct {
+	Vars   []string
+	Rows   [][]expr.Value
+	Report *mpp.Report
+	Plan   *plan.Plan
+}
+
+// Decode renders a row value as a display string using the engine's
+// dictionary.
+func (e *Engine) Decode(v expr.Value) string {
+	if v.Kind == expr.KindID {
+		if t, ok := e.Graph.Dict.Decode(v.ID); ok {
+			return t.String()
+		}
+		return fmt.Sprintf("id:%d", v.ID)
+	}
+	s := v.String()
+	return strings.TrimPrefix(s, "")
+}
+
+// Strings decodes all rows.
+func (e *Engine) Strings(res *Result) [][]string {
+	out := make([][]string, len(res.Rows))
+	for i, row := range res.Rows {
+		sr := make([]string, len(row))
+		for j, v := range row {
+			sr[j] = e.Decode(v)
+		}
+		out[i] = sr
+	}
+	return out
+}
+
+// Query parses, plans and executes a query across all ranks, returning
+// the gathered result and the timing report.
+func (e *Engine) Query(qs string) (*Result, error) {
+	q, err := sparql.Parse(qs)
+	if err != nil {
+		return nil, err
+	}
+	return e.Execute(q)
+}
+
+// Execute runs a parsed query.
+func (e *Engine) Execute(q *sparql.Query) (*Result, error) {
+	pl, err := plan.Build(q, e.stats)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([][][]expr.Value, e.Topo.Size())
+	var vars []string
+	report, err := mpp.Run(e.Topo, e.Net, e.Seed, func(r *mpp.Rank) error {
+		tab, err := e.RunPlan(r, pl)
+		if err != nil {
+			return err
+		}
+		if r.ID() == 0 {
+			vars = tab.Vars
+		}
+		rows[r.ID()] = tab.Rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Vars: vars, Rows: rows[0], Report: report, Plan: pl}, nil
+}
+
+// RunPlan executes the plan steps on one rank and returns the final
+// (gathered, ordered, projected) table — identical on every rank.
+// Exposed so workflow drivers can embed queries inside a larger
+// mpp.Run with extra stages (e.g. docking) in the same world.
+func (e *Engine) RunPlan(r *mpp.Rank, pl *plan.Plan) (*exec.Table, error) {
+	tab, err := e.runSteps(r, pl.Steps, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	r.SetPhase("merge")
+	if pl.Distinct {
+		tab, err = exec.DistinctGlobal(r, tab)
+		if err != nil {
+			return nil, err
+		}
+	}
+	tab, err = exec.Gather(r, tab)
+	if err != nil {
+		return nil, err
+	}
+	if len(pl.Aggregates) > 0 {
+		tab, err = exec.Aggregate(tab, pl.GroupBy, pl.Aggregates, expr.DictResolver{Dict: e.Graph.Dict})
+		if err != nil {
+			return nil, err
+		}
+	}
+	tab.SortBy(pl.OrderBy, expr.DictResolver{Dict: e.Graph.Dict})
+	if pl.Limit >= 0 || pl.Offset > 0 {
+		tab = tab.Slice(pl.Offset, pl.Limit)
+	}
+	tab, err = tab.Project(pl.Select)
+	if err != nil {
+		return nil, err
+	}
+	return tab, nil
+}
+
+// runSteps executes a step list against the rank's shard, starting
+// from tab (nil = the first scan seeds the table). UNION branches
+// recurse with a fresh table.
+func (e *Engine) runSteps(r *mpp.Rank, steps []plan.Step, tab *exec.Table) (*exec.Table, error) {
+	shard := e.Graph.Shard(r.ID())
+	prof := e.profilers[r.ID()]
+	res := expr.DictResolver{Dict: e.Graph.Dict}
+	speed := 1.0
+	if e.Opts.SpeedFactor != nil {
+		speed = e.Opts.SpeedFactor(r.ID())
+	}
+	for _, step := range steps {
+		switch s := step.(type) {
+		case plan.ScanStep:
+			r.SetPhase("scan")
+			t, err := exec.Scan(r, shard, e.Graph.Dict, s.Pattern)
+			if err != nil {
+				return nil, err
+			}
+			if tab == nil {
+				tab = t
+			} else {
+				r.SetPhase("join")
+				tab, err = exec.HashJoin(r, tab, t)
+				if err != nil {
+					return nil, err
+				}
+			}
+		case plan.JoinStep:
+			r.SetPhase("scan")
+			right, err := exec.Scan(r, shard, e.Graph.Dict, s.Pattern)
+			if err != nil {
+				return nil, err
+			}
+			r.SetPhase("join")
+			tab, err = exec.HashJoin(r, tab, right)
+			if err != nil {
+				return nil, err
+			}
+		case plan.FilterStep:
+			r.SetPhase("filter")
+			t, _, err := exec.Filter(r, tab, s.Expr, e.Reg, prof, res, exec.FilterOpts{
+				Reorder:     e.Opts.Reorder,
+				Rebalance:   e.Opts.Rebalance,
+				SpeedFactor: speed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			tab = t
+			// Global sync after independent per-rank evaluation
+			// (paper: ranks sync solutions only once evaluation
+			// completes).
+			if err := r.Barrier(); err != nil {
+				return nil, err
+			}
+		case plan.UnionStep:
+			var unionTab *exec.Table
+			for _, branch := range s.Branches {
+				bt, err := e.runSteps(r, branch, nil)
+				if err != nil {
+					return nil, err
+				}
+				bt, err = bt.Project(s.Vars)
+				if err != nil {
+					return nil, err
+				}
+				if unionTab == nil {
+					unionTab = bt
+				} else {
+					unionTab.Rows = append(unionTab.Rows, bt.Rows...)
+				}
+			}
+			if tab == nil {
+				tab = unionTab
+			} else {
+				r.SetPhase("join")
+				var err error
+				tab, err = exec.HashJoin(r, tab, unionTab)
+				if err != nil {
+					return nil, err
+				}
+			}
+		case plan.OptionalStep:
+			bt, err := e.runSteps(r, s.Body, nil)
+			if err != nil {
+				return nil, err
+			}
+			if tab == nil {
+				// A leading OPTIONAL is just its body (nothing on the
+				// left to preserve).
+				tab = bt
+				continue
+			}
+			r.SetPhase("join")
+			tab, err = exec.LeftJoin(r, tab, bt)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return tab, nil
+}
+
+// LoadModule loads (cached) an IDscript module and registers its
+// functions as dynamic UDFs.
+func (e *Engine) LoadModule(name, src string) error {
+	_, err := e.Loader.LoadAndRegister(e.Reg, name, src)
+	return err
+}
+
+// ReloadModule force-reloads a module (the paper's special reload
+// function for iterating on UDF code in a running instance).
+func (e *Engine) ReloadModule(name, src string) error {
+	_, err := e.Loader.ReloadAndRegister(e.Reg, name, src)
+	return err
+}
+
+// MergedProfile aggregates all rank profiles (for reports and the
+// profile endpoint).
+func (e *Engine) MergedProfile() *udf.Profiler {
+	merged := udf.NewProfiler()
+	for _, p := range e.profilers {
+		merged.Merge(p.Snapshot())
+	}
+	return merged
+}
+
+// WhatIs is the paper's "what-is" convenience: a point lookup of all
+// triples about a subject IRI.
+func (e *Engine) WhatIs(subjectIRI string) (*Result, error) {
+	return e.Query(fmt.Sprintf("SELECT ?p ?o WHERE { <%s> ?p ?o . }", subjectIRI))
+}
+
+// interface check: the engine's dictionary resolver is an expr.Resolver.
+var _ expr.Resolver = expr.DictResolver{Dict: (*dict.Dict)(nil)}

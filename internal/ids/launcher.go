@@ -1,0 +1,171 @@
+package ids
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"ids/internal/kg"
+	"ids/internal/mpp"
+)
+
+// LaunchConfig describes one IDS instance to bring up.
+type LaunchConfig struct {
+	// NTriplesPath optionally bulk-loads a file at launch.
+	NTriplesPath string
+	// Graph supplies a pre-built graph instead (takes precedence).
+	Graph *kg.Graph
+	Topo  mpp.Topology
+	// Addr is the listen address; ":0" picks a free port.
+	Addr string
+}
+
+// Agent is the per-node helper process of the deployment model: it
+// relays launch/teardown, carries per-node logs, and imports user
+// code. One Agent runs per simulated compute node.
+type Agent struct {
+	Node int
+
+	mu   sync.Mutex
+	logs []string
+}
+
+// Logf appends to the agent's log.
+func (a *Agent) Logf(format string, args ...any) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.logs = append(a.logs, fmt.Sprintf("[node %d] %s", a.Node, fmt.Sprintf(format, args...)))
+}
+
+// Logs returns a copy of the agent's log lines.
+func (a *Agent) Logs() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]string{}, a.logs...)
+}
+
+// Instance is a launched IDS deployment: engine, HTTP endpoint and
+// per-node agents.
+type Instance struct {
+	Engine *Engine
+	Server *Server
+	Agents []*Agent
+	Addr   string
+
+	ln       net.Listener
+	httpSrv  *http.Server
+	doneOnce sync.Once
+}
+
+// Launcher brings IDS instances up and tears them down (the paper's
+// Datastore Launcher).
+type Launcher struct{}
+
+// Launch builds the engine, starts the HTTP endpoint, and spawns one
+// agent per node. It blocks only until the endpoint is accepting
+// connections.
+func (Launcher) Launch(cfg LaunchConfig) (*Instance, error) {
+	g := cfg.Graph
+	if g == nil {
+		if err := cfg.Topo.Validate(); err != nil {
+			return nil, err
+		}
+		g = kg.New(cfg.Topo.Size())
+		if cfg.NTriplesPath != "" {
+			f, err := os.Open(cfg.NTriplesPath)
+			if err != nil {
+				return nil, err
+			}
+			_, err = g.LoadNTriples(f)
+			cerr := f.Close()
+			if err != nil {
+				return nil, err
+			}
+			if cerr != nil {
+				return nil, cerr
+			}
+		}
+		g.Seal()
+	}
+	e, err := NewEngine(g, cfg.Topo)
+	if err != nil {
+		return nil, err
+	}
+	srv := NewServer(e)
+
+	addr := cfg.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	inst := &Instance{
+		Engine: e,
+		Server: srv,
+		Addr:   ln.Addr().String(),
+		ln:     ln,
+		httpSrv: &http.Server{
+			Handler:           srv.Handler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		},
+	}
+	for n := 0; n < cfg.Topo.Nodes; n++ {
+		a := &Agent{Node: n}
+		a.Logf("agent started; %d ranks on this node", cfg.Topo.RanksPerNode)
+		inst.Agents = append(inst.Agents, a)
+	}
+	go func() {
+		err := inst.httpSrv.Serve(ln)
+		if err != nil && err != http.ErrServerClosed {
+			for _, a := range inst.Agents {
+				a.Logf("endpoint stopped: %v", err)
+			}
+		}
+	}()
+	return inst, nil
+}
+
+// Client returns a client bound to this instance's endpoint.
+func (inst *Instance) Client() *Client {
+	return NewClient("http://" + inst.Addr)
+}
+
+// ImportCode routes a module import through an agent (the deployment
+// path for adding user code), logging the action per node.
+func (inst *Instance) ImportCode(name, source string) error {
+	if err := inst.Engine.LoadModule(name, source); err != nil {
+		return err
+	}
+	for _, a := range inst.Agents {
+		a.Logf("imported module %s", name)
+	}
+	return nil
+}
+
+// Teardown stops the endpoint and closes the agents.
+func (inst *Instance) Teardown() error {
+	var err error
+	inst.doneOnce.Do(func() {
+		err = inst.httpSrv.Close()
+		for _, a := range inst.Agents {
+			a.Logf("teardown")
+		}
+	})
+	return err
+}
+
+// DumpLogs writes every agent's log to w (the Datastore Client's
+// "fetch logs" operation).
+func (inst *Instance) DumpLogs(w io.Writer) {
+	for _, a := range inst.Agents {
+		for _, line := range a.Logs() {
+			fmt.Fprintln(w, line)
+		}
+	}
+}

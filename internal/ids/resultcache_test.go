@@ -1,0 +1,102 @@
+package ids
+
+import (
+	"testing"
+
+	"ids/internal/cache"
+	"ids/internal/store"
+)
+
+func testResultCache(t *testing.T) *cache.Cache {
+	t.Helper()
+	backing, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cache.New(cache.DefaultConfig(), backing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCachedQueryHitAndMiss(t *testing.T) {
+	e := newEngine(t, 4)
+	e.EnableResultCache(testResultCache(t))
+	q := `SELECT ?s ?n WHERE { ?s <http://x/name> ?n . } ORDER BY ?n`
+
+	res1, hit, err := e.CachedQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("first query reported a hit")
+	}
+	res2, hit, err := e.CachedQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("second query missed")
+	}
+	if len(res1.Rows) != len(res2.Rows) || len(res2.Rows) != 5 {
+		t.Fatalf("rows: %d vs %d", len(res1.Rows), len(res2.Rows))
+	}
+	for i := range res1.Rows {
+		for j := range res1.Rows[i] {
+			if res1.Rows[i][j] != res2.Rows[i][j] {
+				t.Fatalf("cached row %d differs", i)
+			}
+		}
+	}
+	// The cached report charges only the fetch.
+	if res2.Report.Makespan >= res1.Report.Makespan {
+		t.Fatalf("cached makespan %g not cheaper than executed %g",
+			res2.Report.Makespan, res1.Report.Makespan)
+	}
+	// Decoded values resolve against the same dictionary.
+	if e.Strings(res2)[0][1] != `"ada"` {
+		t.Fatalf("decoded cached row = %v", e.Strings(res2)[0])
+	}
+}
+
+func TestCachedQueryDistinctQueriesDistinctKeys(t *testing.T) {
+	e := newEngine(t, 4)
+	e.EnableResultCache(testResultCache(t))
+	if _, _, err := e.CachedQuery(`SELECT ?s WHERE { ?s <http://x/age> ?a . }`); err != nil {
+		t.Fatal(err)
+	}
+	res, hit, err := e.CachedQuery(`SELECT ?s WHERE { ?s <http://x/knows> ?k . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("different query hit the first query's entry")
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestCachedQueryDisabled(t *testing.T) {
+	e := newEngine(t, 2)
+	res, hit, err := e.CachedQuery(`SELECT ?s WHERE { ?s <http://x/age> ?a . }`)
+	if err != nil || hit {
+		t.Fatalf("disabled cache: hit=%v err=%v", hit, err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	e.EnableResultCache(nil)
+	if _, hit, _ := e.CachedQuery(`SELECT ?s WHERE { ?s <http://x/age> ?a . }`); hit {
+		t.Fatal("nil cache hit")
+	}
+}
+
+func TestCachedQueryErrorNotCached(t *testing.T) {
+	e := newEngine(t, 2)
+	e.EnableResultCache(testResultCache(t))
+	if _, _, err := e.CachedQuery(`SELECT nonsense`); err == nil {
+		t.Fatal("bad query accepted")
+	}
+}

@@ -1,0 +1,215 @@
+package ids
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Server exposes an Engine over HTTP — the "query/update endpoint" the
+// paper's Datastore Launcher opens. Endpoints:
+//
+//	POST /query   {"query": "..."}                 -> QueryResponse
+//	POST /module  {"name","source","reload"}       -> ModuleResponse
+//	GET  /profile                                  -> merged UDF profile
+//	GET  /stats                                    -> instance statistics
+//	GET  /healthz                                  -> 200 ok
+type Server struct {
+	Engine *Engine
+
+	mu      sync.Mutex // serializes queries (one MPP world at a time)
+	queries int64
+}
+
+// QueryRequest is the /query payload.
+type QueryRequest struct {
+	Query string `json:"query"`
+}
+
+// QueryResponse is the /query result.
+type QueryResponse struct {
+	Vars     []string           `json:"vars"`
+	Rows     [][]string         `json:"rows"`
+	Makespan float64            `json:"makespan_seconds"`
+	Phases   map[string]float64 `json:"phases"`
+	Plan     string             `json:"plan"`
+	WallTime float64            `json:"wall_seconds"`
+}
+
+// ModuleRequest is the /module payload.
+type ModuleRequest struct {
+	Name   string `json:"name"`
+	Source string `json:"source"`
+	Reload bool   `json:"reload"`
+}
+
+// ModuleResponse is the /module result.
+type ModuleResponse struct {
+	Loaded bool `json:"loaded"`
+}
+
+// StatsResponse is the /stats result.
+type StatsResponse struct {
+	Triples int      `json:"triples"`
+	Terms   int      `json:"terms"`
+	Shards  int      `json:"shards"`
+	Nodes   int      `json:"nodes"`
+	Ranks   int      `json:"ranks"`
+	UDFs    []string `json:"udfs"`
+	Queries int64    `json:"queries_served"`
+}
+
+// NewServer wraps an engine.
+func NewServer(e *Engine) *Server { return &Server{Engine: e} }
+
+// Handler returns the HTTP routing for the server.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/update", s.handleUpdate)
+	mux.HandleFunc("/module", s.handleModule)
+	mux.HandleFunc("/profile", s.handleProfile)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/snapshot", s.handleSnapshot)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	start := time.Now()
+	res, err := s.Engine.Query(req.Query)
+	wall := time.Since(start).Seconds()
+	s.queries++
+	s.mu.Unlock()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, QueryResponse{
+		Vars:     res.Vars,
+		Rows:     s.Engine.Strings(res),
+		Makespan: res.Report.Makespan,
+		Phases:   res.Report.Phases,
+		Plan:     res.Plan.Explain(),
+		WallTime: wall,
+	})
+}
+
+// UpdateRequest is the /update payload.
+type UpdateRequest struct {
+	Update string `json:"update"`
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req UpdateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	res, err := s.Engine.Update(req.Update)
+	s.mu.Unlock()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleModule(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req ModuleRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var err error
+	if req.Reload {
+		err = s.Engine.ReloadModule(req.Name, req.Source)
+	} else {
+		err = s.Engine.LoadModule(req.Name, req.Source)
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ModuleResponse{Loaded: true})
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	merged := s.Engine.MergedProfile()
+	writeJSON(w, http.StatusOK, merged.Snapshot())
+}
+
+// handleSnapshot streams the graph's binary snapshot (GET /snapshot),
+// the backup/fast-restart path.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock() // no concurrent updates while streaming
+	defer s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := s.Engine.Graph.Save(w); err != nil {
+		// Headers are gone; nothing more we can do than log via the
+		// response trailer-less close.
+		return
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	q := s.queries
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Triples: s.Engine.Graph.Len(),
+		Terms:   s.Engine.Graph.Dict.Len(),
+		Shards:  s.Engine.Graph.NumShards(),
+		Nodes:   s.Engine.Topo.Nodes,
+		Ranks:   s.Engine.Topo.Size(),
+		UDFs:    s.Engine.Reg.Names(),
+		Queries: q,
+	})
+}
+
+// Serve listens on addr (":0" picks a free port) until the listener is
+// closed. It returns the bound address through the ready callback.
+func (s *Server) Serve(addr string, ready func(boundAddr string)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+	return http.Serve(ln, s.Handler())
+}

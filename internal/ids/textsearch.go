@@ -1,0 +1,106 @@
+package ids
+
+import (
+	"errors"
+	"fmt"
+
+	"ids/internal/dict"
+	"ids/internal/expr"
+	"ids/internal/text"
+)
+
+// Keyword search — the first of the paper's three unified query modes
+// (keyword, set-theoretic, linear-algebraic). EnableTextSearch builds
+// an inverted index over the graph's literals and registers FILTER
+// UDFs:
+//
+//	text.match(?s, "tokens")  — true when ?s's literals contain every token
+//	text.score(?s, "tokens")  — the TF-IDF relevance of ?s
+//
+// plus the direct Engine.TextSearch API for ranked lookups.
+
+// EnableTextSearch indexes the graph's literals (optionally restricted
+// to the given predicate IRIs) and registers the text UDFs.
+func (e *Engine) EnableTextSearch(predicateIRIs ...string) error {
+	var preds []dict.ID
+	for _, iri := range predicateIRIs {
+		id, ok := e.Graph.Dict.LookupIRI(iri)
+		if !ok {
+			return fmt.Errorf("ids: text index predicate %q not in graph", iri)
+		}
+		preds = append(preds, id)
+	}
+	idx := text.BuildIndex(e.Graph, preds)
+	e.textIndex = idx
+
+	subjectID := func(v expr.Value) (dict.ID, error) {
+		if v.Kind != expr.KindString {
+			return dict.None, errors.New("text UDF expects a subject IRI")
+		}
+		id, ok := e.Graph.Dict.LookupIRI(v.Str)
+		if !ok {
+			return dict.None, nil // unknown subject: no match, no error
+		}
+		return id, nil
+	}
+	err := e.Reg.Register("text.match", func(args []expr.Value) (expr.Value, error) {
+		if len(args) != 2 || args[1].Kind != expr.KindString {
+			return expr.Null, errors.New("text.match(subject, query)")
+		}
+		id, err := subjectID(args[0])
+		if err != nil {
+			return expr.Null, err
+		}
+		if id == dict.None {
+			return expr.Bool(false), nil
+		}
+		return expr.Bool(idx.Contains(id, args[1].Str)), nil
+	})
+	if err != nil {
+		return err
+	}
+	return e.Reg.Register("text.score", func(args []expr.Value) (expr.Value, error) {
+		if len(args) != 2 || args[1].Kind != expr.KindString {
+			return expr.Null, errors.New("text.score(subject, query)")
+		}
+		id, err := subjectID(args[0])
+		if err != nil {
+			return expr.Null, err
+		}
+		if id == dict.None {
+			return expr.Float(0), nil
+		}
+		// Score via a bounded search; the index is small relative to
+		// the graph, and results are cached per call site by the
+		// engine's profiling-driven ordering.
+		for _, h := range idx.Search(args[1].Str, 0) {
+			if h.Subject == id {
+				return expr.Float(h.Score), nil
+			}
+		}
+		return expr.Float(0), nil
+	})
+}
+
+// TextHit is one decoded keyword-search result.
+type TextHit struct {
+	Subject string
+	Score   float64
+}
+
+// TextSearch returns the top-k subjects ranked by TF-IDF relevance to
+// the query. EnableTextSearch must have been called.
+func (e *Engine) TextSearch(query string, k int) ([]TextHit, error) {
+	if e.textIndex == nil {
+		return nil, errors.New("ids: text search not enabled")
+	}
+	var out []TextHit
+	for _, h := range e.textIndex.Search(query, k) {
+		term, ok := e.Graph.Dict.Decode(h.Subject)
+		if !ok {
+			continue
+		}
+		out = append(out, TextHit{Subject: term.Value, Score: h.Score})
+	}
+	return out, nil
+}

@@ -1,0 +1,115 @@
+package ids
+
+import (
+	"testing"
+
+	"ids/internal/dict"
+	"ids/internal/kg"
+	"ids/internal/mpp"
+)
+
+func annotatedGraph(t *testing.T, shards int) *kg.Graph {
+	t.Helper()
+	g := kg.New(shards)
+	iri := func(s string) dict.Term { return dict.Term{Kind: dict.IRI, Value: s} }
+	lit := func(s string) dict.Term { return dict.Term{Kind: dict.Literal, Value: s} }
+	g.Add(iri("http://x/p1"), iri("http://x/desc"), lit("adenosine receptor A2a antagonist"))
+	g.Add(iri("http://x/p1"), iri("http://x/class"), lit("GPCR"))
+	g.Add(iri("http://x/p2"), iri("http://x/desc"), lit("dopamine receptor"))
+	g.Add(iri("http://x/p3"), iri("http://x/desc"), lit("histone deacetylase"))
+	for _, s := range []string{"http://x/p1", "http://x/p2", "http://x/p3"} {
+		g.Add(iri(s), iri("http://x/active"), lit("yes"))
+	}
+	g.Seal()
+	return g
+}
+
+func textEngine(t *testing.T) *Engine {
+	t.Helper()
+	g := annotatedGraph(t, 4)
+	e, err := NewEngine(g, mpp.Topology{Nodes: 2, RanksPerNode: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.EnableTextSearch(); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestTextSearchAPI(t *testing.T) {
+	e := textEngine(t)
+	hits, err := e.TextSearch("receptor", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 2 {
+		t.Fatalf("hits = %v", hits)
+	}
+	hits, err = e.TextSearch("adenosine receptor", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 || hits[0].Subject != "http://x/p1" {
+		t.Fatalf("top hit = %v", hits)
+	}
+}
+
+func TestTextSearchNotEnabled(t *testing.T) {
+	e := newEngine(t, 2)
+	if _, err := e.TextSearch("x", 1); err == nil {
+		t.Fatal("disabled text search answered")
+	}
+}
+
+func TestTextMatchUDFInQuery(t *testing.T) {
+	e := textEngine(t)
+	res, err := e.Query(`
+		SELECT ?s WHERE {
+			?s <http://x/active> "yes" .
+			FILTER(text.match(?s, "receptor"))
+		} ORDER BY ?s`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := e.Strings(res)
+	if len(rows) != 2 || rows[0][0] != "<http://x/p1>" || rows[1][0] != "<http://x/p2>" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestTextScoreUDFInQuery(t *testing.T) {
+	e := textEngine(t)
+	res, err := e.Query(`
+		SELECT ?s WHERE {
+			?s <http://x/active> "yes" .
+			FILTER(text.score(?s, "adenosine") > 0)
+		}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestTextSearchPredicateRestriction(t *testing.T) {
+	g := annotatedGraph(t, 2)
+	e, err := NewEngine(g, mpp.Topology{Nodes: 1, RanksPerNode: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.EnableTextSearch("http://x/class"); err != nil {
+		t.Fatal(err)
+	}
+	hits, err := e.TextSearch("gpcr", 0)
+	if err != nil || len(hits) != 1 {
+		t.Fatalf("hits = %v, %v", hits, err)
+	}
+	if hits2, _ := e.TextSearch("receptor", 0); len(hits2) != 0 {
+		t.Fatalf("desc predicate leaked: %v", hits2)
+	}
+	if err := e.EnableTextSearch("http://x/nonexistent"); err == nil {
+		t.Fatal("unknown predicate accepted")
+	}
+}

@@ -1,0 +1,158 @@
+package ids
+
+import (
+	"testing"
+)
+
+// Union tests run against the people graph from engine_test.go.
+
+func TestUnionQuery(t *testing.T) {
+	e := newEngine(t, 4)
+	// People ada knows, plus people who know ada... plus grace-knows.
+	res, err := e.Query(`
+		SELECT ?who WHERE {
+			{ <http://x/ada> <http://x/knows> ?who . }
+			UNION
+			{ ?who <http://x/knows> <http://x/grace> . }
+		} ORDER BY ?who`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := e.Strings(res)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0][0] != "<http://x/ada>" || rows[1][0] != "<http://x/grace>" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestUnionJoinsWithOuterPattern(t *testing.T) {
+	e := newEngine(t, 4)
+	// Names of (people ada knows) UNION (people who know alan).
+	res, err := e.Query(`
+		SELECT ?n WHERE {
+			?who <http://x/name> ?n .
+			{ <http://x/ada> <http://x/knows> ?who . }
+			UNION
+			{ ?who <http://x/knows> <http://x/alan> . }
+		} ORDER BY ?n`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := e.Strings(res)
+	if len(rows) != 2 || rows[0][0] != `"grace"` {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestUnionWithBranchFilters(t *testing.T) {
+	e := newEngine(t, 4)
+	// Under-35s UNION over-70s.
+	res, err := e.Query(`
+		SELECT ?s WHERE {
+			{ ?s <http://x/age> ?a . FILTER(?a < 35) }
+			UNION
+			{ ?s <http://x/age> ?a . FILTER(?a > 70) }
+		} ORDER BY ?s`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 { // barbara (29), edsger (72)
+		t.Fatalf("rows = %v", e.Strings(res))
+	}
+}
+
+func TestUnionDuplicatesAndDistinct(t *testing.T) {
+	e := newEngine(t, 4)
+	// Identical branches: plain UNION keeps duplicates, DISTINCT dedups.
+	dup, err := e.Query(`
+		SELECT ?s WHERE {
+			{ ?s <http://x/age> ?a . }
+			UNION
+			{ ?s <http://x/age> ?a . }
+		}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dup.Rows) != 10 {
+		t.Fatalf("dup rows = %d, want 10", len(dup.Rows))
+	}
+	ded, err := e.Query(`
+		SELECT DISTINCT ?s WHERE {
+			{ ?s <http://x/age> ?a . }
+			UNION
+			{ ?s <http://x/age> ?a . }
+		}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ded.Rows) != 5 {
+		t.Fatalf("distinct rows = %d, want 5", len(ded.Rows))
+	}
+}
+
+func TestUnionThreeBranches(t *testing.T) {
+	e := newEngine(t, 2)
+	res, err := e.Query(`
+		SELECT ?s WHERE {
+			{ ?s <http://x/name> "ada" . }
+			UNION
+			{ ?s <http://x/name> "grace" . }
+			UNION
+			{ ?s <http://x/name> "alan" . }
+		}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestUnionMismatchedVarsRejected(t *testing.T) {
+	e := newEngine(t, 2)
+	_, err := e.Query(`
+		SELECT ?s WHERE {
+			{ ?s <http://x/name> ?n . }
+			UNION
+			{ ?s <http://x/age> ?a . }
+		}`)
+	if err == nil {
+		t.Fatal("mismatched branch variables accepted")
+	}
+}
+
+func TestUnionParseErrors(t *testing.T) {
+	e := newEngine(t, 2)
+	bad := []string{
+		`SELECT ?s WHERE { { ?s ?p ?o . } }`,                 // group without UNION
+		`SELECT ?s WHERE { { } UNION { ?s ?p ?o . } }`,       // empty branch
+		`SELECT ?s WHERE { { ?s ?p ?o . } UNION }`,           // missing branch
+		`SELECT ?s WHERE { { ?s ?p ?o . } UNION { ?s ?p ?o `, // unterminated
+	}
+	for _, q := range bad {
+		if _, err := e.Query(q); err == nil {
+			t.Errorf("Query(%q) succeeded", q)
+		}
+	}
+}
+
+func TestUnionWithUDF(t *testing.T) {
+	e := newEngine(t, 4)
+	if err := e.LoadModule("m", `def young(a) { return a < 40 }`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Query(`
+		SELECT ?s ?a WHERE {
+			{ ?s <http://x/age> ?a . FILTER(m.young(?a)) }
+			UNION
+			{ ?s <http://x/age> ?a . FILTER(?a > 70) }
+		} ORDER BY ?a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 { // barbara 29, ada 36, edsger 72
+		t.Fatalf("rows = %v", e.Strings(res))
+	}
+}

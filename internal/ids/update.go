@@ -1,0 +1,69 @@
+package ids
+
+import (
+	"fmt"
+
+	"ids/internal/dict"
+	"ids/internal/plan"
+	"ids/internal/sparql"
+	"ids/internal/text"
+)
+
+// Local aliases keep expandGround's signature readable.
+type dictTerm = dict.Term
+
+const dictIRI = dict.IRI
+
+// UpdateResult reports what an update statement changed.
+type UpdateResult struct {
+	Kind    string
+	Applied int // triples actually inserted/removed
+	Total   int // triples in the payload
+}
+
+// Update applies an INSERT DATA / DELETE DATA statement to the live
+// graph (the "update" half of the paper's query/update endpoint).
+// Planner statistics are refreshed, result-cache keys are invalidated
+// (the graph identity changes), and an enabled text index is rebuilt.
+func (e *Engine) Update(us string) (*UpdateResult, error) {
+	u, err := sparql.ParseUpdate(us)
+	if err != nil {
+		return nil, err
+	}
+	res := &UpdateResult{Kind: u.Kind.String(), Total: len(u.Triples)}
+	for _, t := range u.Triples {
+		s, p, o, err := expandGround(t, u.Prefixes)
+		if err != nil {
+			return nil, err
+		}
+		switch u.Kind {
+		case sparql.InsertData:
+			if e.Graph.Insert(s, p, o) {
+				res.Applied++
+			}
+		case sparql.DeleteData:
+			if e.Graph.Delete(s, p, o) {
+				res.Applied++
+			}
+		}
+	}
+	e.updates++
+	e.stats = plan.StatsFromGraph(e.Graph)
+	if e.textIndex != nil {
+		// Rebuild over the changed literals; predicates restriction is
+		// not retained (documented: re-enable with predicates to
+		// restore it).
+		e.textIndex = text.BuildIndex(e.Graph, nil)
+	}
+	return res, nil
+}
+
+// expandGround is a hook for future prefixed-name support in payload
+// terms; the parser already expands prefixes in IRIs, so this is
+// currently a pass-through with validation.
+func expandGround(t sparql.GroundTriple, _ map[string]string) (s, p, o dictTerm, err error) {
+	if t.P.Kind != dictIRI {
+		return s, p, o, fmt.Errorf("ids: update predicate must be an IRI")
+	}
+	return t.S, t.P, t.O, nil
+}

@@ -1,0 +1,158 @@
+package ids
+
+import (
+	"net/http/httptest"
+	"testing"
+)
+
+func TestUpdateInsertData(t *testing.T) {
+	e := newEngine(t, 4)
+	before := e.Graph.Len()
+	res, err := e.Update(`INSERT DATA {
+		<http://x/hopper> <http://x/name> "grace hopper" .
+		<http://x/hopper> <http://x/age> "85" .
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 2 || res.Total != 2 || res.Kind != "INSERT DATA" {
+		t.Fatalf("res = %+v", res)
+	}
+	if e.Graph.Len() != before+2 {
+		t.Fatalf("graph len %d, want %d", e.Graph.Len(), before+2)
+	}
+	q, err := e.Query(`SELECT ?n WHERE { <http://x/hopper> <http://x/name> ?n . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Rows) != 1 || e.Strings(q)[0][0] != `"grace hopper"` {
+		t.Fatalf("query after insert = %v", e.Strings(q))
+	}
+	// Duplicate insert is a no-op.
+	res, err = e.Update(`INSERT DATA { <http://x/hopper> <http://x/name> "grace hopper" . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 0 {
+		t.Fatalf("duplicate applied = %d", res.Applied)
+	}
+}
+
+func TestUpdateDeleteData(t *testing.T) {
+	e := newEngine(t, 4)
+	res, err := e.Update(`DELETE DATA { <http://x/ada> <http://x/age> "36" . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+	q, err := e.Query(`SELECT ?a WHERE { <http://x/ada> <http://x/age> ?a . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Rows) != 0 {
+		t.Fatalf("deleted triple still matches: %v", e.Strings(q))
+	}
+	// Deleting an absent triple applies nothing.
+	res, err = e.Update(`DELETE DATA { <http://x/ada> <http://x/age> "999" . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 0 {
+		t.Fatalf("absent delete applied = %d", res.Applied)
+	}
+}
+
+func TestUpdateWithPrefixes(t *testing.T) {
+	e := newEngine(t, 2)
+	_, err := e.Update(`
+		PREFIX x: <http://x/>
+		INSERT DATA { x:newbie x:name "n" . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := e.Query(`SELECT ?n WHERE { <http://x/newbie> <http://x/name> ?n . }`)
+	if err != nil || len(q.Rows) != 1 {
+		t.Fatalf("prefixed insert invisible: %v, %v", q, err)
+	}
+}
+
+func TestUpdateParseErrors(t *testing.T) {
+	e := newEngine(t, 2)
+	bad := []string{
+		``,
+		`INSERT { <http://x/a> <http://x/b> "c" . }`,
+		`INSERT DATA { }`,
+		`INSERT DATA { ?v <http://x/b> "c" . }`,
+		`INSERT DATA { <http://x/a> <http://x/b> "c" . } trailing`,
+		`UPSERT DATA { <http://x/a> <http://x/b> "c" . }`,
+		`INSERT DATA { <http://x/a> "lit-predicate" "c" . }`,
+	}
+	for _, u := range bad {
+		if _, err := e.Update(u); err == nil {
+			t.Errorf("Update(%q) succeeded", u)
+		}
+	}
+}
+
+func TestUpdateInvalidatesResultCache(t *testing.T) {
+	e := newEngine(t, 4)
+	e.EnableResultCache(testResultCache(t))
+	q := `SELECT ?s WHERE { ?s <http://x/age> ?a . }`
+	if _, _, err := e.CachedQuery(q); err != nil {
+		t.Fatal(err)
+	}
+	// Insert + delete nets the same triple count; the update counter
+	// must still invalidate the key.
+	if _, err := e.Update(`INSERT DATA { <http://x/tmp> <http://x/age> "1" . }`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Update(`DELETE DATA { <http://x/tmp> <http://x/age> "1" . }`); err != nil {
+		t.Fatal(err)
+	}
+	_, hit, err := e.CachedQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("stale result served after updates")
+	}
+}
+
+func TestUpdateRefreshesTextIndex(t *testing.T) {
+	e := textEngine(t)
+	if hits, _ := e.TextSearch("novel", 0); len(hits) != 0 {
+		t.Fatal("token present before insert")
+	}
+	_, err := e.Update(`INSERT DATA { <http://x/p9> <http://x/desc> "novel chemotype" . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, err := e.TextSearch("novel", 0)
+	if err != nil || len(hits) != 1 {
+		t.Fatalf("text index stale after update: %v, %v", hits, err)
+	}
+}
+
+func TestUpdateOverHTTP(t *testing.T) {
+	e := newEngine(t, 2)
+	srv := NewServer(e)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	res, err := c.Update(`INSERT DATA { <http://x/z> <http://x/name> "zeta" . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+	if _, err := c.Update(`garbage`); err == nil {
+		t.Fatal("bad update accepted over HTTP")
+	}
+	q, err := c.Query(`SELECT ?n WHERE { <http://x/z> <http://x/name> ?n . }`)
+	if err != nil || len(q.Rows) != 1 {
+		t.Fatalf("query after remote update: %v, %v", q, err)
+	}
+}

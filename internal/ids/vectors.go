@@ -1,0 +1,109 @@
+package ids
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ids/internal/expr"
+	"ids/internal/vecstore"
+)
+
+// Vector search — the linear-algebraic face of the unified query
+// engine. AttachVectors binds a named vector store to the engine and
+// registers FILTER UDFs:
+//
+//	<name>.sim(a, b)      — similarity score of two stored vectors
+//	<name>.near(a, b, k)  — true when b is among a's k nearest
+//
+// plus the direct Engine.VectorSearch API.
+
+// AttachVectors registers the store under name. Keys passed to the
+// UDFs are vector-store keys (e.g. compound IRIs or SMILES strings,
+// whatever the loader used).
+func (e *Engine) AttachVectors(name string, vs *vecstore.Store) error {
+	if vs == nil {
+		return errors.New("ids: nil vector store")
+	}
+	if e.vectors == nil {
+		e.vectors = map[string]*vecstore.Store{}
+	}
+	if _, dup := e.vectors[name]; dup {
+		return fmt.Errorf("ids: vector store %q already attached", name)
+	}
+	e.vectors[name] = vs
+
+	simOf := func(a, b string) (float64, error) {
+		va, err := vs.Get(a)
+		if err != nil {
+			return 0, err
+		}
+		vb, err := vs.Get(b)
+		if err != nil {
+			return 0, err
+		}
+		return cosine(va, vb), nil
+	}
+	err := e.Reg.Register(name+".sim", func(args []expr.Value) (expr.Value, error) {
+		if len(args) != 2 || args[0].Kind != expr.KindString || args[1].Kind != expr.KindString {
+			return expr.Null, fmt.Errorf("%s.sim(keyA, keyB)", name)
+		}
+		s, err := simOf(args[0].Str, args[1].Str)
+		if err != nil {
+			return expr.Null, err
+		}
+		return expr.Float(s), nil
+	})
+	if err != nil {
+		return err
+	}
+	return e.Reg.Register(name+".near", func(args []expr.Value) (expr.Value, error) {
+		if len(args) != 3 || args[0].Kind != expr.KindString ||
+			args[1].Kind != expr.KindString || args[2].Kind != expr.KindFloat {
+			return expr.Null, fmt.Errorf("%s.near(keyA, keyB, k)", name)
+		}
+		va, err := vs.Get(args[0].Str)
+		if err != nil {
+			return expr.Null, err
+		}
+		hits, err := vs.Search(va, int(args[2].Num))
+		if err != nil {
+			return expr.Null, err
+		}
+		for _, h := range hits {
+			if h.Key == args[1].Str {
+				return expr.Bool(true), nil
+			}
+		}
+		return expr.Bool(false), nil
+	})
+}
+
+// cosine is the pairwise UDF similarity (cosine regardless of the
+// store's search metric; documented behaviour of <name>.sim).
+func cosine(a, b []float32) float64 {
+	dot, na, nb := 0.0, 0.0, 0.0
+	for i := range a {
+		dot += float64(a[i]) * float64(b[i])
+		na += float64(a[i]) * float64(a[i])
+		nb += float64(b[i]) * float64(b[i])
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// VectorSearch runs a top-k query against an attached store using the
+// stored vector of key as the query point.
+func (e *Engine) VectorSearch(name, key string, k int) ([]vecstore.Result, error) {
+	vs, ok := e.vectors[name]
+	if !ok {
+		return nil, fmt.Errorf("ids: no vector store %q attached", name)
+	}
+	v, err := vs.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	return vs.Search(v, k)
+}

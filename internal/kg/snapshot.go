@@ -1,0 +1,184 @@
+package kg
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"ids/internal/dict"
+	"ids/internal/triple"
+)
+
+// Snapshots: a compact binary image of the graph (dictionary + encoded
+// triples), the moral equivalent of CGE's database files — a sealed
+// graph restores in one pass without re-parsing N-Triples.
+
+// snapshot format:
+//
+//	magic "IDSG" | version u8 | shards uvarint
+//	terms uvarint | per term: kind u8, value string, datatype string
+//	triples uvarint | per triple: s,p,o uvarint (dictionary ids)
+//
+// strings are uvarint length + bytes.
+
+var snapMagic = [4]byte{'I', 'D', 'S', 'G'}
+
+const snapVersion = 1
+
+// ErrSnapshot reports a malformed snapshot.
+var ErrSnapshot = errors.New("kg: malformed snapshot")
+
+// Save writes the graph's snapshot. The graph must be sealed.
+func (g *Graph) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(snapMagic[:]); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(snapVersion); err != nil {
+		return err
+	}
+	writeUvarint(bw, uint64(g.nshards))
+
+	nTerms := g.Dict.Len()
+	writeUvarint(bw, uint64(nTerms))
+	for id := dict.ID(1); int(id) <= nTerms; id++ {
+		t, ok := g.Dict.Decode(id)
+		if !ok {
+			return fmt.Errorf("kg: dictionary hole at id %d", id)
+		}
+		if err := bw.WriteByte(byte(t.Kind)); err != nil {
+			return err
+		}
+		writeString(bw, t.Value)
+		writeString(bw, t.Datatype)
+	}
+
+	writeUvarint(bw, uint64(g.Len()))
+	for _, sh := range g.shards {
+		var err error
+		sh.Match(triple.Pattern{}, func(t triple.Triple) bool {
+			writeUvarint(bw, uint64(t.S))
+			writeUvarint(bw, uint64(t.P))
+			writeUvarint(bw, uint64(t.O))
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadSnapshot restores a graph from a snapshot, re-partitioned into
+// nshards shards (pass 0 to keep the snapshot's shard count). The
+// returned graph is sealed.
+func LoadSnapshot(r io.Reader, nshards int) (*Graph, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSnapshot, err)
+	}
+	if magic != snapMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrSnapshot)
+	}
+	ver, err := br.ReadByte()
+	if err != nil || ver != snapVersion {
+		return nil, fmt.Errorf("%w: unsupported version", ErrSnapshot)
+	}
+	snapShards, err := readUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if nshards <= 0 {
+		nshards = int(snapShards)
+	}
+	g := New(nshards)
+
+	nTerms, err := readUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	// Rebuild the dictionary in id order so triple ids stay valid.
+	for i := uint64(0); i < nTerms; i++ {
+		kb, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrSnapshot, err)
+		}
+		value, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		datatype, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		term := dict.Term{Kind: dict.Kind(kb), Value: value, Datatype: datatype}
+		id := g.Dict.Encode(term)
+		if uint64(id) != i+1 {
+			return nil, fmt.Errorf("%w: non-contiguous dictionary (id %d at position %d)", ErrSnapshot, id, i+1)
+		}
+	}
+
+	nTriples, err := readUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nTriples; i++ {
+		s, err := readUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		p, err := readUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		o, err := readUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if s == 0 || s > nTerms || p == 0 || p > nTerms || o == 0 || o > nTerms {
+			return nil, fmt.Errorf("%w: triple id out of range", ErrSnapshot)
+		}
+		g.AddEncoded(triple.Triple{S: dict.ID(s), P: dict.ID(p), O: dict.ID(o)})
+	}
+	g.Seal()
+	return g, nil
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, _ = w.Write(buf[:n])
+}
+
+func writeString(w *bufio.Writer, s string) {
+	writeUvarint(w, uint64(len(s)))
+	_, _ = w.WriteString(s)
+}
+
+func readUvarint(r *bufio.Reader) (uint64, error) {
+	v, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrSnapshot, err)
+	}
+	return v, nil
+}
+
+const maxSnapString = 64 << 20
+
+func readString(r *bufio.Reader) (string, error) {
+	n, err := readUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n > maxSnapString {
+		return "", fmt.Errorf("%w: implausible string length %d", ErrSnapshot, n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", fmt.Errorf("%w: %v", ErrSnapshot, err)
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,128 @@
+package kg
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"ids/internal/dict"
+	"ids/internal/triple"
+)
+
+func snapshotGraph(t *testing.T) *Graph {
+	t.Helper()
+	g := New(4)
+	src := `
+<http://x/s1> <http://x/name> "Ada" .
+<http://x/s1> <http://x/age> "36"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://x/s2> <http://x/knows> <http://x/s1> .
+_:b0 <http://x/p> "blank" .
+`
+	if _, err := g.LoadNTriples(strings.NewReader(src)); err != nil {
+		t.Fatal(err)
+	}
+	g.Seal()
+	return g
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	g := snapshotGraph(t)
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadSnapshot(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumShards() != 4 {
+		t.Fatalf("shards = %d", g2.NumShards())
+	}
+	if g2.Len() != g.Len() {
+		t.Fatalf("triples = %d, want %d", g2.Len(), g.Len())
+	}
+	if g2.Dict.Len() != g.Dict.Len() {
+		t.Fatalf("terms = %d, want %d", g2.Dict.Len(), g.Dict.Len())
+	}
+	// Typed literal survives with datatype.
+	if _, ok := g2.Dict.Lookup(dict.Term{Kind: dict.Literal, Value: "36", Datatype: "http://www.w3.org/2001/XMLSchema#integer"}); !ok {
+		t.Fatal("typed literal lost")
+	}
+	// Content equality: every triple of g exists in g2.
+	for s := 0; s < g.NumShards(); s++ {
+		g.Shard(s).Match(triple.Pattern{}, func(tr triple.Triple) bool {
+			// Re-encode via terms because shard routing may differ.
+			st := g.Dict.MustDecode(tr.S)
+			pt := g.Dict.MustDecode(tr.P)
+			ot := g.Dict.MustDecode(tr.O)
+			s2, _ := g2.Dict.Lookup(st)
+			p2, _ := g2.Dict.Lookup(pt)
+			o2, _ := g2.Dict.Lookup(ot)
+			if !g2.Shard(g2.ShardOf(s2)).Contains(triple.Triple{S: s2, P: p2, O: o2}) {
+				t.Errorf("triple %v %v %v missing after restore", st, pt, ot)
+			}
+			return true
+		})
+	}
+}
+
+func TestSnapshotRepartition(t *testing.T) {
+	g := snapshotGraph(t)
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadSnapshot(&buf, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumShards() != 8 || g2.Len() != g.Len() {
+		t.Fatalf("shards=%d len=%d", g2.NumShards(), g2.Len())
+	}
+}
+
+func TestSnapshotRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX"),
+		[]byte("IDSG\x02"),     // bad version
+		[]byte("IDSG\x01\x04"), // truncated
+	}
+	for i, c := range cases {
+		if _, err := LoadSnapshot(bytes.NewReader(c), 0); !errors.Is(err, ErrSnapshot) {
+			t.Errorf("case %d: err = %v", i, err)
+		}
+	}
+	// Corrupt triple ids.
+	g := snapshotGraph(t)
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(data)-1] = 0xFF // clobber the last triple id
+	if _, err := LoadSnapshot(bytes.NewReader(data), 0); err == nil {
+		t.Error("corrupt trailing id accepted")
+	}
+}
+
+func BenchmarkSnapshotSaveLoad(b *testing.B) {
+	g := New(4)
+	iri := func(s string) dict.Term { return dict.Term{Kind: dict.IRI, Value: s} }
+	lit := func(s string) dict.Term { return dict.Term{Kind: dict.Literal, Value: s} }
+	for i := 0; i < 10000; i++ {
+		g.Add(iri("http://x/s"+itoa(i)), iri("http://x/p"), lit("v"+itoa(i)))
+	}
+	g.Seal()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := g.Save(&buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := LoadSnapshot(&buf, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+// Package metrics provides the small reporting utilities the
+// experiment harness uses: aligned-column tables for regenerating the
+// paper's tables, series renderers for its figures, and a streaming
+// histogram/summary for cost distributions (e.g. the DTBA variance
+// discussion around Fig. 5).
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v, floats with 3
+// significant decimals.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Len returns the number of data rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+}
+
+// String renders to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Summary is an order-statistics summary of a sample set.
+type Summary struct {
+	vals []float64
+}
+
+// Add appends one observation.
+func (s *Summary) Add(v float64) { s.vals = append(s.vals, v) }
+
+// N returns the sample count.
+func (s *Summary) N() int { return len(s.vals) }
+
+// Mean returns the sample mean (0 for empty).
+func (s *Summary) Mean() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.vals {
+		sum += v
+	}
+	return sum / float64(len(s.vals))
+}
+
+// Stddev returns the sample standard deviation.
+func (s *Summary) Stddev() float64 {
+	n := len(s.vals)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	ss := 0.0
+	for _, v := range s.vals {
+		ss += (v - m) * (v - m)
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// Quantile returns the q-th sample quantile (q in [0,1]).
+func (s *Summary) Quantile(q float64) float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	sorted := append([]float64{}, s.vals...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	idx := q * float64(len(sorted)-1)
+	lo := int(idx)
+	frac := idx - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Max returns the largest observation.
+func (s *Summary) Max() float64 { return s.Quantile(1) }
+
+// Min returns the smallest observation.
+func (s *Summary) Min() float64 { return s.Quantile(0) }
+
+// String renders the summary as one line.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f sd=%.3f p50=%.3f p95=%.3f max=%.3f",
+		s.N(), s.Mean(), s.Stddev(), s.Quantile(0.5), s.Quantile(0.95), s.Max())
+}
+
+// Histogram renders a fixed-width ASCII histogram of the sample.
+func (s *Summary) Histogram(bins int, w io.Writer) {
+	if len(s.vals) == 0 || bins <= 0 {
+		return
+	}
+	lo, hi := s.Min(), s.Max()
+	if hi == lo {
+		hi = lo + 1
+	}
+	counts := make([]int, bins)
+	for _, v := range s.vals {
+		b := int(float64(bins) * (v - lo) / (hi - lo))
+		if b >= bins {
+			b = bins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		counts[b]++
+	}
+	maxC := 1
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	for b, c := range counts {
+		bl := lo + float64(b)*(hi-lo)/float64(bins)
+		bar := strings.Repeat("#", c*40/maxC)
+		fmt.Fprintf(w, "%8.3f |%-40s %d\n", bl, bar, c)
+	}
+}

@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", 1.23456)
+	tb.AddRow("b", 42)
+	out := tb.String()
+	if !strings.Contains(out, "== Demo ==") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "1.235") {
+		t.Fatalf("float not formatted:\n%s", out)
+	}
+	if !strings.Contains(out, "42") {
+		t.Fatalf("int missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, sep, two rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if tb.Len() != 2 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+}
+
+func TestSummaryStats(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		s.Add(v)
+	}
+	if s.N() != 5 || s.Mean() != 3 {
+		t.Fatalf("n=%d mean=%f", s.N(), s.Mean())
+	}
+	if math.Abs(s.Stddev()-math.Sqrt(2.5)) > 1e-9 {
+		t.Fatalf("sd = %f", s.Stddev())
+	}
+	if s.Quantile(0.5) != 3 || s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("quantiles: p50=%f min=%f max=%f", s.Quantile(0.5), s.Min(), s.Max())
+	}
+	if s.Quantile(0.25) != 2 {
+		t.Fatalf("p25 = %f", s.Quantile(0.25))
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Stddev() != 0 || s.Quantile(0.5) != 0 {
+		t.Fatal("empty summary should be zeros")
+	}
+}
+
+func TestHistogramRenders(t *testing.T) {
+	var s Summary
+	for i := 0; i < 100; i++ {
+		s.Add(float64(i % 10))
+	}
+	var sb strings.Builder
+	s.Histogram(5, &sb)
+	out := sb.String()
+	if strings.Count(out, "\n") != 5 {
+		t.Fatalf("histogram lines:\n%s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatalf("no bars:\n%s", out)
+	}
+	// Degenerate cases must not panic.
+	var empty Summary
+	empty.Histogram(5, &sb)
+	var constant Summary
+	constant.Add(1)
+	constant.Histogram(3, &sb)
+}
+
+func TestSummaryString(t *testing.T) {
+	var s Summary
+	s.Add(2)
+	if !strings.Contains(s.String(), "n=1") {
+		t.Fatalf("String = %q", s.String())
+	}
+}

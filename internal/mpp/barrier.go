@@ -1,0 +1,66 @@
+package mpp
+
+import "sync"
+
+// barrier is a cyclic barrier that additionally reduces the maximum of
+// the values each waiter brings (the ranks' virtual clocks). It can be
+// aborted, which releases all current and future waiters with an error
+// so a failing rank cannot deadlock the world.
+type barrier struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	n      int
+	count  int
+	gen    uint64
+	maxVT  float64 // running max for the in-progress generation
+	result float64 // max of the last completed generation
+	err    error
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// await blocks until all n participants have called await for the
+// current generation, then returns the maximum vt brought by any of
+// them. If the barrier is aborted it returns the abort error.
+func (b *barrier) await(vt float64) (float64, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.err != nil {
+		return vt, b.err
+	}
+	if vt > b.maxVT {
+		b.maxVT = vt
+	}
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.result = b.maxVT
+		b.maxVT = 0
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		return b.result, nil
+	}
+	for b.gen == gen && b.err == nil {
+		b.cond.Wait()
+	}
+	if b.err != nil {
+		return vt, b.err
+	}
+	return b.result, nil
+}
+
+// abort poisons the barrier: every current and future waiter receives
+// err. The first abort wins.
+func (b *barrier) abort(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.err == nil {
+		b.err = err
+	}
+	b.cond.Broadcast()
+}

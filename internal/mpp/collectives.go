@@ -1,0 +1,170 @@
+package mpp
+
+// Collectives. Each collective follows the same lock-free exchange
+// protocol over the world's shared slots: every rank writes its own
+// slot (disjoint indices, no lock needed), a barrier publishes the
+// writes, every rank reads what it needs, and a trailing barrier
+// guarantees all reads completed before any slot is reused by the next
+// collective. Virtual-clock synchronization and network latency are
+// charged by the barriers; data-volume cost is charged by the sender.
+
+// Op identifies a reduction operator.
+type Op int
+
+// Reduction operators.
+const (
+	OpSum Op = iota
+	OpMax
+	OpMin
+)
+
+// AllGather gathers one value from every rank; the result slice is
+// indexed by rank id and identical on all ranks.
+func AllGather[T any](r *Rank, v T) ([]T, error) {
+	w := r.w
+	w.slots[r.id] = v
+	r.Charge(w.net.xferCost(1))
+	if err := r.Barrier(); err != nil {
+		return nil, err
+	}
+	out := make([]T, len(w.slots))
+	for i, s := range w.slots {
+		out[i] = s.(T)
+	}
+	if err := r.Barrier(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AllGatherSlice gathers a variable-length slice from every rank.
+// Result is indexed by rank id. The contributed slices must not be
+// mutated after the call on any rank.
+func AllGatherSlice[T any](r *Rank, v []T) ([][]T, error) {
+	w := r.w
+	w.slots[r.id] = v
+	r.Charge(w.net.xferCost(len(v)))
+	if err := r.Barrier(); err != nil {
+		return nil, err
+	}
+	out := make([][]T, len(w.slots))
+	for i, s := range w.slots {
+		out[i] = s.([]T)
+	}
+	if err := r.Barrier(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Bcast distributes root's value to every rank.
+func Bcast[T any](r *Rank, root int, v T) (T, error) {
+	w := r.w
+	if r.id == root {
+		w.slots[root] = v
+		r.Charge(w.net.xferCost(1))
+	}
+	var zero T
+	if err := r.Barrier(); err != nil {
+		return zero, err
+	}
+	out := w.slots[root].(T)
+	if err := r.Barrier(); err != nil {
+		return zero, err
+	}
+	return out, nil
+}
+
+// AllToAll performs a personalized exchange: send[i] goes to rank i,
+// and the returned recv[i] is what rank i sent to this rank. len(send)
+// must equal the world size. Sent slices must not be mutated after the
+// call.
+func AllToAll[T any](r *Rank, send [][]T) ([][]T, error) {
+	w := r.w
+	p := r.Size()
+	if len(send) != p {
+		return nil, errSendLen(len(send), p)
+	}
+	total := 0
+	for dst := 0; dst < p; dst++ {
+		w.mat[r.id][dst] = send[dst]
+		if dst != r.id {
+			total += len(send[dst])
+		}
+	}
+	r.Charge(w.net.xferCost(total))
+	if err := r.Barrier(); err != nil {
+		return nil, err
+	}
+	recv := make([][]T, p)
+	for src := 0; src < p; src++ {
+		if cell := w.mat[src][r.id]; cell != nil {
+			recv[src] = cell.([]T)
+		}
+	}
+	if err := r.Barrier(); err != nil {
+		return nil, err
+	}
+	return recv, nil
+}
+
+// AllReduceFloat64 reduces one float64 across all ranks with op; every
+// rank receives the result.
+func AllReduceFloat64(r *Rank, v float64, op Op) (float64, error) {
+	all, err := AllGather(r, v)
+	if err != nil {
+		return 0, err
+	}
+	return reduceFloat64(all, op), nil
+}
+
+// AllReduceInt reduces one int across all ranks with op.
+func AllReduceInt(r *Rank, v int, op Op) (int, error) {
+	all, err := AllGather(r, v)
+	if err != nil {
+		return 0, err
+	}
+	out := all[0]
+	for _, x := range all[1:] {
+		switch op {
+		case OpSum:
+			out += x
+		case OpMax:
+			if x > out {
+				out = x
+			}
+		case OpMin:
+			if x < out {
+				out = x
+			}
+		}
+	}
+	return out, nil
+}
+
+func reduceFloat64(all []float64, op Op) float64 {
+	out := all[0]
+	for _, x := range all[1:] {
+		switch op {
+		case OpSum:
+			out += x
+		case OpMax:
+			if x > out {
+				out = x
+			}
+		case OpMin:
+			if x < out {
+				out = x
+			}
+		}
+	}
+	return out
+}
+
+type errSendLenT struct{ got, want int }
+
+func errSendLen(got, want int) error { return errSendLenT{got, want} }
+
+func (e errSendLenT) Error() string {
+	return "mpp: AllToAll send has wrong length"
+}

@@ -1,0 +1,396 @@
+package mpp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func testTopo(nodes, rpn int) Topology { return Topology{Nodes: nodes, RanksPerNode: rpn} }
+
+func TestTopologySize(t *testing.T) {
+	if got := testTopo(4, 8).Size(); got != 32 {
+		t.Fatalf("Size = %d, want 32", got)
+	}
+	if err := testTopo(0, 8).Validate(); err == nil {
+		t.Fatal("Validate accepted zero nodes")
+	}
+	if err := testTopo(2, -1).Validate(); err == nil {
+		t.Fatal("Validate accepted negative ranks per node")
+	}
+}
+
+func TestRunBasicIdentity(t *testing.T) {
+	var visited int64
+	rep, err := Run(testTopo(2, 4), DefaultNet(), 1, func(r *Rank) error {
+		atomic.AddInt64(&visited, 1)
+		if r.ID() < 0 || r.ID() >= 8 {
+			return fmt.Errorf("bad id %d", r.ID())
+		}
+		if r.Size() != 8 {
+			return fmt.Errorf("bad size %d", r.Size())
+		}
+		wantNode := r.ID() / 4
+		if r.Node() != wantNode {
+			return fmt.Errorf("rank %d: node %d, want %d", r.ID(), r.Node(), wantNode)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if visited != 8 {
+		t.Fatalf("visited %d ranks, want 8", visited)
+	}
+	if rep.Makespan < 0 {
+		t.Fatalf("negative makespan %f", rep.Makespan)
+	}
+}
+
+func TestChargeAndPhases(t *testing.T) {
+	rep, err := Run(testTopo(1, 4), NetModel{}, 1, func(r *Rank) error {
+		r.SetPhase("scan")
+		r.Charge(float64(r.ID()+1) * 1.0) // ranks charge 1..4s
+		r.SetPhase("join")
+		r.Charge(0.5)
+		r.Charge(-3) // ignored
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Makespan; math.Abs(got-4.5) > 1e-9 {
+		t.Fatalf("makespan = %f, want 4.5", got)
+	}
+	if got := rep.PhaseMax("scan"); math.Abs(got-4.0) > 1e-9 {
+		t.Fatalf("scan max = %f, want 4", got)
+	}
+	if got := rep.Phases["join"]; math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("join max = %f, want 0.5", got)
+	}
+	if got := rep.PhaseSum["scan"]; math.Abs(got-10.0) > 1e-9 {
+		t.Fatalf("scan sum = %f, want 10", got)
+	}
+}
+
+func TestBarrierSynchronizesClocks(t *testing.T) {
+	net := NetModel{Alpha: 1e-3} // 8 ranks -> 3 hops -> 3ms barrier
+	_, err := Run(testTopo(2, 4), net, 1, func(r *Rank) error {
+		r.Charge(float64(r.ID()) * 0.1)
+		if err := r.Barrier(); err != nil {
+			return err
+		}
+		want := 0.7 + 3e-3 // max charge + hop cost
+		if math.Abs(r.Now()-want) > 1e-9 {
+			return fmt.Errorf("rank %d: vt=%f want %f", r.ID(), r.Now(), want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllGather(t *testing.T) {
+	_, err := Run(testTopo(1, 8), DefaultNet(), 1, func(r *Rank) error {
+		got, err := AllGather(r, r.ID()*10)
+		if err != nil {
+			return err
+		}
+		for i, v := range got {
+			if v != i*10 {
+				return fmt.Errorf("got[%d]=%d", i, v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllGatherRepeatedRounds(t *testing.T) {
+	// Exercises slot reuse across generations.
+	_, err := Run(testTopo(1, 5), DefaultNet(), 1, func(r *Rank) error {
+		for round := 0; round < 50; round++ {
+			got, err := AllGather(r, r.ID()+round*100)
+			if err != nil {
+				return err
+			}
+			for i, v := range got {
+				if v != i+round*100 {
+					return fmt.Errorf("round %d: got[%d]=%d", round, i, v)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllGatherSlice(t *testing.T) {
+	_, err := Run(testTopo(1, 4), DefaultNet(), 1, func(r *Rank) error {
+		mine := make([]string, r.ID())
+		for i := range mine {
+			mine[i] = fmt.Sprintf("r%d-%d", r.ID(), i)
+		}
+		got, err := AllGatherSlice(r, mine)
+		if err != nil {
+			return err
+		}
+		for i, s := range got {
+			if len(s) != i {
+				return fmt.Errorf("len(got[%d])=%d want %d", i, len(s), i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcast(t *testing.T) {
+	_, err := Run(testTopo(1, 6), DefaultNet(), 1, func(r *Rank) error {
+		v := ""
+		if r.ID() == 2 {
+			v = "payload"
+		}
+		got, err := Bcast(r, 2, v)
+		if err != nil {
+			return err
+		}
+		if got != "payload" {
+			return fmt.Errorf("rank %d got %q", r.ID(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllToAll(t *testing.T) {
+	_, err := Run(testTopo(2, 3), DefaultNet(), 1, func(r *Rank) error {
+		send := make([][]int, r.Size())
+		for dst := range send {
+			send[dst] = []int{r.ID()*100 + dst}
+		}
+		recv, err := AllToAll(r, send)
+		if err != nil {
+			return err
+		}
+		for src, msg := range recv {
+			if len(msg) != 1 || msg[0] != src*100+r.ID() {
+				return fmt.Errorf("rank %d: recv[%d]=%v", r.ID(), src, msg)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllToAllWrongLen(t *testing.T) {
+	_, err := Run(testTopo(1, 2), DefaultNet(), 1, func(r *Rank) error {
+		_, err := AllToAll(r, make([][]int, 1))
+		return err
+	})
+	if err == nil {
+		t.Fatal("expected error for wrong send length")
+	}
+}
+
+func TestAllReduce(t *testing.T) {
+	_, err := Run(testTopo(1, 8), DefaultNet(), 1, func(r *Rank) error {
+		sum, err := AllReduceFloat64(r, float64(r.ID()), OpSum)
+		if err != nil {
+			return err
+		}
+		if sum != 28 {
+			return fmt.Errorf("sum=%f", sum)
+		}
+		max, err := AllReduceFloat64(r, float64(r.ID()), OpMax)
+		if err != nil {
+			return err
+		}
+		if max != 7 {
+			return fmt.Errorf("max=%f", max)
+		}
+		min, err := AllReduceInt(r, r.ID()+3, OpMin)
+		if err != nil {
+			return err
+		}
+		if min != 3 {
+			return fmt.Errorf("min=%d", min)
+		}
+		n, err := AllReduceInt(r, 2, OpSum)
+		if err != nil {
+			return err
+		}
+		if n != 16 {
+			return fmt.Errorf("int sum=%d", n)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrorAbortsWorld(t *testing.T) {
+	sentinel := errors.New("rank 3 exploded")
+	_, err := Run(testTopo(1, 8), DefaultNet(), 1, func(r *Rank) error {
+		if r.ID() == 3 {
+			return sentinel
+		}
+		// Other ranks park in a barrier; the abort must release them.
+		return r.Barrier()
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+}
+
+func TestPanicAbortsWorld(t *testing.T) {
+	_, err := Run(testTopo(1, 4), DefaultNet(), 1, func(r *Rank) error {
+		if r.ID() == 0 {
+			panic("boom")
+		}
+		return r.Barrier()
+	})
+	if err == nil {
+		t.Fatal("expected error from panicking rank")
+	}
+}
+
+func TestDeterministicRNG(t *testing.T) {
+	collect := func() []float64 {
+		out := make([]float64, 4)
+		_, err := Run(testTopo(1, 4), DefaultNet(), 42, func(r *Rank) error {
+			out[r.ID()] = r.RNG().Float64()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := collect(), collect()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("rank %d rng differs between runs: %f vs %f", i, a[i], b[i])
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i] == a[0] {
+			t.Fatalf("ranks 0 and %d produced identical streams", i)
+		}
+	}
+}
+
+func TestNetModelCosts(t *testing.T) {
+	n := NetModel{Alpha: 1e-6, Bandwidth: 1e9, BytesPerElem: 8}
+	if got := n.hopCost(1); got != 0 {
+		t.Fatalf("hopCost(1)=%g", got)
+	}
+	if got := n.hopCost(8); math.Abs(got-3e-6) > 1e-15 {
+		t.Fatalf("hopCost(8)=%g want 3e-6", got)
+	}
+	if got := n.xferCost(1000); math.Abs(got-8e-6) > 1e-15 {
+		t.Fatalf("xferCost(1000)=%g want 8e-6", got)
+	}
+	if got := n.xferCost(-5); got != 0 {
+		t.Fatalf("xferCost(-5)=%g want 0", got)
+	}
+}
+
+// Property: makespan equals the max over ranks of per-rank charges
+// when there is no communication.
+func TestMakespanIsMaxProperty(t *testing.T) {
+	f := func(charges []uint16) bool {
+		if len(charges) == 0 || len(charges) > 64 {
+			return true
+		}
+		want := 0.0
+		for _, c := range charges {
+			if v := float64(c) / 1000; v > want {
+				want = v
+			}
+		}
+		rep, err := Run(testTopo(1, len(charges)), NetModel{}, 1, func(r *Rank) error {
+			r.Charge(float64(charges[r.ID()]) / 1000)
+			return nil
+		})
+		if err != nil {
+			return false
+		}
+		return math.Abs(rep.Makespan-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AllReduce sum across ranks matches the serial sum for any
+// per-rank contributions.
+func TestAllReduceSumProperty(t *testing.T) {
+	f := func(vals []int16) bool {
+		if len(vals) == 0 || len(vals) > 32 {
+			return true
+		}
+		want := 0
+		for _, v := range vals {
+			want += int(v)
+		}
+		ok := true
+		_, err := Run(testTopo(1, len(vals)), DefaultNet(), 1, func(r *Rank) error {
+			got, err := AllReduceInt(r, int(vals[r.ID()]), OpSum)
+			if err != nil {
+				return err
+			}
+			if got != want {
+				ok = false
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBarrier(b *testing.B) {
+	_, err := Run(testTopo(4, 8), DefaultNet(), 1, func(r *Rank) error {
+		for i := 0; i < b.N; i++ {
+			if err := r.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkAllGather(b *testing.B) {
+	_, err := Run(testTopo(4, 8), DefaultNet(), 1, func(r *Rank) error {
+		for i := 0; i < b.N; i++ {
+			if _, err := AllGather(r, r.ID()); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

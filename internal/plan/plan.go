@@ -1,0 +1,422 @@
+// Package plan implements the IDS query planner: it orders the basic
+// graph pattern greedily by estimated cardinality (most selective
+// first, staying connected to already-bound variables), places FILTER
+// elements at the earliest point where their variables are bound, and
+// carries the solution modifiers. FILTER-internal optimization
+// (conjunct reordering) happens later, per rank, inside the exec
+// operator, because it depends on rank-local profiling data.
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ids/internal/dict"
+	"ids/internal/exec"
+	"ids/internal/expr"
+	"ids/internal/kg"
+	"ids/internal/sparql"
+)
+
+// Step is one plan node.
+type Step interface{ isStep() }
+
+// ScanStep seeds the solution table from a triple pattern.
+type ScanStep struct {
+	Pattern sparql.TriplePattern
+	Est     int
+}
+
+// JoinStep scans a pattern and hash-joins it into the running table.
+type JoinStep struct {
+	Pattern sparql.TriplePattern
+	Est     int
+}
+
+// FilterStep applies a FILTER expression.
+type FilterStep struct {
+	Expr expr.Expr
+}
+
+// UnionStep evaluates each branch sub-plan independently and
+// concatenates the results (SPARQL UNION, set-theoretic). Branches
+// bind exactly Vars, in that column order, and the combined table
+// joins into the running solution stream.
+type UnionStep struct {
+	Branches [][]Step
+	Vars     []string
+}
+
+// OptionalStep left-joins its body sub-plan into the running stream:
+// solutions without a match survive with the body's variables null.
+type OptionalStep struct {
+	Body []Step
+	Vars []string
+}
+
+func (ScanStep) isStep()     {}
+func (JoinStep) isStep()     {}
+func (FilterStep) isStep()   {}
+func (UnionStep) isStep()    {}
+func (OptionalStep) isStep() {}
+
+// Plan is an executable query plan.
+type Plan struct {
+	Steps    []Step
+	Select   []string
+	Distinct bool
+	OrderBy  []exec.SortKey
+	Limit    int
+	Offset   int
+	// Aggregates and GroupBy turn the gathered result into grouped
+	// aggregate rows before ordering and projection.
+	Aggregates []exec.AggSpec
+	GroupBy    []string
+}
+
+// Explain renders the plan for logs and the CLI.
+func (p *Plan) Explain() string {
+	var sb strings.Builder
+	for i, s := range p.Steps {
+		switch n := s.(type) {
+		case ScanStep:
+			fmt.Fprintf(&sb, "%2d: SCAN %s (est %d)\n", i, n.Pattern, n.Est)
+		case JoinStep:
+			fmt.Fprintf(&sb, "%2d: JOIN %s (est %d)\n", i, n.Pattern, n.Est)
+		case FilterStep:
+			fmt.Fprintf(&sb, "%2d: FILTER %s\n", i, n.Expr)
+		case UnionStep:
+			fmt.Fprintf(&sb, "%2d: UNION of %d branches over %v\n", i, len(n.Branches), n.Vars)
+		case OptionalStep:
+			fmt.Fprintf(&sb, "%2d: OPTIONAL over %v\n", i, n.Vars)
+		}
+	}
+	if p.Distinct {
+		sb.WriteString("    DISTINCT\n")
+	}
+	if len(p.OrderBy) > 0 {
+		fmt.Fprintf(&sb, "    ORDER BY %v\n", p.OrderBy)
+	}
+	if p.Limit >= 0 {
+		fmt.Fprintf(&sb, "    LIMIT %d OFFSET %d\n", p.Limit, p.Offset)
+	}
+	return sb.String()
+}
+
+// Stats estimates triple-pattern cardinalities.
+type Stats struct {
+	Total      int
+	Predicates map[dict.ID]int
+	dict       *dict.Dict
+}
+
+// StatsFromGraph collects planner statistics from a sealed graph.
+func StatsFromGraph(g *kg.Graph) *Stats {
+	return &Stats{
+		Total:      g.Len(),
+		Predicates: g.PredicateStats(),
+		dict:       g.Dict,
+	}
+}
+
+// PatternCard estimates the result cardinality of one pattern.
+func (st *Stats) PatternCard(p sparql.TriplePattern) int {
+	sB, pB, oB := !p.S.IsVar, !p.P.IsVar, !p.O.IsVar
+	predCount := st.Total
+	if pB && st.dict != nil {
+		if pid, ok := st.dict.Lookup(p.P.Term); ok {
+			predCount = st.Predicates[pid]
+		} else {
+			return 0 // unknown predicate matches nothing
+		}
+	}
+	switch {
+	case sB && pB && oB:
+		return 1
+	case sB && oB:
+		return 2
+	case sB:
+		// Subjects have bounded out-degree in practice.
+		return 16
+	case pB && oB:
+		c := predCount/16 + 1
+		return c
+	case pB:
+		return predCount
+	case oB:
+		return st.Total/16 + 1
+	default:
+		return st.Total
+	}
+}
+
+// Build plans the query. It fails when a selected variable can never
+// be bound by the WHERE clause.
+func Build(q *sparql.Query, st *Stats) (*Plan, error) {
+	p := &Plan{
+		Select:   q.Select,
+		Distinct: q.Distinct,
+		Limit:    q.Limit,
+		Offset:   q.Offset,
+	}
+	for _, k := range q.OrderBy {
+		p.OrderBy = append(p.OrderBy, exec.SortKey{Var: k.Var, Desc: k.Desc})
+	}
+	for _, a := range q.Aggregates {
+		p.Aggregates = append(p.Aggregates, exec.AggSpec{Func: a.Func, Var: a.Var, As: a.As})
+	}
+	p.GroupBy = q.GroupBy
+
+	steps, bound, err := compileGroup(q.Where, st)
+	if err != nil {
+		return nil, err
+	}
+	if len(steps) == 0 {
+		return nil, fmt.Errorf("plan: query has no triple patterns")
+	}
+	p.Steps = steps
+
+	aliases := map[string]bool{}
+	grouped := map[string]bool{}
+	for _, a := range q.Aggregates {
+		aliases[a.As] = true
+		if a.Var != "" && !bound[a.Var] {
+			return nil, fmt.Errorf("plan: aggregate over unbound variable ?%s", a.Var)
+		}
+	}
+	for _, g := range q.GroupBy {
+		grouped[g] = true
+		if !bound[g] {
+			return nil, fmt.Errorf("plan: GROUP BY variable ?%s is never bound", g)
+		}
+	}
+	if len(q.GroupBy) > 0 && len(q.Aggregates) == 0 {
+		return nil, fmt.Errorf("plan: GROUP BY without aggregates")
+	}
+	for _, v := range q.Select {
+		if aliases[v] {
+			continue
+		}
+		if len(q.Aggregates) > 0 && !grouped[v] {
+			return nil, fmt.Errorf("plan: selected variable ?%s is neither grouped nor aggregated", v)
+		}
+		if !bound[v] {
+			return nil, fmt.Errorf("plan: selected variable ?%s is never bound", v)
+		}
+	}
+	for _, k := range p.OrderBy {
+		if aliases[k.Var] {
+			continue
+		}
+		if !bound[k.Var] {
+			return nil, fmt.Errorf("plan: ORDER BY variable ?%s is never bound", k.Var)
+		}
+	}
+	return p, nil
+}
+
+// compileGroup compiles one group of WHERE elements (the top level or
+// a UNION branch) into steps, returning the variables it binds.
+// Triple patterns are ordered greedily by estimated cardinality with
+// the filter-enabling boost; filters attach at the earliest point
+// their variables are bound; UNION sub-groups compile recursively and
+// join in after the plain patterns.
+func compileGroup(elems []sparql.Element, st *Stats) ([]Step, map[string]bool, error) {
+	var pats []sparql.TriplePattern
+	var filters []sparql.Filter
+	var unions []sparql.UnionPattern
+	var optionals []sparql.OptionalPattern
+	for _, el := range elems {
+		switch n := el.(type) {
+		case sparql.TriplePattern:
+			pats = append(pats, n)
+		case sparql.Filter:
+			filters = append(filters, n)
+		case sparql.UnionPattern:
+			unions = append(unions, n)
+		case sparql.OptionalPattern:
+			optionals = append(optionals, n)
+		}
+	}
+
+	var steps []Step
+	bound := map[string]bool{}
+	used := make([]bool, len(pats))
+	filterUsed := make([]bool, len(filters))
+
+	connected := func(tp sparql.TriplePattern) bool {
+		for _, v := range tp.Vars() {
+			if bound[v] {
+				return true
+			}
+		}
+		return false
+	}
+	// enablesFilter reports whether adding tp's variables completes
+	// the variable set of a pending UDF filter. Such patterns are
+	// strongly preferred: pruning filters exist to cut the search
+	// space early (the paper orders its UDF ladder "by increasing
+	// cost and pruning power"), so the planner assumes an enabled
+	// filter is highly selective.
+	enablesFilter := func(tp sparql.TriplePattern) bool {
+		newBound := map[string]bool{}
+		for v := range bound {
+			newBound[v] = true
+		}
+		for _, v := range tp.Vars() {
+			newBound[v] = true
+		}
+		for i, f := range filters {
+			if filterUsed[i] || len(expr.CallNames(f.Expr)) == 0 {
+				continue
+			}
+			all := true
+			wasReady := true
+			for _, v := range expr.Vars(f.Expr) {
+				if !newBound[v] {
+					all = false
+					break
+				}
+				if !bound[v] {
+					wasReady = false
+				}
+			}
+			if all && !wasReady {
+				return true
+			}
+		}
+		return false
+	}
+	// filterBoost is the assumed selectivity credit of enabling a UDF
+	// filter (see DESIGN.md: planner heuristics).
+	const filterBoost = 1000
+	pickNext := func(requireConnected bool) int {
+		best, bestCard := -1, 0
+		for i, tp := range pats {
+			if used[i] {
+				continue
+			}
+			if requireConnected && !connected(tp) {
+				continue
+			}
+			card := st.PatternCard(tp)
+			if enablesFilter(tp) {
+				card = card/filterBoost + 1
+			}
+			if best < 0 || card < bestCard {
+				best, bestCard = i, card
+			}
+		}
+		return best
+	}
+	attachFilters := func() {
+		for i, f := range filters {
+			if filterUsed[i] {
+				continue
+			}
+			ready := true
+			for _, v := range expr.Vars(f.Expr) {
+				if !bound[v] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				steps = append(steps, FilterStep{Expr: f.Expr})
+				filterUsed[i] = true
+			}
+		}
+	}
+
+	for n := 0; n < len(pats); n++ {
+		idx := pickNext(n > 0)
+		if idx < 0 {
+			// Disconnected pattern group: take the cheapest remaining
+			// (executes as a cross product).
+			idx = pickNext(false)
+		}
+		tp := pats[idx]
+		used[idx] = true
+		card := st.PatternCard(tp)
+		if n == 0 {
+			steps = append(steps, ScanStep{Pattern: tp, Est: card})
+		} else {
+			steps = append(steps, JoinStep{Pattern: tp, Est: card})
+		}
+		for _, v := range tp.Vars() {
+			bound[v] = true
+		}
+		attachFilters()
+	}
+
+	for _, u := range unions {
+		var branches [][]Step
+		var unionVars []string
+		for bi, branch := range u.Branches {
+			bs, bBound, err := compileGroup(branch, st)
+			if err != nil {
+				return nil, nil, err
+			}
+			vars := sortedVars(bBound)
+			if bi == 0 {
+				unionVars = vars
+			} else if !equalStrings(unionVars, vars) {
+				return nil, nil, fmt.Errorf(
+					"plan: UNION branches bind different variables: %v vs %v", unionVars, vars)
+			}
+			branches = append(branches, bs)
+		}
+		steps = append(steps, UnionStep{Branches: branches, Vars: unionVars})
+		for _, v := range unionVars {
+			bound[v] = true
+		}
+		attachFilters()
+	}
+
+	// OPTIONAL groups left-join in after the mandatory part so their
+	// absence cannot shrink the solution set. Their variables count as
+	// bound for later filters and projection (rows may carry nulls;
+	// filter evaluation over null follows SPARQL error-drops-row
+	// semantics).
+	for _, opt := range optionals {
+		bs, bBound, err := compileGroup(opt.Body, st)
+		if err != nil {
+			return nil, nil, err
+		}
+		steps = append(steps, OptionalStep{Body: bs, Vars: sortedVars(bBound)})
+		for v := range bBound {
+			bound[v] = true
+		}
+		attachFilters()
+	}
+
+	// Any filter still unplaced references an unbound variable.
+	for i, f := range filters {
+		if !filterUsed[i] {
+			return nil, nil, fmt.Errorf("plan: FILTER references unbound variable(s): %s", f.Expr)
+		}
+	}
+	return steps, bound, nil
+}
+
+func sortedVars(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,144 @@
+// Package script implements IDscript, the small interpreted language
+// standing in for the paper's dynamically loaded Python UDF modules.
+// A module is a set of function definitions; modules are parsed once
+// and cached by the Loader (loading is "time-consuming" in the paper,
+// so IDS caches loaded modules), and an explicit ForceReload replaces
+// a cached module so users can iterate on their UDFs inside a running
+// instance. Loaded functions register as dynamic UDFs in the udf
+// registry and are callable from FILTER expressions.
+//
+// The language: `def name(params) { ... }` with let/assignment,
+// if/else, while, return, arithmetic, comparisons, && || !, numbers,
+// strings, booleans, and a set of built-ins (abs, min, max, sqrt, log,
+// pow, floor, len, substr, upper, lower, contains).
+package script
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tNumber
+	tString
+	tPunct // single/double character operators and delimiters
+)
+
+type tok struct {
+	kind tokKind
+	text string
+	num  float64
+	line int
+}
+
+func (t tok) String() string {
+	if t.kind == tEOF {
+		return "<eof>"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+var twoCharOps = map[string]bool{
+	"==": true, "!=": true, "<=": true, ">=": true, "&&": true, "||": true,
+}
+
+func (l *lexer) next() (tok, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '#':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+scan:
+	if l.pos >= len(l.src) {
+		return tok{kind: tEOF, line: l.line}, nil
+	}
+	c := l.src[l.pos]
+	start := l.pos
+	switch {
+	case isAlpha(c):
+		for l.pos < len(l.src) && (isAlpha(l.src[l.pos]) || isDigit(l.src[l.pos])) {
+			l.pos++
+		}
+		return tok{kind: tIdent, text: l.src[start:l.pos], line: l.line}, nil
+	case isDigit(c) || (c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+		for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || l.src[l.pos] == '.' ||
+			l.src[l.pos] == 'e' || l.src[l.pos] == 'E' ||
+			((l.src[l.pos] == '+' || l.src[l.pos] == '-') && l.pos > start &&
+				(l.src[l.pos-1] == 'e' || l.src[l.pos-1] == 'E'))) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return tok{}, fmt.Errorf("script: line %d: bad number %q", l.line, text)
+		}
+		return tok{kind: tNumber, text: text, num: f, line: l.line}, nil
+	case c == '"':
+		l.pos++
+		var sb strings.Builder
+		for l.pos < len(l.src) && l.src[l.pos] != '"' {
+			ch := l.src[l.pos]
+			if ch == '\\' && l.pos+1 < len(l.src) {
+				l.pos++
+				switch l.src[l.pos] {
+				case 'n':
+					ch = '\n'
+				case 't':
+					ch = '\t'
+				default:
+					ch = l.src[l.pos]
+				}
+			}
+			if ch == '\n' {
+				l.line++
+			}
+			sb.WriteByte(ch)
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return tok{}, fmt.Errorf("script: line %d: unterminated string", l.line)
+		}
+		l.pos++
+		return tok{kind: tString, text: sb.String(), line: l.line}, nil
+	default:
+		if l.pos+1 < len(l.src) && twoCharOps[l.src[l.pos:l.pos+2]] {
+			l.pos += 2
+			return tok{kind: tPunct, text: l.src[start : start+2], line: l.line}, nil
+		}
+		if strings.IndexByte("+-*/%<>=!(){},", c) >= 0 {
+			l.pos++
+			return tok{kind: tPunct, text: string(c), line: l.line}, nil
+		}
+		return tok{}, fmt.Errorf("script: line %d: unexpected character %q", l.line, c)
+	}
+}
+
+func isAlpha(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }

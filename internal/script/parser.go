@@ -1,0 +1,466 @@
+package script
+
+import "fmt"
+
+// AST node types.
+
+type node interface{}
+
+// Statements.
+
+type letStmt struct {
+	name string
+	expr node
+}
+
+type assignStmt struct {
+	name string
+	expr node
+}
+
+type ifStmt struct {
+	cond node
+	then []node
+	els  []node // nil when absent
+}
+
+type whileStmt struct {
+	cond node
+	body []node
+}
+
+type returnStmt struct {
+	expr node // nil returns null
+}
+
+type exprStmt struct {
+	expr node
+}
+
+// Expressions.
+
+type numLit struct{ v float64 }
+type strLit struct{ v string }
+type boolLit struct{ v bool }
+type ident struct{ name string }
+
+type binary struct {
+	op   string
+	l, r node
+}
+
+type unary struct {
+	op string
+	x  node
+}
+
+type call struct {
+	name string
+	args []node
+}
+
+// FuncDecl is one parsed function definition.
+type FuncDecl struct {
+	Name   string
+	Params []string
+	body   []node
+}
+
+// Module is a parsed IDscript module.
+type Module struct {
+	Name  string
+	Funcs map[string]*FuncDecl
+}
+
+type parser struct {
+	lx   *lexer
+	cur  tok
+	peek tok
+}
+
+// ParseModule parses module source.
+func ParseModule(name, src string) (*Module, error) {
+	p := &parser{lx: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	m := &Module{Name: name, Funcs: map[string]*FuncDecl{}}
+	for p.cur.kind != tEOF {
+		fd, err := p.funcDecl()
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := m.Funcs[fd.Name]; dup {
+			return nil, fmt.Errorf("script: duplicate function %q in module %s", fd.Name, name)
+		}
+		m.Funcs[fd.Name] = fd
+	}
+	if len(m.Funcs) == 0 {
+		return nil, fmt.Errorf("script: module %s defines no functions", name)
+	}
+	return m, nil
+}
+
+func (p *parser) advance() error {
+	p.cur = p.peek
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.peek = t
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("script: line %d: %s", p.cur.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectPunct(s string) error {
+	if p.cur.kind != tPunct || p.cur.text != s {
+		return p.errf("expected %q, got %s", s, p.cur)
+	}
+	return p.advance()
+}
+
+func (p *parser) isPunct(s string) bool {
+	return p.cur.kind == tPunct && p.cur.text == s
+}
+
+func (p *parser) isKeyword(s string) bool {
+	return p.cur.kind == tIdent && p.cur.text == s
+}
+
+func (p *parser) funcDecl() (*FuncDecl, error) {
+	if !p.isKeyword("def") {
+		return nil, p.errf("expected 'def', got %s", p.cur)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.cur.kind != tIdent {
+		return nil, p.errf("expected function name")
+	}
+	fd := &FuncDecl{Name: p.cur.text}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	for !p.isPunct(")") {
+		if p.cur.kind != tIdent {
+			return nil, p.errf("expected parameter name")
+		}
+		fd.Params = append(fd.Params, p.cur.text)
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.isPunct(",") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := p.advance(); err != nil { // ')'
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fd.body = body
+	return fd, nil
+}
+
+func (p *parser) block() ([]node, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	var stmts []node
+	for !p.isPunct("}") {
+		if p.cur.kind == tEOF {
+			return nil, p.errf("unterminated block")
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	return stmts, p.advance() // consume '}'
+}
+
+func (p *parser) statement() (node, error) {
+	switch {
+	case p.isKeyword("let"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.cur.kind != tIdent {
+			return nil, p.errf("expected identifier after let")
+		}
+		name := p.cur.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &letStmt{name: name, expr: e}, nil
+	case p.isKeyword("if"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		then, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		st := &ifStmt{cond: cond, then: then}
+		if p.isKeyword("else") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.isKeyword("if") {
+				nested, err := p.statement()
+				if err != nil {
+					return nil, err
+				}
+				st.els = []node{nested}
+			} else {
+				els, err := p.block()
+				if err != nil {
+					return nil, err
+				}
+				st.els = els
+			}
+		}
+		return st, nil
+	case p.isKeyword("while"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &whileStmt{cond: cond, body: body}, nil
+	case p.isKeyword("return"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		// Bare return at end of block.
+		if p.isPunct("}") {
+			return &returnStmt{}, nil
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &returnStmt{expr: e}, nil
+	case p.cur.kind == tIdent && p.peek.kind == tPunct && p.peek.text == "=":
+		name := p.cur.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.advance(); err != nil { // '='
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &assignStmt{name: name, expr: e}, nil
+	default:
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &exprStmt{expr: e}, nil
+	}
+}
+
+// Expression grammar mirrors the FILTER grammar: or > and > equality/
+// comparison > additive > multiplicative > unary > primary.
+func (p *parser) expr() (node, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (node, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.isPunct("||") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &binary{op: "||", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (node, error) {
+	l, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.isPunct("&&") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &binary{op: "&&", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) cmpExpr() (node, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur.kind == tPunct {
+		switch p.cur.text {
+		case "==", "!=", "<", "<=", ">", ">=":
+			op := p.cur.text
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &binary{op: op, l: l, r: r}
+		default:
+			return l, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr() (node, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.isPunct("+") || p.isPunct("-") {
+		op := p.cur.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &binary{op: op, l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) mulExpr() (node, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.isPunct("*") || p.isPunct("/") || p.isPunct("%") {
+		op := p.cur.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &binary{op: op, l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) unaryExpr() (node, error) {
+	if p.isPunct("!") || p.isPunct("-") {
+		op := p.cur.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &unary{op: op, x: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (node, error) {
+	switch {
+	case p.cur.kind == tNumber:
+		n := &numLit{v: p.cur.num}
+		return n, p.advance()
+	case p.cur.kind == tString:
+		n := &strLit{v: p.cur.text}
+		return n, p.advance()
+	case p.isKeyword("true"):
+		return &boolLit{v: true}, p.advance()
+	case p.isKeyword("false"):
+		return &boolLit{v: false}, p.advance()
+	case p.cur.kind == tIdent:
+		name := p.cur.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.isPunct("(") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			c := &call{name: name}
+			for !p.isPunct(")") {
+				if p.cur.kind == tEOF {
+					return nil, p.errf("unterminated call")
+				}
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				c.args = append(c.args, a)
+				if p.isPunct(",") {
+					if err := p.advance(); err != nil {
+						return nil, err
+					}
+				}
+			}
+			return c, p.advance()
+		}
+		return &ident{name: name}, nil
+	case p.isPunct("("):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expectPunct(")")
+	default:
+		return nil, p.errf("unexpected %s in expression", p.cur)
+	}
+}

@@ -1,0 +1,779 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+
+	"ids/internal/dict"
+	"ids/internal/expr"
+)
+
+// TermOrVar is one position of a triple pattern: either a variable or
+// a concrete RDF term.
+type TermOrVar struct {
+	IsVar bool
+	Var   string
+	Term  dict.Term
+}
+
+// V returns a variable position.
+func V(name string) TermOrVar { return TermOrVar{IsVar: true, Var: name} }
+
+// T returns a concrete-term position.
+func T(t dict.Term) TermOrVar { return TermOrVar{Term: t} }
+
+func (tv TermOrVar) String() string {
+	if tv.IsVar {
+		return "?" + tv.Var
+	}
+	return tv.Term.String()
+}
+
+// TriplePattern is one BGP pattern.
+type TriplePattern struct {
+	S, P, O TermOrVar
+}
+
+func (tp TriplePattern) String() string {
+	return fmt.Sprintf("%s %s %s .", tp.S, tp.P, tp.O)
+}
+
+// Vars returns the variable names used in the pattern.
+func (tp TriplePattern) Vars() []string {
+	var out []string
+	for _, tv := range []TermOrVar{tp.S, tp.P, tp.O} {
+		if tv.IsVar {
+			out = append(out, tv.Var)
+		}
+	}
+	return out
+}
+
+// Filter wraps a FILTER expression.
+type Filter struct {
+	Expr expr.Expr
+}
+
+// UnionPattern is a set-theoretic branch group:
+// { ... } UNION { ... } [UNION { ... }]. Every branch must bind the
+// same variable set (a documented subset restriction that keeps the
+// solution table rectangular).
+type UnionPattern struct {
+	Branches [][]Element
+}
+
+// OptionalPattern is OPTIONAL { ... }: a left join whose variables may
+// stay unbound (null) in the solution.
+type OptionalPattern struct {
+	Body []Element
+}
+
+// Element is a WHERE-clause element: TriplePattern, Filter,
+// UnionPattern or OptionalPattern.
+type Element interface{ isElement() }
+
+func (TriplePattern) isElement()   {}
+func (Filter) isElement()          {}
+func (UnionPattern) isElement()    {}
+func (OptionalPattern) isElement() {}
+
+// OrderKey is one ORDER BY key.
+type OrderKey struct {
+	Var  string
+	Desc bool
+}
+
+// Aggregate is one (FUNC(?v) AS ?name) projection item.
+type Aggregate struct {
+	Func string // count, sum, avg, min, max (lower-cased)
+	Var  string // aggregated variable; empty for COUNT(*)
+	As   string
+}
+
+// Query is a parsed SELECT query.
+type Query struct {
+	Prefixes map[string]string
+	Select   []string // projection order: vars and aggregate aliases; empty means SELECT *
+	Distinct bool
+	Where    []Element
+	OrderBy  []OrderKey
+	Limit    int // -1 when absent
+	Offset   int
+	// Aggregates are the aggregate projection items; when non-empty
+	// the query is grouped (by GroupBy, or into a single group).
+	Aggregates []Aggregate
+	GroupBy    []string
+}
+
+// Patterns returns the triple patterns of the WHERE clause in order.
+func (q *Query) Patterns() []TriplePattern {
+	var out []TriplePattern
+	for _, e := range q.Where {
+		if tp, ok := e.(TriplePattern); ok {
+			out = append(out, tp)
+		}
+	}
+	return out
+}
+
+// Filters returns the FILTER elements of the WHERE clause in order.
+func (q *Query) Filters() []Filter {
+	var out []Filter
+	for _, e := range q.Where {
+		if f, ok := e.(Filter); ok {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// rdfType is the IRI the 'a' keyword expands to.
+const rdfType = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+
+type parser struct {
+	lex  lexer
+	tok  token
+	next token
+	q    *Query
+}
+
+// Parse parses a query string.
+func Parse(input string) (*Query, error) {
+	p := &parser{lex: lexer{in: input}, q: &Query{Prefixes: map[string]string{}, Limit: -1}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if err := p.parseQuery(); err != nil {
+		return nil, err
+	}
+	return p.q, nil
+}
+
+func (p *parser) advance() error {
+	p.tok = p.next
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.next = t
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sparql: near offset %d: %s", p.tok.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) isKeyword(kw string) bool {
+	return p.tok.kind == tokIdent && strings.EqualFold(p.tok.text, kw)
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.isKeyword(kw) {
+		return p.errf("expected %s, got %s", kw, p.tok)
+	}
+	return p.advance()
+}
+
+func (p *parser) expect(k tokenKind, what string) error {
+	if p.tok.kind != k {
+		return p.errf("expected %s, got %s", what, p.tok)
+	}
+	return p.advance()
+}
+
+func (p *parser) parseQuery() error {
+	for p.isKeyword("prefix") {
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if p.tok.kind != tokPName || !strings.HasSuffix(p.tok.text, ":") {
+			return p.errf("expected prefix name, got %s", p.tok)
+		}
+		ns := strings.TrimSuffix(p.tok.text, ":")
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if p.tok.kind != tokIRI {
+			return p.errf("expected IRI after PREFIX, got %s", p.tok)
+		}
+		p.q.Prefixes[ns] = p.tok.text
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+	if err := p.expectKeyword("select"); err != nil {
+		return err
+	}
+	if p.isKeyword("distinct") {
+		p.q.Distinct = true
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+	switch {
+	case p.tok.kind == tokStar:
+		if err := p.advance(); err != nil {
+			return err
+		}
+	case p.tok.kind == tokVar || p.tok.kind == tokLParen:
+		for p.tok.kind == tokVar || p.tok.kind == tokLParen {
+			if p.tok.kind == tokVar {
+				p.q.Select = append(p.q.Select, p.tok.text)
+				if err := p.advance(); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := p.parseAggregate(); err != nil {
+				return err
+			}
+		}
+	default:
+		return p.errf("expected projection, got %s", p.tok)
+	}
+	if err := p.expectKeyword("where"); err != nil {
+		return err
+	}
+	if err := p.expect(tokLBrace, "'{'"); err != nil {
+		return err
+	}
+	elems, err := p.parseElements()
+	if err != nil {
+		return err
+	}
+	p.q.Where = elems
+	if err := p.advance(); err != nil { // consume '}'
+		return err
+	}
+	return p.parseModifiers()
+}
+
+// parseElements parses WHERE-group contents up to (not consuming) the
+// closing brace.
+func (p *parser) parseElements() ([]Element, error) {
+	saved := p.q.Where
+	p.q.Where = nil
+	defer func() { p.q.Where = saved }()
+
+	var out []Element
+	flush := func() {
+		out = append(out, p.q.Where...)
+		p.q.Where = nil
+	}
+	for p.tok.kind != tokRBrace {
+		switch {
+		case p.tok.kind == tokEOF:
+			return nil, p.errf("unterminated group")
+		case p.isKeyword("filter"):
+			if err := p.parseFilter(); err != nil {
+				return nil, err
+			}
+			flush()
+		case p.isKeyword("optional"):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if err := p.expect(tokLBrace, "'{' after OPTIONAL"); err != nil {
+				return nil, err
+			}
+			body, err := p.parseElements()
+			if err != nil {
+				return nil, err
+			}
+			if len(body) == 0 {
+				return nil, p.errf("empty OPTIONAL group")
+			}
+			if err := p.advance(); err != nil { // '}'
+				return nil, err
+			}
+			out = append(out, OptionalPattern{Body: body})
+		case p.tok.kind == tokLBrace:
+			u, err := p.parseUnion()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, u)
+		default:
+			if err := p.parseTriple(); err != nil {
+				return nil, err
+			}
+			flush()
+		}
+	}
+	return out, nil
+}
+
+// parseUnion parses { group } UNION { group } [UNION { group }]...
+func (p *parser) parseUnion() (UnionPattern, error) {
+	var u UnionPattern
+	for {
+		if err := p.expect(tokLBrace, "'{'"); err != nil {
+			return u, err
+		}
+		branch, err := p.parseElements()
+		if err != nil {
+			return u, err
+		}
+		if len(branch) == 0 {
+			return u, p.errf("empty UNION branch")
+		}
+		u.Branches = append(u.Branches, branch)
+		if err := p.advance(); err != nil { // consume '}'
+			return u, err
+		}
+		if !p.isKeyword("union") {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return u, err
+		}
+	}
+	if len(u.Branches) < 2 {
+		return u, p.errf("group pattern without UNION (plain groups are not supported)")
+	}
+	return u, nil
+}
+
+// aggregateFuncs are the supported aggregate function names.
+var aggregateFuncs = map[string]bool{
+	"count": true, "sum": true, "avg": true, "min": true, "max": true,
+}
+
+// parseAggregate parses "(FUNC(*|?var) AS ?alias)" in the projection.
+func (p *parser) parseAggregate() error {
+	if err := p.advance(); err != nil { // '('
+		return err
+	}
+	if p.tok.kind != tokIdent || !aggregateFuncs[strings.ToLower(p.tok.text)] {
+		return p.errf("expected aggregate function, got %s", p.tok)
+	}
+	agg := Aggregate{Func: strings.ToLower(p.tok.text)}
+	if err := p.advance(); err != nil {
+		return err
+	}
+	if err := p.expect(tokLParen, "'(' after aggregate function"); err != nil {
+		return err
+	}
+	switch {
+	case p.tok.kind == tokStar:
+		if agg.Func != "count" {
+			return p.errf("%s(*) is not defined", agg.Func)
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+	case p.tok.kind == tokVar:
+		agg.Var = p.tok.text
+		if err := p.advance(); err != nil {
+			return err
+		}
+	default:
+		return p.errf("expected '*' or variable in aggregate")
+	}
+	if err := p.expect(tokRParen, "')'"); err != nil {
+		return err
+	}
+	if err := p.expectKeyword("as"); err != nil {
+		return err
+	}
+	if p.tok.kind != tokVar {
+		return p.errf("expected alias variable after AS")
+	}
+	agg.As = p.tok.text
+	if err := p.advance(); err != nil {
+		return err
+	}
+	if err := p.expect(tokRParen, "')' closing aggregate"); err != nil {
+		return err
+	}
+	p.q.Aggregates = append(p.q.Aggregates, agg)
+	p.q.Select = append(p.q.Select, agg.As)
+	return nil
+}
+
+func (p *parser) parseModifiers() error {
+	for {
+		switch {
+		case p.isKeyword("order"):
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if err := p.expectKeyword("by"); err != nil {
+				return err
+			}
+			for {
+				key := OrderKey{}
+				switch {
+				case p.isKeyword("desc") || p.isKeyword("asc"):
+					key.Desc = strings.EqualFold(p.tok.text, "desc")
+					if err := p.advance(); err != nil {
+						return err
+					}
+					if err := p.expect(tokLParen, "'('"); err != nil {
+						return err
+					}
+					if p.tok.kind != tokVar {
+						return p.errf("expected variable in ORDER BY")
+					}
+					key.Var = p.tok.text
+					if err := p.advance(); err != nil {
+						return err
+					}
+					if err := p.expect(tokRParen, "')'"); err != nil {
+						return err
+					}
+				case p.tok.kind == tokVar:
+					key.Var = p.tok.text
+					if err := p.advance(); err != nil {
+						return err
+					}
+				default:
+					return p.errf("expected ORDER BY key, got %s", p.tok)
+				}
+				p.q.OrderBy = append(p.q.OrderBy, key)
+				if p.tok.kind != tokVar && !p.isKeyword("desc") && !p.isKeyword("asc") {
+					break
+				}
+			}
+		case p.isKeyword("group"):
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if err := p.expectKeyword("by"); err != nil {
+				return err
+			}
+			if p.tok.kind != tokVar {
+				return p.errf("expected variable after GROUP BY")
+			}
+			for p.tok.kind == tokVar {
+				p.q.GroupBy = append(p.q.GroupBy, p.tok.text)
+				if err := p.advance(); err != nil {
+					return err
+				}
+			}
+		case p.isKeyword("limit"):
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if p.tok.kind != tokNumber {
+				return p.errf("expected number after LIMIT")
+			}
+			p.q.Limit = int(p.tok.num)
+			if err := p.advance(); err != nil {
+				return err
+			}
+		case p.isKeyword("offset"):
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if p.tok.kind != tokNumber {
+				return p.errf("expected number after OFFSET")
+			}
+			p.q.Offset = int(p.tok.num)
+			if err := p.advance(); err != nil {
+				return err
+			}
+		case p.tok.kind == tokEOF:
+			return nil
+		default:
+			return p.errf("unexpected trailing token %s", p.tok)
+		}
+	}
+}
+
+// resolveTerm builds a dict.Term from the current token for a triple
+// position.
+func (p *parser) term() (TermOrVar, error) {
+	switch p.tok.kind {
+	case tokVar:
+		tv := V(p.tok.text)
+		return tv, p.advance()
+	case tokIRI:
+		tv := T(dict.Term{Kind: dict.IRI, Value: p.tok.text})
+		return tv, p.advance()
+	case tokPName:
+		parts := strings.SplitN(p.tok.text, ":", 2)
+		base, ok := p.q.Prefixes[parts[0]]
+		if !ok {
+			return TermOrVar{}, p.errf("undeclared prefix %q", parts[0])
+		}
+		tv := T(dict.Term{Kind: dict.IRI, Value: base + parts[1]})
+		return tv, p.advance()
+	case tokString:
+		tv := T(dict.Term{Kind: dict.Literal, Value: p.tok.text})
+		return tv, p.advance()
+	case tokNumber:
+		tv := T(dict.Term{Kind: dict.Literal, Value: p.tok.text})
+		return tv, p.advance()
+	case tokIdent:
+		if p.tok.text == "a" {
+			tv := T(dict.Term{Kind: dict.IRI, Value: rdfType})
+			return tv, p.advance()
+		}
+		return TermOrVar{}, p.errf("unexpected identifier %q in pattern", p.tok.text)
+	default:
+		return TermOrVar{}, p.errf("unexpected %s in triple pattern", p.tok)
+	}
+}
+
+func (p *parser) parseTriple() error {
+	s, err := p.term()
+	if err != nil {
+		return err
+	}
+	for {
+		pr, err := p.term()
+		if err != nil {
+			return err
+		}
+		o, err := p.term()
+		if err != nil {
+			return err
+		}
+		p.q.Where = append(p.q.Where, TriplePattern{S: s, P: pr, O: o})
+		// ';' continues with the same subject; '.' ends the group.
+		if p.tok.kind == tokSemicolon {
+			if err := p.advance(); err != nil {
+				return err
+			}
+			continue
+		}
+		break
+	}
+	if p.tok.kind == tokDot {
+		return p.advance()
+	}
+	if p.tok.kind == tokRBrace {
+		return nil
+	}
+	return p.errf("expected '.' after triple pattern, got %s", p.tok)
+}
+
+func (p *parser) parseFilter() error {
+	if err := p.advance(); err != nil { // consume FILTER
+		return err
+	}
+	if err := p.expect(tokLParen, "'(' after FILTER"); err != nil {
+		return err
+	}
+	e, err := p.parseOr()
+	if err != nil {
+		return err
+	}
+	if err := p.expect(tokRParen, "')' closing FILTER"); err != nil {
+		return err
+	}
+	p.q.Where = append(p.q.Where, Filter{Expr: e})
+	// Optional trailing dot.
+	if p.tok.kind == tokDot {
+		return p.advance()
+	}
+	return nil
+}
+
+// Expression grammar: or -> and ('||' and)*; and -> cmp ('&&' cmp)*;
+// cmp -> sum (op sum)?; sum -> prod (('+'|'-') prod)*;
+// prod -> unary (('*'|'/') unary)*; unary -> '!' unary | primary.
+func (p *parser) parseOr() (expr.Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	children := []expr.Expr{left}
+	for p.tok.kind == tokOr {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, right)
+	}
+	if len(children) == 1 {
+		return left, nil
+	}
+	return &expr.Or{Children: children}, nil
+}
+
+func (p *parser) parseAnd() (expr.Expr, error) {
+	left, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	children := []expr.Expr{left}
+	for p.tok.kind == tokAnd {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, right)
+	}
+	if len(children) == 1 {
+		return left, nil
+	}
+	return &expr.And{Children: children}, nil
+}
+
+func (p *parser) parseCmp() (expr.Expr, error) {
+	left, err := p.parseSum()
+	if err != nil {
+		return nil, err
+	}
+	var op expr.CmpOp
+	switch p.tok.kind {
+	case tokEq:
+		op = expr.EQ
+	case tokNe:
+		op = expr.NE
+	case tokLt:
+		op = expr.LT
+	case tokLe:
+		op = expr.LE
+	case tokGt:
+		op = expr.GT
+	case tokGe:
+		op = expr.GE
+	default:
+		return left, nil
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	right, err := p.parseSum()
+	if err != nil {
+		return nil, err
+	}
+	return &expr.Cmp{Op: op, L: left, R: right}, nil
+}
+
+func (p *parser) parseSum() (expr.Expr, error) {
+	left, err := p.parseProd()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokPlus || p.tok.kind == tokMinus {
+		op := expr.Add
+		if p.tok.kind == tokMinus {
+			op = expr.Sub
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseProd()
+		if err != nil {
+			return nil, err
+		}
+		left = &expr.Arith{Op: op, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseProd() (expr.Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokStar || p.tok.kind == tokSlash {
+		op := expr.Mul
+		if p.tok.kind == tokSlash {
+			op = expr.Div
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &expr.Arith{Op: op, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (expr.Expr, error) {
+	if p.tok.kind == tokBang {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		child, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Not{Child: child}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (expr.Expr, error) {
+	switch p.tok.kind {
+	case tokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokVar:
+		v := &expr.Var{Name: p.tok.text}
+		return v, p.advance()
+	case tokNumber:
+		c := &expr.Const{Val: expr.Float(p.tok.num)}
+		return c, p.advance()
+	case tokString:
+		c := &expr.Const{Val: expr.String(p.tok.text)}
+		return c, p.advance()
+	case tokIdent, tokPName:
+		name := p.tok.text
+		if strings.EqualFold(name, "true") {
+			c := &expr.Const{Val: expr.Bool(true)}
+			return c, p.advance()
+		}
+		if strings.EqualFold(name, "false") {
+			c := &expr.Const{Val: expr.Bool(false)}
+			return c, p.advance()
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokLParen {
+			return nil, p.errf("expected '(' after function name %q", name)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		call := &expr.Call{Name: name}
+		if p.tok.kind != tokRParen {
+			for {
+				arg, err := p.parseOr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, arg)
+				if p.tok.kind != tokComma {
+					break
+				}
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := p.expect(tokRParen, "')' closing call"); err != nil {
+			return nil, err
+		}
+		return call, nil
+	default:
+		return nil, p.errf("unexpected %s in expression", p.tok)
+	}
+}

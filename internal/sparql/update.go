@@ -1,0 +1,122 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+
+	"ids/internal/dict"
+)
+
+// UpdateKind discriminates update statements.
+type UpdateKind int
+
+// Update kinds.
+const (
+	InsertData UpdateKind = iota
+	DeleteData
+)
+
+func (k UpdateKind) String() string {
+	if k == InsertData {
+		return "INSERT DATA"
+	}
+	return "DELETE DATA"
+}
+
+// GroundTriple is a fully concrete triple of an update payload.
+type GroundTriple struct {
+	S, P, O dict.Term
+}
+
+// Update is a parsed INSERT DATA / DELETE DATA statement.
+type Update struct {
+	Kind     UpdateKind
+	Prefixes map[string]string
+	Triples  []GroundTriple
+}
+
+// ParseUpdate parses an update statement:
+//
+//	[PREFIX ns: <iri>]... (INSERT|DELETE) DATA { triples }
+//
+// Triples use the same syntax as WHERE patterns but must be ground
+// (no variables).
+func ParseUpdate(input string) (*Update, error) {
+	p := &parser{lex: lexer{in: input}, q: &Query{Prefixes: map[string]string{}, Limit: -1}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	u := &Update{Prefixes: p.q.Prefixes}
+
+	for p.isKeyword("prefix") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokPName || !strings.HasSuffix(p.tok.text, ":") {
+			return nil, p.errf("expected prefix name, got %s", p.tok)
+		}
+		ns := strings.TrimSuffix(p.tok.text, ":")
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokIRI {
+			return nil, p.errf("expected IRI after PREFIX")
+		}
+		u.Prefixes[ns] = p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+
+	switch {
+	case p.isKeyword("insert"):
+		u.Kind = InsertData
+	case p.isKeyword("delete"):
+		u.Kind = DeleteData
+	default:
+		return nil, p.errf("expected INSERT or DELETE, got %s", p.tok)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("data"); err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokLBrace, "'{'"); err != nil {
+		return nil, err
+	}
+	for p.tok.kind != tokRBrace {
+		if p.tok.kind == tokEOF {
+			return nil, p.errf("unterminated data block")
+		}
+		if err := p.parseTriple(); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.advance(); err != nil { // '}'
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errf("trailing input after data block")
+	}
+
+	for _, el := range p.q.Where {
+		tp, ok := el.(TriplePattern)
+		if !ok {
+			return nil, fmt.Errorf("sparql: FILTER not allowed in %s", u.Kind)
+		}
+		for _, tv := range []TermOrVar{tp.S, tp.P, tp.O} {
+			if tv.IsVar {
+				return nil, fmt.Errorf("sparql: variable ?%s in %s payload", tv.Var, u.Kind)
+			}
+		}
+		u.Triples = append(u.Triples, GroundTriple{S: tp.S.Term, P: tp.P.Term, O: tp.O.Term})
+	}
+	if len(u.Triples) == 0 {
+		return nil, fmt.Errorf("sparql: empty %s payload", u.Kind)
+	}
+	return u, nil
+}

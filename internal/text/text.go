@@ -1,0 +1,181 @@
+// Package text implements the keyword-search face of the IDS unified
+// query engine (the paper's "keyword search, set-theoretic operations,
+// and linear-algebraic methods"): an inverted index over the graph's
+// literal terms with TF-IDF ranking, exposed both as a direct API and
+// as a FILTER UDF.
+package text
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"unicode"
+
+	"ids/internal/dict"
+	"ids/internal/kg"
+	"ids/internal/triple"
+)
+
+// Tokenize lowercases and splits on non-alphanumeric runes, dropping
+// empty tokens.
+func Tokenize(s string) []string {
+	var out []string
+	var sb strings.Builder
+	flush := func() {
+		if sb.Len() > 0 {
+			out = append(out, sb.String())
+			sb.Reset()
+		}
+	}
+	for _, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			sb.WriteRune(unicode.ToLower(r))
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+type posting struct {
+	doc dict.ID // the subject owning the literal
+	tf  int
+}
+
+// Index is an inverted index from token to subjects whose literals
+// contain it. Build once over a sealed graph; reads are concurrent-
+// safe afterwards.
+type Index struct {
+	mu       sync.RWMutex
+	postings map[string][]posting
+	docLen   map[dict.ID]int
+	docs     int
+}
+
+// BuildIndex indexes every (subject, predicate, literal) triple of the
+// graph. Pass predicates to restrict indexing to specific properties
+// (nil indexes all literals).
+func BuildIndex(g *kg.Graph, predicates []dict.ID) *Index {
+	allowed := map[dict.ID]bool{}
+	for _, p := range predicates {
+		allowed[p] = true
+	}
+	idx := &Index{postings: map[string][]posting{}, docLen: map[dict.ID]int{}}
+	tf := map[dict.ID]map[string]int{}
+	for s := 0; s < g.NumShards(); s++ {
+		g.Shard(s).Match(triple.Pattern{}, func(t triple.Triple) bool {
+			if len(allowed) > 0 && !allowed[t.P] {
+				return true
+			}
+			term, ok := g.Dict.Decode(t.O)
+			if !ok || term.Kind != dict.Literal {
+				return true
+			}
+			toks := Tokenize(term.Value)
+			if len(toks) == 0 {
+				return true
+			}
+			m := tf[t.S]
+			if m == nil {
+				m = map[string]int{}
+				tf[t.S] = m
+			}
+			for _, tok := range toks {
+				m[tok]++
+			}
+			idx.docLen[t.S] += len(toks)
+			return true
+		})
+	}
+	idx.docs = len(tf)
+	for doc, m := range tf {
+		for tok, n := range m {
+			idx.postings[tok] = append(idx.postings[tok], posting{doc: doc, tf: n})
+		}
+	}
+	// Deterministic posting order.
+	for tok := range idx.postings {
+		ps := idx.postings[tok]
+		sort.Slice(ps, func(i, j int) bool { return ps[i].doc < ps[j].doc })
+	}
+	return idx
+}
+
+// Docs returns the number of indexed subjects.
+func (idx *Index) Docs() int {
+	idx.mu.RLock()
+	defer idx.mu.RUnlock()
+	return idx.docs
+}
+
+// Terms returns the number of distinct indexed tokens.
+func (idx *Index) Terms() int {
+	idx.mu.RLock()
+	defer idx.mu.RUnlock()
+	return len(idx.postings)
+}
+
+// Hit is one ranked search result.
+type Hit struct {
+	Subject dict.ID
+	Score   float64
+}
+
+// Search ranks subjects by TF-IDF against the query tokens, returning
+// at most k hits (k <= 0 means all). Multi-token queries are OR
+// semantics with additive scores.
+func (idx *Index) Search(query string, k int) []Hit {
+	idx.mu.RLock()
+	defer idx.mu.RUnlock()
+	scores := map[dict.ID]float64{}
+	for _, tok := range Tokenize(query) {
+		ps := idx.postings[tok]
+		if len(ps) == 0 {
+			continue
+		}
+		idf := math.Log(1 + float64(idx.docs)/float64(len(ps)))
+		for _, p := range ps {
+			norm := float64(idx.docLen[p.doc])
+			if norm == 0 {
+				norm = 1
+			}
+			scores[p.doc] += (float64(p.tf) / norm) * idf
+		}
+	}
+	hits := make([]Hit, 0, len(scores))
+	for doc, s := range scores {
+		hits = append(hits, Hit{Subject: doc, Score: s})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].Subject < hits[j].Subject
+	})
+	if k > 0 && len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits
+}
+
+// Contains reports whether the subject's indexed text contains every
+// query token (AND semantics) — the predicate form used by the
+// text.match FILTER UDF.
+func (idx *Index) Contains(subject dict.ID, query string) bool {
+	idx.mu.RLock()
+	defer idx.mu.RUnlock()
+	for _, tok := range Tokenize(query) {
+		found := false
+		ps := idx.postings[tok]
+		i := sort.Search(len(ps), func(i int) bool { return ps[i].doc >= subject })
+		if i < len(ps) && ps[i].doc == subject {
+			found = true
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

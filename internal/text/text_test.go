@@ -1,0 +1,159 @@
+package text
+
+import (
+	"testing"
+
+	"ids/internal/dict"
+	"ids/internal/kg"
+)
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("Adenosine receptor A2a, G-protein coupled!")
+	want := []string{"adenosine", "receptor", "a2a", "g", "protein", "coupled"}
+	if len(got) != len(want) {
+		t.Fatalf("tokens = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if len(Tokenize("")) != 0 || len(Tokenize("!!!")) != 0 {
+		t.Fatal("empty input should yield no tokens")
+	}
+}
+
+func buildTextGraph(t *testing.T) (*kg.Graph, map[string]dict.ID) {
+	t.Helper()
+	g := kg.New(2)
+	iri := func(s string) dict.Term { return dict.Term{Kind: dict.IRI, Value: s} }
+	lit := func(s string) dict.Term { return dict.Term{Kind: dict.Literal, Value: s} }
+	docs := map[string]string{
+		"http://x/p1": "adenosine receptor A2a antagonist binding",
+		"http://x/p2": "dopamine receptor agonist",
+		"http://x/p3": "adenosine deaminase enzyme",
+		"http://x/p4": "unrelated kinase",
+	}
+	ids := map[string]dict.ID{}
+	for s, txt := range docs {
+		g.Add(iri(s), iri("http://x/desc"), lit(txt))
+		g.Add(iri(s), iri("http://x/other"), iri("http://x/thing")) // non-literal ignored
+	}
+	g.Seal()
+	for s := range docs {
+		id, ok := g.Dict.LookupIRI(s)
+		if !ok {
+			t.Fatalf("subject %s missing", s)
+		}
+		ids[s] = id
+	}
+	return g, ids
+}
+
+func TestSearchRanking(t *testing.T) {
+	g, ids := buildTextGraph(t)
+	idx := BuildIndex(g, nil)
+	if idx.Docs() != 4 {
+		t.Fatalf("docs = %d", idx.Docs())
+	}
+	hits := Hits(idx.Search("adenosine receptor", 0))
+	if len(hits) != 3 { // p1 (both terms), p2, p3 (one each)
+		t.Fatalf("hits = %v", hits)
+	}
+	if hits[0].Subject != ids["http://x/p1"] {
+		t.Fatalf("top hit should match both tokens: %v", hits)
+	}
+	// Limit works.
+	if got := idx.Search("adenosine receptor", 1); len(got) != 1 {
+		t.Fatalf("limited hits = %v", got)
+	}
+	// Unknown term yields nothing.
+	if got := idx.Search("zebrafish", 0); len(got) != 0 {
+		t.Fatalf("unknown term hits = %v", got)
+	}
+}
+
+// Hits is an identity helper keeping the test readable.
+func Hits(h []Hit) []Hit { return h }
+
+func TestContainsANDSemantics(t *testing.T) {
+	g, ids := buildTextGraph(t)
+	idx := BuildIndex(g, nil)
+	p1 := ids["http://x/p1"]
+	if !idx.Contains(p1, "adenosine binding") {
+		t.Fatal("AND query over present tokens failed")
+	}
+	if idx.Contains(p1, "adenosine dopamine") {
+		t.Fatal("AND query with absent token matched")
+	}
+	if !idx.Contains(p1, "") {
+		t.Fatal("empty query should match")
+	}
+	if idx.Contains(999999, "adenosine") {
+		t.Fatal("unknown subject matched")
+	}
+}
+
+func TestPredicateRestriction(t *testing.T) {
+	g := kg.New(1)
+	iri := func(s string) dict.Term { return dict.Term{Kind: dict.IRI, Value: s} }
+	lit := func(s string) dict.Term { return dict.Term{Kind: dict.Literal, Value: s} }
+	g.Add(iri("http://x/a"), iri("http://x/title"), lit("indexed words"))
+	g.Add(iri("http://x/a"), iri("http://x/secret"), lit("hidden words"))
+	g.Seal()
+	titleP, _ := g.Dict.LookupIRI("http://x/title")
+	idx := BuildIndex(g, []dict.ID{titleP})
+	if len(idx.Search("indexed", 0)) != 1 {
+		t.Fatal("restricted predicate not indexed")
+	}
+	if len(idx.Search("hidden", 0)) != 0 {
+		t.Fatal("excluded predicate leaked into index")
+	}
+}
+
+func TestSearchDeterministicTieBreak(t *testing.T) {
+	g := kg.New(1)
+	iri := func(s string) dict.Term { return dict.Term{Kind: dict.IRI, Value: s} }
+	lit := func(s string) dict.Term { return dict.Term{Kind: dict.Literal, Value: s} }
+	g.Add(iri("http://x/b"), iri("http://x/d"), lit("same text"))
+	g.Add(iri("http://x/a"), iri("http://x/d"), lit("same text"))
+	g.Seal()
+	idx := BuildIndex(g, nil)
+	h1 := idx.Search("same", 0)
+	h2 := idx.Search("same", 0)
+	if len(h1) != 2 || h1[0].Subject != h2[0].Subject {
+		t.Fatalf("tie-break unstable: %v vs %v", h1, h2)
+	}
+	if h1[0].Subject > h1[1].Subject {
+		t.Fatal("ties should order by subject id")
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	g := kg.New(4)
+	iri := func(s string) dict.Term { return dict.Term{Kind: dict.IRI, Value: s} }
+	lit := func(s string) dict.Term { return dict.Term{Kind: dict.Literal, Value: s} }
+	words := []string{"adenosine", "receptor", "kinase", "binding", "agonist", "protein", "enzyme", "ligand"}
+	for i := 0; i < 5000; i++ {
+		txt := words[i%8] + " " + words[(i/3)%8] + " " + words[(i/7)%8]
+		g.Add(iri("http://x/d"+itoa(i)), iri("http://x/t"), lit(txt))
+	}
+	g.Seal()
+	idx := BuildIndex(g, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Search("adenosine receptor", 10)
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}

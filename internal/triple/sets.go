@@ -1,0 +1,93 @@
+package triple
+
+import (
+	"sort"
+
+	"ids/internal/dict"
+)
+
+// Set-theoretic operators over sorted ID slices. These back the
+// paper's "set-theoretic operations" query capability: candidate sets
+// produced by different sub-queries are combined with union,
+// intersection and difference before more expensive UDF stages run.
+
+// SortUnique sorts ids in place and removes duplicates, returning the
+// shortened slice.
+func SortUnique(ids []dict.ID) []dict.ID {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := ids[:0]
+	for i, id := range ids {
+		if i == 0 || id != ids[i-1] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Union returns the sorted union of two sorted unique slices.
+func Union(a, b []dict.ID) []dict.ID {
+	out := make([]dict.ID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// Intersect returns the sorted intersection of two sorted unique
+// slices.
+func Intersect(a, b []dict.ID) []dict.ID {
+	var out []dict.ID
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Difference returns the sorted elements of a not present in b; both
+// inputs must be sorted and unique.
+func Difference(a, b []dict.ID) []dict.ID {
+	var out []dict.ID
+	i, j := 0, 0
+	for i < len(a) {
+		switch {
+		case j >= len(b) || a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// ContainsID reports whether the sorted slice contains id.
+func ContainsID(a []dict.ID, id dict.ID) bool {
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= id })
+	return i < len(a) && a[i] == id
+}

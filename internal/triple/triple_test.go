@@ -1,0 +1,317 @@
+package triple
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ids/internal/dict"
+)
+
+func tr(s, p, o dict.ID) Triple { return Triple{S: s, P: p, O: o} }
+
+func buildStore(ts ...Triple) *Store {
+	st := New()
+	for _, t := range ts {
+		st.Add(t)
+	}
+	st.Seal()
+	return st
+}
+
+func collect(st *Store, p Pattern) []Triple {
+	var out []Triple
+	st.Match(p, func(t Triple) bool { out = append(out, t); return true })
+	return out
+}
+
+func TestSealDeduplicates(t *testing.T) {
+	st := buildStore(tr(1, 2, 3), tr(1, 2, 3), tr(1, 2, 4))
+	if st.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", st.Len())
+	}
+}
+
+func TestSealIdempotent(t *testing.T) {
+	st := buildStore(tr(1, 2, 3))
+	st.Seal()
+	st.Seal()
+	if st.Len() != 1 || !st.Sealed() {
+		t.Fatal("Seal not idempotent")
+	}
+}
+
+func TestMatchUnsealedPanics(t *testing.T) {
+	st := New()
+	st.Add(tr(1, 2, 3))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Match on unsealed store did not panic")
+		}
+	}()
+	st.Match(Pattern{}, func(Triple) bool { return true })
+}
+
+func TestMatchAllPatterns(t *testing.T) {
+	// A small graph exercising every bound/unbound combination.
+	st := buildStore(
+		tr(1, 10, 100), tr(1, 10, 101), tr(1, 11, 100),
+		tr(2, 10, 100), tr(2, 11, 102), tr(3, 12, 103),
+	)
+	cases := []struct {
+		name string
+		pat  Pattern
+		want int
+	}{
+		{"all", Pattern{}, 6},
+		{"s", Pattern{S: 1}, 3},
+		{"p", Pattern{P: 10}, 3},
+		{"o", Pattern{O: 100}, 3},
+		{"sp", Pattern{S: 1, P: 10}, 2},
+		{"so", Pattern{S: 1, O: 100}, 2},
+		{"po", Pattern{P: 10, O: 100}, 2},
+		{"spo hit", Pattern{S: 2, P: 11, O: 102}, 1},
+		{"spo miss", Pattern{S: 2, P: 11, O: 999}, 0},
+		{"absent s", Pattern{S: 77}, 0},
+	}
+	for _, c := range cases {
+		if got := st.Count(c.pat); got != c.want {
+			t.Errorf("%s: Count = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestMatchEarlyStop(t *testing.T) {
+	st := buildStore(tr(1, 1, 1), tr(1, 1, 2), tr(1, 1, 3))
+	n := 0
+	st.Match(Pattern{S: 1}, func(Triple) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Fatalf("early stop visited %d, want 2", n)
+	}
+}
+
+func TestContains(t *testing.T) {
+	st := buildStore(tr(5, 6, 7))
+	if !st.Contains(tr(5, 6, 7)) {
+		t.Fatal("Contains missed present triple")
+	}
+	if st.Contains(tr(5, 6, 8)) {
+		t.Fatal("Contains found absent triple")
+	}
+}
+
+func TestSubjectsObjects(t *testing.T) {
+	st := buildStore(tr(3, 10, 100), tr(1, 10, 100), tr(1, 10, 200), tr(2, 11, 100))
+	subj := st.Subjects(10, 100)
+	if len(subj) != 2 || subj[0] != 1 || subj[1] != 3 {
+		t.Fatalf("Subjects = %v, want [1 3]", subj)
+	}
+	obj := st.Objects(1, 10)
+	if len(obj) != 2 || obj[0] != 100 || obj[1] != 200 {
+		t.Fatalf("Objects = %v, want [100 200]", obj)
+	}
+}
+
+func TestPredicateStats(t *testing.T) {
+	st := buildStore(tr(1, 10, 1), tr(2, 10, 2), tr(3, 11, 3))
+	stats := st.PredicateStats()
+	if stats[10] != 2 || stats[11] != 1 {
+		t.Fatalf("stats = %v", stats)
+	}
+}
+
+// Property: Match against a brute-force reference over random data.
+func TestMatchMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var ts []Triple
+	for i := 0; i < 500; i++ {
+		ts = append(ts, tr(
+			dict.ID(rng.Intn(20)+1),
+			dict.ID(rng.Intn(5)+1),
+			dict.ID(rng.Intn(20)+1),
+		))
+	}
+	st := buildStore(ts...)
+	// Dedup reference set.
+	ref := map[Triple]bool{}
+	for _, x := range ts {
+		ref[x] = true
+	}
+	for trial := 0; trial < 200; trial++ {
+		pat := Pattern{}
+		if rng.Intn(2) == 0 {
+			pat.S = dict.ID(rng.Intn(22))
+		}
+		if rng.Intn(2) == 0 {
+			pat.P = dict.ID(rng.Intn(7))
+		}
+		if rng.Intn(2) == 0 {
+			pat.O = dict.ID(rng.Intn(22))
+		}
+		want := 0
+		for x := range ref {
+			if (pat.S == dict.None || x.S == pat.S) &&
+				(pat.P == dict.None || x.P == pat.P) &&
+				(pat.O == dict.None || x.O == pat.O) {
+				want++
+			}
+		}
+		if got := st.Count(pat); got != want {
+			t.Fatalf("pattern %+v: Count = %d, want %d", pat, got, want)
+		}
+	}
+}
+
+func TestInsertDeleteSealed(t *testing.T) {
+	st := buildStore(tr(1, 2, 3), tr(4, 5, 6))
+	if !st.Insert(tr(7, 8, 9)) {
+		t.Fatal("Insert failed")
+	}
+	if st.Insert(tr(7, 8, 9)) {
+		t.Fatal("duplicate Insert succeeded")
+	}
+	if st.Len() != 3 || !st.Contains(tr(7, 8, 9)) {
+		t.Fatalf("Len = %d", st.Len())
+	}
+	// All indexes stay consistent: every access path finds it.
+	if st.Count(Pattern{S: 7}) != 1 || st.Count(Pattern{P: 8}) != 1 || st.Count(Pattern{O: 9}) != 1 {
+		t.Fatal("Insert left indexes inconsistent")
+	}
+	if !st.Delete(tr(4, 5, 6)) {
+		t.Fatal("Delete failed")
+	}
+	if st.Delete(tr(4, 5, 6)) {
+		t.Fatal("double Delete succeeded")
+	}
+	if st.Contains(tr(4, 5, 6)) || st.Len() != 2 {
+		t.Fatal("Delete ineffective")
+	}
+	if st.Count(Pattern{P: 5}) != 0 || st.Count(Pattern{O: 6}) != 0 {
+		t.Fatal("Delete left indexes inconsistent")
+	}
+}
+
+func TestInsertDeleteUnsealedPanics(t *testing.T) {
+	st := New()
+	st.Add(tr(1, 1, 1))
+	for _, f := range []func(){
+		func() { st.Insert(tr(2, 2, 2)) },
+		func() { st.Delete(tr(1, 1, 1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("unsealed mutation did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSortUnique(t *testing.T) {
+	got := SortUnique([]dict.ID{5, 3, 5, 1, 3})
+	if len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Fatalf("SortUnique = %v", got)
+	}
+	if got := SortUnique(nil); len(got) != 0 {
+		t.Fatalf("SortUnique(nil) = %v", got)
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	a := []dict.ID{1, 3, 5, 7}
+	b := []dict.ID{3, 4, 5, 8}
+	if got := Union(a, b); len(got) != 6 || got[0] != 1 || got[5] != 8 {
+		t.Fatalf("Union = %v", got)
+	}
+	if got := Intersect(a, b); len(got) != 2 || got[0] != 3 || got[1] != 5 {
+		t.Fatalf("Intersect = %v", got)
+	}
+	if got := Difference(a, b); len(got) != 2 || got[0] != 1 || got[1] != 7 {
+		t.Fatalf("Difference = %v", got)
+	}
+	if got := Difference(b, a); len(got) != 2 || got[0] != 4 || got[1] != 8 {
+		t.Fatalf("Difference(b,a) = %v", got)
+	}
+}
+
+func TestContainsID(t *testing.T) {
+	a := []dict.ID{2, 4, 6}
+	if !ContainsID(a, 4) || ContainsID(a, 5) || ContainsID(nil, 1) {
+		t.Fatal("ContainsID misbehaved")
+	}
+}
+
+// Properties for the set algebra: |A∪B| + |A∩B| = |A| + |B|, and
+// difference removes exactly the intersection.
+func TestSetAlgebraProperties(t *testing.T) {
+	gen := func(seed []uint8) []dict.ID {
+		ids := make([]dict.ID, len(seed))
+		for i, s := range seed {
+			ids[i] = dict.ID(s%32) + 1
+		}
+		return SortUnique(ids)
+	}
+	f := func(sa, sb []uint8) bool {
+		a, b := gen(sa), gen(sb)
+		u, x, d := Union(a, b), Intersect(a, b), Difference(a, b)
+		if len(u)+len(x) != len(a)+len(b) {
+			return false
+		}
+		if len(d) != len(a)-len(x) {
+			return false
+		}
+		// Union must be sorted unique.
+		for i := 1; i < len(u); i++ {
+			if u[i] <= u[i-1] {
+				return false
+			}
+		}
+		// Every intersect member is in both inputs.
+		for _, id := range x {
+			if !ContainsID(a, id) || !ContainsID(b, id) {
+				return false
+			}
+		}
+		// No difference member is in b.
+		for _, id := range d {
+			if ContainsID(b, id) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMatchBoundSP(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	st := New()
+	for i := 0; i < 100000; i++ {
+		st.Add(tr(dict.ID(rng.Intn(1000)+1), dict.ID(rng.Intn(20)+1), dict.ID(rng.Intn(5000)+1)))
+	}
+	st.Seal()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Count(Pattern{S: dict.ID(i%1000 + 1), P: dict.ID(i%20 + 1)})
+	}
+}
+
+func BenchmarkSeal(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	base := make([]Triple, 50000)
+	for i := range base {
+		base[i] = tr(dict.ID(rng.Intn(5000)+1), dict.ID(rng.Intn(20)+1), dict.ID(rng.Intn(5000)+1))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := New()
+		for _, t := range base {
+			st.Add(t)
+		}
+		st.Seal()
+	}
+}

@@ -1,0 +1,258 @@
+// Package udf implements the IDS user-defined-function machinery:
+// a registry of statically registered (native Go) and dynamically
+// loaded (script-module) functions, and the per-rank profiling store
+// that drives query optimization. As in the paper (§2.4.1), each rank
+// tracks per UDF: how many times it executed, its total execution
+// time, and how many times a query expression was rejected because of
+// its result.
+package udf
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ids/internal/expr"
+)
+
+// Func is a UDF implementation.
+type Func func(args []expr.Value) (expr.Value, error)
+
+// CostFn optionally declares the virtual execution cost in seconds of
+// one call with the given arguments. UDFs wrapping expensive kernels
+// (docking, DTBA) declare calibrated costs; cheap UDFs omit it and are
+// charged measured wall time.
+type CostFn func(args []expr.Value) float64
+
+type entry struct {
+	fn      Func
+	cost    CostFn
+	dynamic bool
+	module  string
+}
+
+// Registry holds the available UDFs. Statically registered functions
+// cannot be replaced (they model CGE's load-time shared objects);
+// dynamic functions belong to a module and can be reloaded, modelling
+// the paper's dynamically imported Python modules.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: map[string]*entry{}}
+}
+
+// Registration errors.
+var (
+	ErrDuplicate = errors.New("udf: already registered")
+	ErrUnknown   = errors.New("udf: unknown function")
+	ErrStatic    = errors.New("udf: cannot replace static function")
+)
+
+// Register adds a static UDF. It fails if the name is taken.
+func (r *Registry) Register(name string, fn Func) error {
+	return r.RegisterWithCost(name, fn, nil)
+}
+
+// RegisterWithCost adds a static UDF with a declared cost model.
+func (r *Registry) RegisterWithCost(name string, fn Func, cost CostFn) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[name]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicate, name)
+	}
+	r.entries[name] = &entry{fn: fn, cost: cost}
+	return nil
+}
+
+// RegisterDynamic adds or replaces a dynamic UDF belonging to module.
+// The callable name is "module.method". Replacing a static name fails.
+func (r *Registry) RegisterDynamic(module, method string, fn Func, cost CostFn) error {
+	name := module + "." + method
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok && !e.dynamic {
+		return fmt.Errorf("%w: %s", ErrStatic, name)
+	}
+	r.entries[name] = &entry{fn: fn, cost: cost, dynamic: true, module: module}
+	return nil
+}
+
+// UnloadModule removes every dynamic UDF belonging to module and
+// returns how many were removed; used by forced module reload.
+func (r *Registry) UnloadModule(module string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for name, e := range r.entries {
+		if e.dynamic && e.module == module {
+			delete(r.entries, name)
+			n++
+		}
+	}
+	return n
+}
+
+// Names returns the sorted registered function names.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.entries))
+	for name := range r.entries {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Has reports whether name is registered.
+func (r *Registry) Has(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.entries[name]
+	return ok
+}
+
+// IsDynamic reports whether name is a dynamically loaded UDF.
+func (r *Registry) IsDynamic(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[name]
+	return ok && e.dynamic
+}
+
+// CallUDF implements expr.FuncResolver: it invokes the named UDF and
+// returns its result plus the cost to charge — the declared virtual
+// cost when the UDF has a cost model, otherwise the measured wall
+// time.
+func (r *Registry) CallUDF(name string, args []expr.Value) (expr.Value, float64, error) {
+	r.mu.RLock()
+	e, ok := r.entries[name]
+	r.mu.RUnlock()
+	if !ok {
+		return expr.Null, 0, fmt.Errorf("%w: %s", ErrUnknown, name)
+	}
+	start := time.Now()
+	out, err := e.fn(args)
+	cost := time.Since(start).Seconds()
+	if e.cost != nil {
+		cost = e.cost(args)
+	}
+	return out, cost, err
+}
+
+var _ expr.FuncResolver = (*Registry)(nil)
+
+// Stats is the per-UDF profiling record of one rank (paper §2.4.1).
+type Stats struct {
+	Execs        int64
+	TotalSeconds float64
+	Rejections   int64
+}
+
+// MeanSeconds returns the average seconds per execution, or 0.
+func (s Stats) MeanSeconds() float64 {
+	if s.Execs == 0 {
+		return 0
+	}
+	return s.TotalSeconds / float64(s.Execs)
+}
+
+// Profiler is the rank-local UDF profiling store. It is owned by one
+// rank's goroutine and is not safe for concurrent use; snapshots are
+// exchanged through collectives.
+type Profiler struct {
+	stats map[string]*Stats
+}
+
+// NewProfiler returns an empty profiler.
+func NewProfiler() *Profiler { return &Profiler{stats: map[string]*Stats{}} }
+
+// Record adds one execution of name taking seconds; rejected marks
+// that the enclosing expression rejected the solution because of it.
+func (p *Profiler) Record(name string, seconds float64, rejected bool) {
+	s, ok := p.stats[name]
+	if !ok {
+		s = &Stats{}
+		p.stats[name] = s
+	}
+	s.Execs++
+	s.TotalSeconds += seconds
+	if rejected {
+		s.Rejections++
+	}
+}
+
+// EstimateCost implements expr.Estimator.
+func (p *Profiler) EstimateCost(name string) (float64, bool) {
+	s, ok := p.stats[name]
+	if !ok || s.Execs == 0 {
+		return 0, false
+	}
+	return s.MeanSeconds(), true
+}
+
+// RejectRate implements expr.Estimator.
+func (p *Profiler) RejectRate(name string) float64 {
+	s, ok := p.stats[name]
+	if !ok || s.Execs == 0 {
+		return 0
+	}
+	return float64(s.Rejections) / float64(s.Execs)
+}
+
+var _ expr.Estimator = (*Profiler)(nil)
+
+// Get returns the stats for name (zero value if never recorded).
+func (p *Profiler) Get(name string) Stats {
+	if s, ok := p.stats[name]; ok {
+		return *s
+	}
+	return Stats{}
+}
+
+// Snapshot returns a copy of all records.
+func (p *Profiler) Snapshot() map[string]Stats {
+	out := make(map[string]Stats, len(p.stats))
+	for name, s := range p.stats {
+		out[name] = *s
+	}
+	return out
+}
+
+// Merge folds another profiler's snapshot into this one (used when
+// aggregating rank profiles for reports).
+func (p *Profiler) Merge(snap map[string]Stats) {
+	for name, s := range snap {
+		cur, ok := p.stats[name]
+		if !ok {
+			cur = &Stats{}
+			p.stats[name] = cur
+		}
+		cur.Execs += s.Execs
+		cur.TotalSeconds += s.TotalSeconds
+		cur.Rejections += s.Rejections
+	}
+}
+
+// String renders the profile as a sorted table for logs.
+func (p *Profiler) String() string {
+	names := make([]string, 0, len(p.stats))
+	for n := range p.stats {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, n := range names {
+		s := p.stats[n]
+		fmt.Fprintf(&sb, "%s: execs=%d total=%.3fs mean=%.4fs rejects=%d\n",
+			n, s.Execs, s.TotalSeconds, s.MeanSeconds(), s.Rejections)
+	}
+	return sb.String()
+}

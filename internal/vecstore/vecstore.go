@@ -1,0 +1,324 @@
+// Package vecstore implements the vector-store face of the IDS
+// 3-in-1 datastore: dense float32 vectors keyed by name, brute-force
+// and IVF (inverted-file, k-means-partitioned) indexes, and top-k
+// similarity search under cosine, dot-product and Euclidean metrics.
+// In the NCNPR workflow it holds compound fingerprints and sequence
+// embeddings for fast candidate pre-screening.
+package vecstore
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Metric selects the similarity/distance function.
+type Metric int
+
+// Supported metrics.
+const (
+	Cosine Metric = iota
+	Dot
+	L2
+)
+
+func (m Metric) String() string {
+	switch m {
+	case Cosine:
+		return "cosine"
+	case Dot:
+		return "dot"
+	default:
+		return "l2"
+	}
+}
+
+// Errors.
+var (
+	ErrDimMismatch = errors.New("vecstore: dimension mismatch")
+	ErrNotFound    = errors.New("vecstore: vector not found")
+	ErrEmpty       = errors.New("vecstore: store is empty")
+	ErrExists      = errors.New("vecstore: key already exists")
+)
+
+// Result is one search hit.
+type Result struct {
+	Key string
+	// Score is similarity for Cosine/Dot (higher better) and negated
+	// distance for L2 (higher better), so ordering is uniform.
+	Score float64
+}
+
+// Store is a concurrency-safe vector store.
+type Store struct {
+	mu     sync.RWMutex
+	dim    int
+	metric Metric
+	keys   []string
+	vecs   [][]float32
+	norms  []float64
+	index  map[string]int
+
+	// IVF index state (nil until BuildIVF).
+	centroids [][]float32
+	lists     [][]int
+}
+
+// New creates a store for dim-dimensional vectors under the metric.
+func New(dim int, metric Metric) (*Store, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("vecstore: invalid dimension %d", dim)
+	}
+	return &Store{dim: dim, metric: metric, index: map[string]int{}}, nil
+}
+
+// Dim returns the store's dimensionality.
+func (s *Store) Dim() int { return s.dim }
+
+// Len returns the number of stored vectors.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.keys)
+}
+
+// Add inserts a vector under key. Adding invalidates any IVF index.
+func (s *Store) Add(key string, vec []float32) error {
+	if len(vec) != s.dim {
+		return fmt.Errorf("%w: got %d, want %d", ErrDimMismatch, len(vec), s.dim)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.index[key]; ok {
+		return fmt.Errorf("%w: %s", ErrExists, key)
+	}
+	cp := make([]float32, len(vec))
+	copy(cp, vec)
+	s.index[key] = len(s.keys)
+	s.keys = append(s.keys, key)
+	s.vecs = append(s.vecs, cp)
+	s.norms = append(s.norms, norm(cp))
+	s.centroids, s.lists = nil, nil
+	return nil
+}
+
+// Get returns the vector stored under key.
+func (s *Store) Get(key string) ([]float32, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	i, ok := s.index[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	out := make([]float32, s.dim)
+	copy(out, s.vecs[i])
+	return out, nil
+}
+
+func norm(v []float32) float64 {
+	ss := 0.0
+	for _, x := range v {
+		ss += float64(x) * float64(x)
+	}
+	return math.Sqrt(ss)
+}
+
+func dot(a, b []float32) float64 {
+	s := 0.0
+	for i := range a {
+		s += float64(a[i]) * float64(b[i])
+	}
+	return s
+}
+
+// score computes the uniform higher-is-better score.
+func (s *Store) score(q []float32, qnorm float64, i int) float64 {
+	switch s.metric {
+	case Cosine:
+		d := qnorm * s.norms[i]
+		if d == 0 {
+			return 0
+		}
+		return dot(q, s.vecs[i]) / d
+	case Dot:
+		return dot(q, s.vecs[i])
+	default:
+		ss := 0.0
+		v := s.vecs[i]
+		for j := range q {
+			d := float64(q[j]) - float64(v[j])
+			ss += d * d
+		}
+		return -math.Sqrt(ss)
+	}
+}
+
+// resultHeap is a min-heap on Score holding the current top-k.
+type resultHeap []Result
+
+func (h resultHeap) Len() int           { return len(h) }
+func (h resultHeap) Less(i, j int) bool { return h[i].Score < h[j].Score }
+func (h resultHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x any)        { *h = append(*h, x.(Result)) }
+func (h *resultHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h resultHeap) worst() float64     { return h[0].Score }
+
+// Search returns the top-k hits for the query, brute force.
+func (s *Store) Search(q []float32, k int) ([]Result, error) {
+	if len(q) != s.dim {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrDimMismatch, len(q), s.dim)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.keys) == 0 {
+		return nil, ErrEmpty
+	}
+	return s.searchIn(q, k, nil), nil
+}
+
+// searchIn scans the candidate index list (nil = all).
+func (s *Store) searchIn(q []float32, k int, candidates []int) []Result {
+	qn := norm(q)
+	h := make(resultHeap, 0, k+1)
+	consider := func(i int) {
+		sc := s.score(q, qn, i)
+		if len(h) < k {
+			heap.Push(&h, Result{Key: s.keys[i], Score: sc})
+		} else if k > 0 && sc > h.worst() {
+			h[0] = Result{Key: s.keys[i], Score: sc}
+			heap.Fix(&h, 0)
+		}
+	}
+	if candidates == nil {
+		for i := range s.vecs {
+			consider(i)
+		}
+	} else {
+		for _, i := range candidates {
+			consider(i)
+		}
+	}
+	out := make([]Result, len(h))
+	copy(out, h)
+	sort.Slice(out, func(a, b int) bool { return out[a].Score > out[b].Score })
+	return out
+}
+
+// BuildIVF partitions the stored vectors into nlist clusters with
+// k-means (iters iterations, deterministic from seed). Search can then
+// probe only the closest nprobe lists.
+func (s *Store) BuildIVF(nlist, iters int, seed int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.vecs)
+	if n == 0 {
+		return ErrEmpty
+	}
+	if nlist <= 0 || nlist > n {
+		nlist = int(math.Sqrt(float64(n))) + 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// k-means++ style init: random distinct picks.
+	perm := rng.Perm(n)
+	centroids := make([][]float32, nlist)
+	for i := 0; i < nlist; i++ {
+		c := make([]float32, s.dim)
+		copy(c, s.vecs[perm[i]])
+		centroids[i] = c
+	}
+	assign := make([]int, n)
+	for it := 0; it < iters; it++ {
+		for i, v := range s.vecs {
+			assign[i] = nearestCentroid(v, centroids)
+		}
+		// Recompute.
+		counts := make([]int, nlist)
+		sums := make([][]float64, nlist)
+		for c := range sums {
+			sums[c] = make([]float64, s.dim)
+		}
+		for i, v := range s.vecs {
+			c := assign[i]
+			counts[c]++
+			for j, x := range v {
+				sums[c][j] += float64(x)
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				continue
+			}
+			for j := range centroids[c] {
+				centroids[c][j] = float32(sums[c][j] / float64(counts[c]))
+			}
+		}
+	}
+	lists := make([][]int, nlist)
+	for i, v := range s.vecs {
+		c := nearestCentroid(v, centroids)
+		lists[c] = append(lists[c], i)
+	}
+	s.centroids, s.lists = centroids, lists
+	return nil
+}
+
+func nearestCentroid(v []float32, centroids [][]float32) int {
+	best, bestD := 0, math.Inf(1)
+	for c, cent := range centroids {
+		ss := 0.0
+		for j := range v {
+			d := float64(v[j]) - float64(cent[j])
+			ss += d * d
+		}
+		if ss < bestD {
+			best, bestD = c, ss
+		}
+	}
+	return best
+}
+
+// SearchIVF probes the nprobe nearest clusters. Falls back to brute
+// force when no IVF index exists.
+func (s *Store) SearchIVF(q []float32, k, nprobe int) ([]Result, error) {
+	if len(q) != s.dim {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrDimMismatch, len(q), s.dim)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.keys) == 0 {
+		return nil, ErrEmpty
+	}
+	if s.centroids == nil {
+		return s.searchIn(q, k, nil), nil
+	}
+	if nprobe <= 0 {
+		nprobe = 1
+	}
+	if nprobe > len(s.centroids) {
+		nprobe = len(s.centroids)
+	}
+	// Rank clusters by centroid distance.
+	type cd struct {
+		c int
+		d float64
+	}
+	ds := make([]cd, len(s.centroids))
+	for c, cent := range s.centroids {
+		ss := 0.0
+		for j := range q {
+			d := float64(q[j]) - float64(cent[j])
+			ss += d * d
+		}
+		ds[c] = cd{c, ss}
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].d < ds[j].d })
+	var candidates []int
+	for i := 0; i < nprobe; i++ {
+		candidates = append(candidates, s.lists[ds[i].c]...)
+	}
+	return s.searchIn(q, k, candidates), nil
+}

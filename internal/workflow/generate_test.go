@@ -1,0 +1,82 @@
+package workflow
+
+import (
+	"testing"
+)
+
+func TestGenerateAndScreen(t *testing.T) {
+	w := newWorkflow(t, 4, false)
+	gr, err := w.GenerateAndScreen(60, 5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr.Generated != 60 {
+		t.Fatalf("generated = %d", gr.Generated)
+	}
+	if gr.Screened == 0 {
+		t.Fatal("DTBA screen rejected everything (threshold miscalibrated)")
+	}
+	if len(gr.Docked) == 0 || len(gr.Docked) > 5 {
+		t.Fatalf("docked = %d, want 1..5", len(gr.Docked))
+	}
+	// Results sorted best-first.
+	for i := 1; i < len(gr.Docked); i++ {
+		if gr.Docked[i].Affinity < gr.Docked[i-1].Affinity {
+			t.Fatal("docked candidates not sorted by affinity")
+		}
+	}
+	// Phases present.
+	if gr.Report.PhaseMax("dtba-screen") <= 0 || gr.Report.PhaseMax("dock") <= 0 {
+		t.Fatalf("phases = %v", gr.Report.Phases)
+	}
+}
+
+func TestGenerateAndScreenDeterministic(t *testing.T) {
+	a, err := newWorkflow(t, 4, false).GenerateAndScreen(40, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := newWorkflow(t, 4, false).GenerateAndScreen(40, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Screened != b.Screened || len(a.Docked) != len(b.Docked) {
+		t.Fatalf("nondeterministic: %d/%d vs %d/%d", a.Screened, len(a.Docked), b.Screened, len(b.Docked))
+	}
+	for i := range a.Docked {
+		if a.Docked[i].SMILES != b.Docked[i].SMILES || a.Docked[i].Affinity != b.Docked[i].Affinity {
+			t.Fatalf("candidate %d differs", i)
+		}
+	}
+}
+
+func TestGenerateAndScreenUsesCache(t *testing.T) {
+	w := newWorkflow(t, 4, true)
+	first, err := w.GenerateAndScreen(40, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHits != 0 {
+		t.Fatalf("cold run hit %d times", first.CacheHits)
+	}
+	second, err := w.GenerateAndScreen(40, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.CacheMisses != 0 {
+		t.Fatalf("repeat run missed %d times", second.CacheMisses)
+	}
+	if second.Report.Makespan > first.Report.Makespan*1.01 {
+		t.Fatalf("warm generative run slower: %f vs %f",
+			second.Report.Makespan, first.Report.Makespan)
+	}
+}
+
+func TestItoa(t *testing.T) {
+	cases := map[int64]string{0: "0", 7: "7", 42: "42", -3: "-3", 1234567: "1234567"}
+	for in, want := range cases {
+		if got := itoa(in); got != want {
+			t.Fatalf("itoa(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

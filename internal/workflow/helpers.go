@@ -1,0 +1,55 @@
+package workflow
+
+import (
+	"math"
+	"sync"
+
+	"ids/internal/align"
+	"ids/internal/cache"
+	"ids/internal/chem"
+	"ids/internal/dock"
+)
+
+// alignProfile builds the Smith-Waterman query profile of the target
+// sequence.
+func alignProfile(seq string) (*align.Profile, error) {
+	return align.NewBLOSUM62().NewProfile(seq)
+}
+
+// pic50 converts an IC50 in nM to pIC50.
+func pic50(nM float64) float64 {
+	if nM <= 0 {
+		return 0
+	}
+	return -math.Log10(nM * 1e-9)
+}
+
+// ligandCache memoizes 3D embeddings per SMILES across ranks and runs;
+// conformer generation is deterministic, so sharing is safe.
+var ligandCache sync.Map // smiles -> *dock.Ligand
+
+// ligandFor parses and embeds a SMILES string, memoized.
+func ligandFor(smiles string) (*dock.Ligand, error) {
+	if v, ok := ligandCache.Load(smiles); ok {
+		return v.(*dock.Ligand), nil
+	}
+	mol, err := chem.ParseSMILES(smiles)
+	if err != nil {
+		return nil, err
+	}
+	lig, err := dock.Embed(mol, 1)
+	if err != nil {
+		return nil, err
+	}
+	ligandCache.Store(smiles, lig)
+	return lig, nil
+}
+
+// cacheNodes returns the node count of the global cache.
+func cacheNodes(c *cache.Cache) int {
+	n := c.Nodes()
+	if n <= 0 {
+		return 1
+	}
+	return n
+}
