@@ -5,6 +5,11 @@
 // Usage:
 //
 //	ids-bench [-scale paper|ci] [-exp all|table1|table2|fig4a|fig4b|fig5|rebalance|reorder|whatis|cachetiers]
+//	          [-trace-out trace.json]
+//
+// -trace-out additionally runs the NCNPR inner query with span tracing
+// and writes a JSON trace summary (the EXPLAIN ANALYZE tree plus the
+// engine metrics snapshot) to the given file.
 //
 // The "paper" scale uses the paper's node counts (64/128/256 x 32
 // ranks) and a 1e-3 rendition of its 66M sequence comparisons; expect
@@ -12,6 +17,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +30,7 @@ import (
 func main() {
 	scaleName := flag.String("scale", "ci", "experiment scale: paper or ci")
 	exp := flag.String("exp", "all", "experiment to run")
+	traceOut := flag.String("trace-out", "", "write a traced NCNPR query summary (JSON) to this file")
 	flag.Parse()
 
 	var sc experiments.Scale
@@ -58,6 +65,40 @@ func main() {
 	run("whatis", runWhatIs)
 	run("cachetiers", runCacheTiers)
 	run("affinity", runAffinity)
+
+	if *traceOut != "" {
+		if err := writeTraceSummary(sc, *traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeTraceSummary runs the NCNPR inner query traced and writes the
+// span trace plus metrics snapshot as JSON.
+func writeTraceSummary(sc experiments.Scale, path string) error {
+	nodes := sc.NodesList[0]
+	sum, err := experiments.TraceSummary(sc, nodes)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sum); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("\ntrace summary (%d nodes): %s — makespan %.3fs, %d ops, %d rows\n",
+		sum.Nodes, path, sum.Trace.Makespan, len(sum.Trace.Ops), sum.Trace.Rows)
+	sum.Trace.Render(os.Stdout, false)
+	return nil
 }
 
 func runAffinity(sc experiments.Scale) error {

@@ -3,10 +3,16 @@
 //
 // Usage:
 //
-//	ids-cli -e http://host:port query  'SELECT ...'
+//	ids-cli -e http://host:port query  [-explain] 'SELECT ...'
 //	ids-cli -e http://host:port module -name mymod -file code.ids [-reload]
 //	ids-cli -e http://host:port stats
 //	ids-cli -e http://host:port profile
+//	ids-cli -e http://host:port metrics
+//	ids-cli -e http://host:port trace  q000001
+//
+// query -explain runs the query with span tracing and renders the
+// EXPLAIN ANALYZE tree (per-operator rows, virtual seconds, per-rank
+// skew) after the result table.
 package main
 
 import (
@@ -21,7 +27,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ids-cli -e <endpoint> <query|update|module|stats|profile> [args]")
+	fmt.Fprintln(os.Stderr, "usage: ids-cli -e <endpoint> <query|update|module|stats|profile|metrics|trace> [args]")
 	os.Exit(2)
 }
 
@@ -60,6 +66,10 @@ func main() {
 		err = runStats(c)
 	case "profile":
 		err = runProfile(c)
+	case "metrics":
+		err = runMetrics(c)
+	case "trace":
+		err = runTrace(c, args[1:])
 	default:
 		usage()
 	}
@@ -70,10 +80,22 @@ func main() {
 }
 
 func runQuery(c *ids.Client, args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	explain := fs.Bool("explain", false, "trace the query and render its EXPLAIN ANALYZE tree")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	args = fs.Args()
 	if len(args) != 1 {
 		return fmt.Errorf("query takes exactly one argument")
 	}
-	resp, err := c.Query(args[0])
+	var resp *ids.QueryResponse
+	var err error
+	if *explain {
+		resp, err = c.QueryExplain(args[0])
+	} else {
+		resp, err = c.Query(args[0])
+	}
 	if err != nil {
 		return err
 	}
@@ -95,6 +117,31 @@ func runQuery(c *ids.Client, args []string) error {
 		sort.Strings(parts)
 		fmt.Println("phases:", strings.Join(parts, " "))
 	}
+	if resp.Trace != nil {
+		fmt.Println()
+		resp.Trace.Render(os.Stdout, true)
+	}
+	return nil
+}
+
+func runMetrics(c *ids.Client) error {
+	text, err := c.MetricsText()
+	if err != nil {
+		return err
+	}
+	fmt.Print(text)
+	return nil
+}
+
+func runTrace(c *ids.Client, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("trace takes exactly one trace ID (see /trace for stored IDs)")
+	}
+	tr, err := c.Trace(args[0])
+	if err != nil {
+		return err
+	}
+	tr.Render(os.Stdout, true)
 	return nil
 }
 

@@ -80,7 +80,7 @@ func main() {
 	}
 	fmt.Printf("IDS endpoint listening on http://%s (%d nodes x %d ranks, %d triples)\n",
 		inst.Addr, topo.Nodes, topo.RanksPerNode, inst.Engine.Graph.Len())
-	fmt.Println("POST /query, POST /module, GET /profile, GET /stats, GET /healthz")
+	fmt.Println("POST /query, POST /module, GET /profile, GET /stats, GET /metrics, GET /trace, GET /healthz")
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

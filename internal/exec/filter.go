@@ -23,13 +23,21 @@ type FilterOpts struct {
 
 // FilterStats reports what one rank's FILTER evaluation did.
 type FilterStats struct {
-	Evaluated int // rows evaluated
+	Evaluated int // rows evaluated (after re-balancing)
 	Passed    int // rows that survived
 	Errors    int // rows dropped due to evaluation errors
 	UDFCost   float64
 	// Order is the conjunct evaluation order used by this rank
 	// (stringified), exposing per-rank independent reordering.
 	Order []string
+	// RowsBefore is the local row count before §2.4.2 re-balancing.
+	RowsBefore int
+	// Rebalance reports the rows this rank shipped/received during
+	// re-balancing (zero when disabled).
+	Rebalance RebalanceInfo
+	// RebalanceSeconds is the virtual time the re-balancing step took
+	// on this rank, collectives included.
+	RebalanceSeconds float64
 }
 
 // callRecorder wraps a FuncResolver, capturing each UDF call's name
@@ -71,6 +79,7 @@ func Filter(r *mpp.Rank, t *Table, e expr.Expr, funcs expr.FuncResolver,
 	// Cost-aware re-balancing needs this rank's throughput estimate:
 	// seconds per solution across the (reordered) chain, from the
 	// profile.
+	stats := FilterStats{RowsBefore: t.Len()}
 	if opts.Rebalance != RebalanceNone {
 		secPerSol := 0.0
 		for _, c := range chain {
@@ -80,14 +89,16 @@ func Filter(r *mpp.Rank, t *Table, e expr.Expr, funcs expr.FuncResolver,
 		if secPerSol > 0 {
 			rate = 1 / secPerSol
 		}
+		vt0 := r.Now()
 		var err error
-		t, err = Rebalance(r, t, opts.Rebalance, rate)
+		t, stats.Rebalance, err = RebalanceCounted(r, t, opts.Rebalance, rate)
 		if err != nil {
 			return nil, FilterStats{}, err
 		}
+		stats.RebalanceSeconds = r.Now() - vt0
 	}
 
-	stats := FilterStats{Order: make([]string, len(chain))}
+	stats.Order = make([]string, len(chain))
 	for i, c := range chain {
 		stats.Order[i] = c.String()
 	}

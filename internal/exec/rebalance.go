@@ -179,18 +179,33 @@ func EstimatedMakespan(counts []int, rates []float64) float64 {
 	return worst
 }
 
+// RebalanceInfo reports what re-balancing did on one rank: how many
+// rows it shipped out and pulled in (the paper's migrated chunks).
+type RebalanceInfo struct {
+	Sent     int
+	Received int
+}
+
 // Rebalance redistributes the distributed table t so each rank's row
 // count matches the selected policy's target. solPerSec is this rank's
 // estimated UDF throughput (ignored for count-based balancing). The
 // exchanged rows are charged to the network model by the AllToAll.
 func Rebalance(r *mpp.Rank, t *Table, mode RebalanceMode, solPerSec float64) (*Table, error) {
+	out, _, err := RebalanceCounted(r, t, mode, solPerSec)
+	return out, err
+}
+
+// RebalanceCounted is Rebalance plus per-rank migration accounting for
+// the tracer.
+func RebalanceCounted(r *mpp.Rank, t *Table, mode RebalanceMode, solPerSec float64) (*Table, RebalanceInfo, error) {
+	var info RebalanceInfo
 	if mode == RebalanceNone {
-		return t, nil
+		return t, info, nil
 	}
 	p := r.Size()
 	counts, err := mpp.AllGather(r, t.Len())
 	if err != nil {
-		return nil, err
+		return nil, info, err
 	}
 	total := 0
 	for _, c := range counts {
@@ -200,7 +215,7 @@ func Rebalance(r *mpp.Rank, t *Table, mode RebalanceMode, solPerSec float64) (*T
 	if mode == RebalanceCost {
 		rates, err := mpp.AllGather(r, solPerSec)
 		if err != nil {
-			return nil, err
+			return nil, info, err
 		}
 		minR, maxR := rates[0], rates[0]
 		for _, x := range rates {
@@ -220,6 +235,9 @@ func Rebalance(r *mpp.Rank, t *Table, mode RebalanceMode, solPerSec float64) (*T
 		targets = CountTargets(total, p)
 	}
 	myRow := SendRow(append([]int{}, counts...), targets, r.ID())
+	for _, n := range myRow {
+		info.Sent += n
+	}
 
 	// Build send buffers from the tail of the local partition.
 	send := make([][][]expr.Value, p)
@@ -236,7 +254,7 @@ func Rebalance(r *mpp.Rank, t *Table, mode RebalanceMode, solPerSec float64) (*T
 	kept := t.Rows[:cursor]
 	recv, err := mpp.AllToAll(r, send)
 	if err != nil {
-		return nil, err
+		return nil, info, err
 	}
 	out := NewTable(t.Vars...)
 	out.Rows = append(out.Rows, kept...)
@@ -244,7 +262,8 @@ func Rebalance(r *mpp.Rank, t *Table, mode RebalanceMode, solPerSec float64) (*T
 		if src == r.ID() {
 			continue
 		}
+		info.Received += len(part)
 		out.Rows = append(out.Rows, part...)
 	}
-	return out, nil
+	return out, info, nil
 }

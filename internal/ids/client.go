@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"time"
 
+	"ids/internal/obs"
 	"ids/internal/udf"
 )
 
@@ -66,6 +68,40 @@ func (c *Client) Query(q string) (*QueryResponse, error) {
 		return nil, err
 	}
 	return &out, nil
+}
+
+// QueryExplain runs a query remotely with span tracing; the response
+// carries the trace and its ID.
+func (c *Client) QueryExplain(q string) (*QueryResponse, error) {
+	var out QueryResponse
+	if err := c.post("/query", QueryRequest{Query: q, Explain: true}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Trace fetches a stored query trace by ID.
+func (c *Client) Trace(id string) (*obs.QueryTrace, error) {
+	var out obs.QueryTrace
+	if err := c.get("/trace?id="+url.QueryEscape(id), &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// MetricsText fetches the Prometheus text exposition of the server's
+// metrics registry.
+func (c *Client) MetricsText() (string, error) {
+	resp, err := c.HTTP.Get(c.Base + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("ids client: /metrics returned %s", resp.Status)
+	}
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
 }
 
 // Update applies an INSERT DATA / DELETE DATA statement remotely.

@@ -9,6 +9,8 @@ package ids
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"ids/internal/cache"
 	"ids/internal/dict"
@@ -16,6 +18,7 @@ import (
 	"ids/internal/expr"
 	"ids/internal/kg"
 	"ids/internal/mpp"
+	"ids/internal/obs"
 	"ids/internal/plan"
 	"ids/internal/script"
 	"ids/internal/sparql"
@@ -42,6 +45,13 @@ func DefaultOptions() Options {
 }
 
 // Engine is one running IDS backend instance.
+//
+// Concurrency contract: Engine is NOT safe for concurrent query or
+// update execution — Query/Execute/CachedQuery/Update each spin up an
+// MPP world over shared per-rank profilers and planner statistics, so
+// callers must serialize them (Server does, behind its mutex).
+// Read-only accessors (Decode, Profiler, Metrics, resultKey's updates
+// counter) are safe to call concurrently with a running query.
 type Engine struct {
 	Graph  *kg.Graph
 	Reg    *udf.Registry
@@ -61,8 +71,13 @@ type Engine struct {
 	// vectors holds attached vector stores (see vectors.go).
 	vectors map[string]*vecstore.Store
 	// updates counts applied update statements; part of the result-
-	// cache key so updates invalidate stale entries.
-	updates int64
+	// cache key so updates invalidate stale entries. Atomic so the key
+	// derivation never races with a concurrent Update.
+	updates atomic.Int64
+	// met is the engine's metrics registry plus hot-path handles.
+	met *engineMetrics
+	// tracing makes every query collect a span trace (Result.Trace).
+	tracing bool
 }
 
 // NewEngine wires an engine over a sealed graph. The graph must have
@@ -84,11 +99,21 @@ func NewEngine(g *kg.Graph, topo mpp.Topology) (*Engine, error) {
 		Seed:   1,
 		Opts:   DefaultOptions(),
 		stats:  plan.StatsFromGraph(g),
+		met:    newEngineMetrics(),
 	}
 	e.profilers = make([]*udf.Profiler, topo.Size())
 	for i := range e.profilers {
 		e.profilers[i] = udf.NewProfiler()
 	}
+	// Mirror the merged UDF profile into the registry at scrape time,
+	// making /metrics the single source of truth for profiling data.
+	e.met.reg.AddCollector(func(r *obs.Registry) {
+		for name, s := range e.MergedProfile().Snapshot() {
+			r.Counter("udf_execs_total", "udf", name).Set(float64(s.Execs))
+			r.Counter("udf_seconds_total", "udf", name).Set(s.TotalSeconds)
+			r.Counter("udf_rejections_total", "udf", name).Set(float64(s.Rejections))
+		}
+	})
 	return e, nil
 }
 
@@ -96,12 +121,27 @@ func NewEngine(g *kg.Graph, topo mpp.Topology) (*Engine, error) {
 // queries, as the paper specifies).
 func (e *Engine) Profiler(r int) *udf.Profiler { return e.profilers[r] }
 
+// Metrics returns the engine's metrics registry (exposed by the
+// server's /metrics endpoint). Scraping while a query is running is
+// safe for counters; the UDF-profile collector requires the same
+// serialization as Query (the Server holds its mutex for both).
+func (e *Engine) Metrics() *obs.Registry { return e.met.reg }
+
+// SetTracing toggles per-query span tracing: when on, every
+// Query/Execute attaches an obs.QueryTrace to its Result. Overhead is
+// a few timestamps per operator per rank; when off the traced path is
+// skipped entirely.
+func (e *Engine) SetTracing(on bool) { e.tracing = on }
+
 // Result is a completed query.
 type Result struct {
 	Vars   []string
 	Rows   [][]expr.Value
 	Report *mpp.Report
 	Plan   *plan.Plan
+	// Trace is the query's span trace (nil unless tracing was enabled
+	// for this query).
+	Trace *obs.QueryTrace
 }
 
 // Decode renders a row value as a display string using the engine's
@@ -133,23 +173,56 @@ func (e *Engine) Strings(res *Result) [][]string {
 // Query parses, plans and executes a query across all ranks, returning
 // the gathered result and the timing report.
 func (e *Engine) Query(qs string) (*Result, error) {
+	return e.query(qs, e.tracing)
+}
+
+// QueryTraced is Query with span tracing forced on for this one call;
+// Result.Trace carries the collected trace.
+func (e *Engine) QueryTraced(qs string) (*Result, error) {
+	return e.query(qs, true)
+}
+
+func (e *Engine) query(qs string, traced bool) (*Result, error) {
+	start := time.Now()
 	q, err := sparql.Parse(qs)
 	if err != nil {
+		e.met.queryErrors.Inc()
 		return nil, err
 	}
-	return e.Execute(q)
+	return e.execute(q, traced, qs, start, time.Since(start).Seconds())
 }
 
 // Execute runs a parsed query.
 func (e *Engine) Execute(q *sparql.Query) (*Result, error) {
+	return e.execute(q, e.tracing, "", time.Now(), 0)
+}
+
+func (e *Engine) execute(q *sparql.Query, traced bool, qs string, start time.Time, parseSec float64) (*Result, error) {
+	planStart := time.Now()
 	pl, err := plan.Build(q, e.stats)
 	if err != nil {
+		e.met.queryErrors.Inc()
 		return nil, err
 	}
+	planSec := time.Since(planStart).Seconds()
+
+	var recs []*obs.RankRecorder
+	if traced {
+		recs = make([]*obs.RankRecorder, e.Topo.Size())
+		for i := range recs {
+			recs[i] = obs.NewRankRecorder(i)
+		}
+	}
+
+	execStart := time.Now()
 	rows := make([][][]expr.Value, e.Topo.Size())
 	var vars []string
 	report, err := mpp.Run(e.Topo, e.Net, e.Seed, func(r *mpp.Rank) error {
-		tab, err := e.RunPlan(r, pl)
+		var rec *obs.RankRecorder
+		if recs != nil {
+			rec = recs[r.ID()]
+		}
+		tab, err := e.runPlanRec(r, pl, rec)
 		if err != nil {
 			return err
 		}
@@ -160,9 +233,28 @@ func (e *Engine) Execute(q *sparql.Query) (*Result, error) {
 		return nil
 	})
 	if err != nil {
+		e.met.queryErrors.Inc()
 		return nil, err
 	}
-	return &Result{Vars: vars, Rows: rows[0], Report: report, Plan: pl}, nil
+	res := &Result{Vars: vars, Rows: rows[0], Report: report, Plan: pl}
+	wall := time.Since(start).Seconds()
+	if traced {
+		tr := obs.BuildTrace(obs.NewTraceID(), qs, start, recs, true)
+		tr.ParseSeconds = parseSec
+		tr.PlanSeconds = planSec
+		tr.ExecSeconds = time.Since(execStart).Seconds()
+		tr.WallSeconds = wall
+		tr.Makespan = report.Makespan
+		tr.Rows = len(res.Rows)
+		tr.Phases = report.Phases
+		tr.Collectives = report.Comm.Collectives
+		tr.CommBytes = report.Comm.Bytes
+		tr.CommSeconds = report.Comm.Seconds
+		tr.Plan = pl.Explain()
+		res.Trace = tr
+	}
+	e.met.observeQuery(res, report, wall)
+	return res, nil
 }
 
 // RunPlan executes the plan steps on one rank and returns the final
@@ -170,27 +262,41 @@ func (e *Engine) Execute(q *sparql.Query) (*Result, error) {
 // Exposed so workflow drivers can embed queries inside a larger
 // mpp.Run with extra stages (e.g. docking) in the same world.
 func (e *Engine) RunPlan(r *mpp.Rank, pl *plan.Plan) (*exec.Table, error) {
-	tab, err := e.runSteps(r, pl.Steps, nil)
+	return e.runPlanRec(r, pl, nil)
+}
+
+// runPlanRec is RunPlan with an optional per-rank trace recorder.
+func (e *Engine) runPlanRec(r *mpp.Rank, pl *plan.Plan, rec *obs.RankRecorder) (*exec.Table, error) {
+	tab, err := e.runSteps(r, pl.Steps, nil, rec, 0)
 	if err != nil {
 		return nil, err
 	}
 
 	r.SetPhase("merge")
 	if pl.Distinct {
+		ot := startOp(rec, r)
+		in := tab.Len()
 		tab, err = exec.DistinctGlobal(r, tab)
 		if err != nil {
 			return nil, err
 		}
+		ot.record(rec, r, obs.OpSample{Op: "distinct", RowsIn: in, RowsOut: tab.Len()})
 	}
+	ot := startOp(rec, r)
+	in := tab.Len()
 	tab, err = exec.Gather(r, tab)
 	if err != nil {
 		return nil, err
 	}
+	ot.record(rec, r, obs.OpSample{Op: "gather", RowsIn: in, RowsOut: tab.Len()})
 	if len(pl.Aggregates) > 0 {
+		ot := startOp(rec, r)
+		in := tab.Len()
 		tab, err = exec.Aggregate(tab, pl.GroupBy, pl.Aggregates, expr.DictResolver{Dict: e.Graph.Dict})
 		if err != nil {
 			return nil, err
 		}
+		ot.record(rec, r, obs.OpSample{Op: "aggregate", RowsIn: in, RowsOut: tab.Len()})
 	}
 	tab.SortBy(pl.OrderBy, expr.DictResolver{Dict: e.Graph.Dict})
 	if pl.Limit >= 0 || pl.Offset > 0 {
@@ -205,8 +311,10 @@ func (e *Engine) RunPlan(r *mpp.Rank, pl *plan.Plan) (*exec.Table, error) {
 
 // runSteps executes a step list against the rank's shard, starting
 // from tab (nil = the first scan seeds the table). UNION branches
-// recurse with a fresh table.
-func (e *Engine) runSteps(r *mpp.Rank, steps []plan.Step, tab *exec.Table) (*exec.Table, error) {
+// recurse with a fresh table. When rec is non-nil every operator
+// appends one OpSample; all ranks run the identical plan so sample
+// sequences zip across ranks.
+func (e *Engine) runSteps(r *mpp.Rank, steps []plan.Step, tab *exec.Table, rec *obs.RankRecorder, depth int) (*exec.Table, error) {
 	shard := e.Graph.Shard(r.ID())
 	prof := e.profilers[r.ID()]
 	res := expr.DictResolver{Dict: e.Graph.Dict}
@@ -218,33 +326,44 @@ func (e *Engine) runSteps(r *mpp.Rank, steps []plan.Step, tab *exec.Table) (*exe
 		switch s := step.(type) {
 		case plan.ScanStep:
 			r.SetPhase("scan")
+			ot := startOp(rec, r)
 			t, err := exec.Scan(r, shard, e.Graph.Dict, s.Pattern)
 			if err != nil {
 				return nil, err
 			}
+			ot.record(rec, r, obs.OpSample{Depth: depth, Op: "scan", Label: s.Pattern.String(), RowsOut: t.Len()})
 			if tab == nil {
 				tab = t
 			} else {
 				r.SetPhase("join")
+				jt := startOp(rec, r)
+				in := tab.Len() + t.Len()
 				tab, err = exec.HashJoin(r, tab, t)
 				if err != nil {
 					return nil, err
 				}
+				jt.record(rec, r, obs.OpSample{Depth: depth, Op: "join", RowsIn: in, RowsOut: tab.Len()})
 			}
 		case plan.JoinStep:
 			r.SetPhase("scan")
+			ot := startOp(rec, r)
 			right, err := exec.Scan(r, shard, e.Graph.Dict, s.Pattern)
 			if err != nil {
 				return nil, err
 			}
+			ot.record(rec, r, obs.OpSample{Depth: depth, Op: "scan", Label: s.Pattern.String(), RowsOut: right.Len()})
 			r.SetPhase("join")
+			jt := startOp(rec, r)
+			in := tab.Len() + right.Len()
 			tab, err = exec.HashJoin(r, tab, right)
 			if err != nil {
 				return nil, err
 			}
+			jt.record(rec, r, obs.OpSample{Depth: depth, Op: "join", RowsIn: in, RowsOut: tab.Len()})
 		case plan.FilterStep:
 			r.SetPhase("filter")
-			t, _, err := exec.Filter(r, tab, s.Expr, e.Reg, prof, res, exec.FilterOpts{
+			ft := startOp(rec, r)
+			t, fstats, err := exec.Filter(r, tab, s.Expr, e.Reg, prof, res, exec.FilterOpts{
 				Reorder:     e.Opts.Reorder,
 				Rebalance:   e.Opts.Rebalance,
 				SpeedFactor: speed,
@@ -253,6 +372,25 @@ func (e *Engine) runSteps(r *mpp.Rank, steps []plan.Step, tab *exec.Table) (*exe
 				return nil, err
 			}
 			tab = t
+			if fstats.Rebalance.Sent > 0 {
+				e.met.rebalanceMoved.Add(float64(fstats.Rebalance.Sent))
+			}
+			if rec != nil {
+				if e.Opts.Rebalance != exec.RebalanceNone {
+					rec.Record(obs.OpSample{
+						Depth: depth, Op: "rebalance",
+						RowsIn: fstats.RowsBefore, RowsOut: fstats.Evaluated,
+						VT:   fstats.RebalanceSeconds,
+						Note: fmt.Sprintf("sent=%d recv=%d", fstats.Rebalance.Sent, fstats.Rebalance.Received),
+					})
+				}
+				ft.vt0 += fstats.RebalanceSeconds // attribute re-balancing VT to its own span
+				ft.record(rec, r, obs.OpSample{
+					Depth: depth, Op: "filter",
+					RowsIn: fstats.Evaluated, RowsOut: fstats.Passed,
+					Note: "order: " + strings.Join(fstats.Order, " AND "),
+				})
+			}
 			// Global sync after independent per-rank evaluation
 			// (paper: ranks sync solutions only once evaluation
 			// completes).
@@ -262,7 +400,7 @@ func (e *Engine) runSteps(r *mpp.Rank, steps []plan.Step, tab *exec.Table) (*exe
 		case plan.UnionStep:
 			var unionTab *exec.Table
 			for _, branch := range s.Branches {
-				bt, err := e.runSteps(r, branch, nil)
+				bt, err := e.runSteps(r, branch, nil, rec, depth+1)
 				if err != nil {
 					return nil, err
 				}
@@ -276,18 +414,23 @@ func (e *Engine) runSteps(r *mpp.Rank, steps []plan.Step, tab *exec.Table) (*exe
 					unionTab.Rows = append(unionTab.Rows, bt.Rows...)
 				}
 			}
+			rec.Record(obs.OpSample{Depth: depth, Op: "union", RowsOut: unionTab.Len(),
+				Label: fmt.Sprintf("%d branches", len(s.Branches))})
 			if tab == nil {
 				tab = unionTab
 			} else {
 				r.SetPhase("join")
+				jt := startOp(rec, r)
+				in := tab.Len() + unionTab.Len()
 				var err error
 				tab, err = exec.HashJoin(r, tab, unionTab)
 				if err != nil {
 					return nil, err
 				}
+				jt.record(rec, r, obs.OpSample{Depth: depth, Op: "join", RowsIn: in, RowsOut: tab.Len()})
 			}
 		case plan.OptionalStep:
-			bt, err := e.runSteps(r, s.Body, nil)
+			bt, err := e.runSteps(r, s.Body, nil, rec, depth+1)
 			if err != nil {
 				return nil, err
 			}
@@ -298,10 +441,13 @@ func (e *Engine) runSteps(r *mpp.Rank, steps []plan.Step, tab *exec.Table) (*exe
 				continue
 			}
 			r.SetPhase("join")
+			jt := startOp(rec, r)
+			in := tab.Len() + bt.Len()
 			tab, err = exec.LeftJoin(r, tab, bt)
 			if err != nil {
 				return nil, err
 			}
+			jt.record(rec, r, obs.OpSample{Depth: depth, Op: "optional", RowsIn: in, RowsOut: tab.Len()})
 		}
 	}
 	return tab, nil

@@ -1,0 +1,125 @@
+package ids
+
+import (
+	"time"
+
+	"ids/internal/mpp"
+	"ids/internal/obs"
+)
+
+// This file wires the engine into the observability layer: a
+// per-engine metrics registry with pre-resolved handles for the hot
+// query path (so instrumentation is a handful of atomic adds, not map
+// lookups), and the tiny operator timer the tracer uses.
+
+// engineMetrics caches registry handles for the query path.
+type engineMetrics struct {
+	reg *obs.Registry
+
+	queries      *obs.Counter
+	queryErrors  *obs.Counter
+	rowsReturned *obs.Counter
+	updates      *obs.Counter
+
+	querySeconds   *obs.Summary // wall
+	queryVTSeconds *obs.Summary // simulated makespan
+
+	collectives *obs.Counter
+	commBytes   *obs.Counter
+	commSeconds *obs.Counter
+
+	resultCacheHits   *obs.Counter
+	resultCacheMisses *obs.Counter
+
+	rebalanceMoved *obs.Counter
+}
+
+func newEngineMetrics() *engineMetrics {
+	reg := obs.NewRegistry()
+	reg.Describe("ids_queries_total", "Queries executed by this engine.")
+	reg.Describe("ids_query_errors_total", "Queries that failed to parse, plan or execute.")
+	reg.Describe("ids_rows_returned_total", "Result rows returned to clients.")
+	reg.Describe("ids_updates_total", "Update statements applied.")
+	reg.Describe("ids_query_wall_seconds", "Wall-clock query latency.")
+	reg.Describe("ids_query_vt_seconds", "Simulated (virtual-clock) query makespan.")
+	reg.Describe("mpp_collectives_total", "Collective synchronizations across all queries.")
+	reg.Describe("mpp_comm_bytes_total", "Payload bytes exchanged by collectives.")
+	reg.Describe("mpp_comm_seconds_total", "Alpha-beta modeled communication seconds (max over ranks, summed over queries).")
+	reg.Describe("ids_result_cache_hits_total", "Whole-query result cache hits.")
+	reg.Describe("ids_result_cache_misses_total", "Whole-query result cache misses.")
+	reg.Describe("ids_phase_vt_seconds_total", "Per-phase bottleneck virtual seconds, summed over queries.")
+	reg.Describe("exec_op_rows_in_total", "Operator input rows (traced queries), summed over ranks.")
+	reg.Describe("exec_op_rows_out_total", "Operator output rows (traced queries), summed over ranks.")
+	reg.Describe("exec_op_vt_seconds_total", "Operator virtual seconds (traced queries), max over ranks per query.")
+	reg.Describe("exec_rebalance_rows_moved_total", "Rows migrated between ranks by solution re-balancing.")
+	reg.Describe("cache_ops_total", "Global-cache lookups by tier outcome.")
+	reg.Describe("cache_puts_total", "Global-cache inserts.")
+	reg.Describe("cache_spills_total", "DRAM->SSD demotions.")
+	reg.Describe("cache_evictions_total", "Objects dropped from SSD (stash copy remains).")
+	reg.Describe("udf_execs_total", "UDF executions (merged over ranks).")
+	reg.Describe("udf_seconds_total", "UDF virtual seconds (merged over ranks).")
+	reg.Describe("udf_rejections_total", "Solutions rejected because of a UDF result.")
+	return &engineMetrics{
+		reg:               reg,
+		queries:           reg.Counter("ids_queries_total"),
+		queryErrors:       reg.Counter("ids_query_errors_total"),
+		rowsReturned:      reg.Counter("ids_rows_returned_total"),
+		updates:           reg.Counter("ids_updates_total"),
+		querySeconds:      reg.Summary("ids_query_wall_seconds"),
+		queryVTSeconds:    reg.Summary("ids_query_vt_seconds"),
+		collectives:       reg.Counter("mpp_collectives_total"),
+		commBytes:         reg.Counter("mpp_comm_bytes_total"),
+		commSeconds:       reg.Counter("mpp_comm_seconds_total"),
+		resultCacheHits:   reg.Counter("ids_result_cache_hits_total"),
+		resultCacheMisses: reg.Counter("ids_result_cache_misses_total"),
+		rebalanceMoved:    reg.Counter("exec_rebalance_rows_moved_total"),
+	}
+}
+
+// observeQuery records one successful query into the registry.
+func (m *engineMetrics) observeQuery(res *Result, rep *mpp.Report, wall float64) {
+	m.queries.Inc()
+	m.querySeconds.Observe(wall)
+	m.queryVTSeconds.Observe(rep.Makespan)
+	m.rowsReturned.Add(float64(len(res.Rows)))
+	m.collectives.Add(float64(rep.Comm.Collectives))
+	m.commBytes.Add(float64(rep.Comm.Bytes))
+	m.commSeconds.Add(rep.Comm.Seconds)
+	for phase, v := range rep.Phases {
+		m.reg.Counter("ids_phase_vt_seconds_total", "phase", phase).Add(v)
+	}
+	if res.Trace == nil {
+		return
+	}
+	for _, op := range res.Trace.Ops {
+		m.reg.Counter("exec_op_rows_in_total", "op", op.Op).Add(float64(op.RowsIn))
+		m.reg.Counter("exec_op_rows_out_total", "op", op.Op).Add(float64(op.RowsOut))
+		m.reg.Counter("exec_op_vt_seconds_total", "op", op.Op).Add(op.VTMax)
+	}
+}
+
+// opTimer measures one operator execution on one rank; the zero value
+// (tracing disabled) is inert so the untraced path stays free of
+// time.Now calls.
+type opTimer struct {
+	vt0 float64
+	w0  time.Time
+	on  bool
+}
+
+func startOp(rec *obs.RankRecorder, r *mpp.Rank) opTimer {
+	if rec == nil {
+		return opTimer{}
+	}
+	return opTimer{vt0: r.Now(), w0: time.Now(), on: true}
+}
+
+// record fills the sample's VT/Wall from the timer and appends it.
+func (ot opTimer) record(rec *obs.RankRecorder, r *mpp.Rank, s obs.OpSample) {
+	if !ot.on {
+		return
+	}
+	s.VT = r.Now() - ot.vt0
+	s.Wall = time.Since(ot.w0).Seconds()
+	rec.Record(s)
+}

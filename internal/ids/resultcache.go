@@ -7,6 +7,7 @@ import (
 	"ids/internal/exec"
 	"ids/internal/fam"
 	"ids/internal/mpp"
+	"ids/internal/obs"
 )
 
 // Result caching — the paper's §8 first next step realized: IDS
@@ -17,16 +18,32 @@ import (
 // (triple and term counts), since encoded tables hold dictionary IDs
 // that are only meaningful against the same loaded graph.
 
-// EnableResultCache attaches a global cache for query results.
-// Pass nil to disable.
+// EnableResultCache attaches a global cache for query results and
+// registers a collector that mirrors the cache's tier statistics into
+// the engine's metrics registry at scrape time, so /metrics is the
+// single source of truth for cache behaviour. Pass nil to disable.
 func (e *Engine) EnableResultCache(c *cache.Cache) {
 	e.resultCache = c
+	if c == nil {
+		return
+	}
+	e.met.reg.AddCollector(func(r *obs.Registry) {
+		st := c.Stats()
+		r.Counter("cache_ops_total", "outcome", "dram_local").Set(float64(st.DRAMHitsLocal))
+		r.Counter("cache_ops_total", "outcome", "dram_remote").Set(float64(st.DRAMHitsRemote))
+		r.Counter("cache_ops_total", "outcome", "ssd").Set(float64(st.SSDHits))
+		r.Counter("cache_ops_total", "outcome", "stash").Set(float64(st.StashHits))
+		r.Counter("cache_ops_total", "outcome", "miss").Set(float64(st.Misses))
+		r.Counter("cache_puts_total").Set(float64(st.Puts))
+		r.Counter("cache_spills_total").Set(float64(st.Spills))
+		r.Counter("cache_evictions_total").Set(float64(st.Evictions))
+	})
 }
 
 // resultKey derives the cache object name of a query against the
 // currently loaded graph.
 func (e *Engine) resultKey(query string) string {
-	ident := fmt.Sprintf("%s|t=%d|d=%d|u=%d", query, e.Graph.Len(), e.Graph.Dict.Len(), e.updates)
+	ident := fmt.Sprintf("%s|t=%d|d=%d|u=%d", query, e.Graph.Len(), e.Graph.Dict.Len(), e.updates.Load())
 	return fmt.Sprintf("qr/%016x", fam.ObjectID(ident))
 }
 
@@ -50,10 +67,12 @@ func (e *Engine) CachedQuery(qs string) (*Result, bool, error) {
 				Phases:   map[string]float64{"cache": m.Seconds},
 				PhaseSum: map[string]float64{"cache": m.Seconds},
 			}
+			e.met.resultCacheHits.Inc()
 			return &Result{Vars: tab.Vars, Rows: tab.Rows, Report: rep}, true, nil
 		}
 		// Corrupt entry: fall through to recompute (and overwrite).
 	}
+	e.met.resultCacheMisses.Inc()
 	res, err := e.Query(qs)
 	if err != nil {
 		return nil, false, err

@@ -7,26 +7,40 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"ids/internal/obs"
 )
+
+// traceRingSize bounds how many recent query traces the server keeps
+// for GET /trace.
+const traceRingSize = 64
 
 // Server exposes an Engine over HTTP — the "query/update endpoint" the
 // paper's Datastore Launcher opens. Endpoints:
 //
-//	POST /query   {"query": "..."}                 -> QueryResponse
-//	POST /module  {"name","source","reload"}       -> ModuleResponse
-//	GET  /profile                                  -> merged UDF profile
-//	GET  /stats                                    -> instance statistics
-//	GET  /healthz                                  -> 200 ok
+//	POST /query   {"query": "...", "explain": bool} -> QueryResponse
+//	POST /module  {"name","source","reload"}        -> ModuleResponse
+//	GET  /profile                                   -> merged UDF profile
+//	GET  /stats                                     -> instance statistics (deprecated: prefer /metrics)
+//	GET  /metrics                                   -> Prometheus text exposition
+//	GET  /trace?id=q000001                          -> stored query trace (JSON)
+//	GET  /healthz                                   -> 200 ok
 type Server struct {
 	Engine *Engine
 
 	mu      sync.Mutex // serializes queries (one MPP world at a time)
 	queries int64
+	// traces is a ring of the most recent explain-enabled query
+	// traces, addressable by trace ID via GET /trace.
+	traces []*obs.QueryTrace
 }
 
 // QueryRequest is the /query payload.
 type QueryRequest struct {
 	Query string `json:"query"`
+	// Explain asks the server to trace this query and return the span
+	// trace in the response (also stored for later GET /trace).
+	Explain bool `json:"explain,omitempty"`
 }
 
 // QueryResponse is the /query result.
@@ -37,6 +51,8 @@ type QueryResponse struct {
 	Phases   map[string]float64 `json:"phases"`
 	Plan     string             `json:"plan"`
 	WallTime float64            `json:"wall_seconds"`
+	TraceID  string             `json:"trace_id,omitempty"`
+	Trace    *obs.QueryTrace    `json:"trace,omitempty"`
 }
 
 // ModuleRequest is the /module payload.
@@ -77,6 +93,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/profile", s.handleProfile)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/trace", s.handleTrace)
 	return mux
 }
 
@@ -102,22 +120,74 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	start := time.Now()
-	res, err := s.Engine.Query(req.Query)
+	var res *Result
+	var err error
+	if req.Explain {
+		res, err = s.Engine.QueryTraced(req.Query)
+	} else {
+		res, err = s.Engine.Query(req.Query)
+	}
 	wall := time.Since(start).Seconds()
 	s.queries++
+	if err == nil && res.Trace != nil {
+		s.traces = append(s.traces, res.Trace)
+		if len(s.traces) > traceRingSize {
+			s.traces = s.traces[len(s.traces)-traceRingSize:]
+		}
+	}
 	s.mu.Unlock()
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, QueryResponse{
+	resp := QueryResponse{
 		Vars:     res.Vars,
 		Rows:     s.Engine.Strings(res),
 		Makespan: res.Report.Makespan,
 		Phases:   res.Report.Phases,
 		Plan:     res.Plan.Explain(),
 		WallTime: wall,
-	})
+	}
+	if res.Trace != nil {
+		resp.TraceID = res.Trace.ID
+		resp.Trace = res.Trace
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleMetrics serves the engine registry in Prometheus text
+// exposition format. It takes the server mutex: counters are safe to
+// scrape concurrently, but the UDF-profile collector walks per-rank
+// profilers that a running query mutates (see Engine's concurrency
+// contract).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.Engine.Metrics().WritePrometheus(w)
+}
+
+// handleTrace serves a stored query trace by id (GET /trace?id=...);
+// without an id it lists the stored trace IDs, newest last.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id == "" {
+		ids := make([]string, len(s.traces))
+		for i, tr := range s.traces {
+			ids[i] = tr.ID
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"traces": ids})
+		return
+	}
+	for _, tr := range s.traces {
+		if tr.ID == id {
+			writeJSON(w, http.StatusOK, tr)
+			return
+		}
+	}
+	writeErr(w, http.StatusNotFound, fmt.Errorf("ids: no stored trace %q", id))
 }
 
 // UpdateRequest is the /update payload.
@@ -186,6 +256,10 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleStats serves the legacy ad-hoc JSON statistics.
+//
+// Deprecated: /metrics carries the same operational data (and more) in
+// Prometheus form; /stats remains for the CLI's human-readable view.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	q := s.queries

@@ -47,7 +47,8 @@ func (e *Engine) Update(us string) (*UpdateResult, error) {
 			}
 		}
 	}
-	e.updates++
+	e.updates.Add(1)
+	e.met.updates.Inc()
 	e.stats = plan.StatsFromGraph(e.Graph)
 	if e.textIndex != nil {
 		// Rebuild over the changed literals; predicates restriction is

@@ -96,10 +96,17 @@ func pad(s string, w int) string {
 // Summary is an order-statistics summary of a sample set.
 type Summary struct {
 	vals []float64
+	// sorted caches the ordered sample between Adds, so quantile
+	// queries (Quantile/Min/Max/String call several each) sort once
+	// instead of per call.
+	sorted []float64
 }
 
 // Add appends one observation.
-func (s *Summary) Add(v float64) { s.vals = append(s.vals, v) }
+func (s *Summary) Add(v float64) {
+	s.vals = append(s.vals, v)
+	s.sorted = nil
+}
 
 // N returns the sample count.
 func (s *Summary) N() int { return len(s.vals) }
@@ -135,8 +142,11 @@ func (s *Summary) Quantile(q float64) float64 {
 	if len(s.vals) == 0 {
 		return 0
 	}
-	sorted := append([]float64{}, s.vals...)
-	sort.Float64s(sorted)
+	if s.sorted == nil {
+		s.sorted = append([]float64{}, s.vals...)
+		sort.Float64s(s.sorted)
+	}
+	sorted := s.sorted
 	if q <= 0 {
 		return sorted[0]
 	}

@@ -77,6 +77,41 @@ func TestHistogramRenders(t *testing.T) {
 	constant.Histogram(3, &sb)
 }
 
+func TestSummaryCacheInvalidation(t *testing.T) {
+	// Quantile caches the sorted sample; an Add after a query must
+	// invalidate it so later quantiles see the new observation.
+	var s Summary
+	s.Add(5)
+	s.Add(1)
+	if s.Max() != 5 {
+		t.Fatalf("max = %f", s.Max())
+	}
+	s.Add(10)
+	if s.Max() != 10 {
+		t.Fatalf("max after add = %f (stale sort cache?)", s.Max())
+	}
+	if s.Min() != 1 {
+		t.Fatalf("min = %f", s.Min())
+	}
+	s.Add(0.5)
+	if s.Min() != 0.5 {
+		t.Fatalf("min after add = %f (stale sort cache?)", s.Min())
+	}
+}
+
+func BenchmarkSummaryQuantile(b *testing.B) {
+	var s Summary
+	for i := 0; i < 10000; i++ {
+		s.Add(float64(i * 2654435761 % 10007))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Quantile(0.5)
+		s.Quantile(0.95)
+		s.Quantile(0.99)
+	}
+}
+
 func TestSummaryString(t *testing.T) {
 	var s Summary
 	s.Add(2)

@@ -23,7 +23,7 @@ const (
 func AllGather[T any](r *Rank, v T) ([]T, error) {
 	w := r.w
 	w.slots[r.id] = v
-	r.Charge(w.net.xferCost(1))
+	r.chargeXfer(1)
 	if err := r.Barrier(); err != nil {
 		return nil, err
 	}
@@ -43,7 +43,7 @@ func AllGather[T any](r *Rank, v T) ([]T, error) {
 func AllGatherSlice[T any](r *Rank, v []T) ([][]T, error) {
 	w := r.w
 	w.slots[r.id] = v
-	r.Charge(w.net.xferCost(len(v)))
+	r.chargeXfer(len(v))
 	if err := r.Barrier(); err != nil {
 		return nil, err
 	}
@@ -62,7 +62,7 @@ func Bcast[T any](r *Rank, root int, v T) (T, error) {
 	w := r.w
 	if r.id == root {
 		w.slots[root] = v
-		r.Charge(w.net.xferCost(1))
+		r.chargeXfer(1)
 	}
 	var zero T
 	if err := r.Barrier(); err != nil {
@@ -92,7 +92,7 @@ func AllToAll[T any](r *Rank, send [][]T) ([][]T, error) {
 			total += len(send[dst])
 		}
 	}
-	r.Charge(w.net.xferCost(total))
+	r.chargeXfer(total)
 	if err := r.Barrier(); err != nil {
 		return nil, err
 	}

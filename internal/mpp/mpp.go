@@ -95,6 +95,7 @@ type Rank struct {
 	acc   map[string]float64 // phase -> accumulated virtual seconds
 	rng   *rand.Rand
 	err   error
+	comm  CommStats // rank-local collective accounting
 }
 
 // ID returns the rank's index in [0, Size).
@@ -140,7 +141,29 @@ func (r *Rank) Charge(d float64) {
 // ChargeComm charges the network cost of sending elems elements
 // point-to-point (one hop plus transfer time).
 func (r *Rank) ChargeComm(elems int) {
-	r.Charge(r.w.net.Alpha + r.w.net.xferCost(elems))
+	cost := r.w.net.Alpha + r.w.net.xferCost(elems)
+	r.comm.Bytes += int64(elems * r.w.net.BytesPerElem)
+	r.comm.Seconds += cost
+	r.Charge(cost)
+}
+
+// chargeXfer charges a collective's data-transfer component and
+// accounts the traffic (the alpha/latency part is charged by the
+// collective's barriers).
+func (r *Rank) chargeXfer(elems int) {
+	cost := r.w.net.xferCost(elems)
+	r.comm.Bytes += int64(elems * r.w.net.BytesPerElem)
+	r.comm.Seconds += cost
+	r.Charge(cost)
+}
+
+// CommStats accounts the collective traffic of a run: how many
+// collective synchronizations happened, the payload bytes exchanged,
+// and the modeled alpha-beta network seconds.
+type CommStats struct {
+	Collectives int64   `json:"collectives"`
+	Bytes       int64   `json:"bytes"`
+	Seconds     float64 `json:"seconds"`
 }
 
 // PhaseTotal returns the virtual seconds accumulated in the named
@@ -157,6 +180,10 @@ type Report struct {
 	Makespan float64
 	Phases   map[string]float64
 	PhaseSum map[string]float64
+	// Comm aggregates collective traffic: Collectives is the max over
+	// ranks (the per-rank synchronization count — symmetric in normal
+	// runs), Bytes the sum over ranks, Seconds the max over ranks.
+	Comm CommStats
 }
 
 // PhaseMax returns the bottleneck time of the named phase, or 0.
@@ -239,6 +266,13 @@ func Run(topo Topology, net NetModel, seed int64, body func(r *Rank) error) (*Re
 			}
 			rep.PhaseSum[name] += v
 		}
+		if r.comm.Collectives > rep.Comm.Collectives {
+			rep.Comm.Collectives = r.comm.Collectives
+		}
+		rep.Comm.Bytes += r.comm.Bytes
+		if r.comm.Seconds > rep.Comm.Seconds {
+			rep.Comm.Seconds = r.comm.Seconds
+		}
 	}
 	if firstErr != nil {
 		return rep, firstErr
@@ -253,6 +287,8 @@ func (r *Rank) Barrier() error {
 	if err != nil {
 		return err
 	}
+	r.comm.Collectives++
+	r.comm.Seconds += r.w.net.hopCost(r.Size())
 	d := max + r.w.net.hopCost(r.Size()) - r.vt
 	r.Charge(d)
 	return nil

@@ -1,0 +1,425 @@
+// Package obs is the observability layer of the IDS reproduction: a
+// process-wide metrics registry (atomic counters, gauges, bounded
+// summaries with quantiles) with Prometheus-text and JSON exposition,
+// and a per-query span tracer that records the hierarchical execution
+// timeline (parse -> plan -> per-operator -> per-rank) the paper's
+// runtime-measurement-driven optimizer needs to be inspectable.
+//
+// The registry is deliberately dependency-free: instrumented packages
+// hold *Counter/*Gauge/*Summary handles (atomic, safe for concurrent
+// use from rank goroutines) and the HTTP layer renders the whole
+// registry on GET /metrics.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// MetricType is the Prometheus exposition type of a metric family.
+type MetricType string
+
+// Metric family types.
+const (
+	TypeCounter MetricType = "counter"
+	TypeGauge   MetricType = "gauge"
+	TypeSummary MetricType = "summary"
+)
+
+// summaryWindow bounds the retained sample window of a Summary.
+const summaryWindow = 1024
+
+// summaryQuantiles are the quantiles a Summary exposes.
+var summaryQuantiles = []float64{0.5, 0.9, 0.99}
+
+var nameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// Counter is a monotonically increasing float64. All methods are safe
+// for concurrent use.
+type Counter struct {
+	bits atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds v (negative deltas are ignored; counters are monotonic).
+func (c *Counter) Add(v float64) {
+	if v <= 0 {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Set overwrites the counter value. It exists for collectors that
+// mirror an external monotonic source (e.g. cache.Stats) into the
+// registry at scrape time; instrumentation code should use Add/Inc.
+func (c *Counter) Set(v float64) { c.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is an arbitrary float64 value. Safe for concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds v (may be negative).
+func (g *Gauge) Add(v float64) {
+	for {
+		old := g.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Summary is a bounded-window order-statistics summary: it keeps the
+// last summaryWindow observations for quantiles plus an exact running
+// count and sum. Safe for concurrent use.
+type Summary struct {
+	mu    sync.Mutex
+	ring  []float64
+	next  int
+	count int64
+	sum   float64
+}
+
+// Observe records one sample.
+func (s *Summary) Observe(v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.ring) < summaryWindow {
+		s.ring = append(s.ring, v)
+	} else {
+		s.ring[s.next] = v
+		s.next = (s.next + 1) % summaryWindow
+	}
+	s.count++
+	s.sum += v
+}
+
+// Count returns the total number of observations.
+func (s *Summary) Count() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// Sum returns the running sum of all observations.
+func (s *Summary) Sum() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sum
+}
+
+// Quantile returns the q-th quantile over the retained window (0 when
+// empty).
+func (s *Summary) Quantile(q float64) float64 {
+	s.mu.Lock()
+	vals := append([]float64(nil), s.ring...)
+	s.mu.Unlock()
+	if len(vals) == 0 {
+		return 0
+	}
+	sort.Float64s(vals)
+	if q <= 0 {
+		return vals[0]
+	}
+	if q >= 1 {
+		return vals[len(vals)-1]
+	}
+	idx := q * float64(len(vals)-1)
+	lo := int(idx)
+	frac := idx - float64(lo)
+	if lo+1 >= len(vals) {
+		return vals[lo]
+	}
+	return vals[lo]*(1-frac) + vals[lo+1]*frac
+}
+
+// series is one labeled instance within a family.
+type series struct {
+	labels  []string // alternating key, value
+	counter *Counter
+	gauge   *Gauge
+	summary *Summary
+}
+
+// family groups all series of one metric name.
+type family struct {
+	name   string
+	help   string
+	typ    MetricType
+	series map[string]*series
+	order  []string
+}
+
+// Registry holds metric families and renders them. A process-wide
+// Default instance exists for ad-hoc use; the engine creates its own
+// so parallel engines (tests, experiments) do not cross-pollute.
+type Registry struct {
+	mu         sync.Mutex
+	fams       map[string]*family
+	order      []string
+	collectors []func(*Registry)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: map[string]*family{}}
+}
+
+// Default is the process-wide registry.
+var Default = NewRegistry()
+
+// Describe sets the help text of a metric family (creating it lazily
+// is fine; help attaches when the family first materializes too).
+func (r *Registry) Describe(name, help string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fams[name]; ok {
+		f.help = help
+	} else {
+		r.fams[name] = &family{name: name, help: help, series: map[string]*series{}}
+		r.order = append(r.order, name)
+	}
+}
+
+// AddCollector registers fn to run at the start of every exposition,
+// letting externally-owned stats (cache counters, UDF profiles) be
+// mirrored into the registry at scrape time.
+func (r *Registry) AddCollector(fn func(*Registry)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, fn)
+}
+
+// labelKey renders alternating key/value pairs into the canonical
+// series key (also the Prometheus label string).
+func labelKey(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=\"%s\"", labels[i], escapeLabel(labels[i+1]))
+	}
+	return sb.String()
+}
+
+// escapeLabel escapes a label value per the Prometheus text format
+// (backslash, double quote, newline).
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\"", `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// get returns (creating if needed) the series for name+labels,
+// checking the family type matches.
+func (r *Registry) get(name string, typ MetricType, labels []string) *series {
+	if !nameRE.MatchString(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label pairs for %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.fams[name]
+	if !ok {
+		f = &family{name: name, series: map[string]*series{}}
+		r.fams[name] = f
+		r.order = append(r.order, name)
+	}
+	if f.typ == "" {
+		f.typ = typ
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.typ, typ))
+	}
+	key := labelKey(labels)
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: append([]string(nil), labels...)}
+		switch typ {
+		case TypeCounter:
+			s.counter = &Counter{}
+		case TypeGauge:
+			s.gauge = &Gauge{}
+		case TypeSummary:
+			s.summary = &Summary{}
+		}
+		f.series[key] = s
+		f.order = append(f.order, key)
+	}
+	return s
+}
+
+// Counter returns the counter for name with the given alternating
+// label key/value pairs, creating it on first use.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	return r.get(name, TypeCounter, labels).counter
+}
+
+// Gauge returns the gauge for name+labels.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	return r.get(name, TypeGauge, labels).gauge
+}
+
+// Summary returns the summary for name+labels.
+func (r *Registry) Summary(name string, labels ...string) *Summary {
+	return r.get(name, TypeSummary, labels).summary
+}
+
+// collect runs collectors, then snapshots families in registration
+// order for rendering.
+func (r *Registry) collect() []*family {
+	r.mu.Lock()
+	collectors := append([]func(*Registry){}, r.collectors...)
+	r.mu.Unlock()
+	for _, fn := range collectors {
+		fn(r)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*family, 0, len(r.order))
+	for _, name := range r.order {
+		out = append(out, r.fams[name])
+	}
+	return out
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) {
+	for _, f := range r.collect() {
+		if len(f.series) == 0 {
+			continue
+		}
+		if f.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+		for _, key := range f.order {
+			s := f.series[key]
+			switch f.typ {
+			case TypeCounter:
+				writeSample(w, f.name, key, "", s.counter.Value())
+			case TypeGauge:
+				writeSample(w, f.name, key, "", s.gauge.Value())
+			case TypeSummary:
+				for _, q := range summaryQuantiles {
+					qk := key
+					if qk != "" {
+						qk += ","
+					}
+					qk += fmt.Sprintf("quantile=%q", fmt.Sprintf("%g", q))
+					writeSample(w, f.name, qk, "", s.summary.Quantile(q))
+				}
+				writeSample(w, f.name, key, "_sum", s.summary.Sum())
+				writeSample(w, f.name, key, "_count", float64(s.summary.Count()))
+			}
+		}
+	}
+}
+
+func writeSample(w io.Writer, name, labelStr, suffix string, v float64) {
+	if labelStr == "" {
+		fmt.Fprintf(w, "%s%s %s\n", name, suffix, formatValue(v))
+		return
+	}
+	fmt.Fprintf(w, "%s%s{%s} %s\n", name, suffix, labelStr, formatValue(v))
+}
+
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// SeriesJSON is the JSON exposition of one labeled series.
+type SeriesJSON struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value,omitempty"`
+	// Summary-only fields.
+	Count     int64              `json:"count,omitempty"`
+	Sum       float64            `json:"sum,omitempty"`
+	Quantiles map[string]float64 `json:"quantiles,omitempty"`
+}
+
+// FamilyJSON is the JSON exposition of one metric family.
+type FamilyJSON struct {
+	Name   string       `json:"name"`
+	Type   MetricType   `json:"type"`
+	Help   string       `json:"help,omitempty"`
+	Series []SeriesJSON `json:"series"`
+}
+
+// Snapshot returns the registry as JSON-ready family records.
+func (r *Registry) Snapshot() []FamilyJSON {
+	var out []FamilyJSON
+	for _, f := range r.collect() {
+		if len(f.series) == 0 {
+			continue
+		}
+		fj := FamilyJSON{Name: f.name, Type: f.typ, Help: f.help}
+		for _, key := range f.order {
+			s := f.series[key]
+			sj := SeriesJSON{}
+			if len(s.labels) > 0 {
+				sj.Labels = map[string]string{}
+				for i := 0; i+1 < len(s.labels); i += 2 {
+					sj.Labels[s.labels[i]] = s.labels[i+1]
+				}
+			}
+			switch f.typ {
+			case TypeCounter:
+				sj.Value = s.counter.Value()
+			case TypeGauge:
+				sj.Value = s.gauge.Value()
+			case TypeSummary:
+				sj.Count = s.summary.Count()
+				sj.Sum = s.summary.Sum()
+				sj.Quantiles = map[string]float64{}
+				for _, q := range summaryQuantiles {
+					sj.Quantiles[fmt.Sprintf("%g", q)] = s.summary.Quantile(q)
+				}
+			}
+			fj.Series = append(fj.Series, sj)
+		}
+		out = append(out, fj)
+	}
+	return out
+}
+
+// WriteJSON renders the registry as JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"ids/internal/metrics"
+)
+
+// Render writes the trace as an EXPLAIN ANALYZE style report: a
+// lifecycle header, then the operator tree with cardinalities,
+// virtual-clock seconds and rank skew, and (with perRank) one
+// indented line per rank under each operator.
+func (tr *QueryTrace) Render(w io.Writer, perRank bool) {
+	fmt.Fprintf(w, "EXPLAIN ANALYZE %s  (%d ranks)\n", tr.ID, tr.Ranks)
+	fmt.Fprintf(w, "parse %.6fs  plan %.6fs  exec %.6fs  wall %.6fs  |  simulated makespan %.6fs\n",
+		tr.ParseSeconds, tr.PlanSeconds, tr.ExecSeconds, tr.WallSeconds, tr.Makespan)
+	if tr.Collectives > 0 {
+		fmt.Fprintf(w, "collectives %d  comm %d bytes  comm-cost %.6fs\n",
+			tr.Collectives, tr.CommBytes, tr.CommSeconds)
+	}
+	if len(tr.Phases) > 0 {
+		names := make([]string, 0, len(tr.Phases))
+		for n := range tr.Phases {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		parts := make([]string, len(names))
+		for i, n := range names {
+			parts[i] = fmt.Sprintf("%s=%.6fs", n, tr.Phases[n])
+		}
+		fmt.Fprintln(w, "phases:", strings.Join(parts, " "))
+	}
+
+	t := metrics.NewTable("", "operator", "rows-in", "rows-out", "vt-max(s)", "vt-mean(s)", "skew", "wall-max(s)", "detail")
+	for _, op := range tr.Ops {
+		indent := strings.Repeat("  ", op.Depth)
+		label := op.Label
+		if op.Note != "" {
+			if label != "" {
+				label += " "
+			}
+			label += op.Note
+		}
+		t.AddRow(indent+op.Op, op.RowsIn, op.RowsOut,
+			fmt.Sprintf("%.6f", op.VTMax), fmt.Sprintf("%.6f", op.VTMean),
+			fmt.Sprintf("%.2f", op.Skew), fmt.Sprintf("%.6f", op.WallMax), label)
+		if perRank {
+			for _, rk := range op.Ranks {
+				t.AddRow(fmt.Sprintf("%s  · rank %d", indent, rk.Rank), rk.RowsIn, rk.RowsOut,
+					fmt.Sprintf("%.6f", rk.VT), "", "", fmt.Sprintf("%.6f", rk.Wall), rk.Note)
+			}
+		}
+	}
+	t.Render(w)
+	fmt.Fprintf(w, "%d rows returned\n", tr.Rows)
+}
+
+// String renders the trace without per-rank detail.
+func (tr *QueryTrace) String() string {
+	var sb strings.Builder
+	tr.Render(&sb, false)
+	return sb.String()
+}
