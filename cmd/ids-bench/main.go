@@ -5,11 +5,17 @@
 // Usage:
 //
 //	ids-bench [-scale paper|ci] [-exp all|table1|table2|fig4a|fig4b|fig5|rebalance|reorder|whatis|cachetiers]
-//	          [-trace-out trace.json]
+//	          [-trace-out trace.json] [-concurrency N] [-load-queries Q]
 //
 // -trace-out additionally runs the NCNPR inner query with span tracing
 // and writes a JSON trace summary (the EXPLAIN ANALYZE tree plus the
 // engine metrics snapshot) to the given file.
+//
+// -concurrency N switches ids-bench into load mode: instead of the
+// experiment tables it hammers one engine with -load-queries inner
+// queries at concurrency 1 and at concurrency N, reporting QPS and
+// p50/p99 latency for both. With -trace-out the load points are
+// embedded in the JSON summary.
 //
 // The "paper" scale uses the paper's node counts (64/128/256 x 32
 // ranks) and a 1e-3 rendition of its 66M sequence comparisons; expect
@@ -31,6 +37,8 @@ func main() {
 	scaleName := flag.String("scale", "ci", "experiment scale: paper or ci")
 	exp := flag.String("exp", "all", "experiment to run")
 	traceOut := flag.String("trace-out", "", "write a traced NCNPR query summary (JSON) to this file")
+	concurrency := flag.Int("concurrency", 0, "load mode: concurrent query workers (0 = run experiments instead)")
+	loadQueries := flag.Int("load-queries", 64, "load mode: total queries per concurrency level")
 	flag.Parse()
 
 	var sc experiments.Scale
@@ -42,6 +50,21 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
 		os.Exit(2)
+	}
+
+	if *concurrency > 0 {
+		load, err := runLoad(sc, *concurrency, *loadQueries)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "load: %v\n", err)
+			os.Exit(1)
+		}
+		if *traceOut != "" {
+			if err := writeTraceSummary(sc, *traceOut, load); err != nil {
+				fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		return
 	}
 
 	run := func(name string, f func(experiments.Scale) error) {
@@ -67,21 +90,54 @@ func main() {
 	run("affinity", runAffinity)
 
 	if *traceOut != "" {
-		if err := writeTraceSummary(sc, *traceOut); err != nil {
+		if err := writeTraceSummary(sc, *traceOut, nil); err != nil {
 			fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
 			os.Exit(1)
 		}
 	}
 }
 
+// runLoad measures query throughput at concurrency 1 and at the
+// requested level, printing QPS and latency quantiles for both.
+func runLoad(sc experiments.Scale, concurrency, queries int) ([]experiments.LoadPoint, error) {
+	nodes := sc.NodesList[0]
+	fmt.Printf("\n### load (scale=%s, %d nodes, %d queries per level)\n\n", sc.Name, nodes, queries)
+	levels := []int{1}
+	if concurrency > 1 {
+		levels = append(levels, concurrency)
+	}
+	var pts []experiments.LoadPoint
+	for _, c := range levels {
+		pt, err := experiments.ConcurrentLoad(sc, nodes, c, queries)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, *pt)
+	}
+	t := metrics.NewTable("concurrent query load (engine-level, snapshot-isolated reads)",
+		"concurrency", "queries", "errors", "wall(s)", "QPS", "p50(ms)", "p99(ms)")
+	for _, p := range pts {
+		t.AddRow(p.Concurrency, p.Queries, p.Errors,
+			fmt.Sprintf("%.3f", p.WallSec), fmt.Sprintf("%.1f", p.QPS),
+			fmt.Sprintf("%.2f", p.P50Ms), fmt.Sprintf("%.2f", p.P99Ms))
+	}
+	t.Render(os.Stdout)
+	if len(pts) == 2 && pts[0].QPS > 0 {
+		fmt.Printf("\nspeedup at concurrency %d: %.2fx QPS over serial\n",
+			pts[1].Concurrency, pts[1].QPS/pts[0].QPS)
+	}
+	return pts, nil
+}
+
 // writeTraceSummary runs the NCNPR inner query traced and writes the
-// span trace plus metrics snapshot as JSON.
-func writeTraceSummary(sc experiments.Scale, path string) error {
+// span trace plus metrics snapshot (and any load points) as JSON.
+func writeTraceSummary(sc experiments.Scale, path string, load []experiments.LoadPoint) error {
 	nodes := sc.NodesList[0]
 	sum, err := experiments.TraceSummary(sc, nodes)
 	if err != nil {
 		return err
 	}
+	sum.Load = load
 	f, err := os.Create(path)
 	if err != nil {
 		return err

@@ -34,10 +34,20 @@ func main() {
 	snapPath := flag.String("snapshot", "", "binary snapshot to restore (see ids-cli snapshot)")
 	synthNCNPR := flag.Bool("synth-ncnpr", false, "host the synthetic NCNPR graph with workflow UDFs")
 	background := flag.Int("background", 2000, "background proteins for -synth-ncnpr")
+	maxInflight := flag.Int("max-inflight", 0, "concurrent query limit (0 = GOMAXPROCS-derived)")
+	maxQueue := flag.Int("max-queue", 0, "admission queue length (0 = 4x max-inflight, -1 = no queue)")
+	queueTimeout := flag.Duration("queue-timeout", 0, "max admission queue wait before 429 (0 = 2s default)")
 	flag.Parse()
 
 	topo := mpp.Topology{Nodes: *nodes, RanksPerNode: *rpn}
-	cfg := ids.LaunchConfig{Topo: topo, Addr: *addr, NTriplesPath: *dataPath}
+	cfg := ids.LaunchConfig{
+		Topo: topo, Addr: *addr, NTriplesPath: *dataPath,
+		Admission: ids.AdmissionConfig{
+			MaxInFlight:  *maxInflight,
+			MaxQueue:     *maxQueue,
+			QueueTimeout: *queueTimeout,
+		},
+	}
 
 	if *snapPath != "" {
 		f, err := os.Open(*snapPath)

@@ -1,8 +1,7 @@
 package exec
 
 import (
-	"fmt"
-	"hash/fnv"
+	"math"
 
 	"ids/internal/expr"
 	"ids/internal/mpp"
@@ -22,40 +21,116 @@ func sharedVars(a, b *Table) []string {
 	return out
 }
 
-// joinKey serializes the shared-variable values of a row.
-func joinKey(row []expr.Value, idx []int) string {
-	key := make([]byte, 0, len(idx)*10)
-	for _, c := range idx {
-		v := row[c]
-		key = append(key, byte(v.Kind))
-		switch v.Kind {
-		case expr.KindID:
-			key = appendUint(key, uint64(v.ID))
-		case expr.KindFloat:
-			key = append(key, []byte(fmt.Sprintf("%g", v.Num))...)
-		case expr.KindString:
-			key = append(key, []byte(v.Str)...)
-		case expr.KindBool:
-			if v.Bool {
-				key = append(key, 1)
-			}
-		}
-		key = append(key, 0xfe)
+// FNV-1a constants (hash/fnv, inlined so key hashing never allocates).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime64 }
+
+func fnvUint64(h, u uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = fnvByte(h, byte(u>>(8*i)))
 	}
-	return string(key)
+	return h
 }
 
-func hashKey(k string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(k))
-	return h.Sum64()
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = fnvByte(h, s[i])
+	}
+	return h
+}
+
+// hashRowKey streams the shared-variable values of a row through
+// FNV-1a, producing the 64-bit join key with zero allocations (the
+// former implementation built a string key per row). Floats hash by
+// bit pattern; keyEqual applies the matching equality.
+func hashRowKey(row []expr.Value, idx []int) uint64 {
+	h := uint64(fnvOffset64)
+	for _, c := range idx {
+		v := row[c]
+		h = fnvByte(h, byte(v.Kind))
+		switch v.Kind {
+		case expr.KindID:
+			h = fnvUint64(h, uint64(v.ID))
+		case expr.KindFloat:
+			h = fnvUint64(h, math.Float64bits(v.Num))
+		case expr.KindString:
+			h = fnvString(h, v.Str)
+		case expr.KindBool:
+			if v.Bool {
+				h = fnvByte(h, 1)
+			}
+		}
+		h = fnvByte(h, 0xfe)
+	}
+	return h
+}
+
+// keyEqual reports whether two rows agree on their join-key columns —
+// the collision guard behind the hashed bucket map.
+func keyEqual(a []expr.Value, ai []int, b []expr.Value, bi []int) bool {
+	for k := range ai {
+		va, vb := a[ai[k]], b[bi[k]]
+		if va.Kind != vb.Kind {
+			return false
+		}
+		switch va.Kind {
+		case expr.KindID:
+			if va.ID != vb.ID {
+				return false
+			}
+		case expr.KindFloat:
+			if math.Float64bits(va.Num) != math.Float64bits(vb.Num) {
+				return false
+			}
+		case expr.KindString:
+			if va.Str != vb.Str {
+				return false
+			}
+		case expr.KindBool:
+			if va.Bool != vb.Bool {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// buildSide is the hash table of a join's build side: rows bucketed by
+// hashed key, with keyEqual guarding hash collisions on probe.
+type buildSide struct {
+	buckets map[uint64][][]expr.Value
+	idx     []int
+}
+
+func buildRows(parts [][][]expr.Value, idx []int) buildSide {
+	b := buildSide{buckets: map[uint64][][]expr.Value{}, idx: idx}
+	for _, part := range parts {
+		for _, row := range part {
+			k := hashRowKey(row, idx)
+			b.buckets[k] = append(b.buckets[k], row)
+		}
+	}
+	return b
+}
+
+// matches calls fn for every build row whose key equals probe's.
+func (b buildSide) matches(probe []expr.Value, probeIdx []int, fn func(row []expr.Value)) {
+	for _, row := range b.buckets[hashRowKey(probe, probeIdx)] {
+		if keyEqual(probe, probeIdx, row, b.idx) {
+			fn(row)
+		}
+	}
 }
 
 // partitionByKey routes each row to the rank owning its join key.
 func partitionByKey(p int, rows [][]expr.Value, idx []int) [][][]expr.Value {
 	out := make([][][]expr.Value, p)
 	for _, row := range rows {
-		dst := int(hashKey(joinKey(row, idx)) % uint64(p))
+		dst := int(hashRowKey(row, idx) % uint64(p))
 		out[dst] = append(out[dst], row)
 	}
 	return out
@@ -113,13 +188,7 @@ func HashJoin(r *mpp.Rank, left, right *Table) (*Table, error) {
 	}
 
 	// Build on the (usually smaller) right side, probe with the left.
-	build := map[string][][]expr.Value{}
-	for _, part := range rRecv {
-		for _, row := range part {
-			k := joinKey(row, rIdx)
-			build[k] = append(build[k], row)
-		}
-	}
+	build := buildRows(rRecv, rIdx)
 	// Columns of right to append (those not shared).
 	var rAppend []int
 	for i, v := range right.Vars {
@@ -131,15 +200,14 @@ func HashJoin(r *mpp.Rank, left, right *Table) (*Table, error) {
 	for _, part := range lRecv {
 		for _, lrow := range part {
 			probes++
-			matches := build[joinKey(lrow, lIdx)]
-			for _, rrow := range matches {
+			build.matches(lrow, lIdx, func(rrow []expr.Value) {
 				row := make([]expr.Value, 0, len(outVars))
 				row = append(row, lrow...)
 				for _, c := range rAppend {
 					row = append(row, rrow[c])
 				}
 				out.Rows = append(out.Rows, row)
-			}
+			})
 		}
 	}
 	r.Charge(float64(probes+len(out.Rows)) * joinCostPerRow)
@@ -211,29 +279,23 @@ func LeftJoin(r *mpp.Rank, left, right *Table) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	build := map[string][][]expr.Value{}
-	for _, part := range rRecv {
-		for _, row := range part {
-			k := joinKey(row, rIdx)
-			build[k] = append(build[k], row)
-		}
-	}
+	build := buildRows(rRecv, rIdx)
 	probes := 0
 	for _, part := range lRecv {
 		for _, lrow := range part {
 			probes++
-			matches := build[joinKey(lrow, lIdx)]
-			if len(matches) == 0 {
-				out.Rows = append(out.Rows, nullExtend(lrow))
-				continue
-			}
-			for _, rrow := range matches {
+			matched := false
+			build.matches(lrow, lIdx, func(rrow []expr.Value) {
+				matched = true
 				row := make([]expr.Value, 0, len(outVars))
 				row = append(row, lrow...)
 				for _, c := range rAppend {
 					row = append(row, rrow[c])
 				}
 				out.Rows = append(out.Rows, row)
+			})
+			if !matched {
+				out.Rows = append(out.Rows, nullExtend(lrow))
 			}
 		}
 	}

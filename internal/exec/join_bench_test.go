@@ -1,0 +1,105 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"ids/internal/dict"
+	"ids/internal/expr"
+	"ids/internal/mpp"
+)
+
+// benchTables builds a left table of n rows and a right table of n/2
+// rows sharing the "k" column, so roughly half the probes match.
+func benchTables(n int) (*Table, *Table) {
+	left := NewTable("k", "a")
+	right := NewTable("k", "b")
+	for i := 0; i < n; i++ {
+		left.Append([]expr.Value{expr.IDVal(dict.ID(i)), expr.Float(float64(i))})
+		if i%2 == 0 {
+			right.Append([]expr.Value{expr.IDVal(dict.ID(i)), expr.String(fmt.Sprintf("v%d", i))})
+		}
+	}
+	return left, right
+}
+
+// joinKeyString is the retired per-row string key builder, kept here
+// as the benchmark baseline for BenchmarkHashJoinStringKeys.
+func joinKeyString(row []expr.Value, idx []int) string {
+	var sb strings.Builder
+	for _, c := range idx {
+		v := row[c]
+		switch v.Kind {
+		case expr.KindID:
+			fmt.Fprintf(&sb, "i%d|", v.ID)
+		case expr.KindFloat:
+			fmt.Fprintf(&sb, "f%v|", v.Num)
+		case expr.KindString:
+			fmt.Fprintf(&sb, "s%s|", v.Str)
+		case expr.KindBool:
+			fmt.Fprintf(&sb, "b%v|", v.Bool)
+		default:
+			sb.WriteString("n|")
+		}
+	}
+	return sb.String()
+}
+
+func BenchmarkHashJoin(b *testing.B) {
+	left, right := benchTables(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := mpp.Run(topo(1), mpp.DefaultNet(), 1, func(r *mpp.Rank) error {
+			out, err := HashJoin(r, left, right)
+			if err != nil {
+				return err
+			}
+			if out.Len() != right.Len() {
+				return fmt.Errorf("join produced %d rows, want %d", out.Len(), right.Len())
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHashJoinStringKeys replays the former implementation —
+// a string key allocated per build and probe row — over the same
+// inputs, to quantify the allocation win of hashed uint64 keys.
+func BenchmarkHashJoinStringKeys(b *testing.B) {
+	left, right := benchTables(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := mpp.Run(topo(1), mpp.DefaultNet(), 1, func(r *mpp.Rank) error {
+			lIdx := []int{left.Col("k")}
+			rIdx := []int{right.Col("k")}
+			build := map[string][][]expr.Value{}
+			for _, row := range right.Rows {
+				k := joinKeyString(row, rIdx)
+				build[k] = append(build[k], row)
+			}
+			n := 0
+			for _, lrow := range left.Rows {
+				for _, rrow := range build[joinKeyString(lrow, lIdx)] {
+					row := make([]expr.Value, 0, 3)
+					row = append(row, lrow...)
+					row = append(row, rrow[1])
+					n++
+					_ = row
+				}
+			}
+			if n != right.Len() {
+				return fmt.Errorf("join produced %d rows, want %d", n, right.Len())
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

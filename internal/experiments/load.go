@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ids/internal/mpp"
+)
+
+// LoadPoint is one concurrency level of the query load experiment:
+// fixed query count, measured wall-clock throughput and latency
+// quantiles. It is embedded in the -trace-out JSON payload.
+type LoadPoint struct {
+	Concurrency int     `json:"concurrency"`
+	Queries     int     `json:"queries"`
+	Errors      int     `json:"errors"`
+	WallSec     float64 `json:"wall_sec"`
+	QPS         float64 `json:"qps"`
+	P50Ms       float64 `json:"p50_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+}
+
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// ConcurrentLoad hammers one engine with the NCNPR inner query from
+// `concurrency` worker goroutines until `queries` queries have run,
+// exercising the engine's snapshot-isolated read path. Real wall time
+// is measured (not the simulated MPP clock): the point is to observe
+// how throughput scales with concurrent queries on real cores.
+func ConcurrentLoad(sc Scale, nodes, concurrency, queries int) (*LoadPoint, error) {
+	topo := mpp.Topology{Nodes: nodes, RanksPerNode: sc.RanksPerNode}
+	w, err := sc.newWorkflow(topo, nil, sc.SWCostEffective())
+	if err != nil {
+		return nil, err
+	}
+	q := w.InnerQuery(sc.SWThreshold)
+	// Warm once so dictionary decoding and UDF profiles are populated
+	// before the clock starts.
+	if _, err := w.Engine.Query(q); err != nil {
+		return nil, err
+	}
+
+	lat := make([]float64, queries)
+	var next, errs atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for wk := 0; wk < concurrency; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(queries) {
+					return
+				}
+				t0 := time.Now()
+				if _, err := w.Engine.Query(q); err != nil {
+					errs.Add(1)
+				}
+				lat[i] = time.Since(t0).Seconds()
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+	slices.Sort(lat)
+
+	pt := &LoadPoint{
+		Concurrency: concurrency,
+		Queries:     queries,
+		Errors:      int(errs.Load()),
+		WallSec:     wall,
+		P50Ms:       percentile(lat, 0.50) * 1000,
+		P99Ms:       percentile(lat, 0.99) * 1000,
+	}
+	if wall > 0 {
+		pt.QPS = float64(queries) / wall
+	}
+	return pt, nil
+}

@@ -3,10 +3,12 @@ package ids
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"time"
 
 	"ids/internal/obs"
@@ -26,6 +28,27 @@ func NewClient(base string) *Client {
 	return &Client{Base: base, HTTP: &http.Client{Timeout: 120 * time.Second}}
 }
 
+// OverloadedError reports a 429 from the server's admission
+// controller; RetryAfter carries the server's backoff hint.
+type OverloadedError struct {
+	Message    string
+	RetryAfter time.Duration
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("ids client: server overloaded (retry after %s): %s", e.RetryAfter, e.Message)
+}
+
+// IsOverloaded reports whether err is a server 429 and, if so, the
+// suggested retry delay.
+func IsOverloaded(err error) (time.Duration, bool) {
+	var oe *OverloadedError
+	if errors.As(err, &oe) {
+		return oe.RetryAfter, true
+	}
+	return 0, false
+}
+
 func (c *Client) post(path string, in, out any) error {
 	body, err := json.Marshal(in)
 	if err != nil {
@@ -41,6 +64,13 @@ func (c *Client) post(path string, in, out any) error {
 			Error string `json:"error"`
 		}
 		_ = json.NewDecoder(resp.Body).Decode(&e)
+		if resp.StatusCode == http.StatusTooManyRequests {
+			ra := time.Second
+			if secs, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil && secs > 0 {
+				ra = time.Duration(secs) * time.Second
+			}
+			return &OverloadedError{Message: e.Error, RetryAfter: ra}
+		}
 		if e.Error != "" {
 			return fmt.Errorf("ids client: %s", e.Error)
 		}
@@ -68,6 +98,26 @@ func (c *Client) Query(q string) (*QueryResponse, error) {
 		return nil, err
 	}
 	return &out, nil
+}
+
+// QueryRetry runs a query remotely, honoring the server's admission
+// backpressure: on 429 it sleeps for the Retry-After hint and retries,
+// up to attempts tries total. Any other error returns immediately.
+func (c *Client) QueryRetry(q string, attempts int) (*QueryResponse, error) {
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		resp, err := c.Query(q)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		ra, overloaded := IsOverloaded(err)
+		if !overloaded {
+			return nil, err
+		}
+		time.Sleep(ra)
+	}
+	return nil, lastErr
 }
 
 // QueryExplain runs a query remotely with span tracing; the response

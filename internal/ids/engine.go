@@ -8,7 +8,9 @@ package ids
 
 import (
 	"fmt"
+	"io"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -46,12 +48,20 @@ func DefaultOptions() Options {
 
 // Engine is one running IDS backend instance.
 //
-// Concurrency contract: Engine is NOT safe for concurrent query or
-// update execution — Query/Execute/CachedQuery/Update each spin up an
-// MPP world over shared per-rank profilers and planner statistics, so
-// callers must serialize them (Server does, behind its mutex).
-// Read-only accessors (Decode, Profiler, Metrics, resultKey's updates
-// counter) are safe to call concurrently with a running query.
+// Concurrency contract (snapshot isolation): Engine IS safe for
+// concurrent read queries. Query/Execute/CachedQuery take the read
+// half of an RWMutex and read the sealed graph, dictionary, text
+// index, and vector stores read-only; any number of MPP worlds may run
+// at once. Update takes the exclusive writer lock, mutates the graph,
+// swaps in fresh (immutable-after-build) planner statistics, and bumps
+// the atomic update epoch that keys the result cache — so readers
+// observe either the pre- or post-update graph, never a mix, and stale
+// cache entries can never hit. Per-rank UDF profiles are read through
+// per-query overlay profilers and merged back after the run, so
+// concurrent queries never contend on them mid-flight. Setup calls
+// (EnableTextSearch, EnableResultCache, AttachVectors, module loads)
+// are writer-locked; accessors (Decode, Strings, Profiler, Metrics)
+// are safe concurrently with running queries.
 type Engine struct {
 	Graph  *kg.Graph
 	Reg    *udf.Registry
@@ -61,7 +71,15 @@ type Engine struct {
 	Seed   int64
 	Opts   Options
 
-	stats     *plan.Stats
+	// mu implements snapshot isolation: queries hold the read lock
+	// for their whole execution (acquired once by the coordinating
+	// goroutine, never by rank goroutines, so MPP barriers cannot
+	// deadlock against a waiting writer); Update holds the write lock.
+	mu sync.RWMutex
+	// stats is the planner's cardinality statistics. A *plan.Stats is
+	// immutable after build; Update swaps in a fresh one atomically so
+	// concurrent planners never observe a partially rebuilt snapshot.
+	stats     atomic.Pointer[plan.Stats]
 	profilers []*udf.Profiler
 	// resultCache, when set, stashes whole query results in the
 	// global cache (see resultcache.go).
@@ -70,14 +88,14 @@ type Engine struct {
 	textIndex *text.Index
 	// vectors holds attached vector stores (see vectors.go).
 	vectors map[string]*vecstore.Store
-	// updates counts applied update statements; part of the result-
-	// cache key so updates invalidate stale entries. Atomic so the key
-	// derivation never races with a concurrent Update.
+	// updates counts applied update statements — the engine's update
+	// epoch. Part of the result-cache key so updates invalidate stale
+	// entries; atomic so key derivation never races with a writer.
 	updates atomic.Int64
 	// met is the engine's metrics registry plus hot-path handles.
 	met *engineMetrics
 	// tracing makes every query collect a span trace (Result.Trace).
-	tracing bool
+	tracing atomic.Bool
 }
 
 // NewEngine wires an engine over a sealed graph. The graph must have
@@ -98,9 +116,9 @@ func NewEngine(g *kg.Graph, topo mpp.Topology) (*Engine, error) {
 		Net:    mpp.DefaultNet(),
 		Seed:   1,
 		Opts:   DefaultOptions(),
-		stats:  plan.StatsFromGraph(g),
 		met:    newEngineMetrics(),
 	}
+	e.stats.Store(plan.StatsFromGraph(g))
 	e.profilers = make([]*udf.Profiler, topo.Size())
 	for i := range e.profilers {
 		e.profilers[i] = udf.NewProfiler()
@@ -122,16 +140,16 @@ func NewEngine(g *kg.Graph, topo mpp.Topology) (*Engine, error) {
 func (e *Engine) Profiler(r int) *udf.Profiler { return e.profilers[r] }
 
 // Metrics returns the engine's metrics registry (exposed by the
-// server's /metrics endpoint). Scraping while a query is running is
-// safe for counters; the UDF-profile collector requires the same
-// serialization as Query (the Server holds its mutex for both).
+// server's /metrics endpoint). Scraping is safe at any time: counters
+// are atomic and the UDF-profile collector reads the internally
+// synchronized per-rank profilers.
 func (e *Engine) Metrics() *obs.Registry { return e.met.reg }
 
 // SetTracing toggles per-query span tracing: when on, every
 // Query/Execute attaches an obs.QueryTrace to its Result. Overhead is
 // a few timestamps per operator per rank; when off the traced path is
-// skipped entirely.
-func (e *Engine) SetTracing(on bool) { e.tracing = on }
+// skipped entirely. Safe to toggle while queries run.
+func (e *Engine) SetTracing(on bool) { e.tracing.Store(on) }
 
 // Result is a completed query.
 type Result struct {
@@ -147,6 +165,13 @@ type Result struct {
 // Decode renders a row value as a display string using the engine's
 // dictionary.
 func (e *Engine) Decode(v expr.Value) string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.decode(v)
+}
+
+// decode is Decode without the read lock (caller holds it).
+func (e *Engine) decode(v expr.Value) string {
 	if v.Kind == expr.KindID {
 		if t, ok := e.Graph.Dict.Decode(v.ID); ok {
 			return t.String()
@@ -159,30 +184,47 @@ func (e *Engine) Decode(v expr.Value) string {
 
 // Strings decodes all rows.
 func (e *Engine) Strings(res *Result) [][]string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	out := make([][]string, len(res.Rows))
 	for i, row := range res.Rows {
 		sr := make([]string, len(row))
 		for j, v := range row {
-			sr[j] = e.Decode(v)
+			sr[j] = e.decode(v)
 		}
 		out[i] = sr
 	}
 	return out
 }
 
+// SnapshotTo streams the graph's binary snapshot under the engine read
+// lock, so no update can mutate the graph mid-stream.
+func (e *Engine) SnapshotTo(w io.Writer) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.Graph.Save(w)
+}
+
 // Query parses, plans and executes a query across all ranks, returning
-// the gathered result and the timing report.
+// the gathered result and the timing report. Safe for concurrent use;
+// queries run under the engine's read lock (see the concurrency
+// contract above).
 func (e *Engine) Query(qs string) (*Result, error) {
-	return e.query(qs, e.tracing)
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.queryLocked(qs, e.tracing.Load())
 }
 
 // QueryTraced is Query with span tracing forced on for this one call;
 // Result.Trace carries the collected trace.
 func (e *Engine) QueryTraced(qs string) (*Result, error) {
-	return e.query(qs, true)
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.queryLocked(qs, true)
 }
 
-func (e *Engine) query(qs string, traced bool) (*Result, error) {
+// queryLocked runs one query; the caller holds the engine read lock.
+func (e *Engine) queryLocked(qs string, traced bool) (*Result, error) {
 	start := time.Now()
 	q, err := sparql.Parse(qs)
 	if err != nil {
@@ -194,12 +236,14 @@ func (e *Engine) query(qs string, traced bool) (*Result, error) {
 
 // Execute runs a parsed query.
 func (e *Engine) Execute(q *sparql.Query) (*Result, error) {
-	return e.execute(q, e.tracing, "", time.Now(), 0)
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.execute(q, e.tracing.Load(), "", time.Now(), 0)
 }
 
 func (e *Engine) execute(q *sparql.Query, traced bool, qs string, start time.Time, parseSec float64) (*Result, error) {
 	planStart := time.Now()
-	pl, err := plan.Build(q, e.stats)
+	pl, err := plan.Build(q, e.stats.Load())
 	if err != nil {
 		e.met.queryErrors.Inc()
 		return nil, err
@@ -214,6 +258,14 @@ func (e *Engine) execute(q *sparql.Query, traced bool, qs string, start time.Tim
 		}
 	}
 
+	// Per-query overlay profilers: ranks record into them without
+	// contending with concurrent queries; estimator reads see the
+	// persistent per-rank history plus this query's own records.
+	qprofs := make([]*udf.Profiler, e.Topo.Size())
+	for i := range qprofs {
+		qprofs[i] = udf.NewProfilerOver(e.profilers[i])
+	}
+
 	execStart := time.Now()
 	rows := make([][][]expr.Value, e.Topo.Size())
 	var vars []string
@@ -222,7 +274,7 @@ func (e *Engine) execute(q *sparql.Query, traced bool, qs string, start time.Tim
 		if recs != nil {
 			rec = recs[r.ID()]
 		}
-		tab, err := e.runPlanRec(r, pl, rec)
+		tab, err := e.runPlanRec(r, pl, rec, qprofs)
 		if err != nil {
 			return err
 		}
@@ -232,6 +284,14 @@ func (e *Engine) execute(q *sparql.Query, traced bool, qs string, start time.Tim
 		rows[r.ID()] = tab.Rows
 		return nil
 	})
+	// Fold the query's profiling deltas into the persistent per-rank
+	// profiles (even on error: partial executions still inform cost
+	// estimates, as they did when profiles were recorded in place).
+	for i, qp := range qprofs {
+		if snap := qp.Snapshot(); len(snap) > 0 {
+			e.profilers[i].Merge(snap)
+		}
+	}
 	if err != nil {
 		e.met.queryErrors.Inc()
 		return nil, err
@@ -260,14 +320,19 @@ func (e *Engine) execute(q *sparql.Query, traced bool, qs string, start time.Tim
 // RunPlan executes the plan steps on one rank and returns the final
 // (gathered, ordered, projected) table — identical on every rank.
 // Exposed so workflow drivers can embed queries inside a larger
-// mpp.Run with extra stages (e.g. docking) in the same world.
+// mpp.Run with extra stages (e.g. docking) in the same world. It
+// records straight into the persistent per-rank profiles (which are
+// internally synchronized); the caller is responsible for excluding
+// concurrent updates for the duration of its world.
 func (e *Engine) RunPlan(r *mpp.Rank, pl *plan.Plan) (*exec.Table, error) {
-	return e.runPlanRec(r, pl, nil)
+	return e.runPlanRec(r, pl, nil, e.profilers)
 }
 
-// runPlanRec is RunPlan with an optional per-rank trace recorder.
-func (e *Engine) runPlanRec(r *mpp.Rank, pl *plan.Plan, rec *obs.RankRecorder) (*exec.Table, error) {
-	tab, err := e.runSteps(r, pl.Steps, nil, rec, 0)
+// runPlanRec is RunPlan with an optional per-rank trace recorder and
+// an explicit profiler set (per-query overlays on the engine's query
+// path, the persistent profiles for embedded RunPlan callers).
+func (e *Engine) runPlanRec(r *mpp.Rank, pl *plan.Plan, rec *obs.RankRecorder, profs []*udf.Profiler) (*exec.Table, error) {
+	tab, err := e.runSteps(r, pl.Steps, nil, rec, profs, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -314,9 +379,9 @@ func (e *Engine) runPlanRec(r *mpp.Rank, pl *plan.Plan, rec *obs.RankRecorder) (
 // recurse with a fresh table. When rec is non-nil every operator
 // appends one OpSample; all ranks run the identical plan so sample
 // sequences zip across ranks.
-func (e *Engine) runSteps(r *mpp.Rank, steps []plan.Step, tab *exec.Table, rec *obs.RankRecorder, depth int) (*exec.Table, error) {
+func (e *Engine) runSteps(r *mpp.Rank, steps []plan.Step, tab *exec.Table, rec *obs.RankRecorder, profs []*udf.Profiler, depth int) (*exec.Table, error) {
 	shard := e.Graph.Shard(r.ID())
-	prof := e.profilers[r.ID()]
+	prof := profs[r.ID()]
 	res := expr.DictResolver{Dict: e.Graph.Dict}
 	speed := 1.0
 	if e.Opts.SpeedFactor != nil {
@@ -400,7 +465,7 @@ func (e *Engine) runSteps(r *mpp.Rank, steps []plan.Step, tab *exec.Table, rec *
 		case plan.UnionStep:
 			var unionTab *exec.Table
 			for _, branch := range s.Branches {
-				bt, err := e.runSteps(r, branch, nil, rec, depth+1)
+				bt, err := e.runSteps(r, branch, nil, rec, profs, depth+1)
 				if err != nil {
 					return nil, err
 				}
@@ -430,7 +495,7 @@ func (e *Engine) runSteps(r *mpp.Rank, steps []plan.Step, tab *exec.Table, rec *
 				jt.record(rec, r, obs.OpSample{Depth: depth, Op: "join", RowsIn: in, RowsOut: tab.Len()})
 			}
 		case plan.OptionalStep:
-			bt, err := e.runSteps(r, s.Body, nil, rec, depth+1)
+			bt, err := e.runSteps(r, s.Body, nil, rec, profs, depth+1)
 			if err != nil {
 				return nil, err
 			}

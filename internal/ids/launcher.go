@@ -22,6 +22,9 @@ type LaunchConfig struct {
 	Topo  mpp.Topology
 	// Addr is the listen address; ":0" picks a free port.
 	Addr string
+	// Admission tunes the server's query admission controller; the
+	// zero value applies the GOMAXPROCS-derived defaults.
+	Admission AdmissionConfig
 }
 
 // Agent is the per-node helper process of the deployment model: it
@@ -95,7 +98,7 @@ func (Launcher) Launch(cfg LaunchConfig) (*Instance, error) {
 	if err != nil {
 		return nil, err
 	}
-	srv := NewServer(e)
+	srv := NewServerWith(e, cfg.Admission)
 
 	addr := cfg.Addr
 	if addr == "" {

@@ -249,9 +249,9 @@ func TestTraceRingBounded(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	s.mu.Lock()
+	s.trMu.Lock()
 	n := len(s.traces)
-	s.mu.Unlock()
+	s.trMu.Unlock()
 	if n != traceRingSize {
 		t.Fatalf("trace ring holds %d, want %d", n, traceRingSize)
 	}

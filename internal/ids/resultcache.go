@@ -23,7 +23,9 @@ import (
 // the engine's metrics registry at scrape time, so /metrics is the
 // single source of truth for cache behaviour. Pass nil to disable.
 func (e *Engine) EnableResultCache(c *cache.Cache) {
+	e.mu.Lock()
 	e.resultCache = c
+	e.mu.Unlock()
 	if c == nil {
 		return
 	}
@@ -41,7 +43,8 @@ func (e *Engine) EnableResultCache(c *cache.Cache) {
 }
 
 // resultKey derives the cache object name of a query against the
-// currently loaded graph.
+// currently loaded graph; the caller holds the engine read lock so the
+// graph identity and update epoch are a consistent snapshot.
 func (e *Engine) resultKey(query string) string {
 	ident := fmt.Sprintf("%s|t=%d|d=%d|u=%d", query, e.Graph.Len(), e.Graph.Dict.Len(), e.updates.Load())
 	return fmt.Sprintf("qr/%016x", fam.ObjectID(ident))
@@ -51,9 +54,15 @@ func (e *Engine) resultKey(query string) string {
 // the stashed table (charging only the cache access to the simulated
 // time); a miss executes normally and stashes the encoded result. The
 // second return reports whether the result came from the cache.
+//
+// The whole key-derive / lookup / execute / stash sequence runs under
+// one engine read lock, so an update can never interleave: the stashed
+// result always matches the epoch baked into its key.
 func (e *Engine) CachedQuery(qs string) (*Result, bool, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	if e.resultCache == nil {
-		res, err := e.Query(qs)
+		res, err := e.queryLocked(qs, e.tracing.Load())
 		return res, false, err
 	}
 	key := e.resultKey(qs)
@@ -73,7 +82,7 @@ func (e *Engine) CachedQuery(qs string) (*Result, bool, error) {
 		// Corrupt entry: fall through to recompute (and overwrite).
 	}
 	e.met.resultCacheMisses.Inc()
-	res, err := e.Query(qs)
+	res, err := e.queryLocked(qs, e.tracing.Load())
 	if err != nil {
 		return nil, false, err
 	}

@@ -1,11 +1,16 @@
 package ids
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
+	"runtime"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ids/internal/obs"
@@ -15,10 +20,141 @@ import (
 // for GET /trace.
 const traceRingSize = 64
 
+// retryAfterSeconds is the backoff hint sent with 429 responses.
+const retryAfterSeconds = 1
+
+// AdmissionConfig tunes the server's query admission controller: how
+// many MPP worlds may run at once, how many queries may wait for a
+// slot, and how long they wait before the server sheds them.
+type AdmissionConfig struct {
+	// MaxInFlight is the number of concurrently executing queries.
+	// Default: max(2, GOMAXPROCS) — each query runs its own MPP world
+	// of rank goroutines, so the processor count is the natural bound.
+	MaxInFlight int
+	// MaxQueue is how many queries may wait for a slot beyond the
+	// in-flight limit; arrivals past it get 429 immediately.
+	// Default: 4 * MaxInFlight.
+	MaxQueue int
+	// QueueTimeout is the longest a queued query waits before the
+	// server sheds it with 429 + Retry-After. Default: 2s.
+	QueueTimeout time.Duration
+}
+
+// DefaultAdmissionConfig derives the default limits from GOMAXPROCS.
+func DefaultAdmissionConfig() AdmissionConfig {
+	return AdmissionConfig{}.withDefaults()
+}
+
+func (c AdmissionConfig) withDefaults() AdmissionConfig {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = runtime.GOMAXPROCS(0)
+		if c.MaxInFlight < 2 {
+			c.MaxInFlight = 2
+		}
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	} else if c.MaxQueue == 0 {
+		c.MaxQueue = 4 * c.MaxInFlight
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = 2 * time.Second
+	}
+	return c
+}
+
+// Admission rejection reasons (the 429 body and metric label).
+var (
+	errQueueFull    = errors.New("ids: admission queue full")
+	errQueueTimeout = errors.New("ids: admission queue wait timed out")
+)
+
+// admission is a bounded-concurrency admission controller: a counting
+// semaphore with a FIFO wait queue (channel send order is FIFO), a
+// queue cap, and a per-query wait timeout. It publishes in-flight
+// count, queue depth, queue wait, and rejection counts to the engine's
+// metrics registry.
+type admission struct {
+	cfg    AdmissionConfig
+	slots  chan struct{}
+	queued atomic.Int64
+
+	inflight        *obs.Gauge
+	queueDepth      *obs.Gauge
+	waitSeconds     *obs.Summary
+	rejectedFull    *obs.Counter
+	rejectedTimeout *obs.Counter
+}
+
+func newAdmission(cfg AdmissionConfig, reg *obs.Registry) *admission {
+	cfg = cfg.withDefaults()
+	reg.Describe("ids_inflight_queries", "Queries currently executing (admission slots held).")
+	reg.Describe("ids_admission_queue_depth", "Queries waiting for an admission slot.")
+	reg.Describe("ids_admission_wait_seconds", "Time admitted queries spent waiting for a slot.")
+	reg.Describe("ids_admission_rejected_total", "Queries shed by the admission controller, by reason.")
+	reg.Describe("ids_admission_max_inflight", "Configured in-flight query limit.")
+	a := &admission{
+		cfg:             cfg,
+		slots:           make(chan struct{}, cfg.MaxInFlight),
+		inflight:        reg.Gauge("ids_inflight_queries"),
+		queueDepth:      reg.Gauge("ids_admission_queue_depth"),
+		waitSeconds:     reg.Summary("ids_admission_wait_seconds"),
+		rejectedFull:    reg.Counter("ids_admission_rejected_total", "reason", "queue_full"),
+		rejectedTimeout: reg.Counter("ids_admission_rejected_total", "reason", "timeout"),
+	}
+	reg.Gauge("ids_admission_max_inflight").Set(float64(cfg.MaxInFlight))
+	return a
+}
+
+// admit blocks until a slot is free, the queue overflows, the wait
+// times out, or ctx is cancelled. On nil return the caller holds a
+// slot and must release().
+func (a *admission) admit(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		a.inflight.Add(1)
+		a.waitSeconds.Observe(0)
+		return nil
+	default:
+	}
+	if a.queued.Add(1) > int64(a.cfg.MaxQueue) {
+		a.queued.Add(-1)
+		a.rejectedFull.Inc()
+		return errQueueFull
+	}
+	a.queueDepth.Set(float64(a.queued.Load()))
+	start := time.Now()
+	timer := time.NewTimer(a.cfg.QueueTimeout)
+	defer timer.Stop()
+	defer func() {
+		a.queued.Add(-1)
+		a.queueDepth.Set(float64(a.queued.Load()))
+	}()
+	select {
+	case a.slots <- struct{}{}:
+		a.waitSeconds.Observe(time.Since(start).Seconds())
+		a.inflight.Add(1)
+		return nil
+	case <-timer.C:
+		a.rejectedTimeout.Inc()
+		return errQueueTimeout
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (a *admission) release() {
+	<-a.slots
+	a.inflight.Add(-1)
+}
+
 // Server exposes an Engine over HTTP — the "query/update endpoint" the
-// paper's Datastore Launcher opens. Endpoints:
+// paper's Datastore Launcher opens. Queries pass through the admission
+// controller and then run concurrently on the snapshot-isolated
+// engine; updates bypass admission and serialize on the engine's
+// writer lock. Endpoints:
 //
-//	POST /query   {"query": "...", "explain": bool} -> QueryResponse
+//	POST /query   {"query": "...", "explain": bool} -> QueryResponse (429 + Retry-After when overloaded)
 //	POST /module  {"name","source","reload"}        -> ModuleResponse
 //	GET  /profile                                   -> merged UDF profile
 //	GET  /stats                                     -> instance statistics (deprecated: prefer /metrics)
@@ -28,10 +164,12 @@ const traceRingSize = 64
 type Server struct {
 	Engine *Engine
 
-	mu      sync.Mutex // serializes queries (one MPP world at a time)
-	queries int64
-	// traces is a ring of the most recent explain-enabled query
-	// traces, addressable by trace ID via GET /trace.
+	adm     *admission
+	queries atomic.Int64
+
+	// trMu guards the trace ring; traces is a ring of the most recent
+	// explain-enabled query traces, addressable via GET /trace.
+	trMu   sync.Mutex
 	traces []*obs.QueryTrace
 }
 
@@ -78,8 +216,15 @@ type StatsResponse struct {
 	Queries int64    `json:"queries_served"`
 }
 
-// NewServer wraps an engine.
-func NewServer(e *Engine) *Server { return &Server{Engine: e} }
+// NewServer wraps an engine with the default admission limits.
+func NewServer(e *Engine) *Server {
+	return NewServerWith(e, DefaultAdmissionConfig())
+}
+
+// NewServerWith wraps an engine with explicit admission limits.
+func NewServerWith(e *Engine, cfg AdmissionConfig) *Server {
+	return &Server{Engine: e, adm: newAdmission(cfg, e.Metrics())}
+}
 
 // Handler returns the HTTP routing for the server.
 func (s *Server) Handler() http.Handler {
@@ -118,7 +263,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	s.mu.Lock()
+	if err := s.adm.admit(r.Context()); err != nil {
+		if errors.Is(err, errQueueFull) || errors.Is(err, errQueueTimeout) {
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+			writeErr(w, http.StatusTooManyRequests, err)
+			return
+		}
+		writeErr(w, http.StatusServiceUnavailable, err) // client went away
+		return
+	}
+	defer s.adm.release()
 	start := time.Now()
 	var res *Result
 	var err error
@@ -128,14 +282,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		res, err = s.Engine.Query(req.Query)
 	}
 	wall := time.Since(start).Seconds()
-	s.queries++
+	s.queries.Add(1)
 	if err == nil && res.Trace != nil {
+		s.trMu.Lock()
 		s.traces = append(s.traces, res.Trace)
 		if len(s.traces) > traceRingSize {
 			s.traces = s.traces[len(s.traces)-traceRingSize:]
 		}
+		s.trMu.Unlock()
 	}
-	s.mu.Unlock()
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
@@ -156,13 +311,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleMetrics serves the engine registry in Prometheus text
-// exposition format. It takes the server mutex: counters are safe to
-// scrape concurrently, but the UDF-profile collector walks per-rank
-// profilers that a running query mutates (see Engine's concurrency
-// contract).
+// exposition format. Safe to scrape at any time: counters are atomic
+// and the UDF-profile collector reads internally synchronized
+// profilers, so no serialization against running queries is needed.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.Engine.Metrics().WritePrometheus(w)
 }
@@ -171,8 +323,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // without an id it lists the stored trace IDs, newest last.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	id := r.URL.Query().Get("id")
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.trMu.Lock()
+	defer s.trMu.Unlock()
 	if id == "" {
 		ids := make([]string, len(s.traces))
 		for i, tr := range s.traces {
@@ -205,9 +357,9 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	s.mu.Lock()
+	// Updates bypass admission: the engine's writer lock serializes
+	// them against each other and against in-flight queries.
 	res, err := s.Engine.Update(req.Update)
-	s.mu.Unlock()
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
@@ -244,12 +396,11 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleSnapshot streams the graph's binary snapshot (GET /snapshot),
-// the backup/fast-restart path.
+// the backup/fast-restart path. The engine read lock (inside
+// SnapshotTo) excludes concurrent updates while streaming.
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock() // no concurrent updates while streaming
-	defer s.mu.Unlock()
 	w.Header().Set("Content-Type", "application/octet-stream")
-	if err := s.Engine.Graph.Save(w); err != nil {
+	if err := s.Engine.SnapshotTo(w); err != nil {
 		// Headers are gone; nothing more we can do than log via the
 		// response trailer-less close.
 		return
@@ -261,9 +412,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 // Deprecated: /metrics carries the same operational data (and more) in
 // Prometheus form; /stats remains for the CLI's human-readable view.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	q := s.queries
-	s.mu.Unlock()
+	q := s.queries.Load()
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Triples: s.Engine.Graph.Len(),
 		Terms:   s.Engine.Graph.Dict.Len(),

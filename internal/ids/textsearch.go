@@ -31,7 +31,9 @@ func (e *Engine) EnableTextSearch(predicateIRIs ...string) error {
 		preds = append(preds, id)
 	}
 	idx := text.BuildIndex(e.Graph, preds)
+	e.mu.Lock()
 	e.textIndex = idx
+	e.mu.Unlock()
 
 	subjectID := func(v expr.Value) (dict.ID, error) {
 		if v.Kind != expr.KindString {
@@ -91,6 +93,8 @@ type TextHit struct {
 // TextSearch returns the top-k subjects ranked by TF-IDF relevance to
 // the query. EnableTextSearch must have been called.
 func (e *Engine) TextSearch(query string, k int) ([]TextHit, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	if e.textIndex == nil {
 		return nil, errors.New("ids: text search not enabled")
 	}

@@ -23,13 +23,19 @@ type UpdateResult struct {
 
 // Update applies an INSERT DATA / DELETE DATA statement to the live
 // graph (the "update" half of the paper's query/update endpoint).
-// Planner statistics are refreshed, result-cache keys are invalidated
-// (the graph identity changes), and an enabled text index is rebuilt.
+// It takes the engine's exclusive writer lock, so it waits for
+// in-flight queries to drain and blocks new ones while it mutates the
+// graph. Planner statistics are rebuilt and swapped in atomically,
+// the update epoch is bumped so result-cache keys derived before the
+// update can never serve a post-update query, and an enabled text
+// index is rebuilt.
 func (e *Engine) Update(us string) (*UpdateResult, error) {
 	u, err := sparql.ParseUpdate(us)
 	if err != nil {
 		return nil, err
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	res := &UpdateResult{Kind: u.Kind.String(), Total: len(u.Triples)}
 	for _, t := range u.Triples {
 		s, p, o, err := expandGround(t, u.Prefixes)
@@ -49,7 +55,7 @@ func (e *Engine) Update(us string) (*UpdateResult, error) {
 	}
 	e.updates.Add(1)
 	e.met.updates.Inc()
-	e.stats = plan.StatsFromGraph(e.Graph)
+	e.stats.Store(plan.StatsFromGraph(e.Graph))
 	if e.textIndex != nil {
 		// Rebuild over the changed literals; predicates restriction is
 		// not retained (documented: re-enable with predicates to

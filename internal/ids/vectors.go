@@ -25,13 +25,16 @@ func (e *Engine) AttachVectors(name string, vs *vecstore.Store) error {
 	if vs == nil {
 		return errors.New("ids: nil vector store")
 	}
+	e.mu.Lock()
 	if e.vectors == nil {
 		e.vectors = map[string]*vecstore.Store{}
 	}
 	if _, dup := e.vectors[name]; dup {
+		e.mu.Unlock()
 		return fmt.Errorf("ids: vector store %q already attached", name)
 	}
 	e.vectors[name] = vs
+	e.mu.Unlock()
 
 	simOf := func(a, b string) (float64, error) {
 		va, err := vs.Get(a)
@@ -97,7 +100,9 @@ func cosine(a, b []float32) float64 {
 // VectorSearch runs a top-k query against an attached store using the
 // stored vector of key as the query point.
 func (e *Engine) VectorSearch(name, key string, k int) ([]vecstore.Result, error) {
+	e.mu.RLock()
 	vs, ok := e.vectors[name]
+	e.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("ids: no vector store %q attached", name)
 	}

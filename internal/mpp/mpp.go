@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"slices"
 	"sync"
 )
 
@@ -189,12 +190,18 @@ type Report struct {
 // PhaseMax returns the bottleneck time of the named phase, or 0.
 func (rep *Report) PhaseMax(name string) float64 { return rep.Phases[name] }
 
-// String renders the report as a small table.
+// String renders the report as a small table. Phases print in sorted
+// name order so the output is deterministic across runs.
 func (rep *Report) String() string {
 	s := fmt.Sprintf("nodes=%d ranks=%d makespan=%.3fs",
 		rep.Topology.Nodes, rep.Topology.Size(), rep.Makespan)
-	for name, v := range rep.Phases {
-		s += fmt.Sprintf(" %s=%.3fs", name, v)
+	names := make([]string, 0, len(rep.Phases))
+	for name := range rep.Phases {
+		names = append(names, name)
+	}
+	slices.Sort(names)
+	for _, name := range names {
+		s += fmt.Sprintf(" %s=%.3fs", name, rep.Phases[name])
 	}
 	return s
 }

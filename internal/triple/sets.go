@@ -1,7 +1,7 @@
 package triple
 
 import (
-	"sort"
+	"slices"
 
 	"ids/internal/dict"
 )
@@ -14,14 +14,8 @@ import (
 // SortUnique sorts ids in place and removes duplicates, returning the
 // shortened slice.
 func SortUnique(ids []dict.ID) []dict.ID {
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	out := ids[:0]
-	for i, id := range ids {
-		if i == 0 || id != ids[i-1] {
-			out = append(out, id)
-		}
-	}
-	return out
+	slices.Sort(ids)
+	return slices.Compact(ids)
 }
 
 // Union returns the sorted union of two sorted unique slices.
@@ -88,6 +82,6 @@ func Difference(a, b []dict.ID) []dict.ID {
 
 // ContainsID reports whether the sorted slice contains id.
 func ContainsID(a []dict.ID, id dict.ID) bool {
-	i := sort.Search(len(a), func(i int) bool { return a[i] >= id })
-	return i < len(a) && a[i] == id
+	_, ok := slices.BinarySearch(a, id)
+	return ok
 }

@@ -6,7 +6,7 @@
 package triple
 
 import (
-	"sort"
+	"slices"
 
 	"ids/internal/dict"
 )
@@ -57,8 +57,11 @@ func (st *Store) Seal() {
 	st.sealed = true
 }
 
+// sortTriples sorts via slices.SortFunc: the three-way comparator is
+// used directly, with no per-call less closure or reflection (the
+// former sort.Slice path allocated both on every Seal).
 func sortTriples(ts []Triple, cmp func(a, b Triple) int) {
-	sort.Slice(ts, func(i, j int) bool { return cmp(ts[i], ts[j]) < 0 })
+	slices.SortFunc(ts, cmp)
 }
 
 func dedup(ts []Triple) []Triple {
@@ -155,8 +158,15 @@ func (st *Store) choose(p Pattern) (idx []Triple, lo, hi int) {
 // rangeOf returns [lo,hi) such that all triples t with min<=t<=max (in
 // cmp order) fall inside. min and max use 0 / MaxID as open bounds.
 func rangeOf(idx []Triple, cmp func(a, b Triple) int, min, max Triple) (int, int) {
-	lo := sort.Search(len(idx), func(i int) bool { return cmp(idx[i], min) >= 0 })
-	hi := sort.Search(len(idx), func(i int) bool { return cmp(idx[i], max) > 0 })
+	lo, _ := slices.BinarySearchFunc(idx, min, cmp)
+	// For hi we need the insertion point after the run of elements equal
+	// to max, so map cmp==0 to "target is greater".
+	hi, _ := slices.BinarySearchFunc(idx, max, func(t, target Triple) int {
+		if c := cmp(t, target); c != 0 {
+			return c
+		}
+		return -1
+	})
 	return lo, hi
 }
 
@@ -175,8 +185,7 @@ func (st *Store) Delete(t Triple) bool {
 		{&st.spo, cmpSPO}, {&st.pos, cmpPOS}, {&st.osp, cmpOSP},
 	} {
 		s := *ix.idx
-		i := sort.Search(len(s), func(i int) bool { return ix.cmp(s[i], t) >= 0 })
-		if i < len(s) && s[i] == t {
+		if i, ok := slices.BinarySearchFunc(s, t, ix.cmp); ok {
 			*ix.idx = append(s[:i], s[i+1:]...)
 			removed = true
 		}
@@ -200,7 +209,7 @@ func (st *Store) Insert(t Triple) bool {
 		{&st.spo, cmpSPO}, {&st.pos, cmpPOS}, {&st.osp, cmpOSP},
 	} {
 		s := *ix.idx
-		i := sort.Search(len(s), func(i int) bool { return ix.cmp(s[i], t) >= 0 })
+		i, _ := slices.BinarySearchFunc(s, t, ix.cmp)
 		s = append(s, Triple{})
 		copy(s[i+1:], s[i:])
 		s[i] = t

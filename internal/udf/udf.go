@@ -164,19 +164,37 @@ func (s Stats) MeanSeconds() float64 {
 	return s.TotalSeconds / float64(s.Execs)
 }
 
-// Profiler is the rank-local UDF profiling store. It is owned by one
-// rank's goroutine and is not safe for concurrent use; snapshots are
-// exchanged through collectives.
+// Profiler is a UDF profiling store. Persistent per-rank profiles are
+// read and merged into from many query goroutines, so all methods are
+// safe for concurrent use. A profiler built with NewProfilerOver
+// records locally (its records are the query's delta) while estimating
+// over the base profile's accumulated history combined with its own —
+// this is how concurrent queries profile without contending on the
+// shared per-rank stores.
 type Profiler struct {
+	mu    sync.RWMutex
 	stats map[string]*Stats
+	// base, when set, contributes read-only history to the estimator
+	// methods; it is never written through this profiler.
+	base *Profiler
 }
 
 // NewProfiler returns an empty profiler.
 func NewProfiler() *Profiler { return &Profiler{stats: map[string]*Stats{}} }
 
+// NewProfilerOver returns a profiler that records into its own (empty)
+// store but answers estimator queries from base's history plus its own
+// records. Snapshot returns only the local records, so merging a
+// query profiler back into its base never double-counts.
+func NewProfilerOver(base *Profiler) *Profiler {
+	return &Profiler{stats: map[string]*Stats{}, base: base}
+}
+
 // Record adds one execution of name taking seconds; rejected marks
 // that the enclosing expression rejected the solution because of it.
 func (p *Profiler) Record(name string, seconds float64, rejected bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	s, ok := p.stats[name]
 	if !ok {
 		s = &Stats{}
@@ -191,8 +209,8 @@ func (p *Profiler) Record(name string, seconds float64, rejected bool) {
 
 // EstimateCost implements expr.Estimator.
 func (p *Profiler) EstimateCost(name string) (float64, bool) {
-	s, ok := p.stats[name]
-	if !ok || s.Execs == 0 {
+	s := p.Get(name)
+	if s.Execs == 0 {
 		return 0, false
 	}
 	return s.MeanSeconds(), true
@@ -200,8 +218,8 @@ func (p *Profiler) EstimateCost(name string) (float64, bool) {
 
 // RejectRate implements expr.Estimator.
 func (p *Profiler) RejectRate(name string) float64 {
-	s, ok := p.stats[name]
-	if !ok || s.Execs == 0 {
+	s := p.Get(name)
+	if s.Execs == 0 {
 		return 0
 	}
 	return float64(s.Rejections) / float64(s.Execs)
@@ -209,16 +227,29 @@ func (p *Profiler) RejectRate(name string) float64 {
 
 var _ expr.Estimator = (*Profiler)(nil)
 
-// Get returns the stats for name (zero value if never recorded).
+// Get returns the stats for name, combining base history when present
+// (zero value if never recorded).
 func (p *Profiler) Get(name string) Stats {
-	if s, ok := p.stats[name]; ok {
-		return *s
+	var out Stats
+	if p.base != nil {
+		out = p.base.Get(name)
 	}
-	return Stats{}
+	p.mu.RLock()
+	if s, ok := p.stats[name]; ok {
+		out.Execs += s.Execs
+		out.TotalSeconds += s.TotalSeconds
+		out.Rejections += s.Rejections
+	}
+	p.mu.RUnlock()
+	return out
 }
 
-// Snapshot returns a copy of all records.
+// Snapshot returns a copy of the locally recorded stats. For a
+// profiler built with NewProfilerOver this is the delta since the
+// query started — exactly what Merge folds back into the base.
 func (p *Profiler) Snapshot() map[string]Stats {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	out := make(map[string]Stats, len(p.stats))
 	for name, s := range p.stats {
 		out[name] = *s
@@ -227,8 +258,11 @@ func (p *Profiler) Snapshot() map[string]Stats {
 }
 
 // Merge folds another profiler's snapshot into this one (used when
+// merging query deltas into the persistent per-rank profiles and when
 // aggregating rank profiles for reports).
 func (p *Profiler) Merge(snap map[string]Stats) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	for name, s := range snap {
 		cur, ok := p.stats[name]
 		if !ok {
@@ -243,14 +277,15 @@ func (p *Profiler) Merge(snap map[string]Stats) {
 
 // String renders the profile as a sorted table for logs.
 func (p *Profiler) String() string {
-	names := make([]string, 0, len(p.stats))
-	for n := range p.stats {
+	snap := p.Snapshot()
+	names := make([]string, 0, len(snap))
+	for n := range snap {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	var sb strings.Builder
 	for _, n := range names {
-		s := p.stats[n]
+		s := snap[n]
 		fmt.Fprintf(&sb, "%s: execs=%d total=%.3fs mean=%.4fs rejects=%d\n",
 			n, s.Execs, s.TotalSeconds, s.MeanSeconds(), s.Rejections)
 	}
