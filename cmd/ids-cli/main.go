@@ -27,7 +27,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ids-cli -e <endpoint> <query|update|module|stats|profile|metrics|trace> [args]")
+	fmt.Fprintln(os.Stderr, "usage: ids-cli -e <endpoint> <query|update|module|snapshot|checkpoint|stats|profile|metrics|trace> [args]")
 	os.Exit(2)
 }
 
@@ -39,7 +39,20 @@ func runUpdate(c *ids.Client, args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s: applied %d of %d triples\n", res.Kind, res.Applied, res.Total)
+	if res.LSN > 0 {
+		fmt.Printf("%s: applied %d of %d triples (lsn %d)\n", res.Kind, res.Applied, res.Total, res.LSN)
+	} else {
+		fmt.Printf("%s: applied %d of %d triples\n", res.Kind, res.Applied, res.Total)
+	}
+	return nil
+}
+
+func runCheckpoint(c *ids.Client) error {
+	info, err := c.Checkpoint()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("checkpoint %s covers lsn %d (%.3fs)\n", info.Snapshot, info.LastLSN, info.Seconds)
 	return nil
 }
 
@@ -62,6 +75,8 @@ func main() {
 		err = runModule(c, args[1:])
 	case "snapshot":
 		err = runSnapshot(c, args[1:])
+	case "checkpoint":
+		err = runCheckpoint(c)
 	case "stats":
 		err = runStats(c)
 	case "profile":

@@ -6,10 +6,17 @@
 //
 //	ids-server [-addr host:port] [-nodes N] [-rpn R]
 //	           [-data graph.nt | -synth-ncnpr] [-background N]
+//	           [-data-dir dir] [-fsync always|interval|none]
+//	           [-checkpoint-interval d] [-checkpoint-updates n]
 //
 // With -synth-ncnpr the server hosts the generated NCNPR
 // drug-repurposing graph with the workflow UDFs (ncnpr.sw,
 // ncnpr.pic50, ncnpr.dtba) pre-registered.
+//
+// With -data-dir the instance is durable: updates are write-ahead
+// logged before they apply, a background checkpointer folds the log
+// into snapshots, and a restart recovers the last durable state (which
+// then takes precedence over -data / -snapshot / -synth-ncnpr).
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"ids/internal/kg"
 	"ids/internal/mpp"
 	"ids/internal/synth"
+	"ids/internal/wal"
 	"ids/internal/workflow"
 )
 
@@ -37,6 +45,10 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 0, "concurrent query limit (0 = GOMAXPROCS-derived)")
 	maxQueue := flag.Int("max-queue", 0, "admission queue length (0 = 4x max-inflight, -1 = no queue)")
 	queueTimeout := flag.Duration("queue-timeout", 0, "max admission queue wait before 429 (0 = 2s default)")
+	dataDir := flag.String("data-dir", "", "durable data directory (WAL + checkpoints); empty = in-memory only")
+	fsync := flag.String("fsync", "always", "WAL fsync policy: always | interval | none")
+	ckptInterval := flag.Duration("checkpoint-interval", 0, "background checkpoint period (0 = 30s default, <0 disables)")
+	ckptUpdates := flag.Int("checkpoint-updates", 0, "checkpoint after this many updates (0 = 256 default, <0 disables)")
 	flag.Parse()
 
 	topo := mpp.Topology{Nodes: *nodes, RanksPerNode: *rpn}
@@ -47,6 +59,18 @@ func main() {
 			MaxQueue:     *maxQueue,
 			QueueTimeout: *queueTimeout,
 		},
+	}
+	if *dataDir != "" {
+		pol, err := wal.ParseFsyncPolicy(*fsync)
+		if err != nil {
+			log.Fatalf("-fsync: %v", err)
+		}
+		cfg.Durability = &ids.DurabilityConfig{
+			Dir:                *dataDir,
+			Fsync:              pol,
+			CheckpointInterval: *ckptInterval,
+			CheckpointEvery:    *ckptUpdates,
+		}
 	}
 
 	if *snapPath != "" {
@@ -88,9 +112,13 @@ func main() {
 		}
 		fmt.Printf("NCNPR graph: %d triples, target %s\n", ds.Graph.Len(), synth.TargetIRI)
 	}
+	if r := inst.Recovery; r != nil {
+		fmt.Printf("durable: recovered to lsn %d (snapshot %q covers lsn %d; %d records replayed, %d torn tails repaired)\n",
+			r.LastLSN, r.Snapshot, r.SnapshotLSN, r.ReplayedRecords, r.TornTailTruncations)
+	}
 	fmt.Printf("IDS endpoint listening on http://%s (%d nodes x %d ranks, %d triples)\n",
 		inst.Addr, topo.Nodes, topo.RanksPerNode, inst.Engine.Graph.Len())
-	fmt.Println("POST /query, POST /module, GET /profile, GET /stats, GET /metrics, GET /trace, GET /healthz")
+	fmt.Println("POST /query, POST /update, POST /module, POST /checkpoint, GET /profile, GET /stats, GET /metrics, GET /trace, GET /healthz")
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

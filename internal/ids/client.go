@@ -163,6 +163,15 @@ func (c *Client) Update(u string) (*UpdateResult, error) {
 	return &out, nil
 }
 
+// Checkpoint forces the server to checkpoint its durable state now.
+func (c *Client) Checkpoint() (*CheckpointInfo, error) {
+	var out CheckpointInfo
+	if err := c.post("/checkpoint", struct{}{}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // LoadModule imports an IDscript module (cached on the server).
 func (c *Client) LoadModule(name, source string) error {
 	var out ModuleResponse

@@ -27,6 +27,7 @@ import (
 	"ids/internal/text"
 	"ids/internal/udf"
 	"ids/internal/vecstore"
+	"ids/internal/wal"
 )
 
 // Options tunes query execution; the zero value enables the paper's
@@ -92,6 +93,12 @@ type Engine struct {
 	// epoch. Part of the result-cache key so updates invalidate stale
 	// entries; atomic so key derivation never races with a writer.
 	updates atomic.Int64
+	// wal, when set, makes updates durable: Update appends the record
+	// (synced per the log's fsync policy) before mutating the graph.
+	wal *wal.Log
+	// walNotify, when set, is called after each durable update so the
+	// background checkpointer can react to update volume.
+	walNotify func()
 	// met is the engine's metrics registry plus hot-path handles.
 	met *engineMetrics
 	// tracing makes every query collect a span trace (Result.Trace).
@@ -203,6 +210,31 @@ func (e *Engine) SnapshotTo(w io.Writer) error {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return e.Graph.Save(w)
+}
+
+// AttachWAL makes the engine durable: every subsequent Update appends
+// its record to l (append-then-apply, under the writer lock) before
+// mutating the graph, and the log's append/fsync/byte counters are
+// mirrored into /metrics at scrape time. Attach after replaying the
+// log (see replayWAL), so recovered records are not re-appended.
+func (e *Engine) AttachWAL(l *wal.Log) {
+	e.mu.Lock()
+	e.wal = l
+	e.mu.Unlock()
+	e.met.reg.AddCollector(func(r *obs.Registry) {
+		st := l.Stats()
+		r.Counter("ids_wal_appends_total").Set(float64(st.Appends))
+		r.Counter("ids_wal_fsyncs_total").Set(float64(st.Fsyncs))
+		r.Counter("ids_wal_bytes_total").Set(float64(st.AppendedBytes))
+	})
+}
+
+// setWALNotify registers the checkpointer's update hook (must not
+// block; called with the writer lock held).
+func (e *Engine) setWALNotify(fn func()) {
+	e.mu.Lock()
+	e.walNotify = fn
+	e.mu.Unlock()
 }
 
 // Query parses, plans and executes a query across all ranks, returning

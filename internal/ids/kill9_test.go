@@ -1,0 +1,136 @@
+//go:build unix
+
+package ids
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// repoRoot walks up from the package directory to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}
+
+// startServer launches the real ids-server binary against dataDir and
+// returns the process plus the resolved endpoint address.
+func startServer(t *testing.T, bin, dataDir string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0", "-nodes", "1", "-rpn", "2",
+		"-data-dir", dataDir, "-fsync", "always",
+		"-checkpoint-interval", "-1s", "-checkpoint-updates", "-1")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on http://"); i >= 0 {
+				rest := line[i+len("listening on http://"):]
+				if j := strings.IndexByte(rest, ' '); j > 0 {
+					rest = rest[:j]
+				}
+				addrCh <- rest
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return cmd, addr
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not report its listen address")
+		return nil, ""
+	}
+}
+
+// TestKillNineRecovery is the acceptance scenario: a real ids-server
+// process acknowledges N updates under fsync=always, dies with SIGKILL
+// (no shutdown path runs), and a fresh process over the same data
+// directory serves the exact pre-crash answers, continuing the LSN
+// sequence.
+func TestKillNineRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kill -9s a server binary")
+	}
+	bin := filepath.Join(t.TempDir(), "ids-server")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/ids-server")
+	build.Dir = repoRoot(t)
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building ids-server: %v\n%s", err, out)
+	}
+	dataDir := t.TempDir()
+
+	proc, addr := startServer(t, bin, dataDir)
+	c := NewClient("http://" + addr)
+	const n = 20
+	for i := 0; i < n; i++ {
+		res, err := c.Update(fmt.Sprintf(
+			`INSERT DATA { <http://x/k%02d> <http://x/name> "entry %02d" . }`, i, i))
+		if err != nil {
+			t.Fatalf("update %d: %v", i, err)
+		}
+		if res.LSN != uint64(i+1) {
+			t.Fatalf("update %d acknowledged with lsn %d", i, res.LSN)
+		}
+	}
+	const q = `SELECT ?s ?v WHERE { ?s <http://x/name> ?v . } ORDER BY ?s`
+	pre, err := c.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pre.Rows) != n {
+		t.Fatalf("pre-crash rows = %d", len(pre.Rows))
+	}
+
+	if err := proc.Process.Kill(); err != nil { // SIGKILL: no cleanup runs
+		t.Fatal(err)
+	}
+	proc.Wait()
+
+	_, addr2 := startServer(t, bin, dataDir)
+	c2 := NewClient("http://" + addr2)
+	post, err := c2.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pre.Rows, post.Rows) {
+		t.Fatalf("answers diverged after kill -9:\n pre  %v\n post %v", pre.Rows, post.Rows)
+	}
+	res, err := c2.Update(`INSERT DATA { <http://x/after> <http://x/name> "post crash" . }`)
+	if err != nil || res.LSN != n+1 {
+		t.Fatalf("post-recovery update lsn = %d, %v", res.LSN, err)
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"ids/internal/kg"
 	"ids/internal/mpp"
+	"ids/internal/wal"
 )
 
 // LaunchConfig describes one IDS instance to bring up.
@@ -25,6 +26,12 @@ type LaunchConfig struct {
 	// Admission tunes the server's query admission controller; the
 	// zero value applies the GOMAXPROCS-derived defaults.
 	Admission AdmissionConfig
+	// Durability, when non-nil, makes the instance durable: updates
+	// are write-ahead logged under Durability.Dir, a background
+	// checkpointer folds the log into snapshots, and launch recovers
+	// the last durable state (which then takes precedence over Graph
+	// and NTriplesPath — those only seed a fresh directory).
+	Durability *DurabilityConfig
 }
 
 // Agent is the per-node helper process of the deployment model: it
@@ -58,10 +65,22 @@ type Instance struct {
 	Server *Server
 	Agents []*Agent
 	Addr   string
+	// Recovery reports what startup recovery did (nil when the
+	// instance runs without durability).
+	Recovery *RecoveryStats
 
+	dur      *durability
 	ln       net.Listener
 	httpSrv  *http.Server
 	doneOnce sync.Once
+}
+
+// Checkpoint forces a checkpoint on a durable instance.
+func (inst *Instance) Checkpoint() (CheckpointInfo, error) {
+	if inst.dur == nil {
+		return CheckpointInfo{}, fmt.Errorf("ids: instance is not durable")
+	}
+	return inst.dur.Checkpoint()
 }
 
 // Launcher brings IDS instances up and tears them down (the paper's
@@ -72,33 +91,93 @@ type Launcher struct{}
 // agent per node. It blocks only until the endpoint is accepting
 // connections.
 func (Launcher) Launch(cfg LaunchConfig) (*Instance, error) {
+	if err := cfg.Topo.Validate(); err != nil {
+		return nil, err
+	}
+	var (
+		log *wal.Log
+		man *wal.Manifest
+		rec RecoveryStats
+	)
 	g := cfg.Graph
-	if g == nil {
-		if err := cfg.Topo.Validate(); err != nil {
+	if cfg.Durability != nil {
+		dcfg := cfg.Durability.withDefaults()
+		sg, l, m, err := openDurable(dcfg, cfg.Topo.Size(), &rec)
+		if err != nil {
 			return nil, err
 		}
+		log, man = l, m
+		if sg != nil {
+			// The recovered snapshot wins: Graph/NTriplesPath only seed
+			// a fresh data directory.
+			g = sg
+		}
+	}
+	fail := func(err error) (*Instance, error) {
+		if log != nil {
+			log.Close()
+		}
+		return nil, err
+	}
+	if g == nil {
 		g = kg.New(cfg.Topo.Size())
 		if cfg.NTriplesPath != "" {
 			f, err := os.Open(cfg.NTriplesPath)
 			if err != nil {
-				return nil, err
+				return fail(err)
 			}
 			_, err = g.LoadNTriples(f)
 			cerr := f.Close()
 			if err != nil {
-				return nil, err
+				return fail(err)
 			}
 			if cerr != nil {
-				return nil, cerr
+				return fail(cerr)
 			}
 		}
 		g.Seal()
 	}
 	e, err := NewEngine(g, cfg.Topo)
 	if err != nil {
-		return nil, err
+		return fail(err)
+	}
+	var dur *durability
+	if log != nil {
+		// Replay the log tail through the normal update path, then
+		// attach the log so new updates append to it.
+		from := uint64(0)
+		if man != nil {
+			from = man.LastLSN
+		}
+		n, err := e.replayWAL(log, from)
+		if err != nil {
+			return fail(err)
+		}
+		rec.ReplayedRecords = n
+		rec.LastLSN = log.LastLSN()
+		e.AttachWAL(log)
+		reg := e.Metrics()
+		reg.Gauge("ids_recovery_segments_scanned").Set(float64(rec.SegmentsScanned))
+		reg.Gauge("ids_recovery_records_replayed").Set(float64(rec.ReplayedRecords))
+		reg.Gauge("ids_recovery_torn_tail_truncations").Set(float64(rec.TornTailTruncations))
+		reg.Gauge("ids_recovery_last_lsn").Set(float64(rec.LastLSN))
+
+		dur = newDurability(e, log, cfg.Durability.withDefaults())
+		dur.lastLSN.Store(from)
+		if man == nil {
+			// First launch: checkpoint the seed graph so the manifest
+			// invariant (always a consistent snapshot+LSN pair) holds
+			// before the endpoint accepts updates.
+			if _, err := dur.checkpoint(true); err != nil {
+				return fail(err)
+			}
+		}
+		e.setWALNotify(dur.noteUpdate)
 	}
 	srv := NewServerWith(e, cfg.Admission)
+	if dur != nil {
+		srv.SetCheckpointer(dur.Checkpoint)
+	}
 
 	addr := cfg.Addr
 	if addr == "" {
@@ -106,7 +185,7 @@ func (Launcher) Launch(cfg LaunchConfig) (*Instance, error) {
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 	inst := &Instance{
 		Engine: e,
@@ -117,6 +196,11 @@ func (Launcher) Launch(cfg LaunchConfig) (*Instance, error) {
 			Handler:           srv.Handler(),
 			ReadHeaderTimeout: 10 * time.Second,
 		},
+	}
+	if dur != nil {
+		dur.start()
+		inst.dur = dur
+		inst.Recovery = &rec
 	}
 	for n := 0; n < cfg.Topo.Nodes; n++ {
 		a := &Agent{Node: n}
@@ -151,11 +235,18 @@ func (inst *Instance) ImportCode(name, source string) error {
 	return nil
 }
 
-// Teardown stops the endpoint and closes the agents.
+// Teardown stops the endpoint, stops the checkpointer (taking a final
+// checkpoint so a clean shutdown restarts from the snapshot alone),
+// closes the WAL, and closes the agents.
 func (inst *Instance) Teardown() error {
 	var err error
 	inst.doneOnce.Do(func() {
 		err = inst.httpSrv.Close()
+		if inst.dur != nil {
+			if derr := inst.dur.close(); err == nil {
+				err = derr
+			}
+		}
 		for _, a := range inst.Agents {
 			a.Logf("teardown")
 		}

@@ -59,6 +59,17 @@ func newEngineMetrics() *engineMetrics {
 	reg.Describe("udf_execs_total", "UDF executions (merged over ranks).")
 	reg.Describe("udf_seconds_total", "UDF virtual seconds (merged over ranks).")
 	reg.Describe("udf_rejections_total", "Solutions rejected because of a UDF result.")
+	reg.Describe("ids_wal_appends_total", "Records appended to the write-ahead log.")
+	reg.Describe("ids_wal_fsyncs_total", "fsync calls issued by the write-ahead log.")
+	reg.Describe("ids_wal_bytes_total", "Bytes appended to the write-ahead log.")
+	reg.Describe("ids_checkpoints_total", "Snapshot checkpoints completed.")
+	reg.Describe("ids_checkpoint_errors_total", "Snapshot checkpoints that failed.")
+	reg.Describe("ids_checkpoint_seconds", "Checkpoint duration (snapshot + manifest swap + log truncation).")
+	reg.Describe("ids_checkpoint_last_lsn", "Last LSN covered by the most recent checkpoint.")
+	reg.Describe("ids_recovery_segments_scanned", "WAL segments scanned during the last startup recovery.")
+	reg.Describe("ids_recovery_records_replayed", "WAL records replayed during the last startup recovery.")
+	reg.Describe("ids_recovery_torn_tail_truncations", "Torn WAL tails repaired during the last startup recovery.")
+	reg.Describe("ids_recovery_last_lsn", "Last LSN recovered at startup (snapshot + replay).")
 	return &engineMetrics{
 		reg:               reg,
 		queries:           reg.Counter("ids_queries_total"),

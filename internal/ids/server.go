@@ -171,6 +171,9 @@ type Server struct {
 	// explain-enabled query traces, addressable via GET /trace.
 	trMu   sync.Mutex
 	traces []*obs.QueryTrace
+
+	// ckpt, when set, serves POST /checkpoint (durable instances only).
+	ckpt func() (CheckpointInfo, error)
 }
 
 // QueryRequest is the /query payload.
@@ -238,6 +241,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/profile", s.handleProfile)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/trace", s.handleTrace)
 	return mux
@@ -405,6 +409,29 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		// response trailer-less close.
 		return
 	}
+}
+
+// SetCheckpointer enables POST /checkpoint, backed by fn (the
+// launcher wires this to the instance's checkpointer).
+func (s *Server) SetCheckpointer(fn func() (CheckpointInfo, error)) { s.ckpt = fn }
+
+// handleCheckpoint forces a checkpoint (POST /checkpoint) and returns
+// the resulting snapshot name and covered LSN.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.ckpt == nil {
+		writeErr(w, http.StatusConflict, errors.New("ids: durability not enabled (launch with -data-dir)"))
+		return
+	}
+	info, err := s.ckpt()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 // handleStats serves the legacy ad-hoc JSON statistics.

@@ -7,6 +7,7 @@ import (
 	"ids/internal/plan"
 	"ids/internal/sparql"
 	"ids/internal/text"
+	"ids/internal/wal"
 )
 
 // Local aliases keep expandGround's signature readable.
@@ -16,39 +17,84 @@ const dictIRI = dict.IRI
 
 // UpdateResult reports what an update statement changed.
 type UpdateResult struct {
-	Kind    string
-	Applied int // triples actually inserted/removed
-	Total   int // triples in the payload
+	Kind    string `json:"kind"`
+	Applied int    `json:"applied"` // triples actually inserted/removed
+	Total   int    `json:"total"`   // triples in the payload
+	// LSN is the write-ahead-log sequence number of this update (0
+	// when the engine runs without durability). Once the server
+	// acknowledges an LSN under fsync=always, the update survives a
+	// crash.
+	LSN uint64 `json:"lsn"`
 }
 
 // Update applies an INSERT DATA / DELETE DATA statement to the live
 // graph (the "update" half of the paper's query/update endpoint).
 // It takes the engine's exclusive writer lock, so it waits for
 // in-flight queries to drain and blocks new ones while it mutates the
-// graph. Planner statistics are rebuilt and swapped in atomically,
-// the update epoch is bumped so result-cache keys derived before the
-// update can never serve a post-update query, and an enabled text
-// index is rebuilt.
+// graph. When a WAL is attached the record is appended (and synced per
+// the fsync policy) BEFORE the graph mutates — append-then-apply — so
+// an acknowledged update is always recoverable and a crash between
+// append and apply merely replays an idempotent record. Planner
+// statistics are rebuilt and swapped in atomically, the update epoch
+// is bumped so result-cache keys derived before the update can never
+// serve a post-update query, and an enabled text index is rebuilt.
 func (e *Engine) Update(us string) (*UpdateResult, error) {
 	u, err := sparql.ParseUpdate(us)
 	if err != nil {
 		return nil, err
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	res := &UpdateResult{Kind: u.Kind.String(), Total: len(u.Triples)}
+	// Validate and expand the payload before logging anything: a
+	// statement either fully enters the WAL or is fully rejected.
+	triples := make([]wal.TermTriple, 0, len(u.Triples))
 	for _, t := range u.Triples {
 		s, p, o, err := expandGround(t, u.Prefixes)
 		if err != nil {
 			return nil, err
 		}
-		switch u.Kind {
-		case sparql.InsertData:
-			if e.Graph.Insert(s, p, o) {
+		triples = append(triples, wal.TermTriple{S: s, P: p, O: o})
+	}
+	kind := wal.KindInsert
+	if u.Kind == sparql.DeleteData {
+		kind = wal.KindDelete
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var lsn uint64
+	if e.wal != nil {
+		lsn, err = e.wal.Append(wal.Record{
+			Epoch:   uint64(e.updates.Load()) + 1,
+			Kind:    kind,
+			Triples: triples,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ids: wal append: %w", err)
+		}
+	}
+	res := e.applyLocked(kind, triples)
+	res.Kind = u.Kind.String()
+	res.LSN = lsn
+	if e.walNotify != nil {
+		e.walNotify()
+	}
+	return res, nil
+}
+
+// applyLocked mutates the graph with one statement's triples, bumps
+// the update epoch, and rebuilds planner statistics and the text
+// index. Caller holds the writer lock. This is the single apply path
+// shared by live updates and WAL replay, so recovery reproduces
+// exactly the live engine's state transitions.
+func (e *Engine) applyLocked(kind wal.Kind, triples []wal.TermTriple) *UpdateResult {
+	res := &UpdateResult{Kind: kind.String(), Total: len(triples)}
+	for _, t := range triples {
+		switch kind {
+		case wal.KindInsert:
+			if e.Graph.Insert(t.S, t.P, t.O) {
 				res.Applied++
 			}
-		case sparql.DeleteData:
-			if e.Graph.Delete(s, p, o) {
+		case wal.KindDelete:
+			if e.Graph.Delete(t.S, t.P, t.O) {
 				res.Applied++
 			}
 		}
@@ -62,7 +108,29 @@ func (e *Engine) Update(us string) (*UpdateResult, error) {
 		// restore it).
 		e.textIndex = text.BuildIndex(e.Graph, nil)
 	}
-	return res, nil
+	return res
+}
+
+// replayWAL applies every log record with LSN > from through the
+// normal update path (applyLocked), so recovery rebuilds planner
+// statistics, the update epoch, and (if enabled) the text index with
+// exactly the live engine's state transitions; result-cache entries
+// are epoch-keyed, so the replayed epoch count invalidates pre-crash
+// keys exactly as live updates would have. Returns how many records
+// were replayed.
+func (e *Engine) replayWAL(l *wal.Log, from uint64) (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	err := l.Replay(from+1, func(rec wal.Record) error {
+		if rec.Kind != wal.KindInsert && rec.Kind != wal.KindDelete {
+			return fmt.Errorf("ids: wal record %d has unknown kind %d", rec.LSN, rec.Kind)
+		}
+		e.applyLocked(rec.Kind, rec.Triples)
+		n++
+		return nil
+	})
+	return n, err
 }
 
 // expandGround is a hook for future prefixed-name support in payload

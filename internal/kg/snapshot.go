@@ -91,6 +91,9 @@ func LoadSnapshot(r io.Reader, nshards int) (*Graph, error) {
 	if err != nil {
 		return nil, err
 	}
+	if snapShards == 0 || snapShards > maxSnapShards {
+		return nil, fmt.Errorf("%w: implausible shard count %d", ErrSnapshot, snapShards)
+	}
 	if nshards <= 0 {
 		nshards = int(snapShards)
 	}
@@ -105,6 +108,9 @@ func LoadSnapshot(r io.Reader, nshards int) (*Graph, error) {
 		kb, err := br.ReadByte()
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrSnapshot, err)
+		}
+		if dict.Kind(kb) > dict.Blank {
+			return nil, fmt.Errorf("%w: unknown term kind %d", ErrSnapshot, kb)
 		}
 		value, err := readString(br)
 		if err != nil {
@@ -166,7 +172,14 @@ func readUvarint(r *bufio.Reader) (uint64, error) {
 	return v, nil
 }
 
-const maxSnapString = 64 << 20
+const (
+	maxSnapString = 64 << 20
+	maxSnapShards = 1 << 16
+	// snapReadChunk bounds how much readString allocates ahead of the
+	// bytes actually present, so a corrupt length in a truncated
+	// snapshot cannot demand an outsized allocation.
+	snapReadChunk = 64 << 10
+)
 
 func readString(r *bufio.Reader) (string, error) {
 	n, err := readUvarint(r)
@@ -176,9 +189,19 @@ func readString(r *bufio.Reader) (string, error) {
 	if n > maxSnapString {
 		return "", fmt.Errorf("%w: implausible string length %d", ErrSnapshot, n)
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return "", fmt.Errorf("%w: %v", ErrSnapshot, err)
+	// Read in chunks: allocation grows only as data actually arrives.
+	var b []byte
+	for n > 0 {
+		chunk := n
+		if chunk > snapReadChunk {
+			chunk = snapReadChunk
+		}
+		start := len(b)
+		b = append(b, make([]byte, chunk)...)
+		if _, err := io.ReadFull(r, b[start:]); err != nil {
+			return "", fmt.Errorf("%w: %v", ErrSnapshot, err)
+		}
+		n -= chunk
 	}
-	return string(buf), nil
+	return string(b), nil
 }

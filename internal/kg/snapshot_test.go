@@ -107,6 +107,51 @@ func TestSnapshotRejectsGarbage(t *testing.T) {
 	}
 }
 
+// TestSnapshotEveryPrefixFails a snapshot truncated at any byte
+// offset must yield ErrSnapshot — never a panic, a partial graph, or
+// an allocation sized by a length field the data can't back.
+func TestSnapshotEveryPrefixFails(t *testing.T) {
+	g := snapshotGraph(t)
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for cut := 0; cut < len(data); cut++ {
+		_, err := LoadSnapshot(bytes.NewReader(data[:cut]), 0)
+		if !errors.Is(err, ErrSnapshot) {
+			t.Fatalf("prefix of %d/%d bytes: err = %v, want ErrSnapshot", cut, len(data), err)
+		}
+	}
+	if _, err := LoadSnapshot(bytes.NewReader(data), 0); err != nil {
+		t.Fatalf("full snapshot rejected: %v", err)
+	}
+}
+
+// TestSnapshotImplausibleHeaders oversized length fields are rejected
+// up front instead of driving allocations.
+func TestSnapshotImplausibleHeaders(t *testing.T) {
+	huge := append([]byte("IDSG\x01"), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01) // shards = 2^63
+	if _, err := LoadSnapshot(bytes.NewReader(huge), 0); !errors.Is(err, ErrSnapshot) {
+		t.Errorf("huge shard count: err = %v", err)
+	}
+	zero := append([]byte("IDSG\x01"), 0x00) // shards = 0
+	if _, err := LoadSnapshot(bytes.NewReader(zero), 0); !errors.Is(err, ErrSnapshot) {
+		t.Errorf("zero shard count: err = %v", err)
+	}
+	// One term whose value claims 2^40 bytes.
+	lie := append([]byte("IDSG\x01"), 0x04, 0x01, byte(dict.IRI))
+	lie = append(lie, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x02)
+	if _, err := LoadSnapshot(bytes.NewReader(lie), 0); !errors.Is(err, ErrSnapshot) {
+		t.Errorf("huge string length: err = %v", err)
+	}
+	// A bad term kind byte.
+	badKind := append([]byte("IDSG\x01"), 0x04, 0x01, 0x09, 0x00, 0x00)
+	if _, err := LoadSnapshot(bytes.NewReader(badKind), 0); !errors.Is(err, ErrSnapshot) {
+		t.Errorf("bad term kind: err = %v", err)
+	}
+}
+
 func BenchmarkSnapshotSaveLoad(b *testing.B) {
 	g := New(4)
 	iri := func(s string) dict.Term { return dict.Term{Kind: dict.IRI, Value: s} }

@@ -1,0 +1,86 @@
+package wal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// ManifestName is the manifest file inside the data directory.
+const ManifestName = "MANIFEST"
+
+// Manifest is the durable pointer to the last consistent checkpoint:
+// the snapshot file plus the last LSN it contains. Recovery loads the
+// snapshot and replays the WAL from LastLSN+1. It is replaced with an
+// atomic temp-file rename, so a crash mid-checkpoint always leaves the
+// manifest pointing at the previous consistent (snapshot, LSN) pair.
+type Manifest struct {
+	Snapshot string `json:"snapshot"`
+	LastLSN  uint64 `json:"last_lsn"`
+}
+
+// ReadManifest loads the manifest from dir; (nil, nil) when none
+// exists (fresh directory).
+func ReadManifest(dir string) (*Manifest, error) {
+	b, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("wal: corrupt manifest: %w", err)
+	}
+	if m.Snapshot == "" || m.Snapshot != filepath.Base(m.Snapshot) {
+		return nil, fmt.Errorf("wal: corrupt manifest: bad snapshot name %q", m.Snapshot)
+	}
+	return &m, nil
+}
+
+// WriteManifest atomically replaces the manifest in dir: write temp,
+// fsync, rename, fsync directory.
+func WriteManifest(dir string, m Manifest) error {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(dir, ManifestName+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(append(b, '\n')); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, ManifestName)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return SyncDir(dir)
+}
+
+// SyncDir fsyncs a directory so renames within it are durable.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,226 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"ids/internal/dict"
+)
+
+// Record framing: every record is one frame on disk,
+//
+//	length u32le | crc32c u32le | body
+//
+// where length = len(body) and the checksum covers the body only. The
+// body is the varint-encoded record:
+//
+//	lsn uvarint | epoch uvarint | kind u8 | ntriples uvarint |
+//	per triple, per term (S,P,O): kind u8, value string, datatype string
+//
+// strings are uvarint length + bytes. The fixed header makes frame
+// boundaries self-describing, and the checksum turns any torn or
+// corrupted write into a detectable bad frame instead of silently
+// replaying garbage.
+
+// Kind discriminates what a WAL record does to the graph.
+type Kind uint8
+
+// Record kinds.
+const (
+	KindInsert Kind = 1
+	KindDelete Kind = 2
+)
+
+// String renders the kind like the corresponding update statement.
+func (k Kind) String() string {
+	switch k {
+	case KindInsert:
+		return "INSERT DATA"
+	case KindDelete:
+		return "DELETE DATA"
+	}
+	return fmt.Sprintf("wal.Kind(%d)", uint8(k))
+}
+
+// TermTriple is one fully ground triple at the term level. Records
+// carry terms, not dictionary IDs, so replay is independent of the
+// dictionary assignment and shard count of the recovered graph.
+type TermTriple struct {
+	S, P, O dict.Term
+}
+
+// Record is one durable update: all triples of a single INSERT DATA /
+// DELETE DATA statement, applied atomically on replay.
+type Record struct {
+	// LSN is the log sequence number, assigned contiguously from 1 by
+	// Append.
+	LSN uint64
+	// Epoch is the engine's update epoch after this record applies
+	// (informational; recovery re-derives it by replaying).
+	Epoch uint64
+	Kind  Kind
+	// Triples is the statement payload.
+	Triples []TermTriple
+}
+
+// frameHeaderLen is the fixed per-frame prefix: length + checksum.
+const frameHeaderLen = 8
+
+// maxFrameBytes bounds a single frame; larger length prefixes are
+// treated as corruption rather than allocated.
+const maxFrameBytes = 256 << 20
+
+// crcTable is the Castagnoli (CRC32C) polynomial table, the checksum
+// used by most storage systems for its hardware support.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// appendUvarint appends v to b.
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+// appendString appends a length-prefixed string to b.
+func appendString(b []byte, s string) []byte {
+	b = appendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// encodeBody serializes the record body (everything the checksum
+// covers).
+func encodeBody(rec Record) []byte {
+	b := make([]byte, 0, 64+32*len(rec.Triples))
+	b = appendUvarint(b, rec.LSN)
+	b = appendUvarint(b, rec.Epoch)
+	b = append(b, byte(rec.Kind))
+	b = appendUvarint(b, uint64(len(rec.Triples)))
+	for _, t := range rec.Triples {
+		for _, term := range [3]dict.Term{t.S, t.P, t.O} {
+			b = append(b, byte(term.Kind))
+			b = appendString(b, term.Value)
+			b = appendString(b, term.Datatype)
+		}
+	}
+	return b
+}
+
+// encodeFrame serializes the full frame (header + body).
+func encodeFrame(rec Record) []byte {
+	body := encodeBody(rec)
+	frame := make([]byte, frameHeaderLen+len(body))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(body, crcTable))
+	copy(frame[frameHeaderLen:], body)
+	return frame
+}
+
+// cursor is a bounds-checked reader over a decoded body.
+type cursor struct {
+	b   []byte
+	off int
+}
+
+func (c *cursor) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(c.b[c.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("wal: truncated varint")
+	}
+	c.off += n
+	return v, nil
+}
+
+func (c *cursor) byte() (byte, error) {
+	if c.off >= len(c.b) {
+		return 0, fmt.Errorf("wal: truncated body")
+	}
+	v := c.b[c.off]
+	c.off++
+	return v, nil
+}
+
+func (c *cursor) str() (string, error) {
+	n, err := c.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(c.b)-c.off) {
+		return "", fmt.Errorf("wal: string length %d exceeds body", n)
+	}
+	s := string(c.b[c.off : c.off+int(n)])
+	c.off += int(n)
+	return s, nil
+}
+
+// decodeBody parses a checksummed body back into a Record.
+func decodeBody(body []byte) (Record, error) {
+	var rec Record
+	c := &cursor{b: body}
+	var err error
+	if rec.LSN, err = c.uvarint(); err != nil {
+		return rec, err
+	}
+	if rec.Epoch, err = c.uvarint(); err != nil {
+		return rec, err
+	}
+	kb, err := c.byte()
+	if err != nil {
+		return rec, err
+	}
+	rec.Kind = Kind(kb)
+	if rec.Kind != KindInsert && rec.Kind != KindDelete {
+		return rec, fmt.Errorf("wal: unknown record kind %d", kb)
+	}
+	n, err := c.uvarint()
+	if err != nil {
+		return rec, err
+	}
+	// A triple needs at least 9 bytes (3 terms x kind + two zero
+	// lengths); a count past that bound is corruption, not a reason to
+	// allocate.
+	if n > uint64(len(body)-c.off)/9 {
+		return rec, fmt.Errorf("wal: triple count %d exceeds body", n)
+	}
+	rec.Triples = make([]TermTriple, n)
+	for i := range rec.Triples {
+		terms := [3]*dict.Term{&rec.Triples[i].S, &rec.Triples[i].P, &rec.Triples[i].O}
+		for _, term := range terms {
+			tk, err := c.byte()
+			if err != nil {
+				return rec, err
+			}
+			term.Kind = dict.Kind(tk)
+			if term.Value, err = c.str(); err != nil {
+				return rec, err
+			}
+			if term.Datatype, err = c.str(); err != nil {
+				return rec, err
+			}
+		}
+	}
+	if c.off != len(body) {
+		return rec, fmt.Errorf("wal: %d trailing bytes in body", len(body)-c.off)
+	}
+	return rec, nil
+}
+
+// parseFrame attempts to decode one frame at the start of data. ok
+// reports a structurally valid, checksum-passing frame; size is its
+// total on-disk length.
+func parseFrame(data []byte) (rec Record, size int, ok bool) {
+	if len(data) < frameHeaderLen {
+		return rec, 0, false
+	}
+	n := binary.LittleEndian.Uint32(data[0:4])
+	if n == 0 || n > maxFrameBytes || uint64(n) > uint64(len(data)-frameHeaderLen) {
+		return rec, 0, false
+	}
+	body := data[frameHeaderLen : frameHeaderLen+int(n)]
+	if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(data[4:8]) {
+		return rec, 0, false
+	}
+	rec, err := decodeBody(body)
+	if err != nil {
+		return rec, 0, false
+	}
+	return rec, frameHeaderLen + int(n), true
+}
