@@ -27,6 +27,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"ids/internal/dtba"
 	"ids/internal/experiments"
@@ -39,6 +41,7 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a traced NCNPR query summary (JSON) to this file")
 	concurrency := flag.Int("concurrency", 0, "load mode: concurrent query workers (0 = run experiments instead)")
 	loadQueries := flag.Int("load-queries", 64, "load mode: total queries per concurrency level")
+	benchOut := flag.String("bench-out", "", `load mode: write a machine-readable baseline JSON here ("auto" = BENCH_<date>.json)`)
 	flag.Parse()
 
 	var sc experiments.Scale
@@ -53,10 +56,22 @@ func main() {
 	}
 
 	if *concurrency > 0 {
+		// Alloc accounting brackets the load run so BENCH_<date>.json
+		// carries per-query allocation alongside QPS and latency.
+		var msBefore, msAfter runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&msBefore)
 		load, err := runLoad(sc, *concurrency, *loadQueries)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "load: %v\n", err)
 			os.Exit(1)
+		}
+		runtime.ReadMemStats(&msAfter)
+		if *benchOut != "" {
+			if err := writeBenchReport(sc, *benchOut, load, msBefore, msAfter); err != nil {
+				fmt.Fprintf(os.Stderr, "bench-out: %v\n", err)
+				os.Exit(1)
+			}
 		}
 		if *traceOut != "" {
 			if err := writeTraceSummary(sc, *traceOut, load); err != nil {
@@ -127,6 +142,73 @@ func runLoad(sc experiments.Scale, concurrency, queries int) ([]experiments.Load
 			pts[1].Concurrency, pts[1].QPS/pts[0].QPS)
 	}
 	return pts, nil
+}
+
+// BenchReport is the machine-readable baseline written by -bench-out.
+// Future PRs diff these files to catch throughput, latency, or
+// allocation regressions; the load points carry QPS and p50/p99, the
+// alloc block brackets the whole load run.
+type BenchReport struct {
+	Date       string                  `json:"date"`
+	Scale      string                  `json:"scale"`
+	GoVersion  string                  `json:"go_version"`
+	GOMAXPROCS int                     `json:"gomaxprocs"`
+	Load       []experiments.LoadPoint `json:"load"`
+	Alloc      BenchAlloc              `json:"alloc"`
+}
+
+// BenchAlloc is the allocation delta across the load run.
+type BenchAlloc struct {
+	TotalQueries       int     `json:"total_queries"`
+	AllocBytesTotal    uint64  `json:"alloc_bytes_total"`
+	AllocBytesPerQuery float64 `json:"alloc_bytes_per_query"`
+	MallocsTotal       uint64  `json:"mallocs_total"`
+	MallocsPerQuery    float64 `json:"mallocs_per_query"`
+	GCCycles           uint32  `json:"gc_cycles"`
+}
+
+// writeBenchReport writes the load-mode baseline JSON; path "auto"
+// names the file BENCH_<date>.json in the working directory.
+func writeBenchReport(sc experiments.Scale, path string, load []experiments.LoadPoint, before, after runtime.MemStats) error {
+	date := time.Now().Format("2006-01-02")
+	if path == "auto" {
+		path = fmt.Sprintf("BENCH_%s.json", date)
+	}
+	rep := BenchReport{
+		Date:       date,
+		Scale:      sc.Name,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Load:       load,
+		Alloc: BenchAlloc{
+			AllocBytesTotal: after.TotalAlloc - before.TotalAlloc,
+			MallocsTotal:    after.Mallocs - before.Mallocs,
+			GCCycles:        after.NumGC - before.NumGC,
+		},
+	}
+	for _, p := range load {
+		rep.Alloc.TotalQueries += p.Queries
+	}
+	if n := rep.Alloc.TotalQueries; n > 0 {
+		rep.Alloc.AllocBytesPerQuery = float64(rep.Alloc.AllocBytesTotal) / float64(n)
+		rep.Alloc.MallocsPerQuery = float64(rep.Alloc.MallocsTotal) / float64(n)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("\nbench baseline: %s (%.0f B/query, %.0f mallocs/query over %d queries)\n",
+		path, rep.Alloc.AllocBytesPerQuery, rep.Alloc.MallocsPerQuery, rep.Alloc.TotalQueries)
+	return nil
 }
 
 // writeTraceSummary runs the NCNPR inner query traced and writes the

@@ -124,6 +124,9 @@ func runQuery(c *ids.Client, args []string) error {
 	}
 	t.Render(os.Stdout)
 	fmt.Printf("\n%d rows; simulated %.3fs (wall %.3fs)\n", len(resp.Rows), resp.Makespan, resp.WallTime)
+	if resp.QID != "" {
+		fmt.Printf("qid: %s (server log correlation id; full trace: ids-cli trace %s)\n", resp.QID, resp.QID)
+	}
 	if len(resp.Phases) > 0 {
 		var parts []string
 		for name, v := range resp.Phases {

@@ -23,12 +23,15 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 
 	"ids/internal/ids"
 	"ids/internal/kg"
 	"ids/internal/mpp"
+	"ids/internal/obs"
 	"ids/internal/synth"
 	"ids/internal/wal"
 	"ids/internal/workflow"
@@ -49,7 +52,31 @@ func main() {
 	fsync := flag.String("fsync", "always", "WAL fsync policy: always | interval | none")
 	ckptInterval := flag.Duration("checkpoint-interval", 0, "background checkpoint period (0 = 30s default, <0 disables)")
 	ckptUpdates := flag.Int("checkpoint-updates", 0, "checkpoint after this many updates (0 = 256 default, <0 disables)")
+	logFormat := flag.String("log-format", "text", "log output format: text | json")
+	logLevel := flag.String("log-level", "info", "log level: debug | info | warn | error")
+	slowQuery := flag.Duration("slow-query", 0, "pin and WARN-log queries at or above this wall time (0 disables)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables)")
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		log.Fatalf("-log-level: %v", err)
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, level)
+	if err != nil {
+		log.Fatalf("-log-format: %v", err)
+	}
+
+	if *pprofAddr != "" {
+		go func() {
+			// DefaultServeMux carries the pprof handlers via the blank
+			// import; a separate listener keeps them off the query port.
+			logger.Info("pprof listening", "addr", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				logger.Error("pprof server stopped", "err", err)
+			}
+		}()
+	}
 
 	topo := mpp.Topology{Nodes: *nodes, RanksPerNode: *rpn}
 	cfg := ids.LaunchConfig{
@@ -59,6 +86,8 @@ func main() {
 			MaxQueue:     *maxQueue,
 			QueueTimeout: *queueTimeout,
 		},
+		Logger:           logger,
+		SlowQuerySeconds: slowQuery.Seconds(),
 	}
 	if *dataDir != "" {
 		pol, err := wal.ParseFsyncPolicy(*fsync)
@@ -118,7 +147,7 @@ func main() {
 	}
 	fmt.Printf("IDS endpoint listening on http://%s (%d nodes x %d ranks, %d triples)\n",
 		inst.Addr, topo.Nodes, topo.RanksPerNode, inst.Engine.Graph.Len())
-	fmt.Println("POST /query, POST /update, POST /module, POST /checkpoint, GET /profile, GET /stats, GET /metrics, GET /trace, GET /healthz")
+	fmt.Println("POST /query, POST /update, POST /module, POST /checkpoint, GET /profile, GET /stats, GET /metrics, GET /trace, GET /traces, GET /healthz, GET /readyz")
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

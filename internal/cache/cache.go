@@ -3,6 +3,7 @@ package cache
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 
 	"ids/internal/fam"
@@ -96,6 +97,17 @@ type Cache struct {
 	objects map[string]*meta
 	backing *store.Store
 	stats   Stats
+	// log, when non-nil, narrates tier transitions (DRAM->SSD spills,
+	// SSD evictions) at Debug.
+	log *slog.Logger
+}
+
+// SetLogger wires a structured logger for tier-transition records
+// (nil disables). Call before concurrent use.
+func (c *Cache) SetLogger(l *slog.Logger) {
+	c.mu.Lock()
+	c.log = l
+	c.mu.Unlock()
 }
 
 // dramRegion is the FAM region holding all DRAM-tier objects.
@@ -265,6 +277,10 @@ func (c *Cache) spillLocked(m *fam.Meter, victim string, nodeID int) error {
 	mt := c.objects[victim]
 	mt.dropLoc(Location{Node: nodeID, Tier: TierDRAM})
 	c.stats.Spills++
+	if c.log != nil {
+		c.log.Debug("cache spill dram->ssd",
+			"object", victim, "node", nodeID, "bytes", len(data))
+	}
 	return c.placeSSDLocked(m, victim, data, nodeID)
 }
 
@@ -288,10 +304,15 @@ func (c *Cache) placeSSDLocked(m *fam.Meter, name string, data []byte, nodeID in
 		if !ok {
 			return nil
 		}
-		n.ssdUsed -= int64(len(n.ssdData[victim]))
+		victimBytes := len(n.ssdData[victim])
+		n.ssdUsed -= int64(victimBytes)
 		delete(n.ssdData, victim)
 		c.objects[victim].dropLoc(loc)
 		c.stats.Evictions++
+		if c.log != nil {
+			c.log.Debug("cache evict ssd->stash",
+				"object", victim, "node", nodeID, "bytes", victimBytes)
+		}
 	}
 	n.ssdData[name] = data
 	n.ssdUsed += int64(len(data))

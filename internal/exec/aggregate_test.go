@@ -52,7 +52,7 @@ func TestAggregateNullHandling(t *testing.T) {
 	tab.Append([]expr.Value{expr.Float(2)})
 	tab.Append([]expr.Value{expr.Null})
 	out, err := Aggregate(tab, nil, []AggSpec{
-		{Func: "count", As: "all"},              // COUNT(*) would need Var "";
+		{Func: "count", As: "all"}, // COUNT(*) would need Var "";
 		{Func: "count", Var: "v", As: "nonnull"},
 		{Func: "avg", Var: "v", As: "m"},
 	}, nil)

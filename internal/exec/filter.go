@@ -1,6 +1,9 @@
 package exec
 
 import (
+	"log/slog"
+	"strings"
+
 	"ids/internal/expr"
 	"ids/internal/mpp"
 	"ids/internal/udf"
@@ -19,6 +22,11 @@ type FilterOpts struct {
 	// hardware and differences in the sub-graph within each rank's
 	// data shard"; this knob injects the hardware part in experiments.
 	SpeedFactor float64
+	// Logger, when non-nil, narrates the optimizer decisions this
+	// FILTER took (conjunct order chosen, re-balance traffic) at Debug.
+	// Callers typically set it on one rank only to avoid N identical
+	// lines per query.
+	Logger *slog.Logger
 }
 
 // FilterStats reports what one rank's FILTER evaluation did.
@@ -75,6 +83,14 @@ func Filter(r *mpp.Rank, t *Table, e expr.Expr, funcs expr.FuncResolver,
 	if opts.Reorder {
 		chain = expr.ReorderChain(chain, prof)
 	}
+	if opts.Logger != nil && opts.Logger.Enabled(nil, slog.LevelDebug) && len(chain) > 1 {
+		order := make([]string, len(chain))
+		for i, c := range chain {
+			order[i] = c.String()
+		}
+		opts.Logger.Debug("filter conjunct order",
+			"rank", r.ID(), "reordered", opts.Reorder, "order", strings.Join(order, " AND "))
+	}
 
 	// Cost-aware re-balancing needs this rank's throughput estimate:
 	// seconds per solution across the (reordered) chain, from the
@@ -96,6 +112,12 @@ func Filter(r *mpp.Rank, t *Table, e expr.Expr, funcs expr.FuncResolver,
 			return nil, FilterStats{}, err
 		}
 		stats.RebalanceSeconds = r.Now() - vt0
+		if opts.Logger != nil && (stats.Rebalance.Sent > 0 || stats.Rebalance.Received > 0) {
+			opts.Logger.Debug("filter rebalanced solutions",
+				"rank", r.ID(), "rows_before", stats.RowsBefore,
+				"sent", stats.Rebalance.Sent, "received", stats.Rebalance.Received,
+				"vt_seconds", stats.RebalanceSeconds)
+		}
 	}
 
 	stats.Order = make([]string, len(chain))

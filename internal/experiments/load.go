@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"math"
 	"slices"
 	"sync"
 	"sync/atomic"
@@ -22,15 +23,30 @@ type LoadPoint struct {
 	P99Ms       float64 `json:"p99_ms"`
 }
 
+// percentile returns the q-th sample quantile of an ascending-sorted
+// slice with linear interpolation between order statistics. The old
+// nearest-rank formula int(q*len) degenerated at low counts — any
+// q >= 1-1/n snapped to the max observation, so p99 of a 64-sample run
+// just reported the single worst latency. Interpolating on the rank
+// scale q*(n-1) is exact at the endpoints (q=0 → min, q=1 → max),
+// monotone in q, and never produces NaN for finite samples.
 func percentile(sorted []float64, q float64) float64 {
-	if len(sorted) == 0 {
+	if len(sorted) == 0 || math.IsNaN(q) {
 		return 0
 	}
-	i := int(q * float64(len(sorted)))
-	if i >= len(sorted) {
-		i = len(sorted) - 1
+	if q <= 0 {
+		return sorted[0]
 	}
-	return sorted[i]
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	rank := q * float64(len(sorted)-1)
+	lo := int(rank)
+	if lo+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
 }
 
 // ConcurrentLoad hammers one engine with the NCNPR inner query from

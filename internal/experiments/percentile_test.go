@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// The old nearest-rank formula int(q*len) snapped any q >= 1-1/n to
+// the max sample, so low-count p99 reported the single worst latency.
+// Pin the interpolated behavior.
+func TestPercentileInterpolates(t *testing.T) {
+	asc := func(n int) []float64 {
+		s := make([]float64, n)
+		for i := range s {
+			s[i] = float64(i + 1) // 1..n
+		}
+		return s
+	}
+	cases := []struct {
+		name   string
+		sorted []float64
+		q      float64
+		want   float64
+	}{
+		{"empty", nil, 0.5, 0},
+		{"single", []float64{7}, 0.99, 7},
+		{"q0 is min", asc(10), 0, 1},
+		{"q1 is max", asc(10), 1, 10},
+		{"median of even count interpolates", asc(4), 0.5, 2.5},
+		{"median of odd count is middle", asc(5), 0.5, 3},
+		// n=64, q=0.99: rank 62.37 → between samples 63 and 64, NOT
+		// the max (the old formula returned sorted[63] = 64).
+		{"p99 at low count below max", asc(64), 0.99, 63.37},
+		{"p25", asc(5), 0.25, 2},
+		{"q below 0 clamps to min", asc(10), -0.5, 1},
+		{"q above 1 clamps to max", asc(10), 1.5, 10},
+		{"NaN q returns 0", asc(10), math.NaN(), 0},
+	}
+	for _, tc := range cases {
+		got := percentile(tc.sorted, tc.q)
+		if math.IsNaN(got) || math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("%s: percentile(n=%d, q=%v) = %v, want %v",
+				tc.name, len(tc.sorted), tc.q, got, tc.want)
+		}
+	}
+	// Monotonicity across the whole q range on an uneven sample.
+	sample := []float64{0.1, 0.1, 0.2, 0.9, 3.5, 3.5, 10}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		v := percentile(sample, q)
+		if math.IsNaN(v) || v < prev-1e-12 {
+			t.Fatalf("percentile not monotone at q=%.2f: %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+}

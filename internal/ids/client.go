@@ -6,9 +6,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"strconv"
+	"strings"
 	"time"
 
 	"ids/internal/obs"
@@ -21,12 +23,16 @@ import (
 type Client struct {
 	Base string
 	HTTP *http.Client
+	// Logger narrates retries and backoff; nil discards.
+	Logger *slog.Logger
 }
 
 // NewClient targets the given base URL (e.g. "http://127.0.0.1:8080").
 func NewClient(base string) *Client {
 	return &Client{Base: base, HTTP: &http.Client{Timeout: 120 * time.Second}}
 }
+
+func (c *Client) log() *slog.Logger { return obs.OrNop(c.Logger) }
 
 // OverloadedError reports a 429 from the server's admission
 // controller; RetryAfter carries the server's backoff hint.
@@ -103,11 +109,17 @@ func (c *Client) Query(q string) (*QueryResponse, error) {
 // QueryRetry runs a query remotely, honoring the server's admission
 // backpressure: on 429 it sleeps for the Retry-After hint and retries,
 // up to attempts tries total. Any other error returns immediately.
+// Each shed attempt is logged (Client.Logger) with the Retry-After
+// hint; the successful response carries the final attempt's qid.
 func (c *Client) QueryRetry(q string, attempts int) (*QueryResponse, error) {
 	var lastErr error
 	for i := 0; i < attempts; i++ {
 		resp, err := c.Query(q)
 		if err == nil {
+			if i > 0 {
+				c.log().Info("query admitted after backoff",
+					"attempt", i+1, "qid", resp.QID)
+			}
 			return resp, nil
 		}
 		lastErr = err
@@ -115,6 +127,8 @@ func (c *Client) QueryRetry(q string, attempts int) (*QueryResponse, error) {
 		if !overloaded {
 			return nil, err
 		}
+		c.log().Warn("query shed, backing off",
+			"attempt", i+1, "attempts", attempts, "retry_after", ra)
 		time.Sleep(ra)
 	}
 	return nil, lastErr
@@ -214,6 +228,19 @@ func (c *Client) Snapshot(w io.Writer) error {
 	}
 	_, err = io.Copy(w, resp.Body)
 	return err
+}
+
+// Ready reports whether the endpoint is serving queries (GET /readyz
+// is 200); false while the instance is starting, replaying its WAL, or
+// draining. The second return is the reported lifecycle state.
+func (c *Client) Ready() (bool, string) {
+	resp, err := c.HTTP.Get(c.Base + "/readyz")
+	if err != nil {
+		return false, ""
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+	return resp.StatusCode == http.StatusOK, strings.TrimSpace(string(b))
 }
 
 // Healthy reports whether the endpoint responds.

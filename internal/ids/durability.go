@@ -2,6 +2,7 @@ package ids
 
 import (
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sync"
@@ -89,7 +90,7 @@ func snapName(lsn uint64) string {
 // snapshot (if any) re-sharded to nshards, open the log (repairing a
 // torn tail), and cross-check the two. The returned graph is nil on
 // first launch (no manifest) — the caller seeds the graph as usual.
-func openDurable(cfg DurabilityConfig, nshards int, rec *RecoveryStats) (*kg.Graph, *wal.Log, *wal.Manifest, error) {
+func openDurable(cfg DurabilityConfig, nshards int, rec *RecoveryStats, lg *slog.Logger) (*kg.Graph, *wal.Log, *wal.Manifest, error) {
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, nil, nil, err
 	}
@@ -122,6 +123,7 @@ func openDurable(cfg DurabilityConfig, nshards int, rec *RecoveryStats) (*kg.Gra
 		SegmentBytes:  cfg.SegmentBytes,
 		Fsync:         cfg.Fsync,
 		FsyncInterval: cfg.FsyncInterval,
+		Logger:        lg,
 	})
 	if err != nil {
 		return nil, nil, nil, err
@@ -262,9 +264,12 @@ func (d *durability) checkpoint(force bool) (CheckpointInfo, error) {
 	}
 	start := time.Now()
 	reg := d.e.Metrics()
+	lg := d.e.Logger()
+	lg.Debug("checkpoint started", "forced", force)
 	info, err := d.writeCheckpoint()
 	if err != nil {
 		reg.Counter("ids_checkpoint_errors_total").Inc()
+		lg.Error("checkpoint failed", "err", err)
 		return CheckpointInfo{}, err
 	}
 	info.Seconds = time.Since(start).Seconds()
@@ -274,8 +279,10 @@ func (d *durability) checkpoint(force bool) (CheckpointInfo, error) {
 	d.pending.Add(-int64(info.LastLSN - d.lastLSN.Swap(info.LastLSN)))
 	d.last = info
 	reg.Counter("ids_checkpoints_total").Inc()
-	reg.Summary("ids_checkpoint_seconds").Observe(info.Seconds)
+	reg.Histogram("ids_checkpoint_duration_seconds", nil).Observe(info.Seconds)
 	reg.Gauge("ids_checkpoint_last_lsn").Set(float64(info.LastLSN))
+	lg.Info("checkpoint completed",
+		"snapshot", info.Snapshot, "last_lsn", info.LastLSN, "seconds", info.Seconds)
 	return info, nil
 }
 

@@ -7,8 +7,10 @@
 package ids
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -103,6 +105,9 @@ type Engine struct {
 	met *engineMetrics
 	// tracing makes every query collect a span trace (Result.Trace).
 	tracing atomic.Bool
+	// log is the engine's structured logger (never nil; defaults to the
+	// nop logger). Query-path records carry the qid from the context.
+	log atomic.Pointer[slog.Logger]
 }
 
 // NewEngine wires an engine over a sealed graph. The graph must have
@@ -126,6 +131,7 @@ func NewEngine(g *kg.Graph, topo mpp.Topology) (*Engine, error) {
 		met:    newEngineMetrics(),
 	}
 	e.stats.Store(plan.StatsFromGraph(g))
+	e.log.Store(obs.NopLogger())
 	e.profilers = make([]*udf.Profiler, topo.Size())
 	for i := range e.profilers {
 		e.profilers[i] = udf.NewProfiler()
@@ -157,6 +163,13 @@ func (e *Engine) Metrics() *obs.Registry { return e.met.reg }
 // a few timestamps per operator per rank; when off the traced path is
 // skipped entirely. Safe to toggle while queries run.
 func (e *Engine) SetTracing(on bool) { e.tracing.Store(on) }
+
+// SetLogger wires the engine's structured logger (nil resets to the
+// nop logger). Safe to call while queries run.
+func (e *Engine) SetLogger(l *slog.Logger) { e.log.Store(obs.OrNop(l)) }
+
+// Logger returns the engine's structured logger (never nil).
+func (e *Engine) Logger() *slog.Logger { return e.log.Load() }
 
 // Result is a completed query.
 type Result struct {
@@ -221,6 +234,8 @@ func (e *Engine) AttachWAL(l *wal.Log) {
 	e.mu.Lock()
 	e.wal = l
 	e.mu.Unlock()
+	fsyncHist := e.met.reg.Histogram("ids_wal_fsync_seconds", nil)
+	l.SetFsyncObserver(fsyncHist.Observe)
 	e.met.reg.AddCollector(func(r *obs.Registry) {
 		st := l.Stats()
 		r.Counter("ids_wal_appends_total").Set(float64(st.Appends))
@@ -242,45 +257,62 @@ func (e *Engine) setWALNotify(fn func()) {
 // queries run under the engine's read lock (see the concurrency
 // contract above).
 func (e *Engine) Query(qs string) (*Result, error) {
+	return e.QueryCtx(context.Background(), qs)
+}
+
+// QueryCtx is Query with a caller context: the context's qid (see
+// obs.WithQID) becomes the trace ID and stamps every log record the
+// query emits, tying the log stream, /trace, and the response together.
+func (e *Engine) QueryCtx(ctx context.Context, qs string) (*Result, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return e.queryLocked(qs, e.tracing.Load())
+	return e.queryLocked(ctx, qs, e.tracing.Load())
 }
 
 // QueryTraced is Query with span tracing forced on for this one call;
 // Result.Trace carries the collected trace.
 func (e *Engine) QueryTraced(qs string) (*Result, error) {
+	return e.QueryTracedCtx(context.Background(), qs)
+}
+
+// QueryTracedCtx is QueryCtx with span tracing forced on.
+func (e *Engine) QueryTracedCtx(ctx context.Context, qs string) (*Result, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return e.queryLocked(qs, true)
+	return e.queryLocked(ctx, qs, true)
 }
 
 // queryLocked runs one query; the caller holds the engine read lock.
-func (e *Engine) queryLocked(qs string, traced bool) (*Result, error) {
+func (e *Engine) queryLocked(ctx context.Context, qs string, traced bool) (*Result, error) {
 	start := time.Now()
 	q, err := sparql.Parse(qs)
 	if err != nil {
 		e.met.queryErrors.Inc()
+		e.Logger().ErrorContext(ctx, "query parse failed", "err", err)
 		return nil, err
 	}
-	return e.execute(q, traced, qs, start, time.Since(start).Seconds())
+	return e.execute(ctx, q, traced, qs, start, time.Since(start).Seconds())
 }
 
 // Execute runs a parsed query.
 func (e *Engine) Execute(q *sparql.Query) (*Result, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return e.execute(q, e.tracing.Load(), "", time.Now(), 0)
+	return e.execute(context.Background(), q, e.tracing.Load(), "", time.Now(), 0)
 }
 
-func (e *Engine) execute(q *sparql.Query, traced bool, qs string, start time.Time, parseSec float64) (*Result, error) {
+func (e *Engine) execute(ctx context.Context, q *sparql.Query, traced bool, qs string, start time.Time, parseSec float64) (*Result, error) {
+	lg := e.Logger()
 	planStart := time.Now()
 	pl, err := plan.Build(q, e.stats.Load())
 	if err != nil {
 		e.met.queryErrors.Inc()
+		lg.ErrorContext(ctx, "query plan failed", "err", err)
 		return nil, err
 	}
 	planSec := time.Since(planStart).Seconds()
+	lg.DebugContext(ctx, "query planned",
+		"parse_seconds", parseSec, "plan_seconds", planSec, "traced", traced)
 
 	var recs []*obs.RankRecorder
 	if traced {
@@ -306,7 +338,7 @@ func (e *Engine) execute(q *sparql.Query, traced bool, qs string, start time.Tim
 		if recs != nil {
 			rec = recs[r.ID()]
 		}
-		tab, err := e.runPlanRec(r, pl, rec, qprofs)
+		tab, err := e.runPlanRec(ctx, r, pl, rec, qprofs)
 		if err != nil {
 			return err
 		}
@@ -326,12 +358,22 @@ func (e *Engine) execute(q *sparql.Query, traced bool, qs string, start time.Tim
 	}
 	if err != nil {
 		e.met.queryErrors.Inc()
+		lg.ErrorContext(ctx, "query execution failed", "err", err,
+			"wall_seconds", time.Since(start).Seconds())
 		return nil, err
 	}
 	res := &Result{Vars: vars, Rows: rows[0], Report: report, Plan: pl}
 	wall := time.Since(start).Seconds()
 	if traced {
-		tr := obs.BuildTrace(obs.NewTraceID(), qs, start, recs, true)
+		// The context's qid (minted at admission) is the trace ID, so
+		// the log stream, GET /trace?id=, and the response share one
+		// handle; engine-direct callers without a qid get a fresh one.
+		id := obs.QID(ctx)
+		if id == "" {
+			id = obs.NewTraceID()
+		}
+		tr := obs.BuildTrace(id, qs, start, recs, true)
+		tr.Status = "ok"
 		tr.ParseSeconds = parseSec
 		tr.PlanSeconds = planSec
 		tr.ExecSeconds = time.Since(execStart).Seconds()
@@ -346,6 +388,8 @@ func (e *Engine) execute(q *sparql.Query, traced bool, qs string, start time.Tim
 		res.Trace = tr
 	}
 	e.met.observeQuery(res, report, wall)
+	lg.DebugContext(ctx, "query done",
+		"rows", len(res.Rows), "wall_seconds", wall, "makespan_seconds", report.Makespan)
 	return res, nil
 }
 
@@ -357,14 +401,14 @@ func (e *Engine) execute(q *sparql.Query, traced bool, qs string, start time.Tim
 // internally synchronized); the caller is responsible for excluding
 // concurrent updates for the duration of its world.
 func (e *Engine) RunPlan(r *mpp.Rank, pl *plan.Plan) (*exec.Table, error) {
-	return e.runPlanRec(r, pl, nil, e.profilers)
+	return e.runPlanRec(context.Background(), r, pl, nil, e.profilers)
 }
 
 // runPlanRec is RunPlan with an optional per-rank trace recorder and
 // an explicit profiler set (per-query overlays on the engine's query
 // path, the persistent profiles for embedded RunPlan callers).
-func (e *Engine) runPlanRec(r *mpp.Rank, pl *plan.Plan, rec *obs.RankRecorder, profs []*udf.Profiler) (*exec.Table, error) {
-	tab, err := e.runSteps(r, pl.Steps, nil, rec, profs, 0)
+func (e *Engine) runPlanRec(ctx context.Context, r *mpp.Rank, pl *plan.Plan, rec *obs.RankRecorder, profs []*udf.Profiler) (*exec.Table, error) {
+	tab, err := e.runSteps(ctx, r, pl.Steps, nil, rec, profs, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -411,13 +455,19 @@ func (e *Engine) runPlanRec(r *mpp.Rank, pl *plan.Plan, rec *obs.RankRecorder, p
 // recurse with a fresh table. When rec is non-nil every operator
 // appends one OpSample; all ranks run the identical plan so sample
 // sequences zip across ranks.
-func (e *Engine) runSteps(r *mpp.Rank, steps []plan.Step, tab *exec.Table, rec *obs.RankRecorder, profs []*udf.Profiler, depth int) (*exec.Table, error) {
+func (e *Engine) runSteps(ctx context.Context, r *mpp.Rank, steps []plan.Step, tab *exec.Table, rec *obs.RankRecorder, profs []*udf.Profiler, depth int) (*exec.Table, error) {
 	shard := e.Graph.Shard(r.ID())
 	prof := profs[r.ID()]
 	res := expr.DictResolver{Dict: e.Graph.Dict}
 	speed := 1.0
 	if e.Opts.SpeedFactor != nil {
 		speed = e.Opts.SpeedFactor(r.ID())
+	}
+	// Rank 0 narrates planner decisions (conjunct order, re-balance
+	// traffic) at Debug; one rank is enough — all ranks share the plan.
+	var flog *slog.Logger
+	if r.ID() == 0 {
+		flog = e.Logger()
 	}
 	for _, step := range steps {
 		switch s := step.(type) {
@@ -460,10 +510,20 @@ func (e *Engine) runSteps(r *mpp.Rank, steps []plan.Step, tab *exec.Table, rec *
 		case plan.FilterStep:
 			r.SetPhase("filter")
 			ft := startOp(rec, r)
+			var optLog *slog.Logger
+			if flog != nil {
+				optLog = flog
+				if qid := obs.QID(ctx); qid != "" {
+					// exec logs without the request context, so bind the
+					// qid as a plain attribute to keep correlation.
+					optLog = flog.With("qid", qid)
+				}
+			}
 			t, fstats, err := exec.Filter(r, tab, s.Expr, e.Reg, prof, res, exec.FilterOpts{
 				Reorder:     e.Opts.Reorder,
 				Rebalance:   e.Opts.Rebalance,
 				SpeedFactor: speed,
+				Logger:      optLog,
 			})
 			if err != nil {
 				return nil, err
@@ -497,7 +557,7 @@ func (e *Engine) runSteps(r *mpp.Rank, steps []plan.Step, tab *exec.Table, rec *
 		case plan.UnionStep:
 			var unionTab *exec.Table
 			for _, branch := range s.Branches {
-				bt, err := e.runSteps(r, branch, nil, rec, profs, depth+1)
+				bt, err := e.runSteps(ctx, r, branch, nil, rec, profs, depth+1)
 				if err != nil {
 					return nil, err
 				}
@@ -527,7 +587,7 @@ func (e *Engine) runSteps(r *mpp.Rank, steps []plan.Step, tab *exec.Table, rec *
 				jt.record(rec, r, obs.OpSample{Depth: depth, Op: "join", RowsIn: in, RowsOut: tab.Len()})
 			}
 		case plan.OptionalStep:
-			bt, err := e.runSteps(r, s.Body, nil, rec, profs, depth+1)
+			bt, err := e.runSteps(ctx, r, s.Body, nil, rec, profs, depth+1)
 			if err != nil {
 				return nil, err
 			}
@@ -554,14 +614,24 @@ func (e *Engine) runSteps(r *mpp.Rank, steps []plan.Step, tab *exec.Table, rec *
 // functions as dynamic UDFs.
 func (e *Engine) LoadModule(name, src string) error {
 	_, err := e.Loader.LoadAndRegister(e.Reg, name, src)
-	return err
+	if err != nil {
+		e.Logger().Error("module load failed", "module", name, "err", err)
+		return err
+	}
+	e.Logger().Info("module loaded", "module", name, "bytes", len(src))
+	return nil
 }
 
 // ReloadModule force-reloads a module (the paper's special reload
 // function for iterating on UDF code in a running instance).
 func (e *Engine) ReloadModule(name, src string) error {
 	_, err := e.Loader.ReloadAndRegister(e.Reg, name, src)
-	return err
+	if err != nil {
+		e.Logger().Error("module reload failed", "module", name, "err", err)
+		return err
+	}
+	e.Logger().Info("module reloaded", "module", name, "bytes", len(src))
+	return nil
 }
 
 // MergedProfile aggregates all rank profiles (for reports and the

@@ -122,6 +122,12 @@ func TestKillNineRecovery(t *testing.T) {
 
 	_, addr2 := startServer(t, bin, dataDir)
 	c2 := NewClient("http://" + addr2)
+	// The restarted instance has finished WAL replay by the time it
+	// prints its address, so readiness must be green (the 503 window
+	// during replay is pinned by TestReadyzLifecycle).
+	if ok, state := c2.Ready(); !ok {
+		t.Fatalf("restarted server not ready: state %q", state)
+	}
 	post, err := c2.Query(q)
 	if err != nil {
 		t.Fatal(err)

@@ -3,14 +3,18 @@ package ids
 import (
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ids/internal/kg"
 	"ids/internal/mpp"
+	"ids/internal/obs"
 	"ids/internal/wal"
 )
 
@@ -32,6 +36,18 @@ type LaunchConfig struct {
 	// the last durable state (which then takes precedence over Graph
 	// and NTriplesPath — those only seed a fresh directory).
 	Durability *DurabilityConfig
+	// Logger receives the instance's structured log stream (engine,
+	// WAL, checkpointer, HTTP layer). Nil discards.
+	Logger *slog.Logger
+	// SlowQuerySeconds pins traces at or above this wall time in the
+	// slow-query log and logs them at WARN (0 disables).
+	SlowQuerySeconds float64
+	// TraceRingSize bounds the retained trace ring (default 64).
+	TraceRingSize int
+	// OnListen, when set, is called with the bound address as soon as
+	// the listener accepts connections — before recovery runs — so
+	// callers can observe the not-yet-ready window (/readyz is 503).
+	OnListen func(addr string)
 }
 
 // Agent is the per-node helper process of the deployment model: it
@@ -65,6 +81,8 @@ type Instance struct {
 	Server *Server
 	Agents []*Agent
 	Addr   string
+	// Health is the instance lifecycle state backing GET /readyz.
+	Health *obs.Health
 	// Recovery reports what startup recovery did (nil when the
 	// instance runs without durability).
 	Recovery *RecoveryStats
@@ -72,7 +90,28 @@ type Instance struct {
 	dur      *durability
 	ln       net.Listener
 	httpSrv  *http.Server
+	handler  atomic.Pointer[http.Handler]
 	doneOnce sync.Once
+}
+
+// bootstrapHandler serves the pre-ready window: the listener is bound
+// before recovery so probes get answers immediately — /healthz is live,
+// /readyz reports the lifecycle state with 503, and everything else is
+// asked to retry.
+func bootstrapHandler(h *obs.Health) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, h.State().String())
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		http.Error(w, "ids: not ready: "+h.State().String(), http.StatusServiceUnavailable)
+	})
+	return mux
 }
 
 // Checkpoint forces a checkpoint on a durable instance.
@@ -88,23 +127,66 @@ func (inst *Instance) Checkpoint() (CheckpointInfo, error) {
 type Launcher struct{}
 
 // Launch builds the engine, starts the HTTP endpoint, and spawns one
-// agent per node. It blocks only until the endpoint is accepting
-// connections.
+// agent per node. The listener is bound and answering probes BEFORE
+// recovery runs — /healthz is live and /readyz reports 503 with the
+// lifecycle state (starting → recovering → ready) — so orchestrators
+// can distinguish "down" from "replaying the WAL". It returns once the
+// instance is ready.
 func (Launcher) Launch(cfg LaunchConfig) (*Instance, error) {
 	if err := cfg.Topo.Validate(); err != nil {
 		return nil, err
 	}
+	lg := obs.OrNop(cfg.Logger)
+	health := obs.NewHealth()
+
+	addr := cfg.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	inst := &Instance{Addr: ln.Addr().String(), Health: health, ln: ln}
+	boot := bootstrapHandler(health)
+	inst.handler.Store(&boot)
+	inst.httpSrv = &http.Server{
+		// Indirect dispatch: the bootstrap handler is swapped for the
+		// real mux once recovery finishes, without a listener bounce.
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			(*inst.handler.Load()).ServeHTTP(w, r)
+		}),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go func() {
+		if err := inst.httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			lg.Error("endpoint stopped", "err", err)
+		}
+	}()
+	lg.Info("endpoint listening", "addr", inst.Addr)
+	if cfg.OnListen != nil {
+		cfg.OnListen(inst.Addr)
+	}
+
 	var (
 		log *wal.Log
 		man *wal.Manifest
 		rec RecoveryStats
 	)
+	fail := func(err error) (*Instance, error) {
+		_ = inst.httpSrv.Close()
+		if log != nil {
+			log.Close()
+		}
+		return nil, err
+	}
 	g := cfg.Graph
 	if cfg.Durability != nil {
+		health.Set(obs.StateRecovering)
 		dcfg := cfg.Durability.withDefaults()
-		sg, l, m, err := openDurable(dcfg, cfg.Topo.Size(), &rec)
+		sg, l, m, err := openDurable(dcfg, cfg.Topo.Size(), &rec, lg)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		log, man = l, m
 		if sg != nil {
@@ -112,12 +194,6 @@ func (Launcher) Launch(cfg LaunchConfig) (*Instance, error) {
 			// a fresh data directory.
 			g = sg
 		}
-	}
-	fail := func(err error) (*Instance, error) {
-		if log != nil {
-			log.Close()
-		}
-		return nil, err
 	}
 	if g == nil {
 		g = kg.New(cfg.Topo.Size())
@@ -141,6 +217,7 @@ func (Launcher) Launch(cfg LaunchConfig) (*Instance, error) {
 	if err != nil {
 		return fail(err)
 	}
+	e.SetLogger(lg)
 	var dur *durability
 	if log != nil {
 		// Replay the log tail through the normal update path, then
@@ -174,29 +251,18 @@ func (Launcher) Launch(cfg LaunchConfig) (*Instance, error) {
 		}
 		e.setWALNotify(dur.noteUpdate)
 	}
-	srv := NewServerWith(e, cfg.Admission)
+	srv := NewServerConfig(e, ServerConfig{
+		Admission:        cfg.Admission,
+		SlowQuerySeconds: cfg.SlowQuerySeconds,
+		TraceRingSize:    cfg.TraceRingSize,
+		Logger:           lg,
+	})
+	srv.SetHealth(health)
 	if dur != nil {
 		srv.SetCheckpointer(dur.Checkpoint)
 	}
-
-	addr := cfg.Addr
-	if addr == "" {
-		addr = "127.0.0.1:0"
-	}
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return fail(err)
-	}
-	inst := &Instance{
-		Engine: e,
-		Server: srv,
-		Addr:   ln.Addr().String(),
-		ln:     ln,
-		httpSrv: &http.Server{
-			Handler:           srv.Handler(),
-			ReadHeaderTimeout: 10 * time.Second,
-		},
-	}
+	inst.Engine = e
+	inst.Server = srv
 	if dur != nil {
 		dur.start()
 		inst.dur = dur
@@ -207,14 +273,13 @@ func (Launcher) Launch(cfg LaunchConfig) (*Instance, error) {
 		a.Logf("agent started; %d ranks on this node", cfg.Topo.RanksPerNode)
 		inst.Agents = append(inst.Agents, a)
 	}
-	go func() {
-		err := inst.httpSrv.Serve(ln)
-		if err != nil && err != http.ErrServerClosed {
-			for _, a := range inst.Agents {
-				a.Logf("endpoint stopped: %v", err)
-			}
-		}
-	}()
+	real := srv.Handler()
+	inst.handler.Store(&real)
+	health.Set(obs.StateReady)
+	lg.Info("instance ready",
+		"addr", inst.Addr, "triples", g.Len(),
+		"nodes", cfg.Topo.Nodes, "ranks", cfg.Topo.Size(),
+		"durable", cfg.Durability != nil)
 	return inst, nil
 }
 
@@ -241,6 +306,9 @@ func (inst *Instance) ImportCode(name, source string) error {
 func (inst *Instance) Teardown() error {
 	var err error
 	inst.doneOnce.Do(func() {
+		if inst.Health != nil {
+			inst.Health.Set(obs.StateDraining)
+		}
 		err = inst.httpSrv.Close()
 		if inst.dur != nil {
 			if derr := inst.dur.close(); err == nil {

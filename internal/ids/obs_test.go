@@ -93,8 +93,8 @@ func TestEngineMetricsRecorded(t *testing.T) {
 	if v := reg.Counter("ids_rows_returned_total").Value(); v != 5 {
 		t.Fatalf("ids_rows_returned_total = %v", v)
 	}
-	if n := reg.Summary("ids_query_wall_seconds").Count(); n != 1 {
-		t.Fatalf("wall summary count = %d", n)
+	if n := reg.Histogram("ids_query_duration_seconds", nil).Count(); n != 1 {
+		t.Fatalf("query duration histogram count = %d", n)
 	}
 }
 
@@ -170,9 +170,10 @@ func TestHTTPMetricsEndpoint(t *testing.T) {
 		"# HELP ids_queries_total",
 		"# TYPE ids_queries_total counter",
 		"ids_queries_total 1",
-		"# TYPE ids_query_wall_seconds summary",
-		`ids_query_wall_seconds{quantile="0.5"}`,
-		"ids_query_wall_seconds_count 1",
+		"# TYPE ids_query_duration_seconds histogram",
+		`ids_query_duration_seconds_bucket{le="+Inf"} 1`,
+		"ids_query_duration_seconds_count 1",
+		"ids_go_goroutines",
 		"mpp_collectives_total",
 	} {
 		if !strings.Contains(body, want) {
@@ -225,9 +226,20 @@ func TestHTTPExplainAndTrace(t *testing.T) {
 	if tr.ID != qr.TraceID || len(tr.Ops) != len(qr.Trace.Ops) {
 		t.Fatalf("stored trace differs: %+v vs %+v", tr, qr.Trace)
 	}
-	// A plain query stores nothing new.
-	if _, err := c.Query(peopleQuery); err != nil {
+	// Every query is traced and retained — plain ones too — so the
+	// ring grows and the plain query's qid resolves.
+	plain, err := c.Query(peopleQuery)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if plain.QID == "" {
+		t.Fatal("plain query response missing qid")
+	}
+	if plain.Trace != nil {
+		t.Fatal("plain query response embeds a full trace")
+	}
+	if _, err := c.Trace(plain.QID); err != nil {
+		t.Fatalf("plain query qid %s unresolvable: %v", plain.QID, err)
 	}
 	_, _, body = getBody(t, ts.URL+"/trace")
 	var list struct {
@@ -236,7 +248,7 @@ func TestHTTPExplainAndTrace(t *testing.T) {
 	if err := json.Unmarshal([]byte(body), &list); err != nil {
 		t.Fatal(err)
 	}
-	if len(list.Traces) != 1 {
+	if len(list.Traces) != 2 {
 		t.Fatalf("trace ring = %v", list.Traces)
 	}
 }
@@ -249,10 +261,7 @@ func TestTraceRingBounded(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	s.trMu.Lock()
-	n := len(s.traces)
-	s.trMu.Unlock()
-	if n != traceRingSize {
+	if n := s.ring.Len(); n != traceRingSize {
 		t.Fatalf("trace ring holds %d, want %d", n, traceRingSize)
 	}
 }

@@ -21,8 +21,8 @@ type engineMetrics struct {
 	rowsReturned *obs.Counter
 	updates      *obs.Counter
 
-	querySeconds   *obs.Summary // wall
-	queryVTSeconds *obs.Summary // simulated makespan
+	queryDuration  *obs.Histogram // wall-clock latency histogram
+	queryVTSeconds *obs.Summary   // simulated makespan
 
 	collectives *obs.Counter
 	commBytes   *obs.Counter
@@ -40,7 +40,7 @@ func newEngineMetrics() *engineMetrics {
 	reg.Describe("ids_query_errors_total", "Queries that failed to parse, plan or execute.")
 	reg.Describe("ids_rows_returned_total", "Result rows returned to clients.")
 	reg.Describe("ids_updates_total", "Update statements applied.")
-	reg.Describe("ids_query_wall_seconds", "Wall-clock query latency.")
+	reg.Describe("ids_query_duration_seconds", "Wall-clock query latency histogram.")
 	reg.Describe("ids_query_vt_seconds", "Simulated (virtual-clock) query makespan.")
 	reg.Describe("mpp_collectives_total", "Collective synchronizations across all queries.")
 	reg.Describe("mpp_comm_bytes_total", "Payload bytes exchanged by collectives.")
@@ -64,19 +64,21 @@ func newEngineMetrics() *engineMetrics {
 	reg.Describe("ids_wal_bytes_total", "Bytes appended to the write-ahead log.")
 	reg.Describe("ids_checkpoints_total", "Snapshot checkpoints completed.")
 	reg.Describe("ids_checkpoint_errors_total", "Snapshot checkpoints that failed.")
-	reg.Describe("ids_checkpoint_seconds", "Checkpoint duration (snapshot + manifest swap + log truncation).")
 	reg.Describe("ids_checkpoint_last_lsn", "Last LSN covered by the most recent checkpoint.")
 	reg.Describe("ids_recovery_segments_scanned", "WAL segments scanned during the last startup recovery.")
 	reg.Describe("ids_recovery_records_replayed", "WAL records replayed during the last startup recovery.")
 	reg.Describe("ids_recovery_torn_tail_truncations", "Torn WAL tails repaired during the last startup recovery.")
 	reg.Describe("ids_recovery_last_lsn", "Last LSN recovered at startup (snapshot + replay).")
+	reg.Describe("ids_wal_fsync_seconds", "WAL fsync duration histogram.")
+	reg.Describe("ids_checkpoint_duration_seconds", "Checkpoint duration histogram (snapshot + manifest swap + log truncation).")
+	obs.RegisterRuntimeCollectors(reg)
 	return &engineMetrics{
 		reg:               reg,
 		queries:           reg.Counter("ids_queries_total"),
 		queryErrors:       reg.Counter("ids_query_errors_total"),
 		rowsReturned:      reg.Counter("ids_rows_returned_total"),
 		updates:           reg.Counter("ids_updates_total"),
-		querySeconds:      reg.Summary("ids_query_wall_seconds"),
+		queryDuration:     reg.Histogram("ids_query_duration_seconds", nil),
 		queryVTSeconds:    reg.Summary("ids_query_vt_seconds"),
 		collectives:       reg.Counter("mpp_collectives_total"),
 		commBytes:         reg.Counter("mpp_comm_bytes_total"),
@@ -90,7 +92,7 @@ func newEngineMetrics() *engineMetrics {
 // observeQuery records one successful query into the registry.
 func (m *engineMetrics) observeQuery(res *Result, rep *mpp.Report, wall float64) {
 	m.queries.Inc()
-	m.querySeconds.Observe(wall)
+	m.queryDuration.Observe(wall)
 	m.queryVTSeconds.Observe(rep.Makespan)
 	m.rowsReturned.Add(float64(len(res.Rows)))
 	m.collectives.Add(float64(rep.Comm.Collectives))

@@ -1,6 +1,7 @@
 package ids
 
 import (
+	"context"
 	"fmt"
 
 	"ids/internal/cache"
@@ -29,6 +30,9 @@ func (e *Engine) EnableResultCache(c *cache.Cache) {
 	if c == nil {
 		return
 	}
+	// Tier transitions (spills, evictions) narrate through the engine's
+	// logger so `grep cache` on the log stream tells the demotion story.
+	c.SetLogger(e.Logger())
 	e.met.reg.AddCollector(func(r *obs.Registry) {
 		st := c.Stats()
 		r.Counter("cache_ops_total", "outcome", "dram_local").Set(float64(st.DRAMHitsLocal))
@@ -62,7 +66,7 @@ func (e *Engine) CachedQuery(qs string) (*Result, bool, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.resultCache == nil {
-		res, err := e.queryLocked(qs, e.tracing.Load())
+		res, err := e.queryLocked(context.Background(), qs, e.tracing.Load())
 		return res, false, err
 	}
 	key := e.resultKey(qs)
@@ -82,7 +86,7 @@ func (e *Engine) CachedQuery(qs string) (*Result, bool, error) {
 		// Corrupt entry: fall through to recompute (and overwrite).
 	}
 	e.met.resultCacheMisses.Inc()
-	res, err := e.queryLocked(qs, e.tracing.Load())
+	res, err := e.queryLocked(context.Background(), qs, e.tracing.Load())
 	if err != nil {
 		return nil, false, err
 	}

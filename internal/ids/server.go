@@ -5,19 +5,19 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"runtime"
 	"strconv"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"ids/internal/obs"
 )
 
-// traceRingSize bounds how many recent query traces the server keeps
-// for GET /trace.
+// traceRingSize is the default bound on how many recent query traces
+// the server retains for GET /trace and GET /traces.
 const traceRingSize = 64
 
 // retryAfterSeconds is the backoff hint sent with 429 responses.
@@ -81,7 +81,7 @@ type admission struct {
 
 	inflight        *obs.Gauge
 	queueDepth      *obs.Gauge
-	waitSeconds     *obs.Summary
+	waitSeconds     *obs.Histogram
 	rejectedFull    *obs.Counter
 	rejectedTimeout *obs.Counter
 }
@@ -90,7 +90,7 @@ func newAdmission(cfg AdmissionConfig, reg *obs.Registry) *admission {
 	cfg = cfg.withDefaults()
 	reg.Describe("ids_inflight_queries", "Queries currently executing (admission slots held).")
 	reg.Describe("ids_admission_queue_depth", "Queries waiting for an admission slot.")
-	reg.Describe("ids_admission_wait_seconds", "Time admitted queries spent waiting for a slot.")
+	reg.Describe("ids_admission_wait_seconds", "Time admitted queries spent waiting for a slot (histogram).")
 	reg.Describe("ids_admission_rejected_total", "Queries shed by the admission controller, by reason.")
 	reg.Describe("ids_admission_max_inflight", "Configured in-flight query limit.")
 	a := &admission{
@@ -98,7 +98,7 @@ func newAdmission(cfg AdmissionConfig, reg *obs.Registry) *admission {
 		slots:           make(chan struct{}, cfg.MaxInFlight),
 		inflight:        reg.Gauge("ids_inflight_queries"),
 		queueDepth:      reg.Gauge("ids_admission_queue_depth"),
-		waitSeconds:     reg.Summary("ids_admission_wait_seconds"),
+		waitSeconds:     reg.Histogram("ids_admission_wait_seconds", nil),
 		rejectedFull:    reg.Counter("ids_admission_rejected_total", "reason", "queue_full"),
 		rejectedTimeout: reg.Counter("ids_admission_rejected_total", "reason", "timeout"),
 	}
@@ -160,20 +160,41 @@ func (a *admission) release() {
 //	GET  /stats                                     -> instance statistics (deprecated: prefer /metrics)
 //	GET  /metrics                                   -> Prometheus text exposition
 //	GET  /trace?id=q000001                          -> stored query trace (JSON)
-//	GET  /healthz                                   -> 200 ok
+//	GET  /traces                                    -> retained trace index (qid, wall, status, slow)
+//	GET  /healthz                                   -> 200 ok (pure liveness)
+//	GET  /readyz                                    -> 200 when serving, 503 while recovering/draining
 type Server struct {
 	Engine *Engine
 
 	adm     *admission
 	queries atomic.Int64
+	log     *slog.Logger
 
-	// trMu guards the trace ring; traces is a ring of the most recent
-	// explain-enabled query traces, addressable via GET /trace.
-	trMu   sync.Mutex
-	traces []*obs.QueryTrace
+	// ring retains recent query traces (every query is traced) plus
+	// pinned slow queries, addressable via GET /trace and GET /traces.
+	ring *obs.TraceRing
+
+	// health, when set, backs GET /readyz; nil means "always ready"
+	// (embedded servers without a launcher lifecycle).
+	health *obs.Health
 
 	// ckpt, when set, serves POST /checkpoint (durable instances only).
 	ckpt func() (CheckpointInfo, error)
+
+	slowTotal *obs.Counter
+}
+
+// ServerConfig tunes the HTTP layer beyond admission control.
+type ServerConfig struct {
+	// Admission bounds concurrent query execution.
+	Admission AdmissionConfig
+	// SlowQuerySeconds pins traces at or above this wall time in the
+	// slow-query log and logs them at WARN (0 disables).
+	SlowQuerySeconds float64
+	// TraceRingSize bounds the retained trace ring (default 64).
+	TraceRingSize int
+	// Logger receives request/slow-query lines (default: engine logger).
+	Logger *slog.Logger
 }
 
 // QueryRequest is the /query payload.
@@ -184,8 +205,12 @@ type QueryRequest struct {
 	Explain bool `json:"explain,omitempty"`
 }
 
-// QueryResponse is the /query result.
+// QueryResponse is the /query result. QID is the query's correlation
+// id: it appears in every server log line for the query, resolves via
+// GET /trace?id=<qid>, and the query's latency lands in the
+// ids_query_duration_seconds histogram.
 type QueryResponse struct {
+	QID      string             `json:"qid"`
 	Vars     []string           `json:"vars"`
 	Rows     [][]string         `json:"rows"`
 	Makespan float64            `json:"makespan_seconds"`
@@ -221,13 +246,36 @@ type StatsResponse struct {
 
 // NewServer wraps an engine with the default admission limits.
 func NewServer(e *Engine) *Server {
-	return NewServerWith(e, DefaultAdmissionConfig())
+	return NewServerConfig(e, ServerConfig{})
 }
 
 // NewServerWith wraps an engine with explicit admission limits.
 func NewServerWith(e *Engine, cfg AdmissionConfig) *Server {
-	return &Server{Engine: e, adm: newAdmission(cfg, e.Metrics())}
+	return NewServerConfig(e, ServerConfig{Admission: cfg})
 }
+
+// NewServerConfig wraps an engine with full HTTP-layer configuration.
+func NewServerConfig(e *Engine, cfg ServerConfig) *Server {
+	if cfg.TraceRingSize <= 0 {
+		cfg.TraceRingSize = traceRingSize
+	}
+	lg := cfg.Logger
+	if lg == nil {
+		lg = e.Logger()
+	}
+	reg := e.Metrics()
+	reg.Describe("ids_slow_queries_total", "Queries whose wall time reached the slow-query threshold.")
+	return &Server{
+		Engine:    e,
+		adm:       newAdmission(cfg.Admission, reg),
+		log:       obs.OrNop(lg),
+		ring:      obs.NewTraceRing(cfg.TraceRingSize, cfg.SlowQuerySeconds),
+		slowTotal: reg.Counter("ids_slow_queries_total"),
+	}
+}
+
+// SetHealth wires the launcher's lifecycle state into GET /readyz.
+func (s *Server) SetHealth(h *obs.Health) { s.health = h }
 
 // Handler returns the HTTP routing for the server.
 func (s *Server) Handler() http.Handler {
@@ -235,6 +283,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/update", s.handleUpdate)
 	mux.HandleFunc("/module", s.handleModule)
@@ -244,7 +293,21 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/trace", s.handleTrace)
+	mux.HandleFunc("/traces", s.handleTraces)
 	return mux
+}
+
+// handleReadyz reports readiness: 503 with the lifecycle state while
+// the instance is starting, replaying its WAL, or draining; 200 once
+// queries can be served. /healthz stays pure liveness.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.health != nil && !s.health.Ready() {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, s.health.State().String())
+		return
+	}
+	fmt.Fprintln(w, "ready")
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -267,8 +330,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := s.adm.admit(r.Context()); err != nil {
+	// The qid is minted at admission so even shed queries correlate:
+	// the 429 log line and the client's retry logging share the id.
+	qid := obs.NewQID()
+	ctx := obs.WithQID(r.Context(), qid)
+	if err := s.adm.admit(ctx); err != nil {
 		if errors.Is(err, errQueueFull) || errors.Is(err, errQueueTimeout) {
+			s.log.Warn("query shed", "qid", qid, "reason", err.Error())
 			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
 			writeErr(w, http.StatusTooManyRequests, err)
 			return
@@ -278,28 +346,34 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.adm.release()
 	start := time.Now()
-	var res *Result
-	var err error
-	if req.Explain {
-		res, err = s.Engine.QueryTraced(req.Query)
-	} else {
-		res, err = s.Engine.Query(req.Query)
-	}
+	// Every query is traced so every qid resolves via GET /trace; the
+	// full span tree is embedded in the response only on explain.
+	res, err := s.Engine.QueryTracedCtx(ctx, req.Query)
 	wall := time.Since(start).Seconds()
 	s.queries.Add(1)
-	if err == nil && res.Trace != nil {
-		s.trMu.Lock()
-		s.traces = append(s.traces, res.Trace)
-		if len(s.traces) > traceRingSize {
-			s.traces = s.traces[len(s.traces)-traceRingSize:]
-		}
-		s.trMu.Unlock()
-	}
 	if err != nil {
+		// Failed queries retain a stub trace so the qid still resolves.
+		s.ring.Put(&obs.QueryTrace{
+			ID: qid, Query: req.Query, Start: start,
+			Status: "error", Error: err.Error(), WallSeconds: wall,
+		})
+		s.log.Error("query failed", "qid", qid, "wall_seconds", wall, "err", err)
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	if res.Trace != nil {
+		res.Trace.WallSeconds = wall
+		if slow := s.ring.Put(res.Trace); slow {
+			s.slowTotal.Inc()
+			s.log.Warn("slow query", "qid", qid,
+				"wall_seconds", wall, "threshold_seconds", s.ring.Threshold(),
+				"rows", len(res.Rows), "query", req.Query)
+		}
+	}
+	s.log.Info("query done", "qid", qid,
+		"wall_seconds", wall, "rows", len(res.Rows), "makespan_seconds", res.Report.Makespan)
 	resp := QueryResponse{
+		QID:      qid,
 		Vars:     res.Vars,
 		Rows:     s.Engine.Strings(res),
 		Makespan: res.Report.Makespan,
@@ -309,7 +383,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	if res.Trace != nil {
 		resp.TraceID = res.Trace.ID
-		resp.Trace = res.Trace
+		if req.Explain {
+			resp.Trace = res.Trace
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -323,27 +399,41 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.Engine.Metrics().WritePrometheus(w)
 }
 
-// handleTrace serves a stored query trace by id (GET /trace?id=...);
-// without an id it lists the stored trace IDs, newest last.
+// handleTrace serves a retained query trace by id (GET /trace?id=...);
+// without an id it lists retained trace IDs, newest first (see GET
+// /traces for the richer index). Evicted or unknown ids get 404.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	id := r.URL.Query().Get("id")
-	s.trMu.Lock()
-	defer s.trMu.Unlock()
 	if id == "" {
-		ids := make([]string, len(s.traces))
-		for i, tr := range s.traces {
-			ids[i] = tr.ID
+		idx := s.ring.Index()
+		ids := make([]string, len(idx))
+		for i, e := range idx {
+			ids[i] = e.ID
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"traces": ids})
 		return
 	}
-	for _, tr := range s.traces {
-		if tr.ID == id {
-			writeJSON(w, http.StatusOK, tr)
-			return
-		}
+	if tr := s.ring.Get(id); tr != nil {
+		writeJSON(w, http.StatusOK, tr)
+		return
 	}
 	writeErr(w, http.StatusNotFound, fmt.Errorf("ids: no stored trace %q", id))
+}
+
+// handleTraces serves the retained trace index (GET /traces): one row
+// per retained trace with qid, start, wall time, status, and the slow
+// flag; ?slow=1 restricts to the pinned slow-query log.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	var idx []obs.TraceIndexEntry
+	if r.URL.Query().Get("slow") != "" {
+		idx = s.ring.Slow()
+	} else {
+		idx = s.ring.Index()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"threshold_seconds": s.ring.Threshold(),
+		"traces":            idx,
+	})
 }
 
 // UpdateRequest is the /update payload.

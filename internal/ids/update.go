@@ -77,6 +77,8 @@ func (e *Engine) Update(us string) (*UpdateResult, error) {
 	if e.walNotify != nil {
 		e.walNotify()
 	}
+	e.Logger().Debug("update applied",
+		"kind", res.Kind, "applied", res.Applied, "total", res.Total, "lsn", lsn)
 	return res, nil
 }
 
@@ -121,6 +123,8 @@ func (e *Engine) applyLocked(kind wal.Kind, triples []wal.TermTriple) *UpdateRes
 func (e *Engine) replayWAL(l *wal.Log, from uint64) (int, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	lg := e.Logger()
+	lg.Info("wal replay started", "from_lsn", from+1)
 	n := 0
 	err := l.Replay(from+1, func(rec wal.Record) error {
 		if rec.Kind != wal.KindInsert && rec.Kind != wal.KindDelete {
@@ -130,6 +134,11 @@ func (e *Engine) replayWAL(l *wal.Log, from uint64) (int, error) {
 		n++
 		return nil
 	})
+	if err != nil {
+		lg.Error("wal replay failed", "records_replayed", n, "err", err)
+	} else {
+		lg.Info("wal replay finished", "records_replayed", n, "last_lsn", l.LastLSN())
+	}
 	return n, err
 }
 

@@ -102,8 +102,13 @@ type Summary struct {
 	sorted []float64
 }
 
-// Add appends one observation.
+// Add appends one observation. Non-finite values are dropped: a NaN
+// would poison the sorted cache (sort with NaN comparisons is not a
+// total order) and every quantile after it.
 func (s *Summary) Add(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
 	s.vals = append(s.vals, v)
 	s.sorted = nil
 }
@@ -137,9 +142,10 @@ func (s *Summary) Stddev() float64 {
 	return math.Sqrt(ss / float64(n-1))
 }
 
-// Quantile returns the q-th sample quantile (q in [0,1]).
+// Quantile returns the q-th sample quantile (q in [0,1]), linearly
+// interpolated between order statistics; a NaN q returns 0.
 func (s *Summary) Quantile(q float64) float64 {
-	if len(s.vals) == 0 {
+	if len(s.vals) == 0 || math.IsNaN(q) {
 		return 0
 	}
 	if s.sorted == nil {

@@ -55,6 +55,44 @@ func TestSummaryEmpty(t *testing.T) {
 	}
 }
 
+// Low-count quantiles interpolate between order statistics instead of
+// snapping to the max, and non-finite inputs never poison the cache.
+func TestSummaryQuantileLowCountAndNaN(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{1, 2, 3, 4} {
+		s.Add(v)
+	}
+	cases := []struct{ q, want float64 }{
+		{0, 1},
+		{0.5, 2.5},   // interpolated median of an even count
+		{0.99, 3.97}, // NOT the max: 3 + 0.97*(4-3)
+		{1, 4},
+		{-1, 1},
+		{2, 4},
+	}
+	for _, tc := range cases {
+		if got := s.Quantile(tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if got := s.Quantile(math.NaN()); got != 0 || math.IsNaN(got) {
+		t.Errorf("Quantile(NaN) = %v, want 0", got)
+	}
+	// NaN and ±Inf observations are dropped, keeping every later
+	// quantile finite.
+	s.Add(math.NaN())
+	s.Add(math.Inf(1))
+	s.Add(math.Inf(-1))
+	if s.N() != 4 {
+		t.Fatalf("non-finite observations retained: n=%d", s.N())
+	}
+	for q := 0.0; q <= 1.0; q += 0.1 {
+		if v := s.Quantile(q); math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("Quantile(%.1f) = %v after non-finite adds", q, v)
+		}
+	}
+}
+
 func TestHistogramRenders(t *testing.T) {
 	var s Summary
 	for i := 0; i < 100; i++ {

@@ -1,0 +1,71 @@
+package obs
+
+import "sync/atomic"
+
+// Health is the server readiness state machine. Liveness (/healthz)
+// answers "is the process up", readiness (/readyz) answers "can it
+// serve queries right now" — the two diverge during WAL replay at
+// startup and while draining on teardown, which is exactly when a load
+// balancer must not route traffic here.
+//
+//	Starting ──► Recovering ──► Ready ──► Draining
+//
+// Transitions only move forward; Set with a smaller state is ignored
+// except for the Ready→Draining edge, so concurrent late recovery
+// goroutines can never flip a draining server back to ready.
+type HealthState int32
+
+const (
+	// StateStarting: listener bound, durability layer not yet opened.
+	StateStarting HealthState = iota
+	// StateRecovering: replaying the WAL into a fresh engine.
+	StateRecovering
+	// StateReady: serving queries.
+	StateReady
+	// StateDraining: teardown begun; in-flight work finishing.
+	StateDraining
+)
+
+// String names the state for the /readyz body and log lines.
+func (s HealthState) String() string {
+	switch s {
+	case StateStarting:
+		return "starting"
+	case StateRecovering:
+		return "recovering"
+	case StateReady:
+		return "ready"
+	case StateDraining:
+		return "draining"
+	}
+	return "unknown"
+}
+
+// Health tracks the current state with a single atomic — the /readyz
+// handler reads it on every probe.
+type Health struct {
+	state atomic.Int32
+}
+
+// NewHealth starts in StateStarting.
+func NewHealth() *Health { return &Health{} }
+
+// Set advances the state machine. Backward transitions are ignored so
+// racing goroutines cannot regress a later state.
+func (h *Health) Set(s HealthState) {
+	for {
+		cur := h.state.Load()
+		if int32(s) <= cur {
+			return
+		}
+		if h.state.CompareAndSwap(cur, int32(s)) {
+			return
+		}
+	}
+}
+
+// State returns the current state.
+func (h *Health) State() HealthState { return HealthState(h.state.Load()) }
+
+// Ready reports whether the server should accept traffic.
+func (h *Health) Ready() bool { return h.State() == StateReady }

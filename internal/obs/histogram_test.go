@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketing(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 100} {
+		h.Observe(v)
+	}
+	cum := h.Cumulative()
+	// 0.05,0.1 <= 0.1 | 0.5 <= 1 | 5 <= 10 | 100 -> +Inf
+	want := []uint64{2, 3, 4, 5}
+	for i := range want {
+		if cum[i] != want[i] {
+			t.Fatalf("cum[%d] = %d, want %d (all %v)", i, cum[i], want[i], cum)
+		}
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-105.65) > 1e-9 {
+		t.Fatalf("sum = %g", got)
+	}
+}
+
+func TestHistogramDropsNonFinite(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	h.Observe(math.NaN())
+	h.Observe(math.Inf(1))
+	h.Observe(math.Inf(-1))
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("non-finite observations recorded: count=%d sum=%g", h.Count(), h.Sum())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	// 100 samples uniform in (0,1] bucket, 100 in (1,2].
+	for i := 0; i < 100; i++ {
+		h.Observe(0.5)
+		h.Observe(1.5)
+	}
+	// Median rank = 100 => falls exactly at the top of bucket (0,1].
+	if q := h.Quantile(0.5); math.Abs(q-1.0) > 1e-9 {
+		t.Fatalf("q50 = %g, want 1.0", q)
+	}
+	// q0.75 => rank 150, halfway through (1,2] => 1.5.
+	if q := h.Quantile(0.75); math.Abs(q-1.5) > 1e-9 {
+		t.Fatalf("q75 = %g, want 1.5", q)
+	}
+	if q := h.Quantile(0.99); math.IsNaN(q) {
+		t.Fatal("q99 is NaN")
+	}
+	// Empty histogram: 0, never NaN.
+	if q := NewHistogram([]float64{1}).Quantile(0.99); q != 0 {
+		t.Fatalf("empty q99 = %g", q)
+	}
+	// All samples beyond the last bound: report the last finite bound.
+	over := NewHistogram([]float64{1, 2})
+	over.Observe(100)
+	if q := over.Quantile(0.99); q != 2 {
+		t.Fatalf("overflow q99 = %g, want 2", q)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(ExpBuckets(1e-3, 2, 10))
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(seed*per+i) * 1e-5)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+	cum := h.Cumulative()
+	if cum[len(cum)-1] != workers*per {
+		t.Fatalf("+Inf cum = %d", cum[len(cum)-1])
+	}
+}
+
+func TestRegistryHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("req_seconds", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE req_seconds histogram",
+		`req_seconds_bucket{le="0.1"} 1`,
+		`req_seconds_bucket{le="1"} 2`,
+		`req_seconds_bucket{le="+Inf"} 3`,
+		"req_seconds_sum 5.55",
+		"req_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Same family with labels shares the bucket layout.
+	r.Histogram("req_seconds", nil, "op", "scan").Observe(0.2)
+	sb.Reset()
+	r.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), `req_seconds_bucket{op="scan",le="1"} 1`) {
+		t.Fatalf("labeled histogram series missing:\n%s", sb.String())
+	}
+	// JSON snapshot carries buckets and interpolated quantiles.
+	for _, f := range r.Snapshot() {
+		if f.Name != "req_seconds" {
+			continue
+		}
+		s := f.Series[0]
+		if len(s.Buckets) != 3 || s.Buckets[2].LE != "+Inf" {
+			t.Fatalf("snapshot buckets = %+v", s.Buckets)
+		}
+		if math.IsNaN(s.Quantiles["0.99"]) {
+			t.Fatal("snapshot q99 is NaN")
+		}
+	}
+}

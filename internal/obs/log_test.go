@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestQIDContext(t *testing.T) {
+	ctx := context.Background()
+	if QID(ctx) != "" {
+		t.Fatal("empty context has a qid")
+	}
+	ctx = WithQID(ctx, "q000123")
+	if QID(ctx) != "q000123" {
+		t.Fatalf("qid = %q", QID(ctx))
+	}
+	a, b := NewQID(), NewQID()
+	if a == b || !strings.HasPrefix(a, "q") {
+		t.Fatalf("qids not unique: %q %q", a, b)
+	}
+}
+
+func TestLoggerStampsQID(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "json", slog.LevelInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := WithQID(context.Background(), "q000042")
+	lg.InfoContext(ctx, "query start", "rows", 7)
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, buf.String())
+	}
+	if rec["qid"] != "q000042" {
+		t.Fatalf("qid attr = %v", rec["qid"])
+	}
+	// Text handler carries it too, and derived loggers keep the wrapper.
+	buf.Reset()
+	lg2, _ := NewLogger(&buf, "text", slog.LevelDebug)
+	lg2.With("sub", "wal").WithGroup("g").InfoContext(ctx, "rotate")
+	if !strings.Contains(buf.String(), "qid=q000042") {
+		t.Fatalf("text log missing qid: %s", buf.String())
+	}
+}
+
+func TestLoggerLevelAndFormatValidation(t *testing.T) {
+	if _, err := ParseLevel("nope"); err == nil {
+		t.Fatal("bad level accepted")
+	}
+	for in, want := range map[string]slog.Level{
+		"": slog.LevelInfo, "debug": slog.LevelDebug, "WARN": slog.LevelWarn, "error": slog.LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := NewLogger(&bytes.Buffer{}, "xml", slog.LevelInfo); err == nil {
+		t.Fatal("bad format accepted")
+	}
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "text", slog.LevelWarn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("below level")
+	if buf.Len() != 0 {
+		t.Fatalf("info emitted at warn level: %s", buf.String())
+	}
+}
+
+func TestNopLogger(t *testing.T) {
+	lg := NopLogger()
+	if lg.Enabled(context.Background(), slog.LevelError) {
+		t.Fatal("nop logger claims enabled")
+	}
+	lg.Error("goes nowhere")
+	if OrNop(nil) != lg {
+		t.Fatal("OrNop(nil) != NopLogger()")
+	}
+	real := slog.Default()
+	if OrNop(real) != real {
+		t.Fatal("OrNop(l) != l")
+	}
+}
+
+func TestHealthStateMachine(t *testing.T) {
+	h := NewHealth()
+	if h.State() != StateStarting || h.Ready() {
+		t.Fatal("initial state")
+	}
+	h.Set(StateRecovering)
+	if h.State() != StateRecovering {
+		t.Fatal("recovering")
+	}
+	h.Set(StateReady)
+	if !h.Ready() {
+		t.Fatal("ready")
+	}
+	// Backward transition ignored.
+	h.Set(StateRecovering)
+	if h.State() != StateReady {
+		t.Fatal("regressed from ready")
+	}
+	h.Set(StateDraining)
+	if h.State() != StateDraining || h.Ready() {
+		t.Fatal("draining")
+	}
+	if StateDraining.String() != "draining" || StateStarting.String() != "starting" {
+		t.Fatal("state names")
+	}
+}

@@ -28,9 +28,10 @@ type MetricType string
 
 // Metric family types.
 const (
-	TypeCounter MetricType = "counter"
-	TypeGauge   MetricType = "gauge"
-	TypeSummary MetricType = "summary"
+	TypeCounter   MetricType = "counter"
+	TypeGauge     MetricType = "gauge"
+	TypeSummary   MetricType = "summary"
+	TypeHistogram MetricType = "histogram"
 )
 
 // summaryWindow bounds the retained sample window of a Summary.
@@ -105,8 +106,12 @@ type Summary struct {
 	sum   float64
 }
 
-// Observe records one sample.
+// Observe records one sample. NaN and ±Inf are dropped so quantile and
+// sum reporting stay NaN-free whatever the instrumentation feeds in.
 func (s *Summary) Observe(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(s.ring) < summaryWindow {
@@ -164,6 +169,7 @@ type series struct {
 	counter *Counter
 	gauge   *Gauge
 	summary *Summary
+	hist    *Histogram
 }
 
 // family groups all series of one metric name.
@@ -173,6 +179,9 @@ type family struct {
 	typ    MetricType
 	series map[string]*series
 	order  []string
+	// bounds is the bucket layout shared by every histogram series in
+	// the family (set on first Histogram call).
+	bounds []float64
 }
 
 // Registry holds metric families and renders them. A process-wide
@@ -240,8 +249,9 @@ func escapeLabel(v string) string {
 }
 
 // get returns (creating if needed) the series for name+labels,
-// checking the family type matches.
-func (r *Registry) get(name string, typ MetricType, labels []string) *series {
+// checking the family type matches. bounds applies to histogram
+// families only (first caller fixes the family's bucket layout).
+func (r *Registry) get(name string, typ MetricType, bounds []float64, labels []string) *series {
 	if !nameRE.MatchString(name) {
 		panic(fmt.Sprintf("obs: invalid metric name %q", name))
 	}
@@ -261,6 +271,12 @@ func (r *Registry) get(name string, typ MetricType, labels []string) *series {
 	} else if f.typ != typ {
 		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.typ, typ))
 	}
+	if typ == TypeHistogram && f.bounds == nil {
+		if len(bounds) == 0 {
+			bounds = DefLatencyBuckets
+		}
+		f.bounds = append([]float64(nil), bounds...)
+	}
 	key := labelKey(labels)
 	s, ok := f.series[key]
 	if !ok {
@@ -272,6 +288,8 @@ func (r *Registry) get(name string, typ MetricType, labels []string) *series {
 			s.gauge = &Gauge{}
 		case TypeSummary:
 			s.summary = &Summary{}
+		case TypeHistogram:
+			s.hist = NewHistogram(f.bounds)
 		}
 		f.series[key] = s
 		f.order = append(f.order, key)
@@ -282,17 +300,24 @@ func (r *Registry) get(name string, typ MetricType, labels []string) *series {
 // Counter returns the counter for name with the given alternating
 // label key/value pairs, creating it on first use.
 func (r *Registry) Counter(name string, labels ...string) *Counter {
-	return r.get(name, TypeCounter, labels).counter
+	return r.get(name, TypeCounter, nil, labels).counter
 }
 
 // Gauge returns the gauge for name+labels.
 func (r *Registry) Gauge(name string, labels ...string) *Gauge {
-	return r.get(name, TypeGauge, labels).gauge
+	return r.get(name, TypeGauge, nil, labels).gauge
 }
 
 // Summary returns the summary for name+labels.
 func (r *Registry) Summary(name string, labels ...string) *Summary {
-	return r.get(name, TypeSummary, labels).summary
+	return r.get(name, TypeSummary, nil, labels).summary
+}
+
+// Histogram returns the histogram for name+labels, creating it on
+// first use. The first call for a family fixes its bucket layout
+// (nil/empty bounds select DefLatencyBuckets); later calls reuse it.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...string) *Histogram {
+	return r.get(name, TypeHistogram, bounds, labels).hist
 }
 
 // collect runs collectors, then snapshots families in registration
@@ -342,9 +367,25 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 				}
 				writeSample(w, f.name, key, "_sum", s.summary.Sum())
 				writeSample(w, f.name, key, "_count", float64(s.summary.Count()))
+			case TypeHistogram:
+				cum := s.hist.Cumulative()
+				for i, bound := range f.bounds {
+					writeSample(w, f.name, bucketKey(key, fmt.Sprintf("%g", bound)), "_bucket", float64(cum[i]))
+				}
+				writeSample(w, f.name, bucketKey(key, "+Inf"), "_bucket", float64(cum[len(cum)-1]))
+				writeSample(w, f.name, key, "_sum", s.hist.Sum())
+				writeSample(w, f.name, key, "_count", float64(s.hist.Count()))
 			}
 		}
 	}
+}
+
+// bucketKey appends the le label to an existing label string.
+func bucketKey(key, le string) string {
+	if key != "" {
+		key += ","
+	}
+	return key + fmt.Sprintf("le=%q", le)
 }
 
 func writeSample(w io.Writer, name, labelStr, suffix string, v float64) {
@@ -366,10 +407,19 @@ func formatValue(v float64) string {
 type SeriesJSON struct {
 	Labels map[string]string `json:"labels,omitempty"`
 	Value  float64           `json:"value,omitempty"`
-	// Summary-only fields.
+	// Summary/histogram fields.
 	Count     int64              `json:"count,omitempty"`
 	Sum       float64            `json:"sum,omitempty"`
 	Quantiles map[string]float64 `json:"quantiles,omitempty"`
+	// Histogram-only: cumulative counts keyed by upper bound, in
+	// bound order (quantiles above are bucket-interpolated estimates).
+	Buckets []BucketJSON `json:"buckets,omitempty"`
+}
+
+// BucketJSON is one cumulative histogram bucket.
+type BucketJSON struct {
+	LE         string `json:"le"`
+	Cumulative uint64 `json:"cumulative"`
 }
 
 // FamilyJSON is the JSON exposition of one metric family.
@@ -409,6 +459,18 @@ func (r *Registry) Snapshot() []FamilyJSON {
 				for _, q := range summaryQuantiles {
 					sj.Quantiles[fmt.Sprintf("%g", q)] = s.summary.Quantile(q)
 				}
+			case TypeHistogram:
+				sj.Count = int64(s.hist.Count())
+				sj.Sum = s.hist.Sum()
+				sj.Quantiles = map[string]float64{}
+				for _, q := range summaryQuantiles {
+					sj.Quantiles[fmt.Sprintf("%g", q)] = s.hist.Quantile(q)
+				}
+				cum := s.hist.Cumulative()
+				for i, bound := range f.bounds {
+					sj.Buckets = append(sj.Buckets, BucketJSON{LE: fmt.Sprintf("%g", bound), Cumulative: cum[i]})
+				}
+				sj.Buckets = append(sj.Buckets, BucketJSON{LE: "+Inf", Cumulative: cum[len(cum)-1]})
 			}
 			fj.Series = append(fj.Series, sj)
 		}

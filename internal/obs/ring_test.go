@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func mkTrace(id string, wall float64) *QueryTrace {
+	return &QueryTrace{ID: id, Query: "SELECT " + id, Start: time.Now(), WallSeconds: wall, Status: "ok"}
+}
+
+func TestTraceRingEvictionOrder(t *testing.T) {
+	r := NewTraceRing(3, 0)
+	for i := 1; i <= 5; i++ {
+		r.Put(mkTrace(fmt.Sprintf("q%d", i), 0.01))
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	idx := r.Index()
+	// Newest first: q5, q4, q3; q1/q2 evicted.
+	want := []string{"q5", "q4", "q3"}
+	for i, w := range want {
+		if idx[i].ID != w {
+			t.Fatalf("index[%d] = %s, want %s", i, idx[i].ID, w)
+		}
+	}
+	if r.Get("q1") != nil || r.Get("q2") != nil {
+		t.Fatal("evicted traces still resolvable")
+	}
+	if r.Get("q4") == nil {
+		t.Fatal("retained trace not resolvable")
+	}
+}
+
+func TestTraceRingSlowBoundary(t *testing.T) {
+	r := NewTraceRing(4, 0.5)
+	r.Put(mkTrace("fast", 0.499999))
+	slowExact := r.Put(mkTrace("exact", 0.5)) // boundary counts as slow
+	slowOver := r.Put(mkTrace("over", 0.7))
+	if slowExact != true {
+		t.Fatal("wall == threshold must classify as slow")
+	}
+	if !slowOver {
+		t.Fatal("wall > threshold must classify as slow")
+	}
+	slow := r.Slow()
+	if len(slow) != 2 || slow[0].ID != "over" || slow[1].ID != "exact" {
+		t.Fatalf("slow log = %+v", slow)
+	}
+	for _, e := range r.Index() {
+		if e.ID == "fast" && e.Slow {
+			t.Fatal("fast trace flagged slow")
+		}
+		if e.ID == "exact" && !e.Slow {
+			t.Fatal("boundary trace not flagged slow")
+		}
+	}
+}
+
+func TestTraceRingSlowSurvivesEviction(t *testing.T) {
+	r := NewTraceRing(2, 1.0)
+	r.Put(mkTrace("slow1", 2.0))
+	r.Put(mkTrace("a", 0.01))
+	r.Put(mkTrace("b", 0.01)) // slow1 now lapped out of the ring
+	if r.Get("slow1") == nil {
+		t.Fatal("slow trace must stay resolvable after ring eviction")
+	}
+	// The index still lists it (via the slow log), exactly once.
+	n := 0
+	for _, e := range r.Index() {
+		if e.ID == "slow1" {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("slow1 listed %d times", n)
+	}
+}
+
+func TestTraceRingConcurrent(t *testing.T) {
+	r := NewTraceRing(16, 0.001)
+	var wg sync.WaitGroup
+	const writers, per = 8, 200
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				id := fmt.Sprintf("w%d-%d", w, i)
+				wall := 0.0001
+				if i%10 == 0 {
+					wall = 0.01
+				}
+				r.Put(mkTrace(id, wall))
+				r.Get(id)
+				if i%50 == 0 {
+					r.Index()
+					r.Slow()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Len() != 16 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	for _, e := range r.Index() {
+		if e.ID == "" {
+			t.Fatal("empty index entry")
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+)
+
+// Runtime visibility: scrape-time collectors that mirror the Go
+// runtime's own metrics (runtime/metrics) into the registry as
+// ids_go_* gauges and counters. Sampling happens inside the registry
+// collector, i.e. once per /metrics scrape — there is no background
+// goroutine and zero steady-state cost.
+
+// runtimeSamples are the runtime/metrics we expose. Scalar metrics map
+// 1:1 to a gauge/counter; the two runtime histograms (GC pause, sched
+// latency) are reduced to p50/p99 gauges at scrape time.
+var runtimeSamples = []metrics.Sample{
+	{Name: "/sched/goroutines:goroutines"},
+	{Name: "/memory/classes/heap/objects:bytes"},
+	{Name: "/memory/classes/total:bytes"},
+	{Name: "/gc/heap/allocs:bytes"},
+	{Name: "/gc/cycles/total:gc-cycles"},
+	{Name: "/gc/pauses:seconds"},
+	{Name: "/sched/latencies:seconds"},
+}
+
+// RegisterRuntimeCollectors wires the runtime/metrics mirror into r.
+func RegisterRuntimeCollectors(r *Registry) {
+	r.Describe("ids_go_goroutines", "Live goroutine count.")
+	r.Describe("ids_go_heap_objects_bytes", "Bytes of live heap objects.")
+	r.Describe("ids_go_memory_total_bytes", "Total memory mapped by the Go runtime.")
+	r.Describe("ids_go_alloc_bytes_total", "Cumulative bytes allocated on the heap.")
+	r.Describe("ids_go_gc_cycles_total", "Completed GC cycles.")
+	r.Describe("ids_go_gc_pause_seconds", "GC stop-the-world pause quantiles since process start.")
+	r.Describe("ids_go_sched_latency_seconds", "Goroutine scheduling latency quantiles since process start.")
+	samples := make([]metrics.Sample, len(runtimeSamples))
+	copy(samples, runtimeSamples)
+	r.AddCollector(func(r *Registry) {
+		metrics.Read(samples)
+		for i := range samples {
+			s := &samples[i]
+			switch s.Name {
+			case "/sched/goroutines:goroutines":
+				r.Gauge("ids_go_goroutines").Set(float64(s.Value.Uint64()))
+			case "/memory/classes/heap/objects:bytes":
+				r.Gauge("ids_go_heap_objects_bytes").Set(float64(s.Value.Uint64()))
+			case "/memory/classes/total:bytes":
+				r.Gauge("ids_go_memory_total_bytes").Set(float64(s.Value.Uint64()))
+			case "/gc/heap/allocs:bytes":
+				r.Counter("ids_go_alloc_bytes_total").Set(float64(s.Value.Uint64()))
+			case "/gc/cycles/total:gc-cycles":
+				r.Counter("ids_go_gc_cycles_total").Set(float64(s.Value.Uint64()))
+			case "/gc/pauses:seconds":
+				if h := s.Value.Float64Histogram(); h != nil {
+					r.Gauge("ids_go_gc_pause_seconds", "quantile", "0.5").Set(runtimeHistQuantile(h, 0.5))
+					r.Gauge("ids_go_gc_pause_seconds", "quantile", "0.99").Set(runtimeHistQuantile(h, 0.99))
+				}
+			case "/sched/latencies:seconds":
+				if h := s.Value.Float64Histogram(); h != nil {
+					r.Gauge("ids_go_sched_latency_seconds", "quantile", "0.5").Set(runtimeHistQuantile(h, 0.5))
+					r.Gauge("ids_go_sched_latency_seconds", "quantile", "0.99").Set(runtimeHistQuantile(h, 0.99))
+				}
+			}
+		}
+	})
+}
+
+// runtimeHistQuantile estimates the q-th quantile of a runtime
+// Float64Histogram, which has len(Buckets) = len(Counts)+1 boundaries
+// (possibly ±Inf at the ends).
+func runtimeHistQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var run uint64
+	for i, c := range h.Counts {
+		run += c
+		if float64(run) >= rank {
+			// Report the bucket's upper boundary; clamp ±Inf edges to the
+			// nearest finite boundary.
+			hi := h.Buckets[i+1]
+			if math.IsInf(hi, 0) || math.IsNaN(hi) {
+				return h.Buckets[i]
+			}
+			return hi
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}

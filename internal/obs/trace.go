@@ -105,6 +105,10 @@ type QueryTrace struct {
 	ID    string    `json:"id"`
 	Query string    `json:"query"`
 	Start time.Time `json:"start"`
+	// Status is "ok" or "error"; Error carries the failure message for
+	// error traces so a failed qid is still resolvable after the fact.
+	Status string `json:"status,omitempty"`
+	Error  string `json:"error,omitempty"`
 	// Lifecycle wall-clock spans.
 	ParseSeconds float64 `json:"parse_seconds"`
 	PlanSeconds  float64 `json:"plan_seconds"`

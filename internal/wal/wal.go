@@ -18,7 +18,9 @@
 package wal
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -27,6 +29,18 @@ import (
 	"sync/atomic"
 	"time"
 )
+
+// nopLogHandler keeps the package dependency-free: wal must not import
+// internal/obs (obs sits above it), so it carries its own discard
+// handler for the nil-Logger default.
+type nopLogHandler struct{}
+
+func (nopLogHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopLogHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopLogHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopLogHandler{} }
+func (nopLogHandler) WithGroup(string) slog.Handler             { return nopLogHandler{} }
+
+var nopLog = slog.New(nopLogHandler{})
 
 // FsyncPolicy selects when appends reach stable storage.
 type FsyncPolicy int
@@ -82,6 +96,9 @@ type Options struct {
 	// FsyncInterval is the background sync period for FsyncInterval.
 	// Default 100ms.
 	FsyncInterval time.Duration
+	// Logger, when non-nil, narrates segment lifecycle (open scan,
+	// rotation, truncation) as structured log records.
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -90,6 +107,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.FsyncInterval <= 0 {
 		o.FsyncInterval = 100 * time.Millisecond
+	}
+	if o.Logger == nil {
+		o.Logger = nopLog
 	}
 	return o
 }
@@ -160,6 +180,12 @@ type Log struct {
 	dirty  bool
 	closed bool
 
+	// fsyncObs, when set, receives each fsync's duration in seconds.
+	// It is a plain callback (not an obs.Histogram) so the dependency
+	// points upward: the engine attaches its histogram via
+	// SetFsyncObserver without wal importing internal/obs.
+	fsyncObs atomic.Pointer[func(float64)]
+
 	stop chan struct{} // interval-sync goroutine lifecycle
 	done chan struct{}
 }
@@ -217,6 +243,8 @@ func Open(opts Options) (*Log, error) {
 			}
 			l.info.TornTailTruncations++
 			l.info.TruncatedBytes = torn
+			opts.Logger.Warn("wal torn tail repaired",
+				"segment", filepath.Base(seg.path), "truncated_bytes", torn)
 		}
 	}
 	if next == 0 {
@@ -247,7 +275,23 @@ func Open(opts Options) (*Log, error) {
 		l.done = make(chan struct{})
 		go l.syncLoop()
 	}
+	opts.Logger.Info("wal opened",
+		"dir", opts.Dir, "segments", l.info.SegmentsScanned,
+		"records", l.info.Records, "last_lsn", l.info.LastLSN,
+		"fsync", opts.Fsync.String())
 	return l, nil
+}
+
+// SetFsyncObserver wires fn to receive each fsync's wall-clock
+// duration in seconds (the engine points this at its
+// ids_wal_fsync_seconds histogram). Safe to call while appends run;
+// nil detaches.
+func (l *Log) SetFsyncObserver(fn func(seconds float64)) {
+	if fn == nil {
+		l.fsyncObs.Store(nil)
+		return
+	}
+	l.fsyncObs.Store(&fn)
 }
 
 // newSegmentLocked creates and switches to a fresh segment whose first
@@ -350,7 +394,15 @@ func (l *Log) rotateLocked() error {
 	if err := l.f.Close(); err != nil {
 		return err
 	}
-	return l.newSegmentLocked(l.nextLSN.Load())
+	sealed := l.segs[len(l.segs)-1]
+	if err := l.newSegmentLocked(l.nextLSN.Load()); err != nil {
+		return err
+	}
+	l.opts.Logger.Info("wal segment rotated",
+		"sealed", filepath.Base(sealed.path),
+		"active", filepath.Base(l.segs[len(l.segs)-1].path),
+		"next_lsn", l.nextLSN.Load())
+	return nil
 }
 
 // syncLocked flushes the active segment if it has unsynced writes.
@@ -358,11 +410,15 @@ func (l *Log) syncLocked() error {
 	if !l.dirty {
 		return nil
 	}
+	start := time.Now()
 	if err := l.f.Sync(); err != nil {
 		return err
 	}
 	l.dirty = false
 	l.fsyncs.Add(1)
+	if fn := l.fsyncObs.Load(); fn != nil {
+		(*fn)(time.Since(start).Seconds())
+	}
 	return nil
 }
 
@@ -457,6 +513,10 @@ func (l *Log) TruncateBefore(lsn uint64) error {
 			return err
 		}
 		keep++
+	}
+	if keep > 0 {
+		l.opts.Logger.Info("wal truncated",
+			"segments_removed", keep, "covered_below_lsn", lsn)
 	}
 	l.segs = append([]segment(nil), l.segs[keep:]...)
 	return nil
