@@ -1,0 +1,36 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"ids/internal/chaos"
+)
+
+// runChaosSeed replays one chaos schedule — the same code path as
+// TestChaosSchedules, so a seed printed by a CI failure reproduces the
+// failure verbatim here, with the step-by-step narration on stderr and
+// the report on stdout. Returns the process exit code.
+func runChaosSeed(seed int64) int {
+	dir, err := os.MkdirTemp("", "ids-chaos-*")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+		return 1
+	}
+	defer os.RemoveAll(dir)
+
+	rep, err := chaos.Run(chaos.Options{Seed: seed, Dir: dir, Log: os.Stderr})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaos: harness error: %v\n", err)
+		return 1
+	}
+	out, _ := json.MarshalIndent(rep, "", "  ")
+	fmt.Println(string(out))
+	if !rep.Ok() {
+		fmt.Fprintf(os.Stderr, "chaos: seed %d violated %d invariant(s)\n", seed, len(rep.Violations))
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "chaos: seed %d: all invariants held\n", seed)
+	return 0
+}

@@ -42,7 +42,12 @@ func main() {
 	concurrency := flag.Int("concurrency", 0, "load mode: concurrent query workers (0 = run experiments instead)")
 	loadQueries := flag.Int("load-queries", 64, "load mode: total queries per concurrency level")
 	benchOut := flag.String("bench-out", "", `load mode: write a machine-readable baseline JSON here ("auto" = BENCH_<date>.json)`)
+	chaosSeed := flag.Int64("chaos-seed", 0, "replay one chaos schedule by seed, with verbose narration (non-zero exit on an invariant violation)")
 	flag.Parse()
+
+	if *chaosSeed != 0 {
+		os.Exit(runChaosSeed(*chaosSeed))
+	}
 
 	var sc experiments.Scale
 	switch *scaleName {

@@ -71,6 +71,10 @@ type Stats struct {
 	Puts           int64
 	Spills         int64 // DRAM -> SSD demotions
 	Evictions      int64 // dropped from SSD (still in stash)
+	// PlacementErrors counts tier placements abandoned because of a
+	// fabric fault. The object stays readable from the stash, so these
+	// degrade locality, never correctness.
+	PlacementErrors int64
 }
 
 type meta struct {
@@ -100,6 +104,36 @@ type Cache struct {
 	// log, when non-nil, narrates tier transitions (DRAM->SSD spills,
 	// SSD evictions) at Debug.
 	log *slog.Logger
+	// hook, when set, runs at the top of every Get/Put with the op name
+	// ("cache.get"/"cache.put") and object name; a return >= 0 fails
+	// that node before the operation proceeds, simulating node loss
+	// mid-operation for the chaos harness.
+	hook func(op, name string) int
+}
+
+// SetFaultHook wires a chaos hook invoked at the start of Get and Put;
+// a returned node id >= 0 is failed (as by FailNode) before the
+// operation runs, < 0 is a no-op. Call before concurrent use; nil
+// removes it.
+func (c *Cache) SetFaultHook(fn func(op, name string) int) {
+	c.mu.Lock()
+	c.hook = fn
+	c.mu.Unlock()
+}
+
+// Fabric exposes the cache's FAM fabric so tests and the chaos harness
+// can inject fabric-level faults (fam.SetFaultHook) or fail servers
+// directly.
+func (c *Cache) Fabric() *fam.FAM { return c.fabric }
+
+// hookFailLocked runs the fault hook, failing the node it names.
+func (c *Cache) hookFailLocked(op, name string) {
+	if c.hook == nil {
+		return
+	}
+	if id := c.hook(op, name); id >= 0 && id < len(c.nodes) {
+		_ = c.failNodeLocked(id)
+	}
 }
 
 // SetLogger wires a structured logger for tier-transition records
@@ -198,23 +232,63 @@ func (c *Cache) Put(m *fam.Meter, name string, data []byte, hintNode int) error 
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.hookFailLocked("cache.put", name)
 	c.stats.Puts++
 	mt, ok := c.objects[name]
 	if !ok {
 		mt = &meta{}
 		c.objects[name] = mt
+	} else if mt.hash != hash {
+		// Overwrite with new content: every existing tier copy holds
+		// the old bytes and must never serve another read.
+		c.invalidateLocked(name)
 	}
 	mt.hash = hash
 	mt.size = len(data)
 	if hintNode < 0 || hintNode >= len(c.nodes) {
 		hintNode = int(fam.ObjectID(name) % uint64(len(c.nodes)))
 	}
-	return c.placeDRAMLocked(m, name, data, hintNode)
+	// The stash write above is the durable, authoritative copy; tier
+	// placement is an optimization. A fabric fault here degrades
+	// locality (the next Get repopulates), it must not fail the Put.
+	if err := c.placeDRAMLocked(m, name, data, hintNode); err != nil {
+		c.stats.PlacementErrors++
+		if c.log != nil {
+			c.log.Debug("cache put placement failed; object stash-only",
+				"object", name, "node", hintNode, "err", err)
+		}
+	}
+	return nil
 }
 
 // placeDRAMLocked inserts data into node's DRAM, evicting (spilling to
 // SSD) until it fits. Objects larger than the DRAM tier go straight to
 // SSD.
+// invalidateLocked drops every tier copy of name (fam DRAM items and
+// SSD blocks), leaving the object stash-only. Down nodes have already
+// had their locations dropped by failNodeLocked.
+func (c *Cache) invalidateLocked(name string) {
+	mt := c.objects[name]
+	if mt == nil {
+		return
+	}
+	for _, loc := range append([]Location{}, mt.locations...) {
+		n := c.nodes[loc.Node]
+		switch loc.Tier {
+		case TierDRAM:
+			if d, err := c.fabric.Lookup(dramRegion, dramItemName(loc.Node, name)); err == nil {
+				_ = c.fabric.Deallocate(d)
+			}
+			n.dram.Remove(name)
+		case TierSSD:
+			n.ssdUsed -= int64(len(n.ssdData[name]))
+			delete(n.ssdData, name)
+			n.ssd.Remove(name)
+		}
+	}
+	mt.locations = mt.locations[:0]
+}
+
 func (c *Cache) placeDRAMLocked(m *fam.Meter, name string, data []byte, nodeID int) error {
 	n := c.nodes[nodeID]
 	if n.down {
@@ -240,6 +314,9 @@ func (c *Cache) placeDRAMLocked(m *fam.Meter, name string, data []byte, nodeID i
 		d, err := c.fabric.Allocate(dramRegion, dramItemName(nodeID, name), len(data), nodeID)
 		if err == nil {
 			if err := c.fabric.Put(m, d, 0, data, true); err != nil {
+				// Never leave an allocated item holding garbage: the
+				// next placement would find it by name and trust it.
+				_ = c.fabric.Deallocate(d)
 				return err
 			}
 			n.dram.Add(name)
@@ -261,18 +338,33 @@ func (c *Cache) placeDRAMLocked(m *fam.Meter, name string, data []byte, nodeID i
 	}
 }
 
-// spillLocked demotes victim from node DRAM to node SSD.
+// spillLocked demotes victim from node DRAM to node SSD. A fabric
+// fault mid-spill cannot recover the victim's DRAM bytes, but the
+// stash still holds the authoritative copy, so the victim is simply
+// dropped (an eviction straight to stash) and the caller's placement
+// continues.
 func (c *Cache) spillLocked(m *fam.Meter, victim string, nodeID int) error {
+	drop := func(d fam.Descriptor, why error) error {
+		_ = c.fabric.Deallocate(d)
+		c.objects[victim].dropLoc(Location{Node: nodeID, Tier: TierDRAM})
+		c.stats.Evictions++
+		c.stats.PlacementErrors++
+		if c.log != nil {
+			c.log.Debug("cache spill failed; victim dropped to stash",
+				"object", victim, "node", nodeID, "err", why)
+		}
+		return nil
+	}
 	d, err := c.fabric.Lookup(dramRegion, dramItemName(nodeID, victim))
 	if err != nil {
-		return err
+		return drop(fam.Descriptor{}, err)
 	}
 	data, err := c.fabric.Get(m, d, 0, d.Size, true)
 	if err != nil {
-		return err
+		return drop(d, err)
 	}
 	if err := c.fabric.Deallocate(d); err != nil {
-		return err
+		return drop(d, err)
 	}
 	mt := c.objects[victim]
 	mt.dropLoc(Location{Node: nodeID, Tier: TierDRAM})
@@ -337,6 +429,7 @@ func meterAdd(m *fam.Meter, sec float64, bytes int) {
 func (c *Cache) Get(m *fam.Meter, name string, fromNode int) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.hookFailLocked("cache.get", name)
 	mt, ok := c.objects[name]
 	if ok {
 		// Preference order: local DRAM, remote DRAM, local SSD,
@@ -402,10 +495,16 @@ func (c *Cache) Get(m *fam.Meter, name string, fromNode int) ([]byte, error) {
 			mt = &meta{hash: store.Hash(data), size: len(data)}
 			c.objects[name] = mt
 		}
-		// Repopulate the reader's DRAM for future hits.
+		// Repopulate the reader's DRAM for future hits. Best-effort:
+		// the stash read already succeeded, so a fabric fault here must
+		// not turn a hit into a failure.
 		if fromNode >= 0 && fromNode < len(c.nodes) {
 			if err := c.placeDRAMLocked(m, name, data, fromNode); err != nil {
-				return nil, err
+				c.stats.PlacementErrors++
+				if c.log != nil {
+					c.log.Debug("cache stash repopulation failed",
+						"object", name, "node", fromNode, "err", err)
+				}
 			}
 		}
 		return data, nil
@@ -483,6 +582,10 @@ func (c *Cache) Relocate(m *fam.Meter, name string, toNode int) error {
 func (c *Cache) FailNode(id int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.failNodeLocked(id)
+}
+
+func (c *Cache) failNodeLocked(id int) error {
 	if id < 0 || id >= len(c.nodes) {
 		return fmt.Errorf("cache: bad node %d", id)
 	}

@@ -1,0 +1,485 @@
+// Package chaos runs seeded randomized fault schedules against a full
+// ids.Launcher instance and checks the durability and cache invariants
+// the stack promises:
+//
+//  1. Recovery-equivalence: after a crash at any injected fault point,
+//     a restarted instance's state equals the acked update history
+//     (plus, at most, the single update that was in flight when the
+//     WAL failed — the "indeterminate" update, whose frame may or may
+//     not have reached the log).
+//  2. No acked-update loss: every update the server acknowledged is
+//     present after recovery.
+//  3. No panic: every schedule runs the full launch → fault → crash →
+//     recover cycle without crashing the process.
+//  4. Cache Gets always succeed: under fabric faults and node loss the
+//     global cache still returns authoritative bytes for every object
+//     it accepted, via stash fallback.
+//
+// Every schedule is a pure function of its seed: the fault class, the
+// fault's position, the update workload, and the cache op sequence all
+// derive from one rand.Source, and the fault.Injector draws torn-write
+// lengths from the same seed. A failing seed replays exactly with
+// Run(Options{Seed: thatSeed, ...}) — see cmd/ids-bench -chaos-seed.
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+
+	"ids/internal/cache"
+	"ids/internal/fault"
+	"ids/internal/ids"
+	"ids/internal/kg"
+	"ids/internal/mpp"
+	"ids/internal/store"
+)
+
+// Options parameterizes one chaos schedule.
+type Options struct {
+	// Seed determines the entire schedule: fault class and position,
+	// workload, and cache op sequence.
+	Seed int64
+	// Dir is a scratch directory the schedule may fill (data dir, crash
+	// copy, stash). Required.
+	Dir string
+	// Updates is the durable-workload length (default 30).
+	Updates int
+	// CacheOps is the cache-workload length (default 60).
+	CacheOps int
+	// Log, when non-nil, receives a step-by-step narration — used by
+	// ids-bench -chaos-seed to replay a failing schedule verbosely.
+	Log io.Writer
+}
+
+// Report is the outcome of one schedule. Violations is empty iff every
+// invariant held.
+type Report struct {
+	Seed  int64  `json:"seed"`
+	Class string `json:"class"`
+
+	Updates       int    `json:"updates"`
+	Acked         int    `json:"acked"`
+	Indeterminate string `json:"indeterminate,omitempty"`
+	Degraded      bool   `json:"degraded"`
+	DegradedState string `json:"degraded_state,omitempty"`
+	Recovered     bool   `json:"recovered"`
+
+	CacheOps    int `json:"cache_ops"`
+	CacheFaults int `json:"cache_faults"`
+
+	// FaultEvents are the injector's fired faults with paths reduced to
+	// base names, so two runs of the same seed in different directories
+	// produce identical logs.
+	FaultEvents []string `json:"fault_events"`
+	Violations  []string `json:"violations,omitempty"`
+}
+
+// Ok reports whether every invariant held.
+func (r *Report) Ok() bool { return len(r.Violations) == 0 }
+
+func (r *Report) violate(format string, args ...any) {
+	r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+}
+
+// faultClass names one schedule family; the seed picks one.
+type faultClass struct {
+	name string
+	// rules derives the armed rules; n is the workload length.
+	rules func(rng *rand.Rand, n int) []fault.Rule
+}
+
+var classes = []faultClass{
+	{"none", func(rng *rand.Rand, n int) []fault.Rule { return nil }},
+	{"wal-write-error", func(rng *rand.Rand, n int) []fault.Rule {
+		return []fault.Rule{{Op: fault.OpWrite, Path: "wal-*.seg", Nth: uint64(1 + rng.Intn(n))}}
+	}},
+	{"wal-torn-write", func(rng *rand.Rand, n int) []fault.Rule {
+		return []fault.Rule{{Op: fault.OpWrite, Path: "wal-*.seg", Nth: uint64(1 + rng.Intn(n)), Torn: true}}
+	}},
+	{"wal-fsync-error", func(rng *rand.Rand, n int) []fault.Rule {
+		return []fault.Rule{{Op: fault.OpSync, Path: "wal-*.seg", Nth: uint64(1 + rng.Intn(n))}}
+	}},
+	{"checkpoint-enospc", func(rng *rand.Rand, n int) []fault.Rule {
+		return []fault.Rule{{Op: fault.OpWrite, Path: "snap-*.tmp", Nth: 1, Err: fault.ErrNoSpace}}
+	}},
+	{"manifest-rename-error", func(rng *rand.Rand, n int) []fault.Rule {
+		return []fault.Rule{{Op: fault.OpRename, Path: "MANIFEST", Nth: 1}}
+	}},
+}
+
+// walFaultClasses fail the append path and must degrade the engine.
+var walFaultClasses = map[string]bool{
+	"wal-write-error": true,
+	"wal-torn-write":  true,
+	"wal-fsync-error": true,
+}
+
+// compareQueries are the deterministic probes used for
+// recovery-equivalence (ORDER BY makes row order canonical).
+var compareQueries = []string{
+	`SELECT ?s ?o WHERE { ?s <http://x/tag> ?o . } ORDER BY ?s ?o`,
+	`SELECT ?s ?d WHERE { ?s <http://x/desc> ?d . } ORDER BY ?d`,
+	`SELECT ?s WHERE { ?s <http://x/tag> "tag1" . ?s <http://x/desc> ?d . } ORDER BY ?s`,
+}
+
+// workload builds the seeded insert/delete mix (the same shape the
+// durability tests use, but drawn from the schedule's own rng).
+func workload(rng *rand.Rand, n int) []string {
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		subj := fmt.Sprintf("http://x/e%d", rng.Intn(20))
+		switch rng.Intn(4) {
+		case 0:
+			out = append(out, fmt.Sprintf(
+				`DELETE DATA { <%s> <http://x/tag> "tag%d" . }`, subj, rng.Intn(5)))
+		case 1:
+			out = append(out, fmt.Sprintf(
+				`INSERT DATA { <%s> <http://x/desc> "entity %d described with token%d" . }`,
+				subj, i, rng.Intn(8)))
+		default:
+			out = append(out, fmt.Sprintf(
+				`INSERT DATA { <%s> <http://x/tag> "tag%d" . }`, subj, rng.Intn(5)))
+		}
+	}
+	return out
+}
+
+// Run executes one seeded schedule and reports which invariants held.
+// The returned error is reserved for harness problems (scratch dir
+// unusable, shadow engine construction failed); invariant breaches go
+// to Report.Violations so a runner can collect them across seeds.
+func Run(opts Options) (*Report, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("chaos: Options.Dir is required")
+	}
+	if opts.Updates <= 0 {
+		opts.Updates = 30
+	}
+	if opts.CacheOps <= 0 {
+		opts.CacheOps = 60
+	}
+	logf := func(format string, args ...any) {
+		if opts.Log != nil {
+			fmt.Fprintf(opts.Log, format+"\n", args...)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	cls := classes[rng.Intn(len(classes))]
+	rep := &Report{Seed: opts.Seed, Class: cls.name, Updates: opts.Updates, CacheOps: opts.CacheOps}
+	logf("chaos: seed=%d class=%s updates=%d", opts.Seed, cls.name, opts.Updates)
+
+	inj := fault.NewInjector(opts.Seed)
+	inj.Disarm() // launch and first checkpoint run clean
+	for _, r := range cls.rules(rng, opts.Updates) {
+		i := inj.Add(r)
+		logf("chaos: rule %d: op=%s path=%q nth=%d torn=%v err=%v", i, r.Op, r.Path, r.Nth, r.Torn, r.Err)
+	}
+
+	topo := mpp.Topology{Nodes: 1, RanksPerNode: 2}
+	durDir := filepath.Join(opts.Dir, "data")
+	inst, err := ids.Launcher{}.Launch(ids.LaunchConfig{
+		Topo: topo,
+		Durability: &ids.DurabilityConfig{
+			Dir:                durDir,
+			FS:                 fault.NewFS(inj),
+			CheckpointInterval: -1,
+			CheckpointEvery:    -1,
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: launch: %w", err)
+	}
+	defer inst.Teardown()
+	cli := inst.Client()
+
+	inj.Arm()
+	acked := driveWorkload(rep, cli, rng, opts.Updates, logf)
+	if walFaultClasses[cls.name] && (inj.Fired(fault.OpWrite) || inj.Fired(fault.OpSync)) {
+		if !rep.Degraded {
+			rep.violate("WAL fault fired but engine never degraded")
+		}
+	}
+	if rep.Degraded {
+		checkDegradedSurface(rep, cli, logf)
+	}
+	inj.Disarm()
+	for _, e := range inj.Events() {
+		rep.FaultEvents = append(rep.FaultEvents,
+			fmt.Sprintf("#%d %s %s rule=%d torn=%d", e.Seq, e.Op, filepath.Base(e.Path), e.Rule, e.TornBytes))
+		logf("chaos: fault fired: %s", e)
+	}
+	rep.Acked = len(acked)
+	logf("chaos: acked=%d indeterminate=%q degraded=%v", len(acked), rep.Indeterminate, rep.Degraded)
+
+	// Crash: copy the data directory while the instance still holds it
+	// (a clean Teardown would fold the log into a final checkpoint and
+	// hide recovery bugs), then tear down and recover from the copy.
+	crashDir := filepath.Join(opts.Dir, "crash")
+	if err := copyTree(durDir, crashDir); err != nil {
+		return rep, fmt.Errorf("chaos: crash copy: %w", err)
+	}
+	_ = inst.Teardown() // degraded teardown may error; the copy is the crash image
+
+	rec, err := ids.Launcher{}.Launch(ids.LaunchConfig{
+		Topo: topo,
+		Durability: &ids.DurabilityConfig{
+			Dir:                crashDir,
+			CheckpointInterval: -1,
+			CheckpointEvery:    -1,
+		},
+	})
+	if err != nil {
+		rep.violate("recovery failed: %v", err)
+		return rep, nil
+	}
+	defer rec.Teardown()
+	rep.Recovered = true
+	if ok, state := rec.Client().Ready(); !ok {
+		rep.violate("recovered instance not ready: %q", state)
+	}
+	checkEquivalence(rep, rec.Engine, topo, acked, logf)
+
+	runCachePhase(rep, rng, opts, logf)
+	return rep, nil
+}
+
+// driveWorkload applies the seeded updates over HTTP, interleaving
+// queries (which must always succeed) and checkpoints (whose failures
+// are tolerated — that is what the checkpoint fault classes exercise).
+// It returns the acked updates in order and fills the Report's
+// degraded/indeterminate fields.
+func driveWorkload(rep *Report, cli *ids.Client, rng *rand.Rand, n int, logf func(string, ...any)) []string {
+	var acked []string
+	for i, u := range workload(rng, n) {
+		if i > 0 && i%7 == 0 {
+			if _, err := cli.Query(compareQueries[0]); err != nil {
+				rep.violate("query failed mid-workload (op %d): %v", i, err)
+			}
+		}
+		if i > 0 && i%11 == 0 {
+			if _, err := cli.Checkpoint(); err != nil {
+				logf("chaos: checkpoint at op %d failed (tolerated): %v", i, err)
+			}
+		}
+		_, err := cli.Update(u)
+		switch {
+		case err == nil:
+			if rep.Degraded {
+				rep.violate("update acked while degraded (op %d)", i)
+			}
+			acked = append(acked, u)
+		case !rep.Degraded:
+			// First failure: the WAL fault hit this update. Its frame
+			// may be torn away or fully durable — either way the engine
+			// must now be read-only degraded and the update is the one
+			// allowed indeterminate.
+			rep.Degraded = true
+			rep.Indeterminate = u
+			logf("chaos: update %d failed, engine degrading: %v", i, err)
+		default:
+			logf("chaos: update %d rejected while degraded: %v", i, err)
+		}
+	}
+	return acked
+}
+
+// checkDegradedSurface asserts the degraded mode is observable the way
+// operators see it: /readyz flips 503 with a degraded reason, /metrics
+// exports ids_degraded 1, and reads still work.
+func checkDegradedSurface(rep *Report, cli *ids.Client, logf func(string, ...any)) {
+	ok, state := cli.Ready()
+	rep.DegradedState = state
+	if ok {
+		rep.violate("engine degraded but /readyz still 200 (%q)", state)
+	} else if !strings.Contains(state, "degraded") {
+		rep.violate("/readyz 503 but body lacks degraded reason: %q", state)
+	}
+	if _, err := cli.Query(compareQueries[0]); err != nil {
+		rep.violate("degraded engine refused a read: %v", err)
+	}
+	if text, err := cli.MetricsText(); err != nil {
+		rep.violate("degraded /metrics unreachable: %v", err)
+	} else if !strings.Contains(text, "ids_degraded 1") {
+		rep.violate("/metrics lacks ids_degraded 1 while degraded")
+	}
+	logf("chaos: degraded surface verified: readyz=%q", state)
+}
+
+// checkEquivalence compares the recovered engine against a shadow
+// engine replaying exactly the acked updates; on mismatch it retries
+// with the indeterminate update appended (an fsync-failed frame is
+// durable on disk even though the client saw an error).
+func checkEquivalence(rep *Report, recovered *ids.Engine, topo mpp.Topology, acked []string, logf func(string, ...any)) {
+	shadow, err := shadowEngine(topo, acked)
+	if err != nil {
+		rep.violate("shadow engine: %v", err)
+		return
+	}
+	if diff := engineDiff(recovered, shadow); diff != "" {
+		if rep.Indeterminate == "" {
+			rep.violate("recovery-equivalence: %s", diff)
+			return
+		}
+		if _, err := shadow.Update(rep.Indeterminate); err != nil {
+			rep.violate("shadow replay of indeterminate update: %v", err)
+			return
+		}
+		if diff2 := engineDiff(recovered, shadow); diff2 != "" {
+			rep.violate("recovery-equivalence (with and without indeterminate): %s", diff2)
+			return
+		}
+		logf("chaos: recovered state includes the indeterminate update (durable despite error)")
+	}
+	logf("chaos: recovery-equivalence holds over %d acked updates", len(acked))
+}
+
+// shadowEngine replays updates into a fresh non-durable engine.
+func shadowEngine(topo mpp.Topology, updates []string) (*ids.Engine, error) {
+	g := kg.New(topo.Size())
+	g.Seal()
+	e, err := ids.NewEngine(g, topo)
+	if err != nil {
+		return nil, err
+	}
+	for _, u := range updates {
+		if _, err := e.Update(u); err != nil {
+			return nil, fmt.Errorf("replaying %q: %w", u, err)
+		}
+	}
+	return e, nil
+}
+
+// engineDiff runs the deterministic probes on both engines and returns
+// a description of the first divergence ("" when equivalent).
+func engineDiff(a, b *ids.Engine) string {
+	for _, q := range compareQueries {
+		ra, err := a.Query(q)
+		if err != nil {
+			return fmt.Sprintf("recovered engine query %q: %v", q, err)
+		}
+		rb, err := b.Query(q)
+		if err != nil {
+			return fmt.Sprintf("shadow engine query %q: %v", q, err)
+		}
+		if !reflect.DeepEqual(a.Strings(ra), b.Strings(rb)) {
+			return fmt.Sprintf("query %q: recovered %d rows, shadow %d rows (contents differ)",
+				q, len(ra.Rows), len(rb.Rows))
+		}
+	}
+	return ""
+}
+
+// runCachePhase drives a seeded Put/Get workload against the global
+// cache while fabric faults and node losses fire, asserting invariant
+// 4: every Get of an accepted object returns the authoritative bytes.
+func runCachePhase(rep *Report, rng *rand.Rand, opts Options, logf func(string, ...any)) {
+	st, err := store.Open(filepath.Join(opts.Dir, "stash"))
+	if err != nil {
+		rep.violate("cache phase: stash open: %v", err)
+		return
+	}
+	cfg := cache.DefaultConfig()
+	cfg.Nodes = 2
+	cfg.DRAMPerNode = 2 << 10 // tiny tiers so spills, evictions and
+	cfg.SSDPerNode = 4 << 10  // stash fallback all happen in 60 ops
+	c, err := cache.New(cfg, st)
+	if err != nil {
+		rep.violate("cache phase: new cache: %v", err)
+		return
+	}
+	// Both hooks draw from the schedule rng; the phase is
+	// single-goroutine so the draw order is deterministic.
+	c.Fabric().SetFaultHook(func(op, key string) error {
+		if rng.Float64() < 0.08 {
+			rep.CacheFaults++
+			return fault.ErrInjected
+		}
+		return nil
+	})
+	c.SetFaultHook(func(op, name string) int {
+		if rng.Float64() < 0.10 {
+			rep.CacheFaults++
+			return rng.Intn(cfg.Nodes)
+		}
+		return -1
+	})
+
+	written := map[string][]byte{}
+	var names []string // deterministic Get targets (map order is not)
+	for i := 0; i < opts.CacheOps; i++ {
+		r := rng.Intn(10)
+		switch {
+		case r < 4 || len(names) == 0:
+			name := fmt.Sprintf("obj%d", rng.Intn(12))
+			data := seededPayload(rng, name, i)
+			if err := c.Put(nil, name, data, rng.Intn(cfg.Nodes)); err != nil {
+				rep.violate("cache Put(%s) failed (op %d): %v", name, i, err)
+				continue
+			}
+			if _, ok := written[name]; !ok {
+				names = append(names, name)
+			}
+			written[name] = data
+		case r == 9:
+			_ = c.RecoverNode(rng.Intn(cfg.Nodes))
+		default:
+			name := names[rng.Intn(len(names))]
+			got, err := c.Get(nil, name, rng.Intn(cfg.Nodes))
+			if err != nil {
+				rep.violate("cache Get(%s) failed (op %d): %v", name, i, err)
+				continue
+			}
+			if !bytes.Equal(got, written[name]) {
+				rep.violate("cache Get(%s) returned wrong bytes (op %d): got %d want %d",
+					name, i, len(got), len(written[name]))
+			}
+		}
+	}
+	s := c.Stats()
+	logf("chaos: cache phase: %d ops, %d injected faults, placement_errors=%d spills=%d evictions=%d stash_hits=%d",
+		opts.CacheOps, rep.CacheFaults, s.PlacementErrors, s.Spills, s.Evictions, s.StashHits)
+}
+
+// seededPayload builds a recognizable deterministic payload big enough
+// to stress the tiny tiers.
+func seededPayload(rng *rand.Rand, name string, i int) []byte {
+	unit := fmt.Sprintf("payload-%s-%d|", name, i)
+	n := 600 + rng.Intn(600)
+	var b bytes.Buffer
+	for b.Len() < n {
+		b.WriteString(unit)
+	}
+	return b.Bytes()[:n]
+}
+
+// copyTree copies a flat directory (the durable data dir has no
+// subdirectories), simulating a crash image.
+func copyTree(src, dst string) error {
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return err
+	}
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		return err
+	}
+	for _, ent := range ents {
+		if ent.IsDir() {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(src, ent.Name()))
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dst, ent.Name()), b, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ids/internal/fault"
+	"ids/internal/ids"
+	"ids/internal/mpp"
+)
+
+// scheduleCount honors CHAOS_SCHEDULES (CI sets 50); the default keeps
+// local `go test` fast while still covering every fault class.
+func scheduleCount(t *testing.T) int {
+	if s := os.Getenv("CHAOS_SCHEDULES"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad CHAOS_SCHEDULES=%q", s)
+		}
+		return n
+	}
+	return 12
+}
+
+// TestChaosSchedules runs N seeded randomized fault schedules, each a
+// full launch → fault → crash → recover cycle plus a faulty cache
+// workload, and fails on any invariant violation. A failing seed
+// reproduces with `ids-bench -chaos-seed <seed>`.
+func TestChaosSchedules(t *testing.T) {
+	n := scheduleCount(t)
+	for seed := int64(1); seed <= int64(n); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%03d", seed), func(t *testing.T) {
+			t.Parallel()
+			rep, err := Run(Options{Seed: seed, Dir: t.TempDir()})
+			if err != nil {
+				t.Fatalf("harness error: %v", err)
+			}
+			if !rep.Ok() {
+				t.Fatalf("seed %d (class %s) violated invariants:\n  %s\nfault events:\n  %s",
+					seed, rep.Class,
+					strings.Join(rep.Violations, "\n  "),
+					strings.Join(rep.FaultEvents, "\n  "))
+			}
+		})
+	}
+}
+
+// TestChaosDeterministicReplay proves the reproduction story: the same
+// seed yields the same fault class, the same fired faults (down to the
+// torn-write prefix length), and the same acked count — so a seed from
+// a CI failure replays the failure exactly.
+func TestChaosDeterministicReplay(t *testing.T) {
+	run := func() *Report {
+		rep, err := Run(Options{Seed: 5, Dir: t.TempDir()})
+		if err != nil {
+			t.Fatalf("harness error: %v", err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.Class != b.Class {
+		t.Fatalf("class diverged: %q vs %q", a.Class, b.Class)
+	}
+	if a.Acked != b.Acked || a.Degraded != b.Degraded || a.Indeterminate != b.Indeterminate {
+		t.Fatalf("outcome diverged: %+v vs %+v", a, b)
+	}
+	if fmt.Sprint(a.FaultEvents) != fmt.Sprint(b.FaultEvents) {
+		t.Fatalf("fault events diverged:\n  %v\n  %v", a.FaultEvents, b.FaultEvents)
+	}
+	if a.CacheFaults != b.CacheFaults {
+		t.Fatalf("cache faults diverged: %d vs %d", a.CacheFaults, b.CacheFaults)
+	}
+}
+
+// TestWALFsyncFaultFlipsReadyz is the acceptance criterion spelled out
+// deterministically: a WAL fsync fault fails exactly one update, flips
+// /readyz to 503 "degraded", exports ids_degraded 1, keeps reads
+// working, and the acked update survives crash recovery.
+func TestWALFsyncFaultFlipsReadyz(t *testing.T) {
+	inj := fault.NewInjector(1)
+	inj.Disarm()
+	inj.Add(fault.Rule{Op: fault.OpSync, Path: "wal-*.seg", Nth: 2})
+
+	topo := mpp.Topology{Nodes: 1, RanksPerNode: 2}
+	dir := t.TempDir()
+	inst, err := ids.Launcher{}.Launch(ids.LaunchConfig{
+		Topo: topo,
+		Durability: &ids.DurabilityConfig{
+			Dir:                dir,
+			FS:                 fault.NewFS(inj),
+			CheckpointInterval: -1,
+			CheckpointEvery:    -1,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Teardown()
+	cli := inst.Client()
+	inj.Arm()
+
+	if _, err := cli.Update(`INSERT DATA { <http://x/a> <http://x/tag> "ok" . }`); err != nil {
+		t.Fatalf("first update should succeed: %v", err)
+	}
+	if _, err := cli.Update(`INSERT DATA { <http://x/b> <http://x/tag> "doomed" . }`); err == nil {
+		t.Fatal("second update should fail on the injected fsync error")
+	}
+
+	if reason, degraded := inst.Engine.Degraded(); !degraded {
+		t.Fatal("engine should be degraded after the WAL fsync fault")
+	} else if !strings.Contains(reason, "wal") {
+		t.Fatalf("degraded reason should mention the WAL, got %q", reason)
+	}
+	if ok, state := cli.Ready(); ok {
+		t.Fatalf("/readyz should be 503 while degraded, state=%q", state)
+	} else if !strings.Contains(state, "degraded") {
+		t.Fatalf("/readyz body should carry the degraded reason, got %q", state)
+	}
+	q, err := cli.Query(`SELECT ?o WHERE { <http://x/a> <http://x/tag> ?o . }`)
+	if err != nil {
+		t.Fatalf("reads must keep working while degraded: %v", err)
+	}
+	if len(q.Rows) != 1 || q.Rows[0][0] != `"ok"` {
+		t.Fatalf("unexpected read result while degraded: %+v", q.Rows)
+	}
+	if _, err := cli.Update(`INSERT DATA { <http://x/c> <http://x/tag> "rejected" . }`); err == nil {
+		t.Fatal("updates must be rejected while degraded")
+	}
+	text, err := cli.MetricsText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "ids_degraded 1") {
+		t.Fatal("/metrics should export ids_degraded 1 while degraded")
+	}
+
+	// Crash-recover: the acked update must survive; the engine comes
+	// back healthy (degradation is a property of the failed process,
+	// not the data).
+	inj.Disarm()
+	_ = inst.Teardown()
+	rec, err := ids.Launcher{}.Launch(ids.LaunchConfig{
+		Topo: topo,
+		Durability: &ids.DurabilityConfig{
+			Dir:                dir,
+			CheckpointInterval: -1,
+			CheckpointEvery:    -1,
+		},
+	})
+	if err != nil {
+		t.Fatalf("recovery after degraded crash: %v", err)
+	}
+	defer rec.Teardown()
+	if _, degraded := rec.Engine.Degraded(); degraded {
+		t.Fatal("recovered engine must not start degraded")
+	}
+	res, err := rec.Engine.Query(`SELECT ?o WHERE { <http://x/a> <http://x/tag> ?o . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("acked update lost across recovery: %d rows", len(res.Rows))
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sync"
+	"sync/atomic"
 )
 
 // Errors returned by the FAM API.
@@ -105,6 +106,31 @@ type FAM struct {
 	items   map[string]Descriptor // region/name -> descriptor
 	net     NetModel
 	nextSrv int
+
+	// hook, when set, is consulted before every fabric operation with
+	// the op name ("fam.get", "fam.put", "fam.alloc", "fam.atomic") and
+	// the item key; a non-nil return fails the operation with that
+	// error. This is the chaos harness's seam for delayed/failed RDMA
+	// ops without a real fabric. Atomic so it can be (re)wired while
+	// operations run.
+	hook atomic.Pointer[func(op, key string) error]
+}
+
+// SetFaultHook installs fn as the fabric's fault hook; nil removes it.
+func (f *FAM) SetFaultHook(fn func(op, key string) error) {
+	if fn == nil {
+		f.hook.Store(nil)
+		return
+	}
+	f.hook.Store(&fn)
+}
+
+// checkFault consults the installed hook, if any.
+func (f *FAM) checkFault(op, key string) error {
+	if fn := f.hook.Load(); fn != nil {
+		return (*fn)(op, key)
+	}
+	return nil
 }
 
 // New creates a fabric of n memory servers with capPerServer bytes
@@ -171,6 +197,9 @@ func itemKey(regionName, name string) string { return regionName + "/" + name }
 func (f *FAM) Allocate(regionName, name string, size int, preferServer int) (Descriptor, error) {
 	if size <= 0 {
 		return Descriptor{}, ErrInvalidSize
+	}
+	if err := f.checkFault("fam.alloc", itemKey(regionName, name)); err != nil {
+		return Descriptor{}, err
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -293,6 +322,9 @@ func (f *FAM) access(d Descriptor, off, n int) (*item, error) {
 // Put writes data into the item at offset. local marks a same-node
 // access for the cost model.
 func (f *FAM) Put(m *Meter, d Descriptor, off int, data []byte, local bool) error {
+	if err := f.checkFault("fam.put", itemKey(d.Region, d.Name)); err != nil {
+		return err
+	}
 	it, err := f.access(d, off, len(data))
 	if err != nil {
 		return err
@@ -307,6 +339,9 @@ func (f *FAM) Put(m *Meter, d Descriptor, off int, data []byte, local bool) erro
 
 // Get reads n bytes from the item at offset.
 func (f *FAM) Get(m *Meter, d Descriptor, off, n int, local bool) ([]byte, error) {
+	if err := f.checkFault("fam.get", itemKey(d.Region, d.Name)); err != nil {
+		return nil, err
+	}
 	it, err := f.access(d, off, n)
 	if err != nil {
 		return nil, err
@@ -351,6 +386,9 @@ func (f *FAM) Gather(m *Meter, d Descriptor, offsets []int, chunkLen int, local 
 // FetchAdd atomically adds delta to the int64 at offset and returns
 // the previous value.
 func (f *FAM) FetchAdd(m *Meter, d Descriptor, off int, delta int64, local bool) (int64, error) {
+	if err := f.checkFault("fam.atomic", itemKey(d.Region, d.Name)); err != nil {
+		return 0, err
+	}
 	it, err := f.access(d, off, 8)
 	if err != nil {
 		return 0, err
@@ -368,6 +406,9 @@ func (f *FAM) FetchAdd(m *Meter, d Descriptor, off int, delta int64, local bool)
 // expect; it returns the previous value and ErrCASMismatch when the
 // comparison fails.
 func (f *FAM) CompareSwap(m *Meter, d Descriptor, off int, expect, replace int64, local bool) (int64, error) {
+	if err := f.checkFault("fam.atomic", itemKey(d.Region, d.Name)); err != nil {
+		return 0, err
+	}
 	it, err := f.access(d, off, 8)
 	if err != nil {
 		return 0, err

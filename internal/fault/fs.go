@@ -1,0 +1,208 @@
+package fault
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// File is the slice of *os.File the durability stack uses.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Sync() error
+	Stat() (fs.FileInfo, error)
+	Name() string
+}
+
+// FS mirrors the os-level calls made by internal/wal, the
+// checkpointer, and internal/store, so faults can be injected at every
+// file seam. OS is the passthrough; NewFS wraps it with an Injector.
+type FS interface {
+	MkdirAll(path string, perm fs.FileMode) error
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	Open(name string) (File, error)
+	CreateTemp(dir, pattern string) (File, error)
+	ReadFile(name string) ([]byte, error)
+	WriteFile(name string, data []byte, perm fs.FileMode) error
+	ReadDir(name string) ([]fs.DirEntry, error)
+	Stat(name string) (fs.FileInfo, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Truncate(name string, size int64) error
+	Glob(pattern string) ([]string, error)
+	// SyncDir fsyncs a directory so a just-renamed entry survives a
+	// crash.
+	SyncDir(dir string) error
+}
+
+// OS is the passthrough FS used in production.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) Open(name string) (File, error) { return os.Open(name) }
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+func (osFS) WriteFile(name string, data []byte, perm fs.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+func (osFS) Stat(name string) (fs.FileInfo, error)      { return os.Stat(name) }
+func (osFS) Rename(oldpath, newpath string) error       { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                   { return os.Remove(name) }
+func (osFS) Truncate(name string, size int64) error     { return os.Truncate(name, size) }
+func (osFS) Glob(pattern string) ([]string, error)      { return filepath.Glob(pattern) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// NewFS wraps the real filesystem with inj: every write, sync, rename,
+// remove, truncate, open, read, and directory sync first consults the
+// injector. A nil injector yields a plain passthrough.
+func NewFS(inj *Injector) FS { return faultFS{inj: inj} }
+
+type faultFS struct{ inj *Injector }
+
+func (f faultFS) MkdirAll(path string, perm fs.FileMode) error {
+	return os.MkdirAll(path, perm)
+}
+
+func (f faultFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	if err := f.inj.Check(OpOpen, name); err != nil {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: err}
+	}
+	file, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: file, inj: f.inj}, nil
+}
+
+func (f faultFS) Open(name string) (File, error) {
+	return f.OpenFile(name, os.O_RDONLY, 0)
+}
+
+func (f faultFS) CreateTemp(dir, pattern string) (File, error) {
+	if err := f.inj.Check(OpOpen, filepath.Join(dir, pattern)); err != nil {
+		return nil, &fs.PathError{Op: "createtemp", Path: pattern, Err: err}
+	}
+	file, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: file, inj: f.inj}, nil
+}
+
+func (f faultFS) ReadFile(name string) ([]byte, error) {
+	if err := f.inj.Check(OpRead, name); err != nil {
+		return nil, &fs.PathError{Op: "read", Path: name, Err: err}
+	}
+	return os.ReadFile(name)
+}
+
+func (f faultFS) WriteFile(name string, data []byte, perm fs.FileMode) error {
+	err, torn := f.inj.CheckWrite(name, len(data))
+	if err != nil {
+		if torn > 0 {
+			_ = os.WriteFile(name, data[:torn], perm)
+		}
+		return &fs.PathError{Op: "write", Path: name, Err: err}
+	}
+	return os.WriteFile(name, data, perm)
+}
+
+func (f faultFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+func (f faultFS) Stat(name string) (fs.FileInfo, error)      { return os.Stat(name) }
+
+func (f faultFS) Rename(oldpath, newpath string) error {
+	// Renames are matched against the destination: that is the name
+	// rules care about (MANIFEST, snap-*.idsnap).
+	if err := f.inj.Check(OpRename, newpath); err != nil {
+		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: err}
+	}
+	return os.Rename(oldpath, newpath)
+}
+
+func (f faultFS) Remove(name string) error {
+	if err := f.inj.Check(OpRemove, name); err != nil {
+		return &fs.PathError{Op: "remove", Path: name, Err: err}
+	}
+	return os.Remove(name)
+}
+
+func (f faultFS) Truncate(name string, size int64) error {
+	if err := f.inj.Check(OpTruncate, name); err != nil {
+		return &fs.PathError{Op: "truncate", Path: name, Err: err}
+	}
+	return os.Truncate(name, size)
+}
+
+func (f faultFS) Glob(pattern string) ([]string, error) { return filepath.Glob(pattern) }
+
+func (f faultFS) SyncDir(dir string) error {
+	if err := f.inj.Check(OpSyncDir, dir); err != nil {
+		return &fs.PathError{Op: "syncdir", Path: dir, Err: err}
+	}
+	return OS.SyncDir(dir)
+}
+
+// faultFile intercepts Write, Sync, and Close on an open handle.
+type faultFile struct {
+	f   *os.File
+	inj *Injector
+}
+
+func (ff *faultFile) Read(p []byte) (int, error) { return ff.f.Read(p) }
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	err, torn := ff.inj.CheckWrite(ff.f.Name(), len(p))
+	if err != nil {
+		n := 0
+		if torn > 0 {
+			// A torn write: a strict prefix reaches the file, then the
+			// "crash". The caller sees a short-write error either way.
+			n, _ = ff.f.Write(p[:torn])
+		}
+		return n, &fs.PathError{Op: "write", Path: ff.f.Name(), Err: err}
+	}
+	return ff.f.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	if err := ff.inj.Check(OpSync, ff.f.Name()); err != nil {
+		// The data may or may not have reached the platter: do not sync,
+		// but leave the bytes in the OS file. Crash copies will see
+		// them, which models the "fsync failed but pages later made it"
+		// indeterminate outcome.
+		return &fs.PathError{Op: "sync", Path: ff.f.Name(), Err: err}
+	}
+	return ff.f.Sync()
+}
+
+func (ff *faultFile) Close() error {
+	if err := ff.inj.Check(OpClose, ff.f.Name()); err != nil {
+		_ = ff.f.Close()
+		return &fs.PathError{Op: "close", Path: ff.f.Name(), Err: err}
+	}
+	return ff.f.Close()
+}
+
+func (ff *faultFile) Stat() (fs.FileInfo, error) { return ff.f.Stat() }
+func (ff *faultFile) Name() string               { return ff.f.Name() }

@@ -3,12 +3,12 @@ package ids
 import (
 	"fmt"
 	"log/slog"
-	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"ids/internal/fault"
 	"ids/internal/kg"
 	"ids/internal/wal"
 )
@@ -41,6 +41,9 @@ type DurabilityConfig struct {
 	// CheckpointEvery checkpoints after this many updates regardless
 	// of the timer (default 256; negative disables).
 	CheckpointEvery int
+	// FS is the filesystem the WAL, checkpointer and recovery talk to.
+	// Nil means the real one; the chaos harness injects faults here.
+	FS fault.FS
 }
 
 func (c DurabilityConfig) withDefaults() DurabilityConfig {
@@ -49,6 +52,9 @@ func (c DurabilityConfig) withDefaults() DurabilityConfig {
 	}
 	if c.CheckpointEvery == 0 {
 		c.CheckpointEvery = 256
+	}
+	if c.FS == nil {
+		c.FS = fault.OS
 	}
 	return c
 }
@@ -91,24 +97,24 @@ func snapName(lsn uint64) string {
 // torn tail), and cross-check the two. The returned graph is nil on
 // first launch (no manifest) — the caller seeds the graph as usual.
 func openDurable(cfg DurabilityConfig, nshards int, rec *RecoveryStats, lg *slog.Logger) (*kg.Graph, *wal.Log, *wal.Manifest, error) {
-	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+	if err := cfg.FS.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, nil, nil, err
 	}
 	// A crash mid-checkpoint can strand temp files; they are never
 	// referenced by the manifest, so sweep them.
 	for _, pat := range []string{"snap-*.tmp", wal.ManifestName + ".tmp-*"} {
-		stale, _ := filepath.Glob(filepath.Join(cfg.Dir, pat))
+		stale, _ := cfg.FS.Glob(filepath.Join(cfg.Dir, pat))
 		for _, s := range stale {
-			os.Remove(s)
+			cfg.FS.Remove(s)
 		}
 	}
-	man, err := wal.ReadManifest(cfg.Dir)
+	man, err := wal.ReadManifestFS(cfg.FS, cfg.Dir)
 	if err != nil {
 		return nil, nil, nil, err
 	}
 	var g *kg.Graph
 	if man != nil {
-		f, err := os.Open(filepath.Join(cfg.Dir, man.Snapshot))
+		f, err := cfg.FS.Open(filepath.Join(cfg.Dir, man.Snapshot))
 		if err != nil {
 			return nil, nil, nil, fmt.Errorf("ids: manifest snapshot: %w", err)
 		}
@@ -124,6 +130,7 @@ func openDurable(cfg DurabilityConfig, nshards int, rec *RecoveryStats, lg *slog
 		Fsync:         cfg.Fsync,
 		FsyncInterval: cfg.FsyncInterval,
 		Logger:        lg,
+		FS:            cfg.FS,
 	})
 	if err != nil {
 		return nil, nil, nil, err
@@ -256,6 +263,13 @@ func (d *durability) Checkpoint() (CheckpointInfo, error) {
 func (d *durability) checkpoint(force bool) (CheckpointInfo, error) {
 	d.ckptMu.Lock()
 	defer d.ckptMu.Unlock()
+	if reason, ok := d.e.Degraded(); ok {
+		// A degraded engine stopped applying updates at its first WAL
+		// failure, but the log's in-memory LSN may have advanced past a
+		// torn or unsynced frame; a snapshot stamped with that LSN would
+		// claim coverage the graph does not have. Refuse.
+		return CheckpointInfo{}, fmt.Errorf("ids: refusing checkpoint: engine degraded: %s", reason)
+	}
 	if !force && d.last.Snapshot != "" && d.log.LastLSN() == d.last.LastLSN {
 		info := d.last
 		info.Skipped = true
@@ -288,11 +302,12 @@ func (d *durability) checkpoint(force bool) (CheckpointInfo, error) {
 
 func (d *durability) writeCheckpoint() (CheckpointInfo, error) {
 	dir := d.log.Dir()
-	tmp, err := os.CreateTemp(dir, "snap-*.tmp")
+	fsys := d.cfg.FS
+	tmp, err := fsys.CreateTemp(dir, "snap-*.tmp")
 	if err != nil {
 		return CheckpointInfo{}, err
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	defer fsys.Remove(tmp.Name()) // no-op after a successful rename
 
 	// The engine read lock makes (graph contents, LastLSN) a
 	// consistent pair: appends happen only under the writer lock.
@@ -310,13 +325,13 @@ func (d *durability) writeCheckpoint() (CheckpointInfo, error) {
 		return CheckpointInfo{}, err
 	}
 	name := snapName(lsn)
-	if err := os.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
+	if err := fsys.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
 		return CheckpointInfo{}, err
 	}
-	if err := wal.SyncDir(dir); err != nil {
+	if err := fsys.SyncDir(dir); err != nil {
 		return CheckpointInfo{}, err
 	}
-	if err := wal.WriteManifest(dir, wal.Manifest{Snapshot: name, LastLSN: lsn}); err != nil {
+	if err := wal.WriteManifestFS(fsys, dir, wal.Manifest{Snapshot: name, LastLSN: lsn}); err != nil {
 		return CheckpointInfo{}, err
 	}
 	// Only after the manifest durably points at the new snapshot may
@@ -324,10 +339,10 @@ func (d *durability) writeCheckpoint() (CheckpointInfo, error) {
 	if err := d.log.TruncateBefore(lsn + 1); err != nil {
 		return CheckpointInfo{}, err
 	}
-	stale, _ := filepath.Glob(filepath.Join(dir, "snap-*.idsnap"))
+	stale, _ := fsys.Glob(filepath.Join(dir, "snap-*.idsnap"))
 	for _, s := range stale {
 		if filepath.Base(s) != name {
-			os.Remove(s)
+			fsys.Remove(s)
 		}
 	}
 	return CheckpointInfo{Snapshot: name, LastLSN: lsn}, nil

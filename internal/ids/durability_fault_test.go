@@ -1,0 +1,144 @@
+package ids
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"ids/internal/fault"
+	"ids/internal/kg"
+	"ids/internal/mpp"
+)
+
+// faultIndexQueries are the deterministic probes used to compare a
+// recovered engine against a shadow replay of the acked updates.
+var faultIndexQueries = []string{
+	`SELECT ?s ?o WHERE { ?s <http://x/tag> ?o . } ORDER BY ?s ?o`,
+	`SELECT ?s ?d WHERE { ?s <http://x/desc> ?d . } ORDER BY ?d`,
+}
+
+// TestRecoveryEquivalenceAtEveryFaultIndex exhausts the WAL fault
+// space for a small workload: for every write index N and every fault
+// flavor (write error, torn write, fsync error), fail the Nth WAL
+// operation, crash, recover, and require the recovered state to equal
+// the acked history — allowing only the single in-flight update to be
+// present or absent (indeterminate durability). This is the
+// exhaustive, deterministic counterpart of the seeded schedules in
+// internal/chaos.
+func TestRecoveryEquivalenceAtEveryFaultIndex(t *testing.T) {
+	const updates = 8
+	workload := testWorkload(updates)
+	flavors := []struct {
+		name string
+		rule func(n uint64) fault.Rule
+	}{
+		{"write-error", func(n uint64) fault.Rule {
+			return fault.Rule{Op: fault.OpWrite, Path: "wal-*.seg", Nth: n}
+		}},
+		{"torn-write", func(n uint64) fault.Rule {
+			return fault.Rule{Op: fault.OpWrite, Path: "wal-*.seg", Nth: n, Torn: true}
+		}},
+		{"fsync-error", func(n uint64) fault.Rule {
+			return fault.Rule{Op: fault.OpSync, Path: "wal-*.seg", Nth: n}
+		}},
+	}
+	for _, fl := range flavors {
+		for n := 1; n <= updates; n++ {
+			fl, n := fl, n
+			t.Run(fmt.Sprintf("%s-at-%d", fl.name, n), func(t *testing.T) {
+				t.Parallel()
+				inj := fault.NewInjector(int64(n))
+				inj.Disarm()
+				inj.Add(fl.rule(uint64(n)))
+
+				cfg := durCfg(t.TempDir())
+				cfg.FS = fault.NewFS(inj)
+				inst := launchDurable(t, LaunchConfig{Durability: cfg})
+				defer inst.Teardown()
+				inj.Arm()
+
+				var acked []string
+				indeterminate := ""
+				for _, u := range workload {
+					_, err := inst.Engine.Update(u)
+					switch {
+					case err == nil:
+						if indeterminate != "" {
+							t.Fatalf("update acked after the engine degraded: %q", u)
+						}
+						acked = append(acked, u)
+					case indeterminate == "":
+						indeterminate = u
+						if _, degraded := inst.Engine.Degraded(); !degraded {
+							t.Fatalf("first WAL fault did not degrade the engine: %v", err)
+						}
+					}
+				}
+				if indeterminate == "" {
+					t.Fatal("fault never fired")
+				}
+				if len(acked) != n-1 {
+					t.Fatalf("fault at op %d acked %d updates, want %d", n, len(acked), n-1)
+				}
+
+				inj.Disarm()
+				crash := copyDir(t, cfg.Dir)
+				_ = inst.Teardown()
+
+				rec := launchDurable(t, LaunchConfig{Durability: durCfg(crash)})
+				defer rec.Teardown()
+				if _, degraded := rec.Engine.Degraded(); degraded {
+					t.Fatal("recovered engine must not start degraded")
+				}
+
+				// Shadow A: acked only. Shadow B: acked + indeterminate.
+				// The recovered engine must equal one of them.
+				shadowA := shadowReplay(t, acked)
+				if enginesAgree(t, rec.Engine, shadowA) {
+					return
+				}
+				shadowB := shadowReplay(t, append(append([]string{}, acked...), indeterminate))
+				if !enginesAgree(t, rec.Engine, shadowB) {
+					t.Fatalf("recovered state matches neither acked history (%d updates) nor acked+indeterminate", len(acked))
+				}
+			})
+		}
+	}
+}
+
+// shadowReplay applies updates to a fresh in-memory engine.
+func shadowReplay(t *testing.T, updates []string) *Engine {
+	t.Helper()
+	topo := mpp.Topology{Nodes: 1, RanksPerNode: 2}
+	g := kg.New(topo.Size())
+	g.Seal()
+	e, err := NewEngine(g, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range updates {
+		if _, err := e.Update(u); err != nil {
+			t.Fatalf("shadow replay %q: %v", u, err)
+		}
+	}
+	return e
+}
+
+// enginesAgree compares two engines over the deterministic probes.
+func enginesAgree(t *testing.T, a, b *Engine) bool {
+	t.Helper()
+	for _, q := range faultIndexQueries {
+		ra, err := a.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := b.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a.Strings(ra), b.Strings(rb)) {
+			return false
+		}
+	}
+	return true
+}

@@ -8,6 +8,7 @@ package ids
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -103,6 +104,13 @@ type Engine struct {
 	walNotify func()
 	// met is the engine's metrics registry plus hot-path handles.
 	met *engineMetrics
+	// degraded, when non-nil, is the reason the engine entered
+	// read-only degraded mode (a WAL append or fsync failure). Queries
+	// keep running against the in-memory graph; updates fail fast with
+	// ErrDegraded, /readyz turns 503, and ids_degraded reads 1. The
+	// transition is one-way: only a restart (with a repaired log) clears
+	// it.
+	degraded atomic.Pointer[string]
 	// tracing makes every query collect a span trace (Result.Trace).
 	tracing atomic.Bool
 	// log is the engine's structured logger (never nil; defaults to the
@@ -250,6 +258,31 @@ func (e *Engine) setWALNotify(fn func()) {
 	e.mu.Lock()
 	e.walNotify = fn
 	e.mu.Unlock()
+}
+
+// ErrDegraded reports an update rejected because the engine is in
+// read-only degraded mode after a WAL failure.
+var ErrDegraded = errors.New("ids: engine degraded (read-only): WAL failed")
+
+// Degraded reports whether the engine is in read-only degraded mode
+// and, if so, the reason.
+func (e *Engine) Degraded() (string, bool) {
+	if r := e.degraded.Load(); r != nil {
+		return *r, true
+	}
+	return "", false
+}
+
+// markDegraded flips the engine into read-only degraded mode (one-way;
+// the first reason wins). Queries keep serving from memory; updates,
+// checkpoints, and readiness all refuse until restart.
+func (e *Engine) markDegraded(reason string) {
+	if !e.degraded.CompareAndSwap(nil, &reason) {
+		return
+	}
+	e.met.reg.Gauge("ids_degraded").Set(1)
+	e.Logger().Error("engine degraded: updates disabled, serving reads only",
+		"reason", reason)
 }
 
 // Query parses, plans and executes a query across all ranks, returning

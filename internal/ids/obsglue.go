@@ -70,8 +70,10 @@ func newEngineMetrics() *engineMetrics {
 	reg.Describe("ids_recovery_torn_tail_truncations", "Torn WAL tails repaired during the last startup recovery.")
 	reg.Describe("ids_recovery_last_lsn", "Last LSN recovered at startup (snapshot + replay).")
 	reg.Describe("ids_wal_fsync_seconds", "WAL fsync duration histogram.")
+	reg.Describe("ids_degraded", "1 when the engine is read-only degraded after a WAL failure, else 0.")
 	reg.Describe("ids_checkpoint_duration_seconds", "Checkpoint duration histogram (snapshot + manifest swap + log truncation).")
 	obs.RegisterRuntimeCollectors(reg)
+	reg.Gauge("ids_degraded").Set(0) // exported from the start, flips on markDegraded
 	return &engineMetrics{
 		reg:               reg,
 		queries:           reg.Counter("ids_queries_total"),

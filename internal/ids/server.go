@@ -10,10 +10,12 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"ids/internal/obs"
+	"ids/internal/wal"
 )
 
 // traceRingSize is the default bound on how many recent query traces
@@ -307,6 +309,15 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, s.health.State().String())
 		return
 	}
+	// A degraded engine still answers queries from memory, but an
+	// orchestrator should stop routing writes here and raise an alarm:
+	// readiness reports the degradation while /query keeps working.
+	if reason, ok := s.Engine.Degraded(); ok {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "degraded (read-only): %s\n", reason)
+		return
+	}
 	fmt.Fprintln(w, "ready")
 }
 
@@ -455,6 +466,14 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	// them against each other and against in-flight queries.
 	res, err := s.Engine.Update(req.Update)
 	if err != nil {
+		// A WAL failure (this update's append, or an earlier one's
+		// sticky degradation) is the server's fault, not the client's:
+		// if the engine is degraded now, this was it.
+		if _, degraded := s.Engine.Degraded(); degraded &&
+			(errors.Is(err, ErrDegraded) || errors.Is(err, wal.ErrFailed) || strings.Contains(err.Error(), "wal append")) {
+			writeErr(w, http.StatusServiceUnavailable, err)
+			return
+		}
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}

@@ -60,6 +60,9 @@ func (e *Engine) Update(us string) (*UpdateResult, error) {
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if reason, ok := e.Degraded(); ok {
+		return nil, fmt.Errorf("%w: %s", ErrDegraded, reason)
+	}
 	var lsn uint64
 	if e.wal != nil {
 		lsn, err = e.wal.Append(wal.Record{
@@ -68,6 +71,10 @@ func (e *Engine) Update(us string) (*UpdateResult, error) {
 			Triples: triples,
 		})
 		if err != nil {
+			// The update is cleanly rejected — nothing was applied to
+			// the graph — but the log can no longer acknowledge writes,
+			// so the whole engine flips to read-only degraded mode.
+			e.markDegraded(fmt.Sprintf("wal append: %v", err))
 			return nil, fmt.Errorf("ids: wal append: %w", err)
 		}
 	}

@@ -1,0 +1,32 @@
+package sparql
+
+import "testing"
+
+// FuzzSPARQLParse throws arbitrary strings at both parser entry
+// points. The contract: parse errors are fine, panics and hangs are
+// not, and a successfully parsed query re-parses from anywhere (the
+// parser has no hidden state).
+func FuzzSPARQLParse(f *testing.F) {
+	for _, seed := range []string{
+		``,
+		`SELECT ?s WHERE { ?s ?p ?o . }`,
+		`SELECT ?s ?o WHERE { ?s <http://x/tag> ?o . } ORDER BY ?s ?o LIMIT 5`,
+		`PREFIX x: <http://x/> SELECT ?s WHERE { ?s x:p "v" . FILTER(?s != x:a) }`,
+		`SELECT ?s WHERE { ?s <http://x/p> ?v . FILTER(?v > 3) } ORDER BY DESC(?v)`,
+		`INSERT DATA { <http://x/a> <http://x/p> "o" . }`,
+		`DELETE DATA { <http://x/a> <http://x/p> "o"^^<http://www.w3.org/2001/XMLSchema#integer> . }`,
+		`SELECT * WHERE { ?s ?p ?o`,
+		`SELECT ?s WHERE { ?s ?p "unterminated }`,
+		"SELECT ?s WHERE { ?s ?p \"\x00\xff\" . }",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		if q, err := Parse(input); err == nil && q == nil {
+			t.Fatal("Parse returned nil query without error")
+		}
+		if u, err := ParseUpdate(input); err == nil && u == nil {
+			t.Fatal("ParseUpdate returned nil update without error")
+		}
+	})
+}

@@ -16,6 +16,8 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+
+	"ids/internal/fault"
 )
 
 // ErrNotFound is returned for absent objects.
@@ -45,6 +47,7 @@ func (c CostModel) Cost(n int) float64 {
 type Store struct {
 	dir  string
 	cost CostModel
+	fs   fault.FS
 
 	mu    sync.RWMutex
 	index map[string]string // name -> content hash
@@ -52,10 +55,19 @@ type Store struct {
 
 // Open creates or reopens a store rooted at dir.
 func Open(dir string) (*Store, error) {
-	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+	return OpenFS(dir, fault.OS)
+}
+
+// OpenFS is Open through an explicit filesystem, making every object
+// write, index swap, and read a fault-injection seam.
+func OpenFS(dir string, fsys fault.FS) (*Store, error) {
+	if fsys == nil {
+		fsys = fault.OS
+	}
+	if err := fsys.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	s := &Store{dir: dir, cost: DefaultCost(), index: map[string]string{}}
+	s := &Store{dir: dir, cost: DefaultCost(), fs: fsys, index: map[string]string{}}
 	if err := s.loadIndex(); err != nil {
 		return nil, err
 	}
@@ -65,7 +77,7 @@ func Open(dir string) (*Store, error) {
 func (s *Store) indexPath() string { return filepath.Join(s.dir, "index.json") }
 
 func (s *Store) loadIndex() error {
-	data, err := os.ReadFile(s.indexPath())
+	data, err := s.fs.ReadFile(s.indexPath())
 	if errors.Is(err, os.ErrNotExist) {
 		return nil
 	}
@@ -84,10 +96,10 @@ func (s *Store) saveIndexLocked() error {
 		return err
 	}
 	tmp := s.indexPath() + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	if err := s.fs.WriteFile(tmp, data, 0o644); err != nil {
 		return err
 	}
-	return os.Rename(tmp, s.indexPath())
+	return s.fs.Rename(tmp, s.indexPath())
 }
 
 // Hash returns the content hash of data as hex.
@@ -102,12 +114,12 @@ func Hash(data []byte) string {
 func (s *Store) Put(name string, data []byte) (string, float64, error) {
 	hash := Hash(data)
 	path := filepath.Join(s.dir, "objects", hash)
-	if _, err := os.Stat(path); errors.Is(err, os.ErrNotExist) {
+	if _, err := s.fs.Stat(path); errors.Is(err, os.ErrNotExist) {
 		tmp := path + ".tmp"
-		if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		if err := s.fs.WriteFile(tmp, data, 0o644); err != nil {
 			return "", 0, fmt.Errorf("store: %w", err)
 		}
-		if err := os.Rename(tmp, path); err != nil {
+		if err := s.fs.Rename(tmp, path); err != nil {
 			return "", 0, fmt.Errorf("store: %w", err)
 		}
 	} else if err != nil {
@@ -131,7 +143,7 @@ func (s *Store) Get(name string) ([]byte, float64, error) {
 	if !ok {
 		return nil, 0, fmt.Errorf("%w: %s", ErrNotFound, name)
 	}
-	data, err := os.ReadFile(filepath.Join(s.dir, "objects", hash))
+	data, err := s.fs.ReadFile(filepath.Join(s.dir, "objects", hash))
 	if err != nil {
 		return nil, 0, fmt.Errorf("store: %w", err)
 	}

@@ -5,8 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
-	"os"
 	"path/filepath"
+
+	"ids/internal/fault"
 )
 
 // ManifestName is the manifest file inside the data directory.
@@ -25,7 +26,12 @@ type Manifest struct {
 // ReadManifest loads the manifest from dir; (nil, nil) when none
 // exists (fresh directory).
 func ReadManifest(dir string) (*Manifest, error) {
-	b, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	return ReadManifestFS(fault.OS, dir)
+}
+
+// ReadManifestFS is ReadManifest through an explicit filesystem.
+func ReadManifestFS(fsys fault.FS, dir string) (*Manifest, error) {
+	b, err := fsys.ReadFile(filepath.Join(dir, ManifestName))
 	if errors.Is(err, fs.ErrNotExist) {
 		return nil, nil
 	}
@@ -45,42 +51,44 @@ func ReadManifest(dir string) (*Manifest, error) {
 // WriteManifest atomically replaces the manifest in dir: write temp,
 // fsync, rename, fsync directory.
 func WriteManifest(dir string, m Manifest) error {
+	return WriteManifestFS(fault.OS, dir, m)
+}
+
+// WriteManifestFS is WriteManifest through an explicit filesystem, so
+// every step of the swap — temp create, write, fsync, rename, directory
+// sync — is a fault-injection seam.
+func WriteManifestFS(fsys fault.FS, dir string, m Manifest) error {
 	b, err := json.Marshal(m)
 	if err != nil {
 		return err
 	}
-	f, err := os.CreateTemp(dir, ManifestName+".tmp-*")
+	f, err := fsys.CreateTemp(dir, ManifestName+".tmp-*")
 	if err != nil {
 		return err
 	}
 	tmp := f.Name()
 	if _, err := f.Write(append(b, '\n')); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, ManifestName)); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, filepath.Join(dir, ManifestName)); err != nil {
+		fsys.Remove(tmp)
 		return err
 	}
-	return SyncDir(dir)
+	return fsys.SyncDir(dir)
 }
 
 // SyncDir fsyncs a directory so renames within it are durable.
 func SyncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
+	return fault.OS.SyncDir(dir)
 }

@@ -19,6 +19,7 @@ package wal
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log/slog"
 	"os"
@@ -28,6 +29,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ids/internal/fault"
 )
 
 // nopLogHandler keeps the package dependency-free: wal must not import
@@ -99,6 +102,9 @@ type Options struct {
 	// Logger, when non-nil, narrates segment lifecycle (open scan,
 	// rotation, truncation) as structured log records.
 	Logger *slog.Logger
+	// FS is the filesystem the log talks to. Nil means the real one
+	// (fault.OS); tests and the chaos harness pass a fault-injecting FS.
+	FS fault.FS
 }
 
 func (o Options) withDefaults() Options {
@@ -111,8 +117,19 @@ func (o Options) withDefaults() Options {
 	if o.Logger == nil {
 		o.Logger = nopLog
 	}
+	if o.FS == nil {
+		o.FS = fault.OS
+	}
 	return o
 }
+
+// ErrFailed marks a log that hit a write or sync error. The failure is
+// sticky: a failed append may have left a torn frame at the tail, so
+// appending more frames after it would bury the tear mid-log and turn a
+// repairable torn tail into unrecoverable corruption. Every later
+// Append fails wrapping ErrFailed; the engine responds by entering
+// read-only degraded mode.
+var ErrFailed = errors.New("wal: log failed")
 
 // Stats are the log's cumulative append-path counters (mirrored into
 // the engine's metrics registry at scrape time).
@@ -174,11 +191,12 @@ type Log struct {
 	bytes   atomic.Uint64
 
 	mu     sync.Mutex
-	segs   []segment // sorted by first; last is active
-	f      *os.File  // active segment
+	segs   []segment  // sorted by first; last is active
+	f      fault.File // active segment
 	size   int64
 	dirty  bool
 	closed bool
+	failed error // sticky first write/sync failure; see ErrFailed
 
 	// fsyncObs, when set, receives each fsync's duration in seconds.
 	// It is a plain callback (not an obs.Histogram) so the dependency
@@ -198,12 +216,12 @@ func Open(opts Options) (*Log, error) {
 	if opts.Dir == "" {
 		return nil, fmt.Errorf("wal: empty directory")
 	}
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+	if err := opts.FS.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, err
 	}
 	l := &Log{opts: opts}
 
-	entries, err := os.ReadDir(opts.Dir)
+	entries, err := opts.FS.ReadDir(opts.Dir)
 	if err != nil {
 		return nil, err
 	}
@@ -216,7 +234,7 @@ func Open(opts Options) (*Log, error) {
 
 	next := uint64(0) // expected LSN of the next record; 0 = take the first seen
 	for i, seg := range l.segs {
-		data, err := os.ReadFile(seg.path)
+		data, err := opts.FS.ReadFile(seg.path)
 		if err != nil {
 			return nil, err
 		}
@@ -238,7 +256,7 @@ func Open(opts Options) (*Log, error) {
 			next = lastLSN + 1
 		}
 		if torn := int64(len(data)) - int64(validEnd); torn > 0 {
-			if err := os.Truncate(seg.path, int64(validEnd)); err != nil {
+			if err := opts.FS.Truncate(seg.path, int64(validEnd)); err != nil {
 				return nil, err
 			}
 			l.info.TornTailTruncations++
@@ -258,7 +276,7 @@ func Open(opts Options) (*Log, error) {
 		}
 	} else {
 		active := l.segs[len(l.segs)-1]
-		f, err := os.OpenFile(active.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err := opts.FS.OpenFile(active.path, os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return nil, err
 		}
@@ -298,7 +316,7 @@ func (l *Log) SetFsyncObserver(fn func(seconds float64)) {
 // record will be LSN first. Caller holds mu (or is still in Open).
 func (l *Log) newSegmentLocked(first uint64) error {
 	path := filepath.Join(l.opts.Dir, segName(first))
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	f, err := l.opts.FS.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return err
 	}
@@ -343,7 +361,7 @@ func (l *Log) SetBase(lsn uint64) error {
 	// first LSN.
 	old := l.segs[len(l.segs)-1]
 	path := filepath.Join(l.opts.Dir, segName(lsn+1))
-	if err := os.Rename(old.path, path); err != nil {
+	if err := l.opts.FS.Rename(old.path, path); err != nil {
 		return err
 	}
 	l.segs[len(l.segs)-1] = segment{first: lsn + 1, path: path}
@@ -360,10 +378,15 @@ func (l *Log) Append(rec Record) (uint64, error) {
 	if l.closed {
 		return 0, fmt.Errorf("wal: log closed")
 	}
+	if l.failed != nil {
+		return 0, fmt.Errorf("%w: %v", ErrFailed, l.failed)
+	}
 	lsn := l.nextLSN.Load()
 	rec.LSN = lsn
 	frame := encodeFrame(rec)
 	if _, err := l.f.Write(frame); err != nil {
+		// The frame may be partially on disk (torn); see ErrFailed.
+		l.failLocked(err)
 		return 0, err
 	}
 	l.size += int64(len(frame))
@@ -384,6 +407,26 @@ func (l *Log) Append(rec Record) (uint64, error) {
 	return lsn, nil
 }
 
+// failLocked records the log's first write/sync failure. Sticky: every
+// later Append fails fast wrapping ErrFailed.
+func (l *Log) failLocked(err error) {
+	if l.failed == nil {
+		l.failed = err
+		l.opts.Logger.Error("wal failed; log now rejects appends", "err", err)
+	}
+}
+
+// Failed reports the sticky failure (wrapped in ErrFailed), or nil for
+// a healthy log.
+func (l *Log) Failed() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.failed == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %v", ErrFailed, l.failed)
+}
+
 // rotateLocked seals the active segment (always synced, whatever the
 // policy — a sealed segment must never lose frames) and starts a new
 // one.
@@ -392,10 +435,12 @@ func (l *Log) rotateLocked() error {
 		return err
 	}
 	if err := l.f.Close(); err != nil {
+		l.failLocked(err)
 		return err
 	}
 	sealed := l.segs[len(l.segs)-1]
 	if err := l.newSegmentLocked(l.nextLSN.Load()); err != nil {
+		l.failLocked(err)
 		return err
 	}
 	l.opts.Logger.Info("wal segment rotated",
@@ -412,6 +457,10 @@ func (l *Log) syncLocked() error {
 	}
 	start := time.Now()
 	if err := l.f.Sync(); err != nil {
+		// An fsync failure leaves durability of every dirty frame
+		// unknown; the log cannot honestly acknowledge anything after
+		// it.
+		l.failLocked(err)
 		return err
 	}
 	l.dirty = false
@@ -478,7 +527,7 @@ func (l *Log) Replay(from uint64, fn func(Record) error) error {
 	l.mu.Unlock()
 	next := uint64(0)
 	for i, seg := range segs {
-		data, err := os.ReadFile(seg.path)
+		data, err := l.opts.FS.ReadFile(seg.path)
 		if err != nil {
 			return err
 		}
@@ -509,7 +558,7 @@ func (l *Log) TruncateBefore(lsn uint64) error {
 	defer l.mu.Unlock()
 	keep := 0
 	for keep < len(l.segs)-1 && l.segs[keep+1].first <= lsn {
-		if err := os.Remove(l.segs[keep].path); err != nil {
+		if err := l.opts.FS.Remove(l.segs[keep].path); err != nil {
 			return err
 		}
 		keep++
