@@ -6,6 +6,7 @@
 //
 //	ids-bench [-scale paper|ci] [-exp all|table1|table2|fig4a|fig4b|fig5|rebalance|reorder|whatis|cachetiers]
 //	          [-trace-out trace.json] [-concurrency N] [-load-queries Q]
+//	ids-bench -compare baseline.json new.json
 //
 // -trace-out additionally runs the NCNPR inner query with span tracing
 // and writes a JSON trace summary (the EXPLAIN ANALYZE tree plus the
@@ -16,6 +17,13 @@
 // queries at concurrency 1 and at concurrency N, reporting QPS and
 // p50/p99 latency for both. With -trace-out the load points are
 // embedded in the JSON summary.
+//
+// -compare is the regression gate: it diffs two -bench-out baselines
+// (QPS, p50/p99 latency, allocs and mallocs per query) and exits
+// non-zero when any metric regressed past its threshold. Thresholds
+// are configurable via -max-qps-drop, -max-p50-growth, -max-p99-growth,
+// -max-alloc-growth, and -max-mallocs-growth (fractions; 0.3 = 30%).
+// CI runs this against the committed BENCH_<date>.json baseline.
 //
 // The "paper" scale uses the paper's node counts (64/128/256 x 32
 // ranks) and a 1e-3 rendition of its 66M sequence comparisons; expect
@@ -43,10 +51,36 @@ func main() {
 	loadQueries := flag.Int("load-queries", 64, "load mode: total queries per concurrency level")
 	benchOut := flag.String("bench-out", "", `load mode: write a machine-readable baseline JSON here ("auto" = BENCH_<date>.json)`)
 	chaosSeed := flag.Int64("chaos-seed", 0, "replay one chaos schedule by seed, with verbose narration (non-zero exit on an invariant violation)")
+	compare := flag.Bool("compare", false, "regression gate: diff two baseline JSON files (args: baseline.json new.json), exit 1 on regression")
+	maxQPSDrop := flag.Float64("max-qps-drop", 0, "compare: max tolerated fractional QPS drop (0 = default 0.5)")
+	maxP50Growth := flag.Float64("max-p50-growth", 0, "compare: max tolerated fractional p50 latency growth (0 = default 1.0)")
+	maxP99Growth := flag.Float64("max-p99-growth", 0, "compare: max tolerated fractional p99 latency growth (0 = default 2.0)")
+	maxAllocGrowth := flag.Float64("max-alloc-growth", 0, "compare: max tolerated fractional alloc-bytes-per-query growth (0 = default 0.3)")
+	maxMallocsGrowth := flag.Float64("max-mallocs-growth", 0, "compare: max tolerated fractional mallocs-per-query growth (0 = default 0.3)")
 	flag.Parse()
 
 	if *chaosSeed != 0 {
 		os.Exit(runChaosSeed(*chaosSeed))
+	}
+
+	if *compare {
+		th := experiments.DefaultCompareThresholds()
+		if *maxQPSDrop > 0 {
+			th.MaxQPSDrop = *maxQPSDrop
+		}
+		if *maxP50Growth > 0 {
+			th.MaxP50Growth = *maxP50Growth
+		}
+		if *maxP99Growth > 0 {
+			th.MaxP99Growth = *maxP99Growth
+		}
+		if *maxAllocGrowth > 0 {
+			th.MaxAllocGrowth = *maxAllocGrowth
+		}
+		if *maxMallocsGrowth > 0 {
+			th.MaxMallocsGrowth = *maxMallocsGrowth
+		}
+		os.Exit(runCompare(flag.Args(), th))
 	}
 
 	var sc experiments.Scale
@@ -149,43 +183,22 @@ func runLoad(sc experiments.Scale, concurrency, queries int) ([]experiments.Load
 	return pts, nil
 }
 
-// BenchReport is the machine-readable baseline written by -bench-out.
-// Future PRs diff these files to catch throughput, latency, or
-// allocation regressions; the load points carry QPS and p50/p99, the
-// alloc block brackets the whole load run.
-type BenchReport struct {
-	Date       string                  `json:"date"`
-	Scale      string                  `json:"scale"`
-	GoVersion  string                  `json:"go_version"`
-	GOMAXPROCS int                     `json:"gomaxprocs"`
-	Load       []experiments.LoadPoint `json:"load"`
-	Alloc      BenchAlloc              `json:"alloc"`
-}
-
-// BenchAlloc is the allocation delta across the load run.
-type BenchAlloc struct {
-	TotalQueries       int     `json:"total_queries"`
-	AllocBytesTotal    uint64  `json:"alloc_bytes_total"`
-	AllocBytesPerQuery float64 `json:"alloc_bytes_per_query"`
-	MallocsTotal       uint64  `json:"mallocs_total"`
-	MallocsPerQuery    float64 `json:"mallocs_per_query"`
-	GCCycles           uint32  `json:"gc_cycles"`
-}
-
 // writeBenchReport writes the load-mode baseline JSON; path "auto"
-// names the file BENCH_<date>.json in the working directory.
+// names the file BENCH_<date>.json in the working directory. The
+// report types live in internal/experiments so the -compare gate and
+// its tests share them.
 func writeBenchReport(sc experiments.Scale, path string, load []experiments.LoadPoint, before, after runtime.MemStats) error {
 	date := time.Now().Format("2006-01-02")
 	if path == "auto" {
 		path = fmt.Sprintf("BENCH_%s.json", date)
 	}
-	rep := BenchReport{
+	rep := experiments.BenchReport{
 		Date:       date,
 		Scale:      sc.Name,
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Load:       load,
-		Alloc: BenchAlloc{
+		Alloc: experiments.BenchAlloc{
 			AllocBytesTotal: after.TotalAlloc - before.TotalAlloc,
 			MallocsTotal:    after.Mallocs - before.Mallocs,
 			GCCycles:        after.NumGC - before.NumGC,
@@ -198,22 +211,48 @@ func writeBenchReport(sc experiments.Scale, path string, load []experiments.Load
 		rep.Alloc.AllocBytesPerQuery = float64(rep.Alloc.AllocBytesTotal) / float64(n)
 		rep.Alloc.MallocsPerQuery = float64(rep.Alloc.MallocsTotal) / float64(n)
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
+	if err := experiments.WriteBenchReport(path, &rep); err != nil {
 		return err
 	}
 	fmt.Printf("\nbench baseline: %s (%.0f B/query, %.0f mallocs/query over %d queries)\n",
 		path, rep.Alloc.AllocBytesPerQuery, rep.Alloc.MallocsPerQuery, rep.Alloc.TotalQueries)
 	return nil
+}
+
+// runCompare is the bench regression gate: it diffs the new baseline
+// against the committed one and returns 1 when any metric breached its
+// threshold (the exit status CI keys off).
+func runCompare(args []string, th experiments.CompareThresholds) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: ids-bench -compare [threshold flags] baseline.json new.json")
+		return 2
+	}
+	base, err := experiments.ReadBenchReport(args[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "compare: %v\n", err)
+		return 2
+	}
+	nw, err := experiments.ReadBenchReport(args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "compare: %v\n", err)
+		return 2
+	}
+	fmt.Printf("bench compare: baseline %s (%s, go %s, GOMAXPROCS %d) vs new %s (%s, go %s, GOMAXPROCS %d)\n",
+		base.Date, base.Scale, base.GoVersion, base.GOMAXPROCS,
+		nw.Date, nw.Scale, nw.GoVersion, nw.GOMAXPROCS)
+	if base.Scale != nw.Scale {
+		fmt.Printf("note: scales differ (%q vs %q) — comparison is apples to oranges\n", base.Scale, nw.Scale)
+	}
+	regs := experiments.CompareBench(base, nw, th)
+	if len(regs) == 0 {
+		fmt.Println("no regression: all metrics within thresholds")
+		return 0
+	}
+	fmt.Printf("REGRESSION: %d metric(s) breached thresholds:\n", len(regs))
+	for _, r := range regs {
+		fmt.Printf("  %s\n", r)
+	}
+	return 1
 }
 
 // writeTraceSummary runs the NCNPR inner query traced and writes the

@@ -9,10 +9,16 @@
 //	ids-cli -e http://host:port profile
 //	ids-cli -e http://host:port metrics
 //	ids-cli -e http://host:port trace  q000001
+//	ids-cli -e http://host:port flightrec [qid] [-artifact heap|goroutine -o file]
 //
 // query -explain runs the query with span tracing and renders the
 // EXPLAIN ANALYZE tree (per-operator rows, virtual seconds, per-rank
-// skew) after the result table.
+// skew, accounted allocations) after the result table.
+//
+// flightrec lists the server's flight-recorder captures (queries that
+// breached the latency or allocation budget); with a qid it renders
+// that capture's trace, and -artifact downloads the pinned heap or
+// goroutine profile.
 package main
 
 import (
@@ -24,10 +30,11 @@ import (
 
 	"ids/internal/ids"
 	"ids/internal/metrics"
+	"ids/internal/obs"
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ids-cli -e <endpoint> <query|update|module|snapshot|checkpoint|stats|profile|metrics|trace> [args]")
+	fmt.Fprintln(os.Stderr, "usage: ids-cli -e <endpoint> <query|update|module|snapshot|checkpoint|stats|profile|metrics|trace|flightrec> [args]")
 	os.Exit(2)
 }
 
@@ -85,6 +92,8 @@ func main() {
 		err = runMetrics(c)
 	case "trace":
 		err = runTrace(c, args[1:])
+	case "flightrec":
+		err = runFlightRec(c, args[1:])
 	default:
 		usage()
 	}
@@ -160,6 +169,86 @@ func runTrace(c *ids.Client, args []string) error {
 		return err
 	}
 	tr.Render(os.Stdout, true)
+	return nil
+}
+
+func runFlightRec(c *ids.Client, args []string) error {
+	fs := flag.NewFlagSet("flightrec", flag.ExitOnError)
+	artifact := fs.String("artifact", "", "download a profile instead of the trace: heap|goroutine")
+	out := fs.String("o", "", "output file for -artifact (default <qid>.<artifact>)")
+	// Accept the documented qid-first form (`flightrec q000042 -artifact
+	// heap`): stdlib flag parsing stops at the first positional, so peel
+	// the qid off before handing the rest to the FlagSet.
+	var qid string
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		qid, args = args[0], args[1:]
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		if qid != "" || fs.NArg() > 1 {
+			return fmt.Errorf("flightrec takes at most one qid")
+		}
+		qid = fs.Arg(0)
+	}
+	if qid == "" {
+		list, err := c.FlightRecords()
+		if err != nil {
+			return err
+		}
+		t := metrics.NewTable(
+			fmt.Sprintf("flight recorder: %d captures, %d suppressed by rate limit", list.Captures, list.Suppressed),
+			"qid", "reason", "captured", "wall(s)", "alloc", "heap-profile", "goroutine-profile")
+		for _, e := range list.Records {
+			t.AddRow(e.QID, e.Reason, e.Captured.Format("15:04:05.000"),
+				fmt.Sprintf("%.3f", e.WallSeconds), obs.FormatBytes(e.AllocBytes),
+				fmt.Sprintf("%d bytes", e.HeapBytes), fmt.Sprintf("%d bytes", e.GoroutineBytes))
+		}
+		t.Render(os.Stdout)
+		if len(list.Records) == 0 {
+			fmt.Println("no captures (no query breached the latency or allocation budget)")
+		}
+		return nil
+	}
+	if *artifact != "" {
+		path := *out
+		if path == "" {
+			path = qid + "." + *artifact
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := c.FlightArtifact(qid, *artifact, f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		info, err := os.Stat(path)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s profile written to %s (%d bytes)\n", *artifact, path, info.Size())
+		if *artifact == "heap" {
+			fmt.Printf("inspect with: go tool pprof %s\n", path)
+		}
+		return nil
+	}
+	rec, err := c.FlightRecord(qid)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("flight record %s: reason=%s captured=%s wall=%.3fs alloc=%s\n",
+		rec.QID, rec.Reason, rec.Captured.Format("15:04:05.000"),
+		rec.WallSeconds, obs.FormatBytes(rec.AllocBytes))
+	if rec.Trace != nil {
+		fmt.Println()
+		rec.Trace.Render(os.Stdout, true)
+	}
+	fmt.Printf("\nprofiles: ids-cli flightrec %s -artifact heap|goroutine\n", qid)
 	return nil
 }
 

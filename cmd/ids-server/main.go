@@ -54,7 +54,8 @@ func main() {
 	ckptUpdates := flag.Int("checkpoint-updates", 0, "checkpoint after this many updates (0 = 256 default, <0 disables)")
 	logFormat := flag.String("log-format", "text", "log output format: text | json")
 	logLevel := flag.String("log-level", "info", "log level: debug | info | warn | error")
-	slowQuery := flag.Duration("slow-query", 0, "pin and WARN-log queries at or above this wall time (0 disables)")
+	slowQuery := flag.Duration("slow-query", 0, "pin and WARN-log queries at or above this wall time, and flight-record them (0 disables)")
+	slowQueryAlloc := flag.Int64("slow-query-alloc", 0, "flight-record queries allocating at least this many heap bytes (0 disables)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables)")
 	flag.Parse()
 
@@ -86,8 +87,9 @@ func main() {
 			MaxQueue:     *maxQueue,
 			QueueTimeout: *queueTimeout,
 		},
-		Logger:           logger,
-		SlowQuerySeconds: slowQuery.Seconds(),
+		Logger:              logger,
+		SlowQuerySeconds:    slowQuery.Seconds(),
+		SlowQueryAllocBytes: *slowQueryAlloc,
 	}
 	if *dataDir != "" {
 		pol, err := wal.ParseFsyncPolicy(*fsync)
@@ -147,7 +149,7 @@ func main() {
 	}
 	fmt.Printf("IDS endpoint listening on http://%s (%d nodes x %d ranks, %d triples)\n",
 		inst.Addr, topo.Nodes, topo.RanksPerNode, inst.Engine.Graph.Len())
-	fmt.Println("POST /query, POST /update, POST /module, POST /checkpoint, GET /profile, GET /stats, GET /metrics, GET /trace, GET /traces, GET /healthz, GET /readyz")
+	fmt.Println("POST /query, POST /update, POST /module, POST /checkpoint, GET /profile, GET /stats, GET /metrics, GET /trace, GET /traces, GET /debug/flightrec, GET /healthz, GET /readyz")
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

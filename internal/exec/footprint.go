@@ -1,0 +1,66 @@
+package exec
+
+import (
+	"unsafe"
+
+	"ids/internal/expr"
+)
+
+// Operator-local memory accounting for the query cost observatory.
+//
+// Go has no per-goroutine allocation counters, so operators account the
+// memory they *materialize* — the tables and build structures that
+// dominate a query's footprint — and the engine cross-checks the sum
+// against the process-wide runtime/metrics delta bracketing the query.
+// The estimates here are deliberately conservative (they skip map
+// internals, string bodies, and transient per-row garbage), preserving
+// the invariant 0 < sum(op footprints) <= physical delta documented in
+// internal/obs/resources.go and DESIGN.md §10.
+
+// valueSize is the in-memory size of one expr.Value cell.
+const valueSize = int64(unsafe.Sizeof(expr.Value{}))
+
+// sliceHeaderSize is the size of a slice header (one per row, plus one
+// for Rows itself).
+const sliceHeaderSize = int64(unsafe.Sizeof([]expr.Value{}))
+
+// hashBuildBytesPerRow approximates the per-row overhead of a join's
+// hash build side: a map bucket slot plus the key string header. An
+// under-estimate by design (map load factor, key bytes, and collision
+// chains are skipped).
+const hashBuildBytesPerRow = 40
+
+// Footprint returns the accounted heap footprint of a freshly
+// materialized table: Rows' backing array plus one cell array per row.
+// Use this for operators that build new rows (scan, join, optional,
+// aggregate).
+func (t *Table) Footprint() (bytes, mallocs int64) {
+	if t == nil {
+		return 0, 0
+	}
+	n := int64(len(t.Rows))
+	w := int64(len(t.Vars))
+	bytes = sliceHeaderSize * n // Rows backing array
+	bytes += n * w * valueSize  // one cell array per row
+	mallocs = n + 1
+	return bytes, mallocs
+}
+
+// FootprintShallow returns the accounted footprint of a table that
+// reuses existing row slices (filter, union, gather, distinct,
+// rebalance): only the new Rows backing array of row headers counts.
+func (t *Table) FootprintShallow() (bytes, mallocs int64) {
+	if t == nil {
+		return 0, 0
+	}
+	return sliceHeaderSize * int64(len(t.Rows)), 1
+}
+
+// HashBuildFootprint returns the accounted footprint of a hash join's
+// build structure over n rows.
+func HashBuildFootprint(n int) (bytes, mallocs int64) {
+	if n <= 0 {
+		return 0, 0
+	}
+	return int64(n) * hashBuildBytesPerRow, int64(n)
+}

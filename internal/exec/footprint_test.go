@@ -1,0 +1,78 @@
+package exec
+
+import (
+	"testing"
+
+	"ids/internal/expr"
+)
+
+func footprintTable(rows, cols int) *Table {
+	vars := make([]string, cols)
+	for i := range vars {
+		vars[i] = string(rune('a' + i))
+	}
+	t := NewTable(vars...)
+	for r := 0; r < rows; r++ {
+		row := make([]expr.Value, cols)
+		t.Append(row)
+	}
+	return t
+}
+
+func TestFootprintScalesWithRowsAndWidth(t *testing.T) {
+	small, smallM := footprintTable(10, 2).Footprint()
+	big, bigM := footprintTable(100, 2).Footprint()
+	wide, _ := footprintTable(10, 4).Footprint()
+	if small <= 0 || smallM != 11 {
+		t.Fatalf("10x2 footprint = (%d, %d), want positive bytes and 11 mallocs", small, smallM)
+	}
+	if big != small*10 || bigM != 101 {
+		t.Errorf("footprint not linear in rows: 10 rows %d, 100 rows %d", small, big)
+	}
+	if wide <= small {
+		t.Errorf("wider rows should cost more: 2 cols %d, 4 cols %d", small, wide)
+	}
+}
+
+func TestFootprintShallowIgnoresWidth(t *testing.T) {
+	narrow, m1 := footprintTable(50, 1).FootprintShallow()
+	wide, m2 := footprintTable(50, 8).FootprintShallow()
+	if narrow != wide {
+		t.Errorf("shallow footprint should not depend on width: %d vs %d", narrow, wide)
+	}
+	if m1 != 1 || m2 != 1 {
+		t.Errorf("shallow mallocs = %d, %d; want 1 (Rows backing array only)", m1, m2)
+	}
+	deep, _ := footprintTable(50, 8).Footprint()
+	if wide >= deep {
+		t.Errorf("shallow (%d) should undercut full footprint (%d)", wide, deep)
+	}
+}
+
+func TestFootprintNilAndEmpty(t *testing.T) {
+	var nilT *Table
+	if b, m := nilT.Footprint(); b != 0 || m != 0 {
+		t.Errorf("nil Footprint = (%d, %d)", b, m)
+	}
+	if b, m := nilT.FootprintShallow(); b != 0 || m != 0 {
+		t.Errorf("nil FootprintShallow = (%d, %d)", b, m)
+	}
+	empty := NewTable("a")
+	if b, m := empty.Footprint(); b != 0 || m != 1 {
+		t.Errorf("empty Footprint = (%d, %d), want (0, 1)", b, m)
+	}
+}
+
+func TestHashBuildFootprint(t *testing.T) {
+	if b, m := HashBuildFootprint(0); b != 0 || m != 0 {
+		t.Errorf("0 rows = (%d, %d)", b, m)
+	}
+	if b, m := HashBuildFootprint(-5); b != 0 || m != 0 {
+		t.Errorf("negative rows = (%d, %d)", b, m)
+	}
+	b1, m1 := HashBuildFootprint(100)
+	b2, m2 := HashBuildFootprint(200)
+	if b1 <= 0 || m1 != 100 || b2 != 2*b1 || m2 != 200 {
+		t.Errorf("hash build not linear: (%d,%d) vs (%d,%d)", b1, m1, b2, m2)
+	}
+}

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Bench baselines and the regression gate. ids-bench -bench-out writes
+// a BenchReport (committed as BENCH_<date>.json); ids-bench -compare
+// diffs a fresh run against the committed baseline and CI fails the
+// build when throughput, latency, or per-query allocation regressed
+// past the thresholds. Timing metrics get generous limits (CI machines
+// are noisy, and the committed baseline may come from different
+// hardware); allocation metrics are deterministic enough for tighter
+// ones.
+
+// BenchReport is the machine-readable baseline written by -bench-out.
+// Field names are part of the on-disk format — committed baselines
+// from earlier dates must keep parsing.
+type BenchReport struct {
+	Date       string      `json:"date"`
+	Scale      string      `json:"scale"`
+	GoVersion  string      `json:"go_version"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Load       []LoadPoint `json:"load"`
+	Alloc      BenchAlloc  `json:"alloc"`
+}
+
+// BenchAlloc is the allocation delta across the load run.
+type BenchAlloc struct {
+	TotalQueries       int     `json:"total_queries"`
+	AllocBytesTotal    uint64  `json:"alloc_bytes_total"`
+	AllocBytesPerQuery float64 `json:"alloc_bytes_per_query"`
+	MallocsTotal       uint64  `json:"mallocs_total"`
+	MallocsPerQuery    float64 `json:"mallocs_per_query"`
+	GCCycles           uint32  `json:"gc_cycles"`
+}
+
+// WriteBenchReport writes rep as indented JSON to path.
+func WriteBenchReport(path string, rep *BenchReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadBenchReport parses a baseline JSON file.
+func ReadBenchReport(path string) (*BenchReport, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep BenchReport
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return nil, fmt.Errorf("experiments: parsing %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// CompareThresholds are the maximum tolerated relative regressions
+// (fractions: 0.5 = 50%). Timing limits are deliberately loose —
+// CI timing is noisy and baselines may predate hardware changes —
+// while allocation limits are tight because per-query allocation is
+// near-deterministic for a fixed workload.
+type CompareThresholds struct {
+	MaxQPSDrop       float64 // fraction of baseline QPS that may be lost
+	MaxP50Growth     float64 // fractional p50 latency growth
+	MaxP99Growth     float64 // fractional p99 latency growth
+	MaxAllocGrowth   float64 // fractional alloc-bytes-per-query growth
+	MaxMallocsGrowth float64 // fractional mallocs-per-query growth
+}
+
+// DefaultCompareThresholds: QPS may halve, p50 may double, p99 may
+// triple, allocs/mallocs per query may grow 30%.
+func DefaultCompareThresholds() CompareThresholds {
+	return CompareThresholds{
+		MaxQPSDrop:       0.50,
+		MaxP50Growth:     1.00,
+		MaxP99Growth:     2.00,
+		MaxAllocGrowth:   0.30,
+		MaxMallocsGrowth: 0.30,
+	}
+}
+
+// Regression is one threshold breach found by CompareBench.
+type Regression struct {
+	Metric      string  `json:"metric"`
+	Concurrency int     `json:"concurrency,omitempty"` // 0 for run-wide metrics
+	Base        float64 `json:"base"`
+	New         float64 `json:"new"`
+	Change      float64 `json:"change"` // signed fraction (+0.4 = 40% worse)
+	Limit       float64 `json:"limit"`
+}
+
+func (r Regression) String() string {
+	scope := ""
+	if r.Concurrency > 0 {
+		scope = fmt.Sprintf(" @ concurrency %d", r.Concurrency)
+	}
+	return fmt.Sprintf("%s%s: %.4g -> %.4g (%+.0f%%, limit %+.0f%%)",
+		r.Metric, scope, r.Base, r.New, 100*r.Change, 100*r.Limit)
+}
+
+// relGrowth returns (nw-base)/base, or 0 when base is not positive
+// (nothing meaningful to compare against).
+func relGrowth(base, nw float64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return (nw - base) / base
+}
+
+// CompareBench diffs nw against base and returns every threshold
+// breach. Load points pair by concurrency level; a baseline level
+// missing from the new run is itself reported (the gate must not pass
+// because coverage silently shrank). An empty slice means no
+// regression.
+func CompareBench(base, nw *BenchReport, th CompareThresholds) []Regression {
+	var regs []Regression
+	newByConc := make(map[int]LoadPoint, len(nw.Load))
+	for _, p := range nw.Load {
+		newByConc[p.Concurrency] = p
+	}
+	for _, bp := range base.Load {
+		np, ok := newByConc[bp.Concurrency]
+		if !ok {
+			regs = append(regs, Regression{
+				Metric: "load_point_missing", Concurrency: bp.Concurrency,
+				Base: float64(bp.Queries), New: 0, Change: -1, Limit: 0,
+			})
+			continue
+		}
+		if drop := -relGrowth(bp.QPS, np.QPS); drop > th.MaxQPSDrop {
+			regs = append(regs, Regression{
+				Metric: "qps", Concurrency: bp.Concurrency,
+				Base: bp.QPS, New: np.QPS, Change: -drop, Limit: -th.MaxQPSDrop,
+			})
+		}
+		if g := relGrowth(bp.P50Ms, np.P50Ms); g > th.MaxP50Growth {
+			regs = append(regs, Regression{
+				Metric: "p50_ms", Concurrency: bp.Concurrency,
+				Base: bp.P50Ms, New: np.P50Ms, Change: g, Limit: th.MaxP50Growth,
+			})
+		}
+		if g := relGrowth(bp.P99Ms, np.P99Ms); g > th.MaxP99Growth {
+			regs = append(regs, Regression{
+				Metric: "p99_ms", Concurrency: bp.Concurrency,
+				Base: bp.P99Ms, New: np.P99Ms, Change: g, Limit: th.MaxP99Growth,
+			})
+		}
+	}
+	if g := relGrowth(base.Alloc.AllocBytesPerQuery, nw.Alloc.AllocBytesPerQuery); g > th.MaxAllocGrowth {
+		regs = append(regs, Regression{
+			Metric: "alloc_bytes_per_query",
+			Base:   base.Alloc.AllocBytesPerQuery, New: nw.Alloc.AllocBytesPerQuery,
+			Change: g, Limit: th.MaxAllocGrowth,
+		})
+	}
+	if g := relGrowth(base.Alloc.MallocsPerQuery, nw.Alloc.MallocsPerQuery); g > th.MaxMallocsGrowth {
+		regs = append(regs, Regression{
+			Metric: "mallocs_per_query",
+			Base:   base.Alloc.MallocsPerQuery, New: nw.Alloc.MallocsPerQuery,
+			Change: g, Limit: th.MaxMallocsGrowth,
+		})
+	}
+	return regs
+}

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func benchFixture() BenchReport {
+	return BenchReport{
+		Date: "2026-08-05", Scale: "ci", GoVersion: "go1.24", GOMAXPROCS: 1,
+		Load: []LoadPoint{
+			{Concurrency: 1, Queries: 8, WallSec: 8, QPS: 1.0, P50Ms: 1000, P99Ms: 1500},
+			{Concurrency: 4, Queries: 8, WallSec: 4, QPS: 2.0, P50Ms: 1800, P99Ms: 2500},
+		},
+		Alloc: BenchAlloc{
+			TotalQueries: 16, AllocBytesTotal: 320 << 20,
+			AllocBytesPerQuery: 20 << 20, MallocsTotal: 1_000_000,
+			MallocsPerQuery: 62_500, GCCycles: 12,
+		},
+	}
+}
+
+func TestCompareBenchNoRegression(t *testing.T) {
+	base := benchFixture()
+	nw := benchFixture()
+	// Mild noise well inside the default thresholds.
+	nw.Load[0].QPS *= 0.8
+	nw.Load[0].P50Ms *= 1.3
+	nw.Alloc.AllocBytesPerQuery *= 1.1
+	if regs := CompareBench(&base, &nw, DefaultCompareThresholds()); len(regs) != 0 {
+		t.Fatalf("expected no regressions, got %v", regs)
+	}
+}
+
+func TestCompareBenchImprovementPasses(t *testing.T) {
+	base := benchFixture()
+	nw := benchFixture()
+	nw.Load[0].QPS *= 3
+	nw.Load[0].P50Ms /= 2
+	nw.Alloc.AllocBytesPerQuery /= 4
+	nw.Alloc.MallocsPerQuery /= 4
+	if regs := CompareBench(&base, &nw, DefaultCompareThresholds()); len(regs) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", regs)
+	}
+}
+
+func TestCompareBenchSyntheticRegressions(t *testing.T) {
+	th := DefaultCompareThresholds()
+	cases := []struct {
+		name   string
+		mutate func(*BenchReport)
+		metric string
+	}{
+		{"qps collapse", func(r *BenchReport) { r.Load[1].QPS = 0.5 }, "qps"},
+		{"p50 blowup", func(r *BenchReport) { r.Load[0].P50Ms = 2500 }, "p50_ms"},
+		{"p99 blowup", func(r *BenchReport) { r.Load[0].P99Ms = 6000 }, "p99_ms"},
+		{"alloc growth", func(r *BenchReport) { r.Alloc.AllocBytesPerQuery *= 1.5 }, "alloc_bytes_per_query"},
+		{"mallocs growth", func(r *BenchReport) { r.Alloc.MallocsPerQuery *= 1.5 }, "mallocs_per_query"},
+		{"dropped load point", func(r *BenchReport) { r.Load = r.Load[:1] }, "load_point_missing"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base := benchFixture()
+			nw := benchFixture()
+			tc.mutate(&nw)
+			regs := CompareBench(&base, &nw, th)
+			if len(regs) == 0 {
+				t.Fatalf("regression not detected")
+			}
+			found := false
+			for _, r := range regs {
+				if r.Metric == tc.metric {
+					found = true
+					if s := r.String(); !strings.Contains(s, tc.metric) {
+						t.Errorf("String() %q does not name metric %q", s, tc.metric)
+					}
+				}
+			}
+			if !found {
+				t.Fatalf("expected metric %q among regressions %v", tc.metric, regs)
+			}
+		})
+	}
+}
+
+func TestCompareBenchCustomThresholds(t *testing.T) {
+	base := benchFixture()
+	nw := benchFixture()
+	nw.Alloc.AllocBytesPerQuery *= 1.1 // +10%
+	th := DefaultCompareThresholds()
+	th.MaxAllocGrowth = 0.05
+	regs := CompareBench(&base, &nw, th)
+	if len(regs) != 1 || regs[0].Metric != "alloc_bytes_per_query" {
+		t.Fatalf("tightened threshold should flag +10%% alloc growth, got %v", regs)
+	}
+}
+
+func TestCompareBenchZeroBaseline(t *testing.T) {
+	// A baseline with zero metrics (e.g. errors zeroed QPS) must not
+	// divide by zero or spuriously flag the new run.
+	base := benchFixture()
+	base.Load[0].QPS = 0
+	base.Load[0].P50Ms = 0
+	base.Alloc.AllocBytesPerQuery = 0
+	nw := benchFixture()
+	if regs := CompareBench(&base, &nw, DefaultCompareThresholds()); len(regs) != 0 {
+		t.Fatalf("zero baseline produced regressions: %v", regs)
+	}
+}
+
+func TestBenchReportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	rep := benchFixture()
+	if err := WriteBenchReport(path, &rep); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := ReadBenchReport(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if got.Date != rep.Date || got.Scale != rep.Scale || len(got.Load) != 2 ||
+		got.Load[1].QPS != rep.Load[1].QPS ||
+		got.Alloc.MallocsPerQuery != rep.Alloc.MallocsPerQuery {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestReadBenchReportCommittedBaselineFormat(t *testing.T) {
+	// The committed BENCH_*.json files must keep parsing: pin the JSON
+	// field names the on-disk format uses.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "baseline.json")
+	raw := `{
+	  "date": "2026-08-05", "scale": "ci", "go_version": "go1.24.0", "gomaxprocs": 1,
+	  "load": [{"concurrency": 1, "queries": 8, "errors": 0, "wall_sec": 8.0,
+	            "qps": 1.0, "p50_ms": 1240, "p99_ms": 1900}],
+	  "alloc": {"total_queries": 8, "alloc_bytes_total": 167943980,
+	            "alloc_bytes_per_query": 20992997.5, "mallocs_total": 509056,
+	            "mallocs_per_query": 63632, "gc_cycles": 9}
+	}`
+	if err := os.WriteFile(path, []byte(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReadBenchReport(path)
+	if err != nil {
+		t.Fatalf("read committed-format baseline: %v", err)
+	}
+	if rep.GOMAXPROCS != 1 || rep.Load[0].P50Ms != 1240 ||
+		rep.Alloc.AllocBytesPerQuery != 20992997.5 || rep.Alloc.GCCycles != 9 {
+		t.Fatalf("fields did not decode: %+v", rep)
+	}
+}

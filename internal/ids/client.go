@@ -153,6 +153,49 @@ func (c *Client) Trace(id string) (*obs.QueryTrace, error) {
 	return &out, nil
 }
 
+// FlightRecList is the /debug/flightrec listing.
+type FlightRecList struct {
+	Captures   int64                  `json:"captures"`
+	Suppressed int64                  `json:"suppressed"`
+	Records    []obs.FlightIndexEntry `json:"records"`
+}
+
+// FlightRecords fetches the flight-recorder index: one entry per
+// retained budget-breach capture, newest first, plus capture totals.
+func (c *Client) FlightRecords() (*FlightRecList, error) {
+	var out FlightRecList
+	if err := c.get("/debug/flightrec", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// FlightRecord fetches one flight record by qid (trace included,
+// profile blobs elided — see FlightArtifact for those).
+func (c *Client) FlightRecord(qid string) (*obs.FlightRecord, error) {
+	var out obs.FlightRecord
+	if err := c.get("/debug/flightrec?id="+url.QueryEscape(qid), &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// FlightArtifact streams a flight record's raw profile ("heap" is
+// pprof protobuf for `go tool pprof`, "goroutine" is text) into w.
+func (c *Client) FlightArtifact(qid, artifact string, w io.Writer) error {
+	resp, err := c.HTTP.Get(c.Base + "/debug/flightrec?id=" + url.QueryEscape(qid) +
+		"&artifact=" + url.QueryEscape(artifact))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("ids client: /debug/flightrec returned %s", resp.Status)
+	}
+	_, err = io.Copy(w, resp.Body)
+	return err
+}
+
 // MetricsText fetches the Prometheus text exposition of the server's
 // metrics registry.
 func (c *Client) MetricsText() (string, error) {

@@ -156,7 +156,7 @@ func TestAdmissionQueueFullReturns429(t *testing.T) {
 	c := NewClient(ts.URL)
 
 	// Occupy the only slot directly, then hit the endpoint.
-	if err := s.adm.admit(context.Background()); err != nil {
+	if _, err := s.adm.admit(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	_, err := c.Query(`SELECT ?s WHERE { ?s <http://x/name> ?n . }`)
@@ -187,7 +187,7 @@ func TestAdmissionQueueTimeoutReturns429(t *testing.T) {
 	t.Cleanup(ts.Close)
 	c := NewClient(ts.URL)
 
-	if err := s.adm.admit(context.Background()); err != nil {
+	if _, err := s.adm.admit(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	defer s.adm.release()
@@ -214,7 +214,7 @@ func TestQueryRetrySucceedsAfterBackoff(t *testing.T) {
 	t.Cleanup(ts.Close)
 	c := NewClient(ts.URL)
 
-	if err := s.adm.admit(context.Background()); err != nil {
+	if _, err := s.adm.admit(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	go func() {

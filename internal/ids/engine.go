@@ -336,6 +336,15 @@ func (e *Engine) Execute(q *sparql.Query) (*Result, error) {
 
 func (e *Engine) execute(ctx context.Context, q *sparql.Query, traced bool, qs string, start time.Time, parseSec float64) (*Result, error) {
 	lg := e.Logger()
+	// Bracket the query with the runtime's cumulative allocation
+	// counters and the global cache's tier stats: completion deltas are
+	// the query's physical resource/cache attribution. Process-global,
+	// so concurrent neighbours over-attribute — see obs.ResourceUsage.
+	alloc0 := obs.ReadAllocs()
+	var cache0 cache.Stats
+	if e.resultCache != nil {
+		cache0 = e.resultCache.Stats()
+	}
 	planStart := time.Now()
 	pl, err := plan.Build(q, e.stats.Load())
 	if err != nil {
@@ -397,6 +406,8 @@ func (e *Engine) execute(ctx context.Context, q *sparql.Query, traced bool, qs s
 	}
 	res := &Result{Vars: vars, Rows: rows[0], Report: report, Plan: pl}
 	wall := time.Since(start).Seconds()
+	allocB, allocM := obs.ReadAllocs().DeltaSince(alloc0)
+	ru := &obs.ResourceUsage{AllocBytes: allocB, Mallocs: allocM}
 	if traced {
 		// The context's qid (minted at admission) is the trace ID, so
 		// the log stream, GET /trace?id=, and the response share one
@@ -418,9 +429,29 @@ func (e *Engine) execute(ctx context.Context, q *sparql.Query, traced bool, qs s
 		tr.CommBytes = report.Comm.Bytes
 		tr.CommSeconds = report.Comm.Seconds
 		tr.Plan = pl.Explain()
+		// Operator-local sums and the CPU proxy come from the assembled
+		// per-operator aggregates.
+		for _, op := range tr.Ops {
+			ru.OpAllocBytes += op.AllocBytes
+			ru.OpMallocs += op.Mallocs
+			ru.CPUSeconds += op.CPUSeconds
+		}
+		tr.Resources = ru
+		if e.resultCache != nil {
+			c1 := e.resultCache.Stats()
+			tr.Cache = &obs.CacheInfo{
+				DRAMLocal:    c1.DRAMHitsLocal - cache0.DRAMHitsLocal,
+				DRAMRemote:   c1.DRAMHitsRemote - cache0.DRAMHitsRemote,
+				SSD:          c1.SSDHits - cache0.SSDHits,
+				Stash:        c1.StashHits - cache0.StashHits,
+				Misses:       c1.Misses - cache0.Misses,
+				ResultHits:   int64(e.met.resultCacheHits.Value()),
+				ResultMisses: int64(e.met.resultCacheMisses.Value()),
+			}
+		}
 		res.Trace = tr
 	}
-	e.met.observeQuery(res, report, wall)
+	e.met.observeQuery(res, report, wall, ru)
 	lg.DebugContext(ctx, "query done",
 		"rows", len(res.Rows), "wall_seconds", wall, "makespan_seconds", report.Makespan)
 	return res, nil
@@ -454,7 +485,9 @@ func (e *Engine) runPlanRec(ctx context.Context, r *mpp.Rank, pl *plan.Plan, rec
 		if err != nil {
 			return nil, err
 		}
-		ot.record(rec, r, obs.OpSample{Op: "distinct", RowsIn: in, RowsOut: tab.Len()})
+		ab, am := tab.FootprintShallow()
+		ot.record(rec, r, obs.OpSample{Op: "distinct", RowsIn: in, RowsOut: tab.Len(),
+			AllocBytes: ab, Mallocs: am})
 	}
 	ot := startOp(rec, r)
 	in := tab.Len()
@@ -462,7 +495,9 @@ func (e *Engine) runPlanRec(ctx context.Context, r *mpp.Rank, pl *plan.Plan, rec
 	if err != nil {
 		return nil, err
 	}
-	ot.record(rec, r, obs.OpSample{Op: "gather", RowsIn: in, RowsOut: tab.Len()})
+	gb, gm := tab.FootprintShallow()
+	ot.record(rec, r, obs.OpSample{Op: "gather", RowsIn: in, RowsOut: tab.Len(),
+		AllocBytes: gb, Mallocs: gm})
 	if len(pl.Aggregates) > 0 {
 		ot := startOp(rec, r)
 		in := tab.Len()
@@ -470,7 +505,9 @@ func (e *Engine) runPlanRec(ctx context.Context, r *mpp.Rank, pl *plan.Plan, rec
 		if err != nil {
 			return nil, err
 		}
-		ot.record(rec, r, obs.OpSample{Op: "aggregate", RowsIn: in, RowsOut: tab.Len()})
+		ab, am := tab.Footprint()
+		ot.record(rec, r, obs.OpSample{Op: "aggregate", RowsIn: in, RowsOut: tab.Len(),
+			AllocBytes: ab, Mallocs: am})
 	}
 	tab.SortBy(pl.OrderBy, expr.DictResolver{Dict: e.Graph.Dict})
 	if pl.Limit >= 0 || pl.Offset > 0 {
@@ -511,18 +548,23 @@ func (e *Engine) runSteps(ctx context.Context, r *mpp.Rank, steps []plan.Step, t
 			if err != nil {
 				return nil, err
 			}
-			ot.record(rec, r, obs.OpSample{Depth: depth, Op: "scan", Label: s.Pattern.String(), RowsOut: t.Len()})
+			sb, sm := t.Footprint()
+			ot.record(rec, r, obs.OpSample{Depth: depth, Op: "scan", Label: s.Pattern.String(), RowsOut: t.Len(),
+				AllocBytes: sb, Mallocs: sm})
 			if tab == nil {
 				tab = t
 			} else {
 				r.SetPhase("join")
 				jt := startOp(rec, r)
 				in := tab.Len() + t.Len()
+				build := t.Len()
 				tab, err = exec.HashJoin(r, tab, t)
 				if err != nil {
 					return nil, err
 				}
-				jt.record(rec, r, obs.OpSample{Depth: depth, Op: "join", RowsIn: in, RowsOut: tab.Len()})
+				jb, jm := joinFootprint(tab, build)
+				jt.record(rec, r, obs.OpSample{Depth: depth, Op: "join", RowsIn: in, RowsOut: tab.Len(),
+					AllocBytes: jb, Mallocs: jm})
 			}
 		case plan.JoinStep:
 			r.SetPhase("scan")
@@ -531,15 +573,20 @@ func (e *Engine) runSteps(ctx context.Context, r *mpp.Rank, steps []plan.Step, t
 			if err != nil {
 				return nil, err
 			}
-			ot.record(rec, r, obs.OpSample{Depth: depth, Op: "scan", Label: s.Pattern.String(), RowsOut: right.Len()})
+			sb, sm := right.Footprint()
+			ot.record(rec, r, obs.OpSample{Depth: depth, Op: "scan", Label: s.Pattern.String(), RowsOut: right.Len(),
+				AllocBytes: sb, Mallocs: sm})
 			r.SetPhase("join")
 			jt := startOp(rec, r)
 			in := tab.Len() + right.Len()
+			build := right.Len()
 			tab, err = exec.HashJoin(r, tab, right)
 			if err != nil {
 				return nil, err
 			}
-			jt.record(rec, r, obs.OpSample{Depth: depth, Op: "join", RowsIn: in, RowsOut: tab.Len()})
+			jb, jm := joinFootprint(tab, build)
+			jt.record(rec, r, obs.OpSample{Depth: depth, Op: "join", RowsIn: in, RowsOut: tab.Len(),
+				AllocBytes: jb, Mallocs: jm})
 		case plan.FilterStep:
 			r.SetPhase("filter")
 			ft := startOp(rec, r)
@@ -575,9 +622,11 @@ func (e *Engine) runSteps(ctx context.Context, r *mpp.Rank, steps []plan.Step, t
 					})
 				}
 				ft.vt0 += fstats.RebalanceSeconds // attribute re-balancing VT to its own span
+				fb, fm := tab.FootprintShallow()  // filter keeps row references
 				ft.record(rec, r, obs.OpSample{
 					Depth: depth, Op: "filter",
 					RowsIn: fstats.Evaluated, RowsOut: fstats.Passed,
+					AllocBytes: fb, Mallocs: fm,
 					Note: "order: " + strings.Join(fstats.Order, " AND "),
 				})
 			}
@@ -604,20 +653,28 @@ func (e *Engine) runSteps(ctx context.Context, r *mpp.Rank, steps []plan.Step, t
 					unionTab.Rows = append(unionTab.Rows, bt.Rows...)
 				}
 			}
+			ub, um := unionTab.FootprintShallow() // branch rows are reused by reference
+			if rec != nil {
+				r.Account(ub, um, int64(unionTab.Len()), 0)
+			}
 			rec.Record(obs.OpSample{Depth: depth, Op: "union", RowsOut: unionTab.Len(),
-				Label: fmt.Sprintf("%d branches", len(s.Branches))})
+				Label:      fmt.Sprintf("%d branches", len(s.Branches)),
+				AllocBytes: ub, Mallocs: um})
 			if tab == nil {
 				tab = unionTab
 			} else {
 				r.SetPhase("join")
 				jt := startOp(rec, r)
 				in := tab.Len() + unionTab.Len()
+				build := unionTab.Len()
 				var err error
 				tab, err = exec.HashJoin(r, tab, unionTab)
 				if err != nil {
 					return nil, err
 				}
-				jt.record(rec, r, obs.OpSample{Depth: depth, Op: "join", RowsIn: in, RowsOut: tab.Len()})
+				jb, jm := joinFootprint(tab, build)
+				jt.record(rec, r, obs.OpSample{Depth: depth, Op: "join", RowsIn: in, RowsOut: tab.Len(),
+					AllocBytes: jb, Mallocs: jm})
 			}
 		case plan.OptionalStep:
 			bt, err := e.runSteps(ctx, r, s.Body, nil, rec, profs, depth+1)
@@ -633,11 +690,14 @@ func (e *Engine) runSteps(ctx context.Context, r *mpp.Rank, steps []plan.Step, t
 			r.SetPhase("join")
 			jt := startOp(rec, r)
 			in := tab.Len() + bt.Len()
+			build := bt.Len()
 			tab, err = exec.LeftJoin(r, tab, bt)
 			if err != nil {
 				return nil, err
 			}
-			jt.record(rec, r, obs.OpSample{Depth: depth, Op: "optional", RowsIn: in, RowsOut: tab.Len()})
+			jb, jm := joinFootprint(tab, build)
+			jt.record(rec, r, obs.OpSample{Depth: depth, Op: "optional", RowsIn: in, RowsOut: tab.Len(),
+				AllocBytes: jb, Mallocs: jm})
 		}
 	}
 	return tab, nil

@@ -40,8 +40,13 @@ type LaunchConfig struct {
 	// WAL, checkpointer, HTTP layer). Nil discards.
 	Logger *slog.Logger
 	// SlowQuerySeconds pins traces at or above this wall time in the
-	// slow-query log and logs them at WARN (0 disables).
+	// slow-query log, logs them at WARN, and triggers a flight-recorder
+	// capture (0 disables).
 	SlowQuerySeconds float64
+	// SlowQueryAllocBytes triggers a flight-recorder capture when a
+	// query's physical allocation delta reaches this many bytes (0
+	// disables the allocation budget).
+	SlowQueryAllocBytes int64
 	// TraceRingSize bounds the retained trace ring (default 64).
 	TraceRingSize int
 	// OnListen, when set, is called with the bound address as soon as
@@ -251,11 +256,18 @@ func (Launcher) Launch(cfg LaunchConfig) (*Instance, error) {
 		}
 		e.setWALNotify(dur.noteUpdate)
 	}
+	// Export build metadata before NewServerConfig's in-memory fallback:
+	// the first SetBuildInfo wins, so a durable instance reports its real
+	// fsync policy.
+	if cfg.Durability != nil {
+		e.SetBuildInfo(cfg.Durability.withDefaults().Fsync.String())
+	}
 	srv := NewServerConfig(e, ServerConfig{
-		Admission:        cfg.Admission,
-		SlowQuerySeconds: cfg.SlowQuerySeconds,
-		TraceRingSize:    cfg.TraceRingSize,
-		Logger:           lg,
+		Admission:           cfg.Admission,
+		SlowQuerySeconds:    cfg.SlowQuerySeconds,
+		SlowQueryAllocBytes: cfg.SlowQueryAllocBytes,
+		TraceRingSize:       cfg.TraceRingSize,
+		Logger:              lg,
 	})
 	srv.SetHealth(health)
 	if dur != nil {

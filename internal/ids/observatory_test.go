@@ -1,0 +1,382 @@
+package ids
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"ids/internal/obs"
+)
+
+// TestBuildInfoMetric pins the ids_build_info gauge: one series, value
+// 1, carrying the build identity as labels.
+func TestBuildInfoMetric(t *testing.T) {
+	e := newEngine(t, 4)
+	s := NewServerConfig(e, ServerConfig{})
+	c, done := clientFor(t, s)
+	defer done()
+
+	text, err := c.MetricsText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var line string
+	for _, l := range strings.Split(text, "\n") {
+		if strings.HasPrefix(l, "ids_build_info{") {
+			line = l
+			break
+		}
+	}
+	if line == "" {
+		t.Fatalf("/metrics missing ids_build_info:\n%s", text)
+	}
+	for _, want := range []string{
+		`version="` + Version + `"`,
+		fmt.Sprintf("go_version=%q", runtime.Version()),
+		fmt.Sprintf("gomaxprocs=\"%d\"", runtime.GOMAXPROCS(0)),
+		`fsync="in-memory"`,
+	} {
+		if !strings.Contains(line, want) {
+			t.Errorf("ids_build_info missing label %s: %s", want, line)
+		}
+	}
+	if !strings.HasSuffix(line, " 1") {
+		t.Errorf("ids_build_info value != 1: %s", line)
+	}
+
+	// The gauge's labels are immutable after first set: a second call
+	// must not add another series.
+	e.SetBuildInfo("always")
+	text, err = c.MetricsText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(text, "ids_build_info{"); n != 1 {
+		t.Errorf("ids_build_info series count = %d after second SetBuildInfo", n)
+	}
+	if strings.Contains(text, `fsync="always"`) {
+		t.Error("second SetBuildInfo overwrote the first")
+	}
+}
+
+// TestExplainAnalyzeResourceAttribution is the tentpole acceptance
+// path: a traced query must carry per-operator allocation estimates
+// whose sum reconciles against the query-level runtime/metrics delta
+// (under-estimate by design, never an over-estimate), and the EXPLAIN
+// ANALYZE rendering must surface both.
+func TestExplainAnalyzeResourceAttribution(t *testing.T) {
+	e := newEngine(t, 4)
+	s := NewServerConfig(e, ServerConfig{})
+	c, done := clientFor(t, s)
+	defer done()
+
+	resp, err := c.QueryExplain(`SELECT ?s ?n WHERE { ?s <http://x/name> ?n . ?s <http://x/age> ?a . } ORDER BY ?n`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := resp.Trace
+	if tr == nil || tr.Resources == nil {
+		t.Fatalf("traced query missing resource block: %+v", tr)
+	}
+	ru := tr.Resources
+	if ru.AllocBytes <= 0 || ru.Mallocs <= 0 {
+		t.Fatalf("query-level alloc delta = %d bytes / %d mallocs", ru.AllocBytes, ru.Mallocs)
+	}
+	if ru.OpAllocBytes <= 0 || ru.OpMallocs <= 0 {
+		t.Fatalf("operator-accounted alloc = %d bytes / %d mallocs", ru.OpAllocBytes, ru.OpMallocs)
+	}
+	// The reconciliation invariant: operator estimates are deliberate
+	// under-estimates of the physical delta.
+	if ru.OpAllocBytes > ru.AllocBytes {
+		t.Fatalf("op-accounted bytes %d exceed physical delta %d", ru.OpAllocBytes, ru.AllocBytes)
+	}
+	if ru.OpMallocs > ru.Mallocs {
+		t.Fatalf("op-accounted mallocs %d exceed physical delta %d", ru.OpMallocs, ru.Mallocs)
+	}
+	if cov := ru.OpCoverage(); cov <= 0 || cov > 1 {
+		t.Fatalf("OpCoverage = %f, want (0, 1]", cov)
+	}
+	if ru.CPUSeconds < 0 {
+		t.Fatalf("cpu proxy negative: %f", ru.CPUSeconds)
+	}
+
+	// Per-operator attribution: at least the scans materialize rows.
+	var opAlloc, opCPU int
+	for _, op := range tr.Ops {
+		if op.AllocBytes > 0 {
+			opAlloc++
+		}
+		if op.CPUSeconds > 0 {
+			opCPU++
+		}
+	}
+	if opAlloc == 0 {
+		t.Error("no operator carries alloc attribution")
+	}
+	if opCPU == 0 {
+		t.Error("no operator carries CPU attribution")
+	}
+
+	// The rendering surfaces the resource header and the new columns.
+	var sb strings.Builder
+	tr.Render(&sb, true)
+	out := sb.String()
+	for _, want := range []string{"resources: alloc", "op-accounted", "cpu(s)", "alloc", "mallocs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("EXPLAIN ANALYZE missing %q:\n%s", want, out)
+		}
+	}
+
+	// The alloc histogram is exposed with a trace-ID exemplar linking
+	// back to this query.
+	text, err := c.MetricsText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "ids_query_alloc_bytes_bucket") {
+		t.Error("/metrics missing ids_query_alloc_bytes histogram")
+	}
+	if !strings.Contains(text, `trace_id="`+resp.QID+`"`) {
+		t.Errorf("/metrics missing exemplar for %s", resp.QID)
+	}
+	if !strings.Contains(text, `ids_op_alloc_bytes_total{op="scan"}`) {
+		t.Error("/metrics missing per-operator alloc counter for scan")
+	}
+}
+
+// TestFlightRecorderEndToEnd drives a budget-breaching query and
+// retrieves its flight record — index, trace, and both profile
+// artifacts — through the public endpoint.
+func TestFlightRecorderEndToEnd(t *testing.T) {
+	e := newEngine(t, 4)
+	// Threshold 0-adjacent so every query breaches; rate limit disabled.
+	s := NewServerConfig(e, ServerConfig{
+		SlowQuerySeconds:          1e-9,
+		FlightRecorderMinInterval: -1,
+	})
+	c, done := clientFor(t, s)
+	defer done()
+
+	resp, err := c.Query(`SELECT ?s WHERE { ?s <http://x/name> ?n . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	list, err := c.FlightRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if list.Captures < 1 || len(list.Records) < 1 {
+		t.Fatalf("flight recorder empty after breach: %+v", list)
+	}
+	entry := list.Records[0]
+	if entry.QID != resp.QID || entry.Reason != "latency" {
+		t.Fatalf("index entry = %+v, want qid %s reason latency", entry, resp.QID)
+	}
+	if entry.HeapBytes == 0 || entry.GoroutineBytes == 0 {
+		t.Fatalf("index reports empty artifacts: %+v", entry)
+	}
+
+	rec, err := c.FlightRecord(resp.QID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Trace == nil || rec.Trace.ID != resp.QID {
+		t.Fatalf("flight record trace = %+v", rec.Trace)
+	}
+	if rec.WallSeconds <= 0 {
+		t.Errorf("flight record wall = %f", rec.WallSeconds)
+	}
+
+	var heap, gor bytes.Buffer
+	if err := c.FlightArtifact(resp.QID, "heap", &heap); err != nil {
+		t.Fatal(err)
+	}
+	if heap.Len() == 0 {
+		t.Error("heap artifact empty")
+	}
+	if err := c.FlightArtifact(resp.QID, "goroutine", &gor); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(gor.Bytes(), []byte("goroutine")) {
+		t.Errorf("goroutine artifact not a text dump (%d bytes)", gor.Len())
+	}
+
+	// Error paths: unknown qid 404s, unknown artifact 400s.
+	if _, err := c.FlightRecord("q999999"); err == nil ||
+		!strings.Contains(err.Error(), "404") {
+		t.Errorf("unknown qid error = %v", err)
+	}
+	if err := c.FlightArtifact(resp.QID, "cpu", &bytes.Buffer{}); err == nil {
+		t.Error("unknown artifact accepted")
+	}
+
+	// The capture surfaced on /metrics too.
+	text, err := c.MetricsText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "ids_flightrec_captures_total 1") {
+		t.Errorf("/metrics missing flight recorder counter:\n%s", text)
+	}
+}
+
+// TestFlightRecorderAllocBudget breaches only the allocation budget
+// (latency threshold off) and expects reason "alloc".
+func TestFlightRecorderAllocBudget(t *testing.T) {
+	e := newEngine(t, 4)
+	s := NewServerConfig(e, ServerConfig{
+		SlowQueryAllocBytes:       1, // every query allocates more than this
+		FlightRecorderMinInterval: -1,
+	})
+	c, done := clientFor(t, s)
+	defer done()
+
+	resp, err := c.Query(`SELECT ?s WHERE { ?s <http://x/name> ?n . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := c.FlightRecord(resp.QID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Reason != "alloc" {
+		t.Fatalf("reason = %q, want alloc", rec.Reason)
+	}
+	if rec.AllocBytes <= 0 {
+		t.Fatalf("alloc bytes = %d", rec.AllocBytes)
+	}
+}
+
+// TestFlightRecorderQuietWhenNoBudget checks the recorder stays empty
+// when no budget is configured.
+func TestFlightRecorderQuietWhenNoBudget(t *testing.T) {
+	e := newEngine(t, 4)
+	s := NewServerConfig(e, ServerConfig{FlightRecorderMinInterval: -1})
+	c, done := clientFor(t, s)
+	defer done()
+
+	if _, err := c.Query(`SELECT ?s WHERE { ?s <http://x/name> ?n . }`); err != nil {
+		t.Fatal(err)
+	}
+	list, err := c.FlightRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if list.Captures != 0 || len(list.Records) != 0 {
+		t.Fatalf("unexpected captures without budgets: %+v", list)
+	}
+}
+
+// TestAttributionInvariantsConcurrent hammers one engine with traced
+// queries racing updates and asserts, per trace, the attribution
+// invariant (0 < op-accounted <= physical delta) and, globally, that
+// the alloc counters only grow. Run under -race this also proves the
+// counters are torn-read free.
+func TestAttributionInvariantsConcurrent(t *testing.T) {
+	e := newEngine(t, 2)
+	q := `SELECT ?s ?n WHERE { ?s <http://x/name> ?n . } ORDER BY ?n`
+
+	total0 := e.Metrics().Counter("ids_query_alloc_bytes_total").Value()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	traces := make(chan *obs.QueryTrace, 64)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				res, err := e.QueryTraced(q)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				traces <- res.Trace
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 8; i++ {
+			u := fmt.Sprintf("INSERT DATA { <http://x/u%d> <http://x/name> \"u%d\" . }", i, i)
+			if _, err := e.Update(u); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	close(traces)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	n := 0
+	for tr := range traces {
+		n++
+		ru := tr.Resources
+		if ru == nil {
+			t.Fatalf("trace %s missing resources", tr.ID)
+		}
+		if ru.OpAllocBytes <= 0 {
+			t.Errorf("trace %s: op-accounted bytes = %d", tr.ID, ru.OpAllocBytes)
+		}
+		// Under concurrency the physical delta over-attributes (it sees
+		// other goroutines' allocations) while the op estimates
+		// under-count, so the inequality must never flip.
+		if ru.OpAllocBytes > ru.AllocBytes {
+			t.Errorf("trace %s: op-accounted %d > physical %d", tr.ID, ru.OpAllocBytes, ru.AllocBytes)
+		}
+		if ru.OpMallocs > ru.Mallocs {
+			t.Errorf("trace %s: op mallocs %d > physical %d", tr.ID, ru.OpMallocs, ru.Mallocs)
+		}
+	}
+	if n != 32 {
+		t.Fatalf("collected %d traces, want 32", n)
+	}
+
+	total1 := e.Metrics().Counter("ids_query_alloc_bytes_total").Value()
+	if total1 <= total0 {
+		t.Errorf("ids_query_alloc_bytes_total did not grow: %f -> %f", total0, total1)
+	}
+}
+
+// TestExplainHeaderCacheAndQueueWait pins the EXPLAIN ANALYZE header
+// additions: per-tier cache counts for a cached engine and the
+// admission queue-wait line.
+func TestExplainHeaderCacheAndQueueWait(t *testing.T) {
+	e := newEngine(t, 4)
+	e.EnableResultCache(testResultCache(t))
+	s := NewServerConfig(e, ServerConfig{})
+	c, done := clientFor(t, s)
+	defer done()
+
+	resp, err := c.QueryExplain(`SELECT ?s WHERE { ?s <http://x/age> ?a . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Trace == nil || resp.Trace.Cache == nil {
+		t.Fatalf("traced query on cached engine missing cache block: %+v", resp.Trace)
+	}
+	var sb strings.Builder
+	resp.Trace.Render(&sb, true)
+	out := sb.String()
+	if !strings.Contains(out, "cache: dram-local") || !strings.Contains(out, "result-cache") {
+		t.Errorf("EXPLAIN header missing cache line:\n%s", out)
+	}
+
+	// Queue wait renders when positive (synthesized here; end-to-end
+	// queueing needs a saturated admission controller).
+	tr := &obs.QueryTrace{ID: "q42", Status: "ok", QueueWaitSeconds: 0.25}
+	sb.Reset()
+	tr.Render(&sb, false)
+	if !strings.Contains(sb.String(), "admission queue-wait 0.250000s") {
+		t.Errorf("queue-wait line missing:\n%s", sb.String())
+	}
+}

@@ -1,11 +1,19 @@
 package ids
 
 import (
+	"runtime"
+	"strconv"
+	"sync"
 	"time"
 
+	"ids/internal/exec"
 	"ids/internal/mpp"
 	"ids/internal/obs"
 )
+
+// Version identifies the build on ids_build_info (override with
+// -ldflags "-X ids/internal/ids.Version=v1.2.3").
+var Version = "dev"
 
 // This file wires the engine into the observability layer: a
 // per-engine metrics registry with pre-resolved handles for the hot
@@ -32,7 +40,21 @@ type engineMetrics struct {
 	resultCacheMisses *obs.Counter
 
 	rebalanceMoved *obs.Counter
+
+	queryAllocBytes *obs.Histogram // per-query physical allocation histogram
+	allocBytesTotal *obs.Counter
+	mallocsTotal    *obs.Counter
+	cpuSecondsTotal *obs.Counter
+
+	// buildInfoOnce guards ids_build_info: the gauge's labels are
+	// immutable once exported (the registry has no series deletion), so
+	// only the first SetBuildInfo wins.
+	buildInfoOnce sync.Once
 }
+
+// DefAllocBuckets spans 4KiB .. 16GiB quadrupling per bucket — wide
+// enough for point lookups and multi-gigabyte analytical queries.
+var DefAllocBuckets = obs.ExpBuckets(4096, 4, 12)
 
 func newEngineMetrics() *engineMetrics {
 	reg := obs.NewRegistry()
@@ -72,6 +94,16 @@ func newEngineMetrics() *engineMetrics {
 	reg.Describe("ids_wal_fsync_seconds", "WAL fsync duration histogram.")
 	reg.Describe("ids_degraded", "1 when the engine is read-only degraded after a WAL failure, else 0.")
 	reg.Describe("ids_checkpoint_duration_seconds", "Checkpoint duration histogram (snapshot + manifest swap + log truncation).")
+	reg.Describe("ids_query_alloc_bytes", "Per-query physical heap allocation (runtime/metrics delta) histogram.")
+	reg.Describe("ids_query_alloc_bytes_total", "Physical heap bytes allocated during query execution (runtime/metrics deltas, summed).")
+	reg.Describe("ids_query_mallocs_total", "Heap objects allocated during query execution (runtime/metrics deltas, summed).")
+	reg.Describe("ids_query_cpu_seconds_total", "Measured operator CPU-proxy seconds summed over ranks (traced queries).")
+	reg.Describe("ids_op_alloc_bytes_total", "Operator-accounted heap bytes by operator (traced queries), summed over ranks.")
+	reg.Describe("ids_op_mallocs_total", "Operator-accounted heap objects by operator (traced queries), summed over ranks.")
+	reg.Describe("ids_op_cpu_seconds_total", "Operator CPU-proxy seconds by operator (traced queries), summed over ranks.")
+	reg.Describe("ids_build_info", "Build metadata; always 1. Labels carry version, Go version, GOMAXPROCS and fsync policy.")
+	reg.Describe("ids_flightrec_captures_total", "Flight-recorder captures (budget-breaching queries with profiles pinned).")
+	reg.Describe("ids_flightrec_suppressed_total", "Flight-recorder captures suppressed by the rate limit.")
 	obs.RegisterRuntimeCollectors(reg)
 	reg.Gauge("ids_degraded").Set(0) // exported from the start, flips on markDegraded
 	return &engineMetrics{
@@ -88,13 +120,24 @@ func newEngineMetrics() *engineMetrics {
 		resultCacheHits:   reg.Counter("ids_result_cache_hits_total"),
 		resultCacheMisses: reg.Counter("ids_result_cache_misses_total"),
 		rebalanceMoved:    reg.Counter("exec_rebalance_rows_moved_total"),
+		queryAllocBytes:   reg.Histogram("ids_query_alloc_bytes", DefAllocBuckets),
+		allocBytesTotal:   reg.Counter("ids_query_alloc_bytes_total"),
+		mallocsTotal:      reg.Counter("ids_query_mallocs_total"),
+		cpuSecondsTotal:   reg.Counter("ids_query_cpu_seconds_total"),
 	}
 }
 
-// observeQuery records one successful query into the registry.
-func (m *engineMetrics) observeQuery(res *Result, rep *mpp.Report, wall float64) {
+// observeQuery records one successful query into the registry. ru is
+// the query's resource attribution (never nil on the engine path); the
+// wall and allocation histograms pin the trace ID as an exemplar so a
+// slow or allocation-heavy bucket links back to its trace.
+func (m *engineMetrics) observeQuery(res *Result, rep *mpp.Report, wall float64, ru *obs.ResourceUsage) {
+	traceID := ""
+	if res.Trace != nil {
+		traceID = res.Trace.ID
+	}
 	m.queries.Inc()
-	m.queryDuration.Observe(wall)
+	m.queryDuration.ObserveExemplar(wall, traceID)
 	m.queryVTSeconds.Observe(rep.Makespan)
 	m.rowsReturned.Add(float64(len(res.Rows)))
 	m.collectives.Add(float64(rep.Comm.Collectives))
@@ -103,6 +146,12 @@ func (m *engineMetrics) observeQuery(res *Result, rep *mpp.Report, wall float64)
 	for phase, v := range rep.Phases {
 		m.reg.Counter("ids_phase_vt_seconds_total", "phase", phase).Add(v)
 	}
+	if ru != nil {
+		m.queryAllocBytes.ObserveExemplar(float64(ru.AllocBytes), traceID)
+		m.allocBytesTotal.Add(float64(ru.AllocBytes))
+		m.mallocsTotal.Add(float64(ru.Mallocs))
+		m.cpuSecondsTotal.Add(ru.CPUSeconds)
+	}
 	if res.Trace == nil {
 		return
 	}
@@ -110,7 +159,34 @@ func (m *engineMetrics) observeQuery(res *Result, rep *mpp.Report, wall float64)
 		m.reg.Counter("exec_op_rows_in_total", "op", op.Op).Add(float64(op.RowsIn))
 		m.reg.Counter("exec_op_rows_out_total", "op", op.Op).Add(float64(op.RowsOut))
 		m.reg.Counter("exec_op_vt_seconds_total", "op", op.Op).Add(op.VTMax)
+		m.reg.Counter("ids_op_alloc_bytes_total", "op", op.Op).Add(float64(op.AllocBytes))
+		m.reg.Counter("ids_op_mallocs_total", "op", op.Op).Add(float64(op.Mallocs))
+		m.reg.Counter("ids_op_cpu_seconds_total", "op", op.Op).Add(op.CPUSeconds)
 	}
+}
+
+// SetBuildInfo exports the ids_build_info gauge (value always 1) with
+// the build's identifying labels. First call wins: the registry keys
+// series by label values, so later calls with a different fsync policy
+// would export a second series instead of replacing the first.
+func (e *Engine) SetBuildInfo(fsyncPolicy string) {
+	e.met.buildInfoOnce.Do(func() {
+		e.met.reg.Gauge("ids_build_info",
+			"version", Version,
+			"go_version", runtime.Version(),
+			"gomaxprocs", strconv.Itoa(runtime.GOMAXPROCS(0)),
+			"fsync", fsyncPolicy,
+		).Set(1)
+	})
+}
+
+// joinFootprint accounts a join's materialization on this rank: the
+// freshly built output table plus the hash build structure over the
+// build-side rows.
+func joinFootprint(out *exec.Table, buildRows int) (bytes, mallocs int64) {
+	b, m := out.Footprint()
+	hb, hm := exec.HashBuildFootprint(buildRows)
+	return b + hb, m + hm
 }
 
 // opTimer measures one operator execution on one rank; the zero value
@@ -129,12 +205,14 @@ func startOp(rec *obs.RankRecorder, r *mpp.Rank) opTimer {
 	return opTimer{vt0: r.Now(), w0: time.Now(), on: true}
 }
 
-// record fills the sample's VT/Wall from the timer and appends it.
+// record fills the sample's VT/Wall from the timer, appends it, and
+// folds the operator's footprint into the rank's resource tally.
 func (ot opTimer) record(rec *obs.RankRecorder, r *mpp.Rank, s obs.OpSample) {
 	if !ot.on {
 		return
 	}
 	s.VT = r.Now() - ot.vt0
 	s.Wall = time.Since(ot.w0).Seconds()
+	r.Account(s.AllocBytes, s.Mallocs, int64(s.RowsOut), s.Wall)
 	rec.Record(s)
 }

@@ -110,19 +110,20 @@ func newAdmission(cfg AdmissionConfig, reg *obs.Registry) *admission {
 
 // admit blocks until a slot is free, the queue overflows, the wait
 // times out, or ctx is cancelled. On nil return the caller holds a
-// slot and must release().
-func (a *admission) admit(ctx context.Context) error {
+// slot and must release(); wait reports how long the query queued
+// (zero on the fast path), which the server surfaces on the trace.
+func (a *admission) admit(ctx context.Context) (wait time.Duration, err error) {
 	select {
 	case a.slots <- struct{}{}:
 		a.inflight.Add(1)
 		a.waitSeconds.Observe(0)
-		return nil
+		return 0, nil
 	default:
 	}
 	if a.queued.Add(1) > int64(a.cfg.MaxQueue) {
 		a.queued.Add(-1)
 		a.rejectedFull.Inc()
-		return errQueueFull
+		return 0, errQueueFull
 	}
 	a.queueDepth.Set(float64(a.queued.Load()))
 	start := time.Now()
@@ -134,14 +135,15 @@ func (a *admission) admit(ctx context.Context) error {
 	}()
 	select {
 	case a.slots <- struct{}{}:
-		a.waitSeconds.Observe(time.Since(start).Seconds())
+		wait = time.Since(start)
+		a.waitSeconds.Observe(wait.Seconds())
 		a.inflight.Add(1)
-		return nil
+		return wait, nil
 	case <-timer.C:
 		a.rejectedTimeout.Inc()
-		return errQueueTimeout
+		return time.Since(start), errQueueTimeout
 	case <-ctx.Done():
-		return ctx.Err()
+		return time.Since(start), ctx.Err()
 	}
 }
 
@@ -184,6 +186,13 @@ type Server struct {
 	ckpt func() (CheckpointInfo, error)
 
 	slowTotal *obs.Counter
+
+	// flightrec captures profile snapshots + the offending trace when a
+	// query breaches the latency or allocation budget (GET /debug/flightrec).
+	flightrec      *obs.FlightRecorder
+	slowAllocBytes int64
+	flightrecCaps  *obs.Counter
+	flightrecSuppr *obs.Counter
 }
 
 // ServerConfig tunes the HTTP layer beyond admission control.
@@ -191,8 +200,20 @@ type ServerConfig struct {
 	// Admission bounds concurrent query execution.
 	Admission AdmissionConfig
 	// SlowQuerySeconds pins traces at or above this wall time in the
-	// slow-query log and logs them at WARN (0 disables).
+	// slow-query log, logs them at WARN, and triggers a flight-recorder
+	// capture (0 disables).
 	SlowQuerySeconds float64
+	// SlowQueryAllocBytes triggers a flight-recorder capture when a
+	// query's physical allocation delta reaches this many bytes
+	// (0 disables the allocation budget).
+	SlowQueryAllocBytes int64
+	// FlightRecorderSize bounds the retained flight-record ring
+	// (default obs.DefaultFlightRecSize).
+	FlightRecorderSize int
+	// FlightRecorderMinInterval rate-limits captures (zero selects
+	// obs.DefaultFlightRecInterval; negative disables the limit, for
+	// tests).
+	FlightRecorderMinInterval time.Duration
 	// TraceRingSize bounds the retained trace ring (default 64).
 	TraceRingSize int
 	// Logger receives request/slow-query lines (default: engine logger).
@@ -267,12 +288,27 @@ func NewServerConfig(e *Engine, cfg ServerConfig) *Server {
 	}
 	reg := e.Metrics()
 	reg.Describe("ids_slow_queries_total", "Queries whose wall time reached the slow-query threshold.")
+	// Engines embedded without a launcher run in-memory; the launcher
+	// calls SetBuildInfo with the real fsync policy before this runs,
+	// and the first call wins.
+	e.SetBuildInfo("in-memory")
+	frInterval := cfg.FlightRecorderMinInterval
+	switch {
+	case frInterval == 0:
+		frInterval = obs.DefaultFlightRecInterval
+	case frInterval < 0:
+		frInterval = 0 // disabled (tests)
+	}
 	return &Server{
-		Engine:    e,
-		adm:       newAdmission(cfg.Admission, reg),
-		log:       obs.OrNop(lg),
-		ring:      obs.NewTraceRing(cfg.TraceRingSize, cfg.SlowQuerySeconds),
-		slowTotal: reg.Counter("ids_slow_queries_total"),
+		Engine:         e,
+		adm:            newAdmission(cfg.Admission, reg),
+		log:            obs.OrNop(lg),
+		ring:           obs.NewTraceRing(cfg.TraceRingSize, cfg.SlowQuerySeconds),
+		slowTotal:      reg.Counter("ids_slow_queries_total"),
+		flightrec:      obs.NewFlightRecorder(cfg.FlightRecorderSize, frInterval),
+		slowAllocBytes: cfg.SlowQueryAllocBytes,
+		flightrecCaps:  reg.Counter("ids_flightrec_captures_total"),
+		flightrecSuppr: reg.Counter("ids_flightrec_suppressed_total"),
 	}
 }
 
@@ -296,6 +332,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/trace", s.handleTrace)
 	mux.HandleFunc("/traces", s.handleTraces)
+	mux.HandleFunc("/debug/flightrec", s.handleFlightRec)
 	return mux
 }
 
@@ -345,7 +382,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// the 429 log line and the client's retry logging share the id.
 	qid := obs.NewQID()
 	ctx := obs.WithQID(r.Context(), qid)
-	if err := s.adm.admit(ctx); err != nil {
+	queueWait, err := s.adm.admit(ctx)
+	if err != nil {
 		if errors.Is(err, errQueueFull) || errors.Is(err, errQueueTimeout) {
 			s.log.Warn("query shed", "qid", qid, "reason", err.Error())
 			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
@@ -367,6 +405,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.ring.Put(&obs.QueryTrace{
 			ID: qid, Query: req.Query, Start: start,
 			Status: "error", Error: err.Error(), WallSeconds: wall,
+			QueueWaitSeconds: queueWait.Seconds(),
 		})
 		s.log.Error("query failed", "qid", qid, "wall_seconds", wall, "err", err)
 		writeErr(w, http.StatusBadRequest, err)
@@ -374,12 +413,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	if res.Trace != nil {
 		res.Trace.WallSeconds = wall
-		if slow := s.ring.Put(res.Trace); slow {
+		res.Trace.QueueWaitSeconds = queueWait.Seconds()
+		slow := s.ring.Put(res.Trace)
+		if slow {
 			s.slowTotal.Inc()
 			s.log.Warn("slow query", "qid", qid,
 				"wall_seconds", wall, "threshold_seconds", s.ring.Threshold(),
 				"rows", len(res.Rows), "query", req.Query)
 		}
+		s.maybeFlightCapture(qid, slow, wall, res.Trace)
 	}
 	s.log.Info("query done", "qid", qid,
 		"wall_seconds", wall, "rows", len(res.Rows), "makespan_seconds", res.Report.Makespan)
@@ -399,6 +441,78 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// maybeFlightCapture fires the flight recorder when a query breached
+// its latency budget (slow, decided by the trace ring's threshold) or
+// its allocation budget (SlowQueryAllocBytes against the trace's
+// physical allocation delta).
+func (s *Server) maybeFlightCapture(qid string, slow bool, wall float64, tr *obs.QueryTrace) {
+	var allocBytes int64
+	if tr.Resources != nil {
+		allocBytes = tr.Resources.AllocBytes
+	}
+	allocBreach := s.slowAllocBytes > 0 && allocBytes >= s.slowAllocBytes
+	if !slow && !allocBreach {
+		return
+	}
+	reason := ""
+	switch {
+	case slow && allocBreach:
+		reason = "latency+alloc"
+	case slow:
+		reason = "latency"
+	default:
+		reason = "alloc"
+	}
+	captured := s.flightrec.Capture(qid, reason, wall, allocBytes, tr)
+	caps, suppr := s.flightrec.Stats()
+	s.flightrecCaps.Set(float64(caps))
+	s.flightrecSuppr.Set(float64(suppr))
+	if captured {
+		s.log.Warn("flight recorder capture", "qid", qid, "reason", reason,
+			"wall_seconds", wall, "alloc_bytes", allocBytes)
+	}
+	if allocBreach {
+		s.log.Warn("query exceeded alloc budget", "qid", qid,
+			"alloc_bytes", allocBytes, "budget_bytes", s.slowAllocBytes)
+	}
+}
+
+// handleFlightRec serves the flight recorder (GET /debug/flightrec):
+// without parameters it lists retained captures newest-first; with
+// ?id=<qid> it returns that capture's JSON (trace included); with
+// ?id=<qid>&artifact=heap|goroutine it streams the raw profile bytes
+// (heap is pprof protobuf for `go tool pprof`, goroutine is text).
+func (s *Server) handleFlightRec(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		caps, suppr := s.flightrec.Stats()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"captures":   caps,
+			"suppressed": suppr,
+			"records":    s.flightrec.Index(),
+		})
+		return
+	}
+	rec := s.flightrec.Get(id)
+	if rec == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("ids: no flight record %q", id))
+		return
+	}
+	switch artifact := r.URL.Query().Get("artifact"); artifact {
+	case "":
+		writeJSON(w, http.StatusOK, rec)
+	case "heap":
+		w.Header().Set("Content-Type", "application/octet-stream")
+		_, _ = w.Write(rec.HeapProfile)
+	case "goroutine":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write(rec.GoroutineProfile)
+	default:
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("ids: unknown artifact %q (want heap or goroutine)", artifact))
+	}
 }
 
 // handleMetrics serves the engine registry in Prometheus text

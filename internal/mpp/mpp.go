@@ -96,7 +96,8 @@ type Rank struct {
 	acc   map[string]float64 // phase -> accumulated virtual seconds
 	rng   *rand.Rand
 	err   error
-	comm  CommStats // rank-local collective accounting
+	comm  CommStats     // rank-local collective accounting
+	res   ResourceStats // rank-local resource accounting (see Account)
 }
 
 // ID returns the rank's index in [0, Size).
@@ -167,6 +168,30 @@ type CommStats struct {
 	Seconds     float64 `json:"seconds"`
 }
 
+// ResourceStats accounts a rank's materialized work: heap bytes and
+// objects the rank's operators accounted (see exec footprints), rows
+// produced, and measured CPU-proxy seconds. Zero unless the job body
+// calls Account (the engine does so for traced queries).
+type ResourceStats struct {
+	AllocBytes int64   `json:"alloc_bytes"`
+	Mallocs    int64   `json:"mallocs"`
+	Rows       int64   `json:"rows"`
+	CPUSeconds float64 `json:"cpu_seconds"`
+}
+
+// Account adds one operator's accounted footprint to the rank's
+// running resource tally. Like all Rank methods it must only be called
+// from the rank's own goroutine.
+func (r *Rank) Account(allocBytes, mallocs, rows int64, cpuSeconds float64) {
+	r.res.AllocBytes += allocBytes
+	r.res.Mallocs += mallocs
+	r.res.Rows += rows
+	r.res.CPUSeconds += cpuSeconds
+}
+
+// Resources returns the rank's accumulated resource tally.
+func (r *Rank) Resources() ResourceStats { return r.res }
+
 // PhaseTotal returns the virtual seconds accumulated in the named
 // phase so far on this rank.
 func (r *Rank) PhaseTotal(name string) float64 { return r.acc[name] }
@@ -185,6 +210,11 @@ type Report struct {
 	// ranks (the per-rank synchronization count — symmetric in normal
 	// runs), Bytes the sum over ranks, Seconds the max over ranks.
 	Comm CommStats
+	// Resources sums the per-rank resource tallies; RankResources keeps
+	// the per-rank breakdown (index = rank id) so skew in accounted
+	// memory is visible alongside virtual-time skew.
+	Resources     ResourceStats
+	RankResources []ResourceStats
 }
 
 // PhaseMax returns the bottleneck time of the named phase, or 0.
@@ -280,6 +310,11 @@ func Run(topo Topology, net NetModel, seed int64, body func(r *Rank) error) (*Re
 		if r.comm.Seconds > rep.Comm.Seconds {
 			rep.Comm.Seconds = r.comm.Seconds
 		}
+		rep.Resources.AllocBytes += r.res.AllocBytes
+		rep.Resources.Mallocs += r.res.Mallocs
+		rep.Resources.Rows += r.res.Rows
+		rep.Resources.CPUSeconds += r.res.CPUSeconds
+		rep.RankResources = append(rep.RankResources, r.res)
 	}
 	if firstErr != nil {
 		return rep, firstErr

@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"bytes"
+	"runtime/pprof"
+	"sync"
+	"time"
+)
+
+// FlightRecorder captures post-hoc debuggable evidence when a query
+// breaches its latency or allocation budget: the offending trace plus
+// heap and goroutine profile snapshots, retained in a bounded ring.
+// A slow-query WARN line tells you *that* something was slow;
+// the flight record tells you *what the process looked like* at that
+// moment — without anyone having been attached to pprof at the time.
+//
+// Captures are rate-limited (MinInterval) so a storm of slow queries
+// costs at most one profile snapshot per interval, and the ring bound
+// caps retained memory. All methods are safe for concurrent use.
+
+// DefaultFlightRecSize bounds the retained flight-record ring.
+const DefaultFlightRecSize = 8
+
+// DefaultFlightRecInterval is the minimum spacing between captures.
+const DefaultFlightRecInterval = time.Second
+
+// FlightRecord is one captured budget breach.
+type FlightRecord struct {
+	QID      string    `json:"qid"`
+	Reason   string    `json:"reason"` // "latency", "alloc", or "latency+alloc"
+	Captured time.Time `json:"captured"`
+	// WallSeconds/AllocBytes are the measurements that tripped the
+	// budget (alloc_bytes 0 when only latency tripped and no resource
+	// block was captured).
+	WallSeconds float64 `json:"wall_seconds"`
+	AllocBytes  int64   `json:"alloc_bytes"`
+	// Trace is the offending query's span trace.
+	Trace *QueryTrace `json:"trace,omitempty"`
+	// HeapProfile is a pprof heap snapshot (protobuf, debug=0 — feed it
+	// to `go tool pprof`). GoroutineProfile is the human-readable
+	// goroutine dump (debug=1). Both are served raw by
+	// GET /debug/flightrec?id=<qid>&artifact=heap|goroutine and elided
+	// from JSON listings (sizes only).
+	HeapProfile      []byte `json:"-"`
+	GoroutineProfile []byte `json:"-"`
+}
+
+// FlightIndexEntry is one row of the flight-recorder listing.
+type FlightIndexEntry struct {
+	QID             string    `json:"qid"`
+	Reason          string    `json:"reason"`
+	Captured        time.Time `json:"captured"`
+	WallSeconds     float64   `json:"wall_seconds"`
+	AllocBytes      int64     `json:"alloc_bytes"`
+	HeapBytes       int       `json:"heap_profile_bytes"`
+	GoroutineBytes  int       `json:"goroutine_profile_bytes"`
+	RateLimitedSkip int64     `json:"-"`
+}
+
+// FlightRecorder retains the last Size captures, at most one per
+// MinInterval.
+type FlightRecorder struct {
+	mu      sync.Mutex
+	ring    []*FlightRecord
+	next    int
+	wrapped bool
+
+	minInterval time.Duration
+	last        time.Time
+
+	captures   int64
+	suppressed int64
+
+	// now is the clock (swapped in tests).
+	now func() time.Time
+}
+
+// NewFlightRecorder builds a recorder retaining size records spaced at
+// least minInterval apart (size <= 0 and minInterval < 0 select the
+// defaults; minInterval == 0 disables rate limiting, for tests).
+func NewFlightRecorder(size int, minInterval time.Duration) *FlightRecorder {
+	if size <= 0 {
+		size = DefaultFlightRecSize
+	}
+	if minInterval < 0 {
+		minInterval = DefaultFlightRecInterval
+	}
+	return &FlightRecorder{
+		ring:        make([]*FlightRecord, size),
+		minInterval: minInterval,
+		now:         time.Now,
+	}
+}
+
+// Capture records one budget breach: it snapshots the heap and
+// goroutine profiles and pins them with the trace. Returns false when
+// the capture was suppressed by the rate limit (the breach still
+// counts in Stats).
+func (f *FlightRecorder) Capture(qid, reason string, wall float64, allocBytes int64, tr *QueryTrace) bool {
+	f.mu.Lock()
+	now := f.now()
+	if !f.last.IsZero() && f.minInterval > 0 && now.Sub(f.last) < f.minInterval {
+		f.suppressed++
+		f.mu.Unlock()
+		return false
+	}
+	f.last = now
+	f.captures++
+	f.mu.Unlock()
+
+	// Profile collection happens outside the lock: WriteTo stops the
+	// world briefly and can take milliseconds on big heaps.
+	rec := &FlightRecord{
+		QID: qid, Reason: reason, Captured: now,
+		WallSeconds: wall, AllocBytes: allocBytes, Trace: tr,
+	}
+	var heap, gor bytes.Buffer
+	if p := pprof.Lookup("heap"); p != nil {
+		_ = p.WriteTo(&heap, 0)
+	}
+	if p := pprof.Lookup("goroutine"); p != nil {
+		_ = p.WriteTo(&gor, 1)
+	}
+	rec.HeapProfile = heap.Bytes()
+	rec.GoroutineProfile = gor.Bytes()
+
+	f.mu.Lock()
+	f.ring[f.next] = rec
+	f.next++
+	if f.next == len(f.ring) {
+		f.next = 0
+		f.wrapped = true
+	}
+	f.mu.Unlock()
+	return true
+}
+
+// Get returns the retained record for qid (newest wins on duplicate
+// captures), or nil.
+func (f *FlightRecorder) Get(qid string) *FlightRecord {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i := 0; i < f.countLocked(); i++ {
+		if rec := f.atLocked(i); rec.QID == qid {
+			return rec
+		}
+	}
+	return nil
+}
+
+// Index lists retained records newest-first with artifact sizes.
+func (f *FlightRecorder) Index() []FlightIndexEntry {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]FlightIndexEntry, 0, f.countLocked())
+	for i := 0; i < f.countLocked(); i++ {
+		rec := f.atLocked(i)
+		out = append(out, FlightIndexEntry{
+			QID: rec.QID, Reason: rec.Reason, Captured: rec.Captured,
+			WallSeconds: rec.WallSeconds, AllocBytes: rec.AllocBytes,
+			HeapBytes:      len(rec.HeapProfile),
+			GoroutineBytes: len(rec.GoroutineProfile),
+		})
+	}
+	return out
+}
+
+// Stats returns (captures, rate-limit-suppressed) totals.
+func (f *FlightRecorder) Stats() (captures, suppressed int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.captures, f.suppressed
+}
+
+func (f *FlightRecorder) countLocked() int {
+	if f.wrapped {
+		return len(f.ring)
+	}
+	return f.next
+}
+
+// atLocked returns the i-th newest record (0 = most recent).
+func (f *FlightRecorder) atLocked(i int) *FlightRecord {
+	idx := f.next - 1 - i
+	if idx < 0 {
+		idx += len(f.ring)
+	}
+	return f.ring[idx]
+}

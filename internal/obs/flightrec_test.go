@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testClock swaps the recorder's clock so rate-limit behavior is
+// deterministic.
+func testClock(f *FlightRecorder, start time.Time) *time.Time {
+	t := start
+	f.now = func() time.Time { return t }
+	return &t
+}
+
+func TestFlightRecorderCaptureAndGet(t *testing.T) {
+	f := NewFlightRecorder(4, 0)
+	tr := &QueryTrace{ID: "q000001"}
+	if !f.Capture("q000001", "latency", 2.5, 1<<20, tr) {
+		t.Fatal("capture suppressed with rate limiting disabled")
+	}
+	rec := f.Get("q000001")
+	if rec == nil {
+		t.Fatal("captured record not retrievable")
+	}
+	if rec.Reason != "latency" || rec.WallSeconds != 2.5 || rec.AllocBytes != 1<<20 {
+		t.Fatalf("record fields wrong: %+v", rec)
+	}
+	if rec.Trace == nil || rec.Trace.ID != "q000001" {
+		t.Fatalf("trace not pinned: %+v", rec.Trace)
+	}
+	// The snapshots must be real profiles, not empty buffers.
+	if len(rec.HeapProfile) == 0 {
+		t.Error("heap profile empty")
+	}
+	if len(rec.GoroutineProfile) == 0 || !bytes.Contains(rec.GoroutineProfile, []byte("goroutine")) {
+		t.Errorf("goroutine profile missing or not text (%d bytes)", len(rec.GoroutineProfile))
+	}
+	if f.Get("q999999") != nil {
+		t.Error("Get on unknown qid should be nil")
+	}
+}
+
+func TestFlightRecorderRingEviction(t *testing.T) {
+	f := NewFlightRecorder(3, 0)
+	for _, qid := range []string{"q1", "q2", "q3", "q4", "q5"} {
+		f.Capture(qid, "latency", 1, 0, nil)
+	}
+	idx := f.Index()
+	if len(idx) != 3 {
+		t.Fatalf("ring should retain 3, got %d", len(idx))
+	}
+	// Newest first; the two oldest evicted.
+	if idx[0].QID != "q5" || idx[1].QID != "q4" || idx[2].QID != "q3" {
+		t.Fatalf("index order wrong: %+v", idx)
+	}
+	if f.Get("q1") != nil || f.Get("q2") != nil {
+		t.Error("evicted records still retrievable")
+	}
+	if idx[0].HeapBytes == 0 || idx[0].GoroutineBytes == 0 {
+		t.Error("index entries should report artifact sizes")
+	}
+}
+
+func TestFlightRecorderRateLimit(t *testing.T) {
+	f := NewFlightRecorder(8, time.Second)
+	clock := testClock(f, time.Unix(1000, 0))
+
+	if !f.Capture("q1", "latency", 1, 0, nil) {
+		t.Fatal("first capture should pass")
+	}
+	*clock = clock.Add(200 * time.Millisecond)
+	if f.Capture("q2", "latency", 1, 0, nil) {
+		t.Fatal("capture inside min interval should be suppressed")
+	}
+	*clock = clock.Add(900 * time.Millisecond) // 1.1s after q1
+	if !f.Capture("q3", "latency", 1, 0, nil) {
+		t.Fatal("capture after min interval should pass")
+	}
+	caps, suppr := f.Stats()
+	if caps != 2 || suppr != 1 {
+		t.Fatalf("stats = (%d, %d), want (2, 1)", caps, suppr)
+	}
+	if f.Get("q2") != nil {
+		t.Error("suppressed breach must not leave a record")
+	}
+}
+
+func TestFlightRecorderNewestWinsOnDuplicateQID(t *testing.T) {
+	f := NewFlightRecorder(4, 0)
+	f.Capture("q1", "latency", 1, 0, nil)
+	f.Capture("q1", "latency+alloc", 9, 512, nil)
+	rec := f.Get("q1")
+	if rec == nil || rec.Reason != "latency+alloc" || rec.WallSeconds != 9 {
+		t.Fatalf("Get should return newest capture, got %+v", rec)
+	}
+}
+
+func TestFlightRecorderDefaults(t *testing.T) {
+	f := NewFlightRecorder(0, -1)
+	if len(f.ring) != DefaultFlightRecSize {
+		t.Errorf("default size = %d, want %d", len(f.ring), DefaultFlightRecSize)
+	}
+	if f.minInterval != DefaultFlightRecInterval {
+		t.Errorf("default interval = %s, want %s", f.minInterval, DefaultFlightRecInterval)
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want string
+	}{
+		{0, "0B"},
+		{712, "712B"},
+		{1024, "1.0KiB"},
+		{1536, "1.5KiB"},
+		{20 << 20, "20.0MiB"},
+		{3 << 30, "3.0GiB"},
+	}
+	for _, tc := range cases {
+		if got := FormatBytes(tc.n); got != tc.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestHistogramExemplarExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds", []float64{0.1, 1, 10})
+	h.ObserveExemplar(0.05, "")       // no exemplar
+	h.ObserveExemplar(5.0, "q000042") // lands in the (1,10] bucket
+	h.ObserveExemplar(0.5, "q000043") // lands in the (0.1,1] bucket
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	text := sb.String()
+
+	if !strings.Contains(text, `# {trace_id="q000042"} 5`) {
+		t.Errorf("exposition missing exemplar for q000042:\n%s", text)
+	}
+	if !strings.Contains(text, `# {trace_id="q000043"} 0.5`) {
+		t.Errorf("exposition missing exemplar for q000043:\n%s", text)
+	}
+	// Exemplars ride only on _bucket lines; _sum/_count stay classic.
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, "#") && strings.Contains(line, "trace_id") &&
+			!strings.Contains(line, "_bucket{") {
+			t.Errorf("exemplar on non-bucket line: %s", line)
+		}
+	}
+	// The landing bucket keeps the last-written exemplar.
+	if ex := h.BucketExemplar(2); ex == nil || ex.TraceID != "q000042" {
+		t.Errorf("BucketExemplar(2) = %+v, want q000042", ex)
+	}
+	if ex := h.BucketExemplar(99); ex != nil {
+		t.Errorf("out-of-range BucketExemplar should be nil, got %+v", ex)
+	}
+}

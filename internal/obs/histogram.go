@@ -19,13 +19,28 @@ type Histogram struct {
 	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
 	count  atomic.Uint64
 	sum    atomic.Uint64 // float64 bits, CAS-updated
+	// exemplars holds, per bucket, the most recent traced observation
+	// (ObserveExemplar) — the handle that links a slow histogram bucket
+	// back to its query trace. Last-write-wins per bucket.
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one histogram observation to the trace that produced
+// it, rendered OpenMetrics-style after the matching _bucket sample.
+type Exemplar struct {
+	TraceID string
+	Value   float64
 }
 
 // NewHistogram builds a histogram over the given ascending upper
 // bounds (the +Inf bucket is implicit; do not include it).
 func NewHistogram(bounds []float64) *Histogram {
 	b := append([]float64(nil), bounds...)
-	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+	return &Histogram{
+		bounds:    b,
+		counts:    make([]atomic.Uint64, len(b)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(b)+1),
+	}
 }
 
 // ExpBuckets returns n exponentially spaced upper bounds starting at
@@ -48,6 +63,14 @@ var DefLatencyBuckets = ExpBuckets(1e-4, 2, 20)
 // Observe records one sample. NaN and ±Inf are dropped so a single bad
 // measurement can never poison the sum.
 func (h *Histogram) Observe(v float64) {
+	h.ObserveExemplar(v, "")
+}
+
+// ObserveExemplar records one sample and, when traceID is non-empty,
+// pins it as the bucket's exemplar (last-write-wins), so the bucket a
+// slow query landed in points back at its trace. NaN and ±Inf are
+// dropped so a single bad measurement can never poison the sum.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
 	if math.IsNaN(v) || math.IsInf(v, 0) {
 		return
 	}
@@ -62,6 +85,9 @@ func (h *Histogram) Observe(v float64) {
 		}
 	}
 	h.counts[lo].Add(1)
+	if traceID != "" {
+		h.exemplars[lo].Store(&Exemplar{TraceID: traceID, Value: v})
+	}
 	h.count.Add(1)
 	for {
 		old := h.sum.Load()
@@ -80,6 +106,16 @@ func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 
 // Bounds returns the bucket upper bounds (excluding +Inf).
 func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// BucketExemplar returns the pinned exemplar of bucket i (0-based over
+// bounds, len(bounds) = the +Inf bucket), or nil when the bucket never
+// saw a traced observation.
+func (h *Histogram) BucketExemplar(i int) *Exemplar {
+	if i < 0 || i >= len(h.exemplars) {
+		return nil
+	}
+	return h.exemplars[i].Load()
+}
 
 // Cumulative returns the cumulative count at each bound plus the +Inf
 // total, matching the Prometheus _bucket series. The snapshot is not

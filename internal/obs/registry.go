@@ -370,14 +370,28 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 			case TypeHistogram:
 				cum := s.hist.Cumulative()
 				for i, bound := range f.bounds {
-					writeSample(w, f.name, bucketKey(key, fmt.Sprintf("%g", bound)), "_bucket", float64(cum[i]))
+					writeBucket(w, f.name, bucketKey(key, fmt.Sprintf("%g", bound)), float64(cum[i]), s.hist.BucketExemplar(i))
 				}
-				writeSample(w, f.name, bucketKey(key, "+Inf"), "_bucket", float64(cum[len(cum)-1]))
+				writeBucket(w, f.name, bucketKey(key, "+Inf"), float64(cum[len(cum)-1]), s.hist.BucketExemplar(len(f.bounds)))
 				writeSample(w, f.name, key, "_sum", s.hist.Sum())
 				writeSample(w, f.name, key, "_count", float64(s.hist.Count()))
 			}
 		}
 	}
+}
+
+// writeBucket renders one cumulative _bucket sample, appending the
+// bucket's pinned exemplar OpenMetrics-style (` # {trace_id="qid"} v`)
+// when one exists — the scrapeable link from a latency/alloc bucket to
+// the query trace that landed in it. Classic 0.0.4 parsers that choke
+// on exemplar syntax still match the leading sample text.
+func writeBucket(w io.Writer, name, labelStr string, v float64, ex *Exemplar) {
+	if ex == nil {
+		writeSample(w, name, labelStr, "_bucket", v)
+		return
+	}
+	fmt.Fprintf(w, "%s_bucket{%s} %s # {trace_id=%q} %s\n",
+		name, labelStr, formatValue(v), ex.TraceID, formatValue(ex.Value))
 }
 
 // bucketKey appends the le label to an existing label string.

@@ -33,8 +33,22 @@ func (tr *QueryTrace) Render(w io.Writer, perRank bool) {
 		}
 		fmt.Fprintln(w, "phases:", strings.Join(parts, " "))
 	}
+	if tr.QueueWaitSeconds > 0 {
+		fmt.Fprintf(w, "admission queue-wait %.6fs\n", tr.QueueWaitSeconds)
+	}
+	if r := tr.Resources; r != nil {
+		fmt.Fprintf(w, "resources: alloc %s (%d mallocs)  op-accounted %s (%d mallocs, %.0f%% of alloc)  cpu %.6fs\n",
+			FormatBytes(r.AllocBytes), r.Mallocs,
+			FormatBytes(r.OpAllocBytes), r.OpMallocs, 100*r.OpCoverage(), r.CPUSeconds)
+	}
+	// A non-nil Cache block means a result cache is attached; all-zero
+	// counts are themselves informative (this query bypassed it).
+	if c := tr.Cache; c != nil {
+		fmt.Fprintf(w, "cache: dram-local %d  dram-remote %d  ssd %d  stash %d  miss %d  |  result-cache %d hit / %d miss\n",
+			c.DRAMLocal, c.DRAMRemote, c.SSD, c.Stash, c.Misses, c.ResultHits, c.ResultMisses)
+	}
 
-	t := metrics.NewTable("", "operator", "rows-in", "rows-out", "vt-max(s)", "vt-mean(s)", "skew", "wall-max(s)", "detail")
+	t := metrics.NewTable("", "operator", "rows-in", "rows-out", "vt-max(s)", "vt-mean(s)", "skew", "wall-max(s)", "cpu(s)", "alloc", "mallocs", "detail")
 	for _, op := range tr.Ops {
 		indent := strings.Repeat("  ", op.Depth)
 		label := op.Label
@@ -46,16 +60,33 @@ func (tr *QueryTrace) Render(w io.Writer, perRank bool) {
 		}
 		t.AddRow(indent+op.Op, op.RowsIn, op.RowsOut,
 			fmt.Sprintf("%.6f", op.VTMax), fmt.Sprintf("%.6f", op.VTMean),
-			fmt.Sprintf("%.2f", op.Skew), fmt.Sprintf("%.6f", op.WallMax), label)
+			fmt.Sprintf("%.2f", op.Skew), fmt.Sprintf("%.6f", op.WallMax),
+			fmt.Sprintf("%.6f", op.CPUSeconds), FormatBytes(op.AllocBytes), op.Mallocs, label)
 		if perRank {
 			for _, rk := range op.Ranks {
 				t.AddRow(fmt.Sprintf("%s  · rank %d", indent, rk.Rank), rk.RowsIn, rk.RowsOut,
-					fmt.Sprintf("%.6f", rk.VT), "", "", fmt.Sprintf("%.6f", rk.Wall), rk.Note)
+					fmt.Sprintf("%.6f", rk.VT), "", "", fmt.Sprintf("%.6f", rk.Wall),
+					fmt.Sprintf("%.6f", rk.Wall), FormatBytes(rk.AllocBytes), rk.Mallocs, rk.Note)
 			}
 		}
 	}
 	t.Render(w)
 	fmt.Fprintf(w, "%d rows returned\n", tr.Rows)
+}
+
+// FormatBytes renders a byte count human-readably (binary units, one
+// decimal), e.g. "20.0MiB"; counts under 1KiB stay exact ("712B").
+func FormatBytes(n int64) string {
+	const unit = 1024
+	if n < unit {
+		return fmt.Sprintf("%dB", n)
+	}
+	div, exp := int64(unit), 0
+	for v := n / unit; v >= unit; v /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f%ciB", float64(n)/float64(div), "KMGTPE"[exp])
 }
 
 // String renders the trace without per-rank detail.

@@ -44,8 +44,17 @@ type OpSample struct {
 	// VT is the virtual-clock seconds the operator advanced this
 	// rank's clock by (the paper's simulated time).
 	VT float64 `json:"vt_seconds"`
-	// Wall is the measured wall-clock seconds on this rank.
+	// Wall is the measured wall-clock seconds on this rank. It doubles
+	// as the per-rank CPU-time proxy: rank goroutines are CPU-bound on
+	// real kernels, and virtually-charged kernels add no wall time.
 	Wall float64 `json:"wall_seconds"`
+	// AllocBytes/Mallocs are the operator-local accounted heap
+	// footprint this operator materialized on this rank (see
+	// exec.Footprint) — a deliberate under-estimate of physical
+	// allocation, cross-checked against the query's runtime/metrics
+	// delta in ResourceUsage.
+	AllocBytes int64 `json:"alloc_bytes,omitempty"`
+	Mallocs    int64 `json:"mallocs,omitempty"`
 	// Note carries operator extras (conjunct order chosen, rows
 	// migrated by re-balancing, ...).
 	Note string `json:"note,omitempty"`
@@ -73,12 +82,14 @@ func (rr *RankRecorder) Record(s OpSample) {
 // RankOp is one rank's contribution to an operator, as stored in the
 // assembled trace.
 type RankOp struct {
-	Rank    int     `json:"rank"`
-	RowsIn  int     `json:"rows_in"`
-	RowsOut int     `json:"rows_out"`
-	VT      float64 `json:"vt_seconds"`
-	Wall    float64 `json:"wall_seconds"`
-	Note    string  `json:"note,omitempty"`
+	Rank       int     `json:"rank"`
+	RowsIn     int     `json:"rows_in"`
+	RowsOut    int     `json:"rows_out"`
+	VT         float64 `json:"vt_seconds"`
+	Wall       float64 `json:"wall_seconds"`
+	AllocBytes int64   `json:"alloc_bytes,omitempty"`
+	Mallocs    int64   `json:"mallocs,omitempty"`
+	Note       string  `json:"note,omitempty"`
 }
 
 // OpTrace is one operator of the query, aggregated over ranks.
@@ -95,9 +106,16 @@ type OpTrace struct {
 	VTMean float64 `json:"vt_mean_seconds"`
 	Skew   float64 `json:"skew"`
 	// WallMax is the slowest rank's wall time.
-	WallMax float64  `json:"wall_max_seconds"`
-	Note    string   `json:"note,omitempty"`
-	Ranks   []RankOp `json:"ranks,omitempty"`
+	WallMax float64 `json:"wall_max_seconds"`
+	// CPUSeconds sums measured wall time over ranks — the operator's
+	// CPU-time proxy (rank goroutines are CPU-bound on real kernels).
+	CPUSeconds float64 `json:"cpu_seconds"`
+	// AllocBytes/Mallocs sum the operator-local accounted footprint
+	// over ranks.
+	AllocBytes int64    `json:"alloc_bytes"`
+	Mallocs    int64    `json:"mallocs"`
+	Note       string   `json:"note,omitempty"`
+	Ranks      []RankOp `json:"ranks,omitempty"`
 }
 
 // QueryTrace is one query's full execution timeline.
@@ -121,11 +139,21 @@ type QueryTrace struct {
 	// Phases is the per-phase bottleneck breakdown from the MPP report.
 	Phases map[string]float64 `json:"phases,omitempty"`
 	// Collective traffic over the whole query.
-	Collectives int64     `json:"collectives"`
-	CommBytes   int64     `json:"comm_bytes"`
-	CommSeconds float64   `json:"comm_seconds"`
-	Plan        string    `json:"plan,omitempty"`
-	Ops         []OpTrace `json:"ops"`
+	Collectives int64   `json:"collectives"`
+	CommBytes   int64   `json:"comm_bytes"`
+	CommSeconds float64 `json:"comm_seconds"`
+	// QueueWaitSeconds is the time the query spent in the admission
+	// queue before executing (set by the HTTP layer; 0 for direct
+	// engine calls or immediately admitted queries).
+	QueueWaitSeconds float64 `json:"queue_wait_seconds,omitempty"`
+	// Resources is the per-query resource attribution block (nil for
+	// traces recorded before attribution, e.g. error stubs).
+	Resources *ResourceUsage `json:"resources,omitempty"`
+	// Cache carries the query's cache context: per-tier hit deltas and
+	// result-cache totals (nil when the engine has no cache attached).
+	Cache *CacheInfo `json:"cache,omitempty"`
+	Plan  string     `json:"plan,omitempty"`
+	Ops   []OpTrace  `json:"ops"`
 }
 
 // BuildTrace assembles the per-rank recordings into a QueryTrace. The
@@ -152,6 +180,9 @@ func BuildTrace(id, query string, start time.Time, recs []*RankRecorder, perRank
 			s := rr.Samples[i]
 			op.RowsIn += s.RowsIn
 			op.RowsOut += s.RowsOut
+			op.CPUSeconds += s.Wall
+			op.AllocBytes += s.AllocBytes
+			op.Mallocs += s.Mallocs
 			sum += s.VT
 			if s.VT > op.VTMax {
 				op.VTMax = s.VT
@@ -165,7 +196,8 @@ func BuildTrace(id, query string, start time.Time, recs []*RankRecorder, perRank
 			if perRank {
 				op.Ranks = append(op.Ranks, RankOp{
 					Rank: rr.Rank, RowsIn: s.RowsIn, RowsOut: s.RowsOut,
-					VT: s.VT, Wall: s.Wall, Note: s.Note,
+					VT: s.VT, Wall: s.Wall,
+					AllocBytes: s.AllocBytes, Mallocs: s.Mallocs, Note: s.Note,
 				})
 			}
 		}
