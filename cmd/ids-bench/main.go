@@ -52,11 +52,15 @@ func main() {
 	benchOut := flag.String("bench-out", "", `load mode: write a machine-readable baseline JSON here ("auto" = BENCH_<date>.json)`)
 	chaosSeed := flag.Int64("chaos-seed", 0, "replay one chaos schedule by seed, with verbose narration (non-zero exit on an invariant violation)")
 	compare := flag.Bool("compare", false, "regression gate: diff two baseline JSON files (args: baseline.json new.json), exit 1 on regression")
-	maxQPSDrop := flag.Float64("max-qps-drop", 0, "compare: max tolerated fractional QPS drop (0 = default 0.5)")
-	maxP50Growth := flag.Float64("max-p50-growth", 0, "compare: max tolerated fractional p50 latency growth (0 = default 1.0)")
-	maxP99Growth := flag.Float64("max-p99-growth", 0, "compare: max tolerated fractional p99 latency growth (0 = default 2.0)")
-	maxAllocGrowth := flag.Float64("max-alloc-growth", 0, "compare: max tolerated fractional alloc-bytes-per-query growth (0 = default 0.3)")
-	maxMallocsGrowth := flag.Float64("max-mallocs-growth", 0, "compare: max tolerated fractional mallocs-per-query growth (0 = default 0.3)")
+	// Threshold flags default to the real defaults (not a 0 sentinel)
+	// so 0 is a valid explicit value: fail on any regression at all.
+	defTh := experiments.DefaultCompareThresholds()
+	th := defTh
+	flag.Float64Var(&th.MaxQPSDrop, "max-qps-drop", defTh.MaxQPSDrop, "compare: max tolerated fractional QPS drop")
+	flag.Float64Var(&th.MaxP50Growth, "max-p50-growth", defTh.MaxP50Growth, "compare: max tolerated fractional p50 latency growth")
+	flag.Float64Var(&th.MaxP99Growth, "max-p99-growth", defTh.MaxP99Growth, "compare: max tolerated fractional p99 latency growth")
+	flag.Float64Var(&th.MaxAllocGrowth, "max-alloc-growth", defTh.MaxAllocGrowth, "compare: max tolerated fractional alloc-bytes-per-query growth")
+	flag.Float64Var(&th.MaxMallocsGrowth, "max-mallocs-growth", defTh.MaxMallocsGrowth, "compare: max tolerated fractional mallocs-per-query growth")
 	flag.Parse()
 
 	if *chaosSeed != 0 {
@@ -64,21 +68,17 @@ func main() {
 	}
 
 	if *compare {
-		th := experiments.DefaultCompareThresholds()
-		if *maxQPSDrop > 0 {
-			th.MaxQPSDrop = *maxQPSDrop
-		}
-		if *maxP50Growth > 0 {
-			th.MaxP50Growth = *maxP50Growth
-		}
-		if *maxP99Growth > 0 {
-			th.MaxP99Growth = *maxP99Growth
-		}
-		if *maxAllocGrowth > 0 {
-			th.MaxAllocGrowth = *maxAllocGrowth
-		}
-		if *maxMallocsGrowth > 0 {
-			th.MaxMallocsGrowth = *maxMallocsGrowth
+		for name, v := range map[string]float64{
+			"-max-qps-drop":       th.MaxQPSDrop,
+			"-max-p50-growth":     th.MaxP50Growth,
+			"-max-p99-growth":     th.MaxP99Growth,
+			"-max-alloc-growth":   th.MaxAllocGrowth,
+			"-max-mallocs-growth": th.MaxMallocsGrowth,
+		} {
+			if v < 0 {
+				fmt.Fprintf(os.Stderr, "compare: %s must be >= 0 (got %g)\n", name, v)
+				os.Exit(2)
+			}
 		}
 		os.Exit(runCompare(flag.Args(), th))
 	}

@@ -196,10 +196,17 @@ func (c *Client) FlightArtifact(qid, artifact string, w io.Writer) error {
 	return err
 }
 
-// MetricsText fetches the Prometheus text exposition of the server's
-// metrics registry.
+// MetricsText fetches the text exposition of the server's metrics
+// registry. It negotiates OpenMetrics so histogram buckets carry their
+// trace-ID exemplars (plain scrapes of /metrics get exemplar-free
+// 0.0.4, which classic Prometheus parsers require).
 func (c *Client) MetricsText() (string, error) {
-	resp, err := c.HTTP.Get(c.Base + "/metrics")
+	req, err := http.NewRequest(http.MethodGet, c.Base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Accept", "application/openmetrics-text")
+	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		return "", err
 	}

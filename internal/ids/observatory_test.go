@@ -3,6 +3,8 @@ package ids
 import (
 	"bytes"
 	"fmt"
+	"io"
+	"net/http"
 	"runtime"
 	"strings"
 	"sync"
@@ -144,6 +146,64 @@ func TestExplainAnalyzeResourceAttribution(t *testing.T) {
 	}
 	if !strings.Contains(text, `ids_op_alloc_bytes_total{op="scan"}`) {
 		t.Error("/metrics missing per-operator alloc counter for scan")
+	}
+}
+
+// TestMetricsContentNegotiation pins the exposition split on /metrics:
+// a plain scrape gets classic 0.0.4 with no exemplar syntax (the 0.0.4
+// parser reads the '#' after a sample value as a malformed timestamp
+// and fails the entire scrape), while a scraper sending
+// Accept: application/openmetrics-text gets the exemplar-bearing
+// exposition with its mandatory `# EOF` terminator.
+func TestMetricsContentNegotiation(t *testing.T) {
+	e := newEngine(t, 4)
+	s := NewServerConfig(e, ServerConfig{})
+	c, done := clientFor(t, s)
+	defer done()
+
+	// Every query is traced, so this pins trace-ID exemplars in the
+	// latency and alloc histograms.
+	if _, err := c.Query(`SELECT ?s WHERE { ?s <http://x/name> ?n . }`); err != nil {
+		t.Fatal(err)
+	}
+
+	code, ct, body := getBody(t, c.Base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("plain /metrics status = %d", code)
+	}
+	if !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("plain /metrics content-type = %q", ct)
+	}
+	if strings.Contains(body, "trace_id") {
+		t.Error("0.0.4 exposition carries exemplars — classic Prometheus parsers reject them")
+	}
+	if strings.Contains(body, "# EOF") {
+		t.Error("0.0.4 exposition carries the OpenMetrics terminator")
+	}
+
+	req, err := http.NewRequest(http.MethodGet, c.Base+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "application/openmetrics-text")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	om := string(b)
+	if got := resp.Header.Get("Content-Type"); !strings.HasPrefix(got, "application/openmetrics-text") {
+		t.Errorf("OpenMetrics content-type = %q", got)
+	}
+	if !strings.Contains(om, "trace_id") {
+		t.Error("OpenMetrics exposition missing exemplars")
+	}
+	if !strings.HasSuffix(om, "# EOF\n") {
+		t.Error("OpenMetrics exposition missing # EOF terminator")
 	}
 }
 

@@ -466,9 +466,15 @@ func (s *Server) maybeFlightCapture(qid string, slow bool, wall float64, tr *obs
 		reason = "alloc"
 	}
 	captured := s.flightrec.Capture(qid, reason, wall, allocBytes, tr)
-	caps, suppr := s.flightrec.Stats()
-	s.flightrecCaps.Set(float64(caps))
-	s.flightrecSuppr.Set(float64(suppr))
+	// Increment from this breach's own outcome rather than Set-ing a
+	// Stats() snapshot: two concurrent breaches could Set out of order,
+	// making the _total transiently decrease — which Prometheus reads
+	// as a counter reset and inflates rate()/increase().
+	if captured {
+		s.flightrecCaps.Inc()
+	} else {
+		s.flightrecSuppr.Inc()
+	}
 	if captured {
 		s.log.Warn("flight recorder capture", "qid", qid, "reason", reason,
 			"wall_seconds", wall, "alloc_bytes", allocBytes)
@@ -515,11 +521,23 @@ func (s *Server) handleFlightRec(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// openMetricsContentType labels the OpenMetrics exposition.
+const openMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
 // handleMetrics serves the engine registry in Prometheus text
-// exposition format. Safe to scrape at any time: counters are atomic
-// and the UDF-profile collector reads internally synchronized
-// profilers, so no serialization against running queries is needed.
+// exposition format. A scraper that negotiates OpenMetrics
+// (Accept: application/openmetrics-text) gets the exemplar-bearing
+// exposition with its `# EOF` terminator; everyone else gets classic
+// 0.0.4, whose parser would reject exemplar suffixes. Safe to scrape
+// at any time: counters are atomic and the UDF-profile collector reads
+// internally synchronized profilers, so no serialization against
+// running queries is needed.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
+		w.Header().Set("Content-Type", openMetricsContentType)
+		s.Engine.Metrics().WriteOpenMetrics(w)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.Engine.Metrics().WritePrometheus(w)
 }

@@ -134,8 +134,20 @@ func TestHistogramExemplarExposition(t *testing.T) {
 	h.ObserveExemplar(5.0, "q000042") // lands in the (1,10] bucket
 	h.ObserveExemplar(0.5, "q000043") // lands in the (0.1,1] bucket
 
+	// Exemplars are OpenMetrics-only: the classic 0.0.4 parser reads
+	// the token after the value as a timestamp and fails the scrape,
+	// so WritePrometheus must stay exemplar-free.
+	var plain strings.Builder
+	r.WritePrometheus(&plain)
+	if strings.Contains(plain.String(), "trace_id") {
+		t.Errorf("0.0.4 exposition carries exemplars:\n%s", plain.String())
+	}
+	if strings.Contains(plain.String(), "# EOF") {
+		t.Errorf("0.0.4 exposition carries the OpenMetrics terminator:\n%s", plain.String())
+	}
+
 	var sb strings.Builder
-	r.WritePrometheus(&sb)
+	r.WriteOpenMetrics(&sb)
 	text := sb.String()
 
 	if !strings.Contains(text, `# {trace_id="q000042"} 5`) {
@@ -144,8 +156,14 @@ func TestHistogramExemplarExposition(t *testing.T) {
 	if !strings.Contains(text, `# {trace_id="q000043"} 0.5`) {
 		t.Errorf("exposition missing exemplar for q000043:\n%s", text)
 	}
+	if !strings.HasSuffix(text, "# EOF\n") {
+		t.Errorf("OpenMetrics exposition missing # EOF terminator:\n%s", text)
+	}
 	// Exemplars ride only on _bucket lines; _sum/_count stay classic.
 	for _, line := range strings.Split(text, "\n") {
+		if line == "# EOF" {
+			continue
+		}
 		if strings.Contains(line, "#") && strings.Contains(line, "trace_id") &&
 			!strings.Contains(line, "_bucket{") {
 			t.Errorf("exemplar on non-bucket line: %s", line)

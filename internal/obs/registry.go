@@ -338,9 +338,30 @@ func (r *Registry) collect() []*family {
 	return out
 }
 
-// WritePrometheus renders the registry in the Prometheus text
-// exposition format (version 0.0.4).
+// WritePrometheus renders the registry in the classic Prometheus text
+// exposition format (version 0.0.4). No exemplars: the 0.0.4 parser
+// treats anything after the sample value as a timestamp, so exemplar
+// suffixes would fail the whole scrape. Scrapers that want exemplars
+// negotiate OpenMetrics (WriteOpenMetrics) instead.
 func (r *Registry) WritePrometheus(w io.Writer) {
+	r.write(w, false)
+}
+
+// WriteOpenMetrics renders the registry in the OpenMetrics text
+// exposition format: histogram _bucket lines carry their pinned
+// trace-ID exemplar (` # {trace_id="qid"} v`) — the scrapeable link
+// from a latency/alloc bucket to the query trace that landed in it —
+// and the output ends with the mandatory `# EOF` terminator. Serve
+// this only when the scraper sent Accept: application/openmetrics-text
+// and label the response with the matching Content-Type.
+func (r *Registry) WriteOpenMetrics(w io.Writer) {
+	r.write(w, true)
+	fmt.Fprintln(w, "# EOF")
+}
+
+// write renders all families; exemplars selects the OpenMetrics
+// bucket syntax (the two expositions otherwise share sample text).
+func (r *Registry) write(w io.Writer, exemplars bool) {
 	for _, f := range r.collect() {
 		if len(f.series) == 0 {
 			continue
@@ -370,9 +391,17 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 			case TypeHistogram:
 				cum := s.hist.Cumulative()
 				for i, bound := range f.bounds {
-					writeBucket(w, f.name, bucketKey(key, fmt.Sprintf("%g", bound)), float64(cum[i]), s.hist.BucketExemplar(i))
+					var ex *Exemplar
+					if exemplars {
+						ex = s.hist.BucketExemplar(i)
+					}
+					writeBucket(w, f.name, bucketKey(key, fmt.Sprintf("%g", bound)), float64(cum[i]), ex)
 				}
-				writeBucket(w, f.name, bucketKey(key, "+Inf"), float64(cum[len(cum)-1]), s.hist.BucketExemplar(len(f.bounds)))
+				var ex *Exemplar
+				if exemplars {
+					ex = s.hist.BucketExemplar(len(f.bounds))
+				}
+				writeBucket(w, f.name, bucketKey(key, "+Inf"), float64(cum[len(cum)-1]), ex)
 				writeSample(w, f.name, key, "_sum", s.hist.Sum())
 				writeSample(w, f.name, key, "_count", float64(s.hist.Count()))
 			}
@@ -382,9 +411,8 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 
 // writeBucket renders one cumulative _bucket sample, appending the
 // bucket's pinned exemplar OpenMetrics-style (` # {trace_id="qid"} v`)
-// when one exists — the scrapeable link from a latency/alloc bucket to
-// the query trace that landed in it. Classic 0.0.4 parsers that choke
-// on exemplar syntax still match the leading sample text.
+// when one was passed in (OpenMetrics exposition only — never in the
+// 0.0.4 rendering, whose parser rejects the suffix).
 func writeBucket(w io.Writer, name, labelStr string, v float64, ex *Exemplar) {
 	if ex == nil {
 		writeSample(w, name, labelStr, "_bucket", v)
