@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Scorer holds the substitution matrix and affine gap penalties for an
@@ -106,18 +107,61 @@ func (p *Profile) SelfScore() int { return p.selfScore }
 // Length returns the query length.
 func (p *Profile) Length() int { return p.length }
 
+// dpScratch is the per-alignment working set, pooled so the bulk-scan
+// UDF path (millions of Align calls per query) does not allocate per
+// call. The buffers are resized on demand and fully overwritten before
+// use.
+type dpScratch struct {
+	t []int8
+	H []int
+	E []int
+}
+
+var dpPool = sync.Pool{New: func() any { return &dpScratch{} }}
+
+// encodeInto maps a protein sequence into dst (grown as needed),
+// avoiding the per-call allocation of encode.
+func encodeInto(dst []int8, seq string) ([]int8, error) {
+	if len(seq) == 0 {
+		return nil, ErrEmptySequence
+	}
+	if cap(dst) < len(seq) {
+		dst = make([]int8, len(seq))
+	}
+	dst = dst[:len(seq)]
+	for i := 0; i < len(seq); i++ {
+		idx := residueIndex[seq[i]]
+		if idx < 0 {
+			return nil, fmt.Errorf("%w: %q at %d", ErrBadResidue, seq[i], i)
+		}
+		dst[i] = idx
+	}
+	return dst, nil
+}
+
 // Align runs affine-gap Smith-Waterman of the profiled query against
 // target, using two rolling DP rows (score-only, O(target) memory).
 func (p *Profile) Align(target string) (Result, error) {
-	t, err := encode(target)
+	sc := dpPool.Get().(*dpScratch)
+	defer dpPool.Put(sc)
+	t, err := encodeInto(sc.t, target)
 	if err != nil {
 		return Result{}, err
 	}
+	sc.t = t
 	s := p.scorer
 	n := p.length
 	// H[j]: best score ending at (i, j); E[j]: best with gap in query.
-	H := make([]int, n+1)
-	E := make([]int, n+1)
+	if cap(sc.H) < n+1 {
+		sc.H = make([]int, n+1)
+		sc.E = make([]int, n+1)
+	}
+	H := sc.H[:n+1]
+	E := sc.E[:n+1]
+	for j := range H {
+		H[j] = 0
+		E[j] = 0
+	}
 	best := Result{EndQuery: -1, EndTarget: -1}
 	for i := 0; i < len(t); i++ {
 		col := p.cols[t[i]]

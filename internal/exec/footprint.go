@@ -64,3 +64,20 @@ func HashBuildFootprint(n int) (bytes, mallocs int64) {
 	}
 	return int64(n) * hashBuildBytesPerRow, int64(n)
 }
+
+// MaterializeFootprint returns the accounted footprint of Batch.
+// Materialize's output: the table struct itself, plus (for non-empty
+// batches) one shared cell backing array and one row-header array.
+// These are always genuinely fresh heap objects — result rows escape
+// to the caller and can never live in an arena — which is what keeps
+// the op-accounted ledger strictly positive on the columnar path.
+func (b *Batch) MaterializeFootprint() (bytes, mallocs int64) {
+	bytes = 2 * sliceHeaderSize // Table struct: Vars + Rows headers
+	mallocs = 1
+	if b.NRows > 0 {
+		n, w := int64(b.NRows), int64(len(b.Vars))
+		bytes += n*w*valueSize + n*sliceHeaderSize
+		mallocs += 2 // cells array + row-header array
+	}
+	return bytes, mallocs
+}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"math"
+	"runtime"
 	"slices"
 	"sync"
 	"sync/atomic"
@@ -21,6 +22,9 @@ type LoadPoint struct {
 	QPS         float64 `json:"qps"`
 	P50Ms       float64 `json:"p50_ms"`
 	P99Ms       float64 `json:"p99_ms"`
+	// GOMAXPROCS records the scheduler parallelism the point ran
+	// under, so committed bench baselines are comparable across hosts.
+	GOMAXPROCS int `json:"gomaxprocs"`
 }
 
 // percentile returns the q-th sample quantile of an ascending-sorted
@@ -99,6 +103,7 @@ func ConcurrentLoad(sc Scale, nodes, concurrency, queries int) (*LoadPoint, erro
 		WallSec:     wall,
 		P50Ms:       percentile(lat, 0.50) * 1000,
 		P99Ms:       percentile(lat, 0.99) * 1000,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 	}
 	if wall > 0 {
 		pt.QPS = float64(queries) / wall

@@ -35,6 +35,12 @@ type Ctx struct {
 	// Cost accumulates the total UDF virtual seconds charged during
 	// evaluations through this context.
 	Cost float64
+	// argbuf is a reusable argument-frame stack for Call nodes. A Ctx
+	// lives for a whole operator (thousands of rows), so growing it
+	// once amortizes the per-call slice that used to be allocated for
+	// every UDF invocation. Callees must not retain the args slice;
+	// the registry copies what it memoizes.
+	argbuf []Value
 }
 
 // Evaluation errors.
@@ -150,16 +156,22 @@ func Eval(e Expr, ctx *Ctx) (Value, error) {
 		if ctx.Funcs == nil {
 			return Null, fmt.Errorf("%w: %s", ErrNoResolver, n.Name)
 		}
-		args := make([]Value, len(n.Args))
-		for i, a := range n.Args {
+		// Argument frames are pushed on the context's reusable stack
+		// (nested calls evaluate their arguments above the caller's
+		// frame), so steady-state evaluation allocates nothing here.
+		base := len(ctx.argbuf)
+		for _, a := range n.Args {
 			v, err := Eval(a, ctx)
 			if err != nil {
+				ctx.argbuf = ctx.argbuf[:base]
 				return Null, err
 			}
 			// UDFs receive concrete values, never raw IDs.
-			args[i] = resolve(v, ctx.Terms)
+			ctx.argbuf = append(ctx.argbuf, resolve(v, ctx.Terms))
 		}
+		args := ctx.argbuf[base:len(ctx.argbuf):len(ctx.argbuf)]
 		out, cost, err := ctx.Funcs.CallUDF(n.Name, args)
+		ctx.argbuf = ctx.argbuf[:base]
 		ctx.Cost += cost
 		if err != nil {
 			return Null, fmt.Errorf("expr: UDF %s: %w", n.Name, err)

@@ -72,6 +72,7 @@ type versionedRow struct {
 type Store struct {
 	mu      sync.RWMutex
 	schema  Schema
+	cols    map[string]int            // field name -> schema index
 	rows    map[string][]versionedRow // entity -> versions ascending
 	nextVer int
 }
@@ -88,7 +89,11 @@ func New(schema Schema) (*Store, error) {
 		}
 		seen[f.Name] = true
 	}
-	return &Store{schema: schema, rows: map[string][]versionedRow{}, nextVer: 1}, nil
+	cols := make(map[string]int, len(schema))
+	for i, f := range schema {
+		cols[f.Name] = i
+	}
+	return &Store{schema: schema, cols: cols, rows: map[string][]versionedRow{}, nextVer: 1}, nil
 }
 
 // Schema returns the store's schema.
@@ -158,10 +163,12 @@ func (s *Store) At(entity string, v int) ([]expr.Value, error) {
 	return out, nil
 }
 
-// GetField returns one field of the latest row.
+// GetField returns one field of the latest row. The column index
+// comes from the map built at construction, not a schema scan — this
+// runs once per FILTER row through the store's UDF closures.
 func (s *Store) GetField(entity, field string) (expr.Value, error) {
-	c := s.schema.Col(field)
-	if c < 0 {
+	c, ok := s.cols[field]
+	if !ok {
 		return expr.Null, fmt.Errorf("%w: %s", ErrNoField, field)
 	}
 	row, _, err := s.Latest(entity)
@@ -194,10 +201,20 @@ func (s *Store) Len() int {
 // named field of the latest row — how the feature store plugs into
 // FILTER expressions.
 func (s *Store) UDF(field string) func(args []expr.Value) (expr.Value, error) {
+	// Resolve the column once at closure construction; an unknown field
+	// still errors per call so registration stays infallible.
+	c, ok := s.cols[field]
 	return func(args []expr.Value) (expr.Value, error) {
 		if len(args) != 1 || args[0].Kind != expr.KindString {
 			return expr.Null, errors.New("feature: UDF expects one string entity key")
 		}
-		return s.GetField(args[0].Str, field)
+		if !ok {
+			return expr.Null, fmt.Errorf("%w: %s", ErrNoField, field)
+		}
+		row, _, err := s.Latest(args[0].Str)
+		if err != nil {
+			return expr.Null, err
+		}
+		return row[c], nil
 	}
 }

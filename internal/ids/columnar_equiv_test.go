@@ -1,0 +1,242 @@
+package ids
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ids/internal/dict"
+	"ids/internal/kg"
+	"ids/internal/mpp"
+	"ids/internal/sparql"
+)
+
+// Row/columnar equivalence: the batch engine must produce the exact
+// same result SET as the row engine for every query both can parse and
+// plan. Rows compare as sorted decoded renderings — hash-join chain
+// order differs between the engines (set semantics; SPARQL imposes no
+// order beyond ORDER BY, and ties under ORDER BY are unspecified).
+
+// equivGraph is a multi-shard graph rich enough to drive every
+// operator: typed entities, literal attributes, sparse optional edges,
+// and two disjoint predicate families for UNION branches.
+func equivGraph(shards int) *kg.Graph {
+	g := kg.New(shards)
+	iri := func(s string) dict.Term { return dict.Term{Kind: dict.IRI, Value: s} }
+	lit := func(s string) dict.Term { return dict.Term{Kind: dict.Literal, Value: s} }
+	for i := 0; i < 40; i++ {
+		s := iri(fmt.Sprintf("http://x/e%d", i))
+		g.Add(s, iri("http://x/tag"), lit(fmt.Sprintf("tag%d", i%5)))
+		g.Add(s, iri("http://x/score"), lit(strconv.Itoa(i*3%97)))
+		if i%2 == 0 {
+			g.Add(s, iri("http://x/desc"), lit(fmt.Sprintf("desc-%d", i)))
+		}
+		if i%3 == 0 {
+			g.Add(s, iri("http://x/links"), iri(fmt.Sprintf("http://x/e%d", (i+7)%40)))
+		}
+		if i%4 == 0 {
+			g.Add(s, iri("http://x/alt"), lit(fmt.Sprintf("tag%d", i%5)))
+		}
+	}
+	// A few duplicate-shaped triples so DISTINCT has work to do.
+	for i := 0; i < 10; i++ {
+		g.Add(iri(fmt.Sprintf("http://x/e%d", i)), iri("http://x/tag"), lit("tag0"))
+	}
+	g.Seal()
+	return g
+}
+
+// equivQueries is the committed equivalence corpus: one query per
+// operator combination, including the recovery-equivalence set from
+// durability_test.go.
+var equivQueries = []string{
+	// Recovery-equivalence set.
+	`SELECT ?s ?o WHERE { ?s <http://x/tag> ?o . } ORDER BY ?s ?o`,
+	`SELECT ?s ?d WHERE { ?s <http://x/desc> ?d . } ORDER BY ?d`,
+	`SELECT ?s WHERE { ?s <http://x/tag> "tag1" . ?s <http://x/desc> ?d . } ORDER BY ?s`,
+	// Scans: wildcard, bound subject, bound object, repeated variable.
+	`SELECT ?s ?p ?o WHERE { ?s ?p ?o . }`,
+	`SELECT ?p ?o WHERE { <http://x/e4> ?p ?o . }`,
+	`SELECT ?s WHERE { ?s <http://x/tag> "tag3" . }`,
+	`SELECT ?s WHERE { ?s <http://x/links> ?s . }`,
+	// Join chains and cross products.
+	`SELECT ?a ?b WHERE { ?a <http://x/links> ?b . ?b <http://x/links> ?c . }`,
+	`SELECT ?a ?t WHERE { ?a <http://x/links> ?b . ?b <http://x/tag> ?t . ?a <http://x/desc> ?d . }`,
+	`SELECT ?a ?b WHERE { ?a <http://x/desc> ?x . ?b <http://x/alt> ?y . } LIMIT 400`,
+	// FILTER arithmetic and comparisons.
+	`SELECT ?s WHERE { ?s <http://x/score> ?v . FILTER(?v >= 40 && ?v < 70) }`,
+	`SELECT ?s ?v WHERE { ?s <http://x/score> ?v . FILTER(?v * 2 > 100 || ?v = 3) }`,
+	// OPTIONAL null extension, with and without downstream use.
+	`SELECT ?s ?d WHERE { ?s <http://x/tag> ?t . OPTIONAL { ?s <http://x/desc> ?d . } }`,
+	`SELECT ?s ?d ?l WHERE { ?s <http://x/score> ?v . OPTIONAL { ?s <http://x/desc> ?d . } OPTIONAL { ?s <http://x/links> ?l . } }`,
+	// UNION over disjoint and overlapping branches.
+	`SELECT ?s ?t WHERE { { ?s <http://x/tag> ?t . } UNION { ?s <http://x/alt> ?t . } }`,
+	`SELECT ?s WHERE { { ?s <http://x/desc> ?d . } UNION { ?s <http://x/desc> ?d . } }`,
+	// DISTINCT, ORDER BY, OFFSET/LIMIT.
+	`SELECT DISTINCT ?t WHERE { ?s <http://x/tag> ?t . } ORDER BY ?t`,
+	`SELECT DISTINCT ?s WHERE { ?s <http://x/tag> "tag0" . } ORDER BY ?s LIMIT 5 OFFSET 2`,
+	// Aggregates.
+	`SELECT (COUNT(?s) AS ?n) WHERE { ?s <http://x/desc> ?d . }`,
+	`SELECT ?t (COUNT(?s) AS ?n) (MIN(?v) AS ?lo) (MAX(?v) AS ?hi) WHERE { ?s <http://x/tag> ?t . ?s <http://x/score> ?v . } GROUP BY ?t ORDER BY ?t`,
+	`SELECT ?t (AVG(?v) AS ?m) WHERE { ?s <http://x/tag> ?t . ?s <http://x/score> ?v . FILTER(?v > 10) } GROUP BY ?t ORDER BY ?t`,
+}
+
+// sortedRows renders a result as a sorted slice of row strings.
+func sortedRows(e *Engine, res *Result) []string {
+	rows := e.Strings(res)
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = strings.Join(r, "\x1f")
+	}
+	sort.Strings(out)
+	return out
+}
+
+// runEquiv executes q on both engines and compares result sets.
+func runEquiv(t *testing.T, rowE, colE *Engine, q string) {
+	t.Helper()
+	rr, rerr := rowE.Query(q)
+	cr, cerr := colE.Query(q)
+	if (rerr == nil) != (cerr == nil) {
+		t.Fatalf("error divergence for %q:\n row: %v\n col: %v", q, rerr, cerr)
+	}
+	if rerr != nil {
+		return
+	}
+	if !equalStringSlices(rr.Vars, cr.Vars) {
+		t.Fatalf("header divergence for %q: row %v col %v", q, rr.Vars, cr.Vars)
+	}
+	rs, cs := sortedRows(rowE, rr), sortedRows(colE, cr)
+	if len(rs) != len(cs) {
+		t.Fatalf("row-count divergence for %q: row %d col %d", q, len(rs), len(cs))
+	}
+	for i := range rs {
+		if rs[i] != cs[i] {
+			t.Fatalf("result divergence for %q at sorted row %d:\n row: %q\n col: %q", q, i, rs[i], cs[i])
+		}
+	}
+}
+
+func equalStringSlices(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// enginePair builds row and columnar engines over the same graph.
+func enginePair(t *testing.T, ranks int) (rowE, colE *Engine) {
+	t.Helper()
+	g := equivGraph(ranks)
+	topo := mpp.Topology{Nodes: 1, RanksPerNode: ranks}
+	var err error
+	rowE, err = NewEngine(g, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowE.Opts.Columnar = false
+	colE, err = NewEngine(g, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !colE.Opts.Columnar {
+		t.Fatal("columnar execution should be the default")
+	}
+	return rowE, colE
+}
+
+// TestColumnarRowEquivalence sweeps the committed query corpus over
+// 1-, 2- and 4-rank worlds.
+func TestColumnarRowEquivalence(t *testing.T) {
+	for _, ranks := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("ranks=%d", ranks), func(t *testing.T) {
+			rowE, colE := enginePair(t, ranks)
+			for _, q := range equivQueries {
+				runEquiv(t, rowE, colE, q)
+			}
+		})
+	}
+}
+
+// TestColumnarFuzzCorpusEquivalence replays the committed SPARQL fuzz
+// corpus: every input the parser accepts and the planner can plan must
+// execute identically on both engines.
+func TestColumnarFuzzCorpusEquivalence(t *testing.T) {
+	dir := filepath.Join("..", "sparql", "testdata", "fuzz", "FuzzSPARQLParse")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Skipf("no fuzz corpus: %v", err)
+	}
+	rowE, colE := enginePair(t, 2)
+	tried := 0
+	for _, ent := range entries {
+		raw, err := os.ReadFile(filepath.Join(dir, ent.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, ok := decodeFuzzString(string(raw))
+		if !ok {
+			continue
+		}
+		if _, err := sparql.Parse(q); err != nil {
+			continue // corpus is mostly parser-rejection inputs
+		}
+		tried++
+		runEquiv(t, rowE, colE, q)
+	}
+	t.Logf("fuzz corpus: %d parseable inputs executed on both engines", tried)
+}
+
+// decodeFuzzString extracts the string argument from a `go test fuzz
+// v1` corpus file.
+func decodeFuzzString(s string) (string, bool) {
+	lines := strings.Split(s, "\n")
+	for _, l := range lines {
+		l = strings.TrimSpace(l)
+		if strings.HasPrefix(l, "string(") && strings.HasSuffix(l, ")") {
+			q, err := strconv.Unquote(strings.TrimSuffix(strings.TrimPrefix(l, "string("), ")"))
+			if err != nil {
+				return "", false
+			}
+			return q, true
+		}
+	}
+	return "", false
+}
+
+// TestColumnarTraceInvariant pins the two-ledger invariant on the
+// columnar path explicitly: a traced query reports strictly positive
+// operator-accounted allocation that never exceeds the physical
+// runtime/metrics delta, even with warm (recycled) arenas.
+func TestColumnarTraceInvariant(t *testing.T) {
+	_, colE := enginePair(t, 2)
+	q := `SELECT ?s ?t WHERE { ?s <http://x/tag> ?t . ?s <http://x/score> ?v . FILTER(?v > 10) } ORDER BY ?s LIMIT 10`
+	for warm := 0; warm < 3; warm++ { // repeat: later runs hit recycled arenas
+		res, err := colE.QueryTraced(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ru := res.Trace.Resources
+		if ru == nil {
+			t.Fatal("missing resource attribution")
+		}
+		if ru.OpAllocBytes <= 0 || ru.OpMallocs <= 0 {
+			t.Fatalf("run %d: op-accounted = %d bytes / %d mallocs, want > 0", warm, ru.OpAllocBytes, ru.OpMallocs)
+		}
+		if ru.OpAllocBytes > ru.AllocBytes {
+			t.Fatalf("run %d: op-accounted bytes %d exceed physical delta %d", warm, ru.OpAllocBytes, ru.AllocBytes)
+		}
+		if ru.OpMallocs > ru.Mallocs {
+			t.Fatalf("run %d: op-accounted mallocs %d exceed physical delta %d", warm, ru.OpMallocs, ru.Mallocs)
+		}
+	}
+}

@@ -156,7 +156,7 @@ func TestAdmissionQueueFullReturns429(t *testing.T) {
 	c := NewClient(ts.URL)
 
 	// Occupy the only slot directly, then hit the endpoint.
-	if _, err := s.adm.admit(context.Background()); err != nil {
+	if _, _, err := s.adm.admit(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	_, err := c.Query(`SELECT ?s WHERE { ?s <http://x/name> ?n . }`)
@@ -172,7 +172,7 @@ func TestAdmissionQueueFullReturns429(t *testing.T) {
 	}
 
 	// Releasing the slot restores service.
-	s.adm.release()
+	s.adm.release(0)
 	if _, err := c.Query(`SELECT ?s WHERE { ?s <http://x/name> ?n . }`); err != nil {
 		t.Fatal(err)
 	}
@@ -187,10 +187,10 @@ func TestAdmissionQueueTimeoutReturns429(t *testing.T) {
 	t.Cleanup(ts.Close)
 	c := NewClient(ts.URL)
 
-	if _, err := s.adm.admit(context.Background()); err != nil {
+	if _, _, err := s.adm.admit(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	defer s.adm.release()
+	defer s.adm.release(0)
 	start := time.Now()
 	_, err := c.Query(`SELECT ?s WHERE { ?s <http://x/name> ?n . }`)
 	if _, overloaded := IsOverloaded(err); !overloaded {
@@ -214,12 +214,12 @@ func TestQueryRetrySucceedsAfterBackoff(t *testing.T) {
 	t.Cleanup(ts.Close)
 	c := NewClient(ts.URL)
 
-	if _, err := s.adm.admit(context.Background()); err != nil {
+	if _, _, err := s.adm.admit(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	go func() {
 		time.Sleep(100 * time.Millisecond)
-		s.adm.release()
+		s.adm.release(0)
 	}()
 	resp, err := c.QueryRetry(`SELECT ?s WHERE { ?s <http://x/name> ?n . }`, 3)
 	if err != nil {

@@ -43,11 +43,17 @@ type Options struct {
 	// SpeedFactor models heterogeneous node speeds per rank (nil =
 	// homogeneous).
 	SpeedFactor func(rank int) float64
+	// Columnar selects batch/vector execution of the pre-gather
+	// pipeline (DESIGN.md §11): operators exchange dict-ID column
+	// batches in arena-backed buffers and rows materialize once, at
+	// gather. Result sets are identical to row execution.
+	Columnar bool
 }
 
-// DefaultOptions enables reordering and cost-aware re-balancing.
+// DefaultOptions enables reordering, cost-aware re-balancing, and
+// columnar execution.
 func DefaultOptions() Options {
-	return Options{Reorder: true, Rebalance: exec.RebalanceCost}
+	return Options{Reorder: true, Rebalance: exec.RebalanceCost, Columnar: true}
 }
 
 // Engine is one running IDS backend instance.
@@ -116,6 +122,13 @@ type Engine struct {
 	// log is the engine's structured logger (never nil; defaults to the
 	// nop logger). Query-path records carry the qid from the context.
 	log atomic.Pointer[slog.Logger]
+	// arenas recycles columnar execution arenas across queries, keyed
+	// by the server's admission slot so a slot's working set stays warm
+	// (see exec.ArenaPool).
+	arenas *exec.ArenaPool
+	// cres memoizes ID→Value resolution over the append-only
+	// dictionary (safe across updates: IDs are immutable).
+	cres *expr.CachedResolver
 }
 
 // NewEngine wires an engine over a sealed graph. The graph must have
@@ -137,7 +150,9 @@ func NewEngine(g *kg.Graph, topo mpp.Topology) (*Engine, error) {
 		Seed:   1,
 		Opts:   DefaultOptions(),
 		met:    newEngineMetrics(),
+		arenas: exec.NewArenaPool(),
 	}
+	e.cres = expr.NewCachedResolver(expr.DictResolver{Dict: g.Dict})
 	e.stats.Store(plan.StatsFromGraph(g))
 	e.log.Store(obs.NopLogger())
 	e.profilers = make([]*udf.Profiler, topo.Size())
@@ -372,6 +387,18 @@ func (e *Engine) execute(ctx context.Context, q *sparql.Query, traced bool, qs s
 		qprofs[i] = udf.NewProfilerOver(e.profilers[i])
 	}
 
+	// Columnar arenas: acquired for the whole world before the rank
+	// goroutines start and returned only after mpp.Run has joined them
+	// all, so a recycled arena can never be reset while a rank still
+	// writes into it. Keyed by the admission slot (when the server path
+	// put one in the context) so a slot's warm working set follows it.
+	var arenas []*exec.Arena
+	if e.Opts.Columnar {
+		slot := slotFrom(ctx)
+		arenas = e.arenas.Get(slot, e.Topo.Size())
+		defer e.arenas.Put(slot, arenas)
+	}
+
 	execStart := time.Now()
 	rows := make([][][]expr.Value, e.Topo.Size())
 	var vars []string
@@ -380,7 +407,7 @@ func (e *Engine) execute(ctx context.Context, q *sparql.Query, traced bool, qs s
 		if recs != nil {
 			rec = recs[r.ID()]
 		}
-		tab, err := e.runPlanRec(ctx, r, pl, rec, qprofs)
+		tab, err := e.runPlanRec(ctx, r, pl, rec, qprofs, arenas)
 		if err != nil {
 			return err
 		}
@@ -465,13 +492,24 @@ func (e *Engine) execute(ctx context.Context, q *sparql.Query, traced bool, qs s
 // internally synchronized); the caller is responsible for excluding
 // concurrent updates for the duration of its world.
 func (e *Engine) RunPlan(r *mpp.Rank, pl *plan.Plan) (*exec.Table, error) {
-	return e.runPlanRec(context.Background(), r, pl, nil, e.profilers)
+	return e.runPlanRec(context.Background(), r, pl, nil, e.profilers, nil)
 }
 
-// runPlanRec is RunPlan with an optional per-rank trace recorder and
-// an explicit profiler set (per-query overlays on the engine's query
-// path, the persistent profiles for embedded RunPlan callers).
-func (e *Engine) runPlanRec(ctx context.Context, r *mpp.Rank, pl *plan.Plan, rec *obs.RankRecorder, profs []*udf.Profiler) (*exec.Table, error) {
+// runPlanRec is RunPlan with an optional per-rank trace recorder, an
+// explicit profiler set (per-query overlays on the engine's query
+// path, the persistent profiles for embedded RunPlan callers), and the
+// world's columnar arenas (nil = allocate a private arena per rank, as
+// embedded RunPlan callers run inside a foreign mpp.Run).
+func (e *Engine) runPlanRec(ctx context.Context, r *mpp.Rank, pl *plan.Plan, rec *obs.RankRecorder, profs []*udf.Profiler, arenas []*exec.Arena) (*exec.Table, error) {
+	if e.Opts.Columnar {
+		var a *exec.Arena
+		if arenas != nil {
+			a = arenas[r.ID()]
+		} else {
+			a = exec.NewArena()
+		}
+		return e.runPlanBatch(ctx, r, pl, rec, profs, a)
+	}
 	tab, err := e.runSteps(ctx, r, pl.Steps, nil, rec, profs, 0)
 	if err != nil {
 		return nil, err
@@ -501,7 +539,7 @@ func (e *Engine) runPlanRec(ctx context.Context, r *mpp.Rank, pl *plan.Plan, rec
 	if len(pl.Aggregates) > 0 {
 		ot := startOp(rec, r)
 		in := tab.Len()
-		tab, err = exec.Aggregate(tab, pl.GroupBy, pl.Aggregates, expr.DictResolver{Dict: e.Graph.Dict})
+		tab, err = exec.Aggregate(tab, pl.GroupBy, pl.Aggregates, e.res())
 		if err != nil {
 			return nil, err
 		}
@@ -509,7 +547,7 @@ func (e *Engine) runPlanRec(ctx context.Context, r *mpp.Rank, pl *plan.Plan, rec
 		ot.record(rec, r, obs.OpSample{Op: "aggregate", RowsIn: in, RowsOut: tab.Len(),
 			AllocBytes: ab, Mallocs: am})
 	}
-	tab.SortBy(pl.OrderBy, expr.DictResolver{Dict: e.Graph.Dict})
+	tab.SortBy(pl.OrderBy, e.res())
 	if pl.Limit >= 0 || pl.Offset > 0 {
 		tab = tab.Slice(pl.Offset, pl.Limit)
 	}
@@ -528,7 +566,7 @@ func (e *Engine) runPlanRec(ctx context.Context, r *mpp.Rank, pl *plan.Plan, rec
 func (e *Engine) runSteps(ctx context.Context, r *mpp.Rank, steps []plan.Step, tab *exec.Table, rec *obs.RankRecorder, profs []*udf.Profiler, depth int) (*exec.Table, error) {
 	shard := e.Graph.Shard(r.ID())
 	prof := profs[r.ID()]
-	res := expr.DictResolver{Dict: e.Graph.Dict}
+	res := e.res()
 	speed := 1.0
 	if e.Opts.SpeedFactor != nil {
 		speed = e.Opts.SpeedFactor(r.ID())

@@ -77,8 +77,12 @@ var (
 // count, queue depth, queue wait, and rejection counts to the engine's
 // metrics registry.
 type admission struct {
-	cfg    AdmissionConfig
-	slots  chan struct{}
+	cfg AdmissionConfig
+	// slots holds the free admission-slot indexes (receive = acquire).
+	// The index identifies the slot for the query's lifetime and keys
+	// the engine's columnar arena reuse: slot k always reuses slot k's
+	// warm arenas, bounding the arena working set at MaxInFlight sets.
+	slots  chan int
 	queued atomic.Int64
 
 	inflight        *obs.Gauge
@@ -97,7 +101,7 @@ func newAdmission(cfg AdmissionConfig, reg *obs.Registry) *admission {
 	reg.Describe("ids_admission_max_inflight", "Configured in-flight query limit.")
 	a := &admission{
 		cfg:             cfg,
-		slots:           make(chan struct{}, cfg.MaxInFlight),
+		slots:           make(chan int, cfg.MaxInFlight),
 		inflight:        reg.Gauge("ids_inflight_queries"),
 		queueDepth:      reg.Gauge("ids_admission_queue_depth"),
 		waitSeconds:     reg.Histogram("ids_admission_wait_seconds", nil),
@@ -105,25 +109,29 @@ func newAdmission(cfg AdmissionConfig, reg *obs.Registry) *admission {
 		rejectedTimeout: reg.Counter("ids_admission_rejected_total", "reason", "timeout"),
 	}
 	reg.Gauge("ids_admission_max_inflight").Set(float64(cfg.MaxInFlight))
+	for i := 0; i < cfg.MaxInFlight; i++ {
+		a.slots <- i
+	}
 	return a
 }
 
 // admit blocks until a slot is free, the queue overflows, the wait
-// times out, or ctx is cancelled. On nil return the caller holds a
-// slot and must release(); wait reports how long the query queued
-// (zero on the fast path), which the server surfaces on the trace.
-func (a *admission) admit(ctx context.Context) (wait time.Duration, err error) {
+// times out, or ctx is cancelled. On nil return the caller holds the
+// returned slot and must release(slot); wait reports how long the
+// query queued (zero on the fast path), which the server surfaces on
+// the trace.
+func (a *admission) admit(ctx context.Context) (slot int, wait time.Duration, err error) {
 	select {
-	case a.slots <- struct{}{}:
+	case slot = <-a.slots:
 		a.inflight.Add(1)
 		a.waitSeconds.Observe(0)
-		return 0, nil
+		return slot, 0, nil
 	default:
 	}
 	if a.queued.Add(1) > int64(a.cfg.MaxQueue) {
 		a.queued.Add(-1)
 		a.rejectedFull.Inc()
-		return 0, errQueueFull
+		return -1, 0, errQueueFull
 	}
 	a.queueDepth.Set(float64(a.queued.Load()))
 	start := time.Now()
@@ -134,21 +142,21 @@ func (a *admission) admit(ctx context.Context) (wait time.Duration, err error) {
 		a.queueDepth.Set(float64(a.queued.Load()))
 	}()
 	select {
-	case a.slots <- struct{}{}:
+	case slot = <-a.slots:
 		wait = time.Since(start)
 		a.waitSeconds.Observe(wait.Seconds())
 		a.inflight.Add(1)
-		return wait, nil
+		return slot, wait, nil
 	case <-timer.C:
 		a.rejectedTimeout.Inc()
-		return time.Since(start), errQueueTimeout
+		return -1, time.Since(start), errQueueTimeout
 	case <-ctx.Done():
-		return time.Since(start), ctx.Err()
+		return -1, time.Since(start), ctx.Err()
 	}
 }
 
-func (a *admission) release() {
-	<-a.slots
+func (a *admission) release(slot int) {
+	a.slots <- slot
 	a.inflight.Add(-1)
 }
 
@@ -382,7 +390,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// the 429 log line and the client's retry logging share the id.
 	qid := obs.NewQID()
 	ctx := obs.WithQID(r.Context(), qid)
-	queueWait, err := s.adm.admit(ctx)
+	slot, queueWait, err := s.adm.admit(ctx)
 	if err != nil {
 		if errors.Is(err, errQueueFull) || errors.Is(err, errQueueTimeout) {
 			s.log.Warn("query shed", "qid", qid, "reason", err.Error())
@@ -393,7 +401,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusServiceUnavailable, err) // client went away
 		return
 	}
-	defer s.adm.release()
+	defer s.adm.release(slot)
+	// The slot index keys columnar arena reuse in the engine: queries
+	// admitted on the same slot reuse the same warm arena set.
+	ctx = withSlot(ctx, slot)
 	start := time.Now()
 	// Every query is traced so every qid resolves via GET /trace; the
 	// full span tree is embedded in the response only on explain.

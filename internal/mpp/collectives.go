@@ -108,6 +108,68 @@ func AllToAll[T any](r *Rank, send [][]T) ([][]T, error) {
 	return recv, nil
 }
 
+// AllGatherSized gathers one arbitrarily sized value from every rank,
+// charging elems(v) logical elements to the network model — the
+// columnar engine's batch replication primitive. Charging a batch's
+// row count keeps the communication accounting identical to gathering
+// the same rows through AllGatherSlice. The contributed values must
+// not be mutated after the call on any rank.
+func AllGatherSized[T any](r *Rank, v T, elems func(T) int) ([]T, error) {
+	w := r.w
+	w.slots[r.id] = v
+	r.chargeXfer(elems(v))
+	if err := r.Barrier(); err != nil {
+		return nil, err
+	}
+	out := make([]T, len(w.slots))
+	for i, s := range w.slots {
+		out[i] = s.(T)
+	}
+	if err := r.Barrier(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AllToAllSized performs a personalized exchange of arbitrarily sized
+// values: send[i] goes to rank i, and recv[i] is what rank i sent to
+// this rank. The sender is charged elems(send[i]) logical elements for
+// every off-rank destination, mirroring AllToAll's per-row charging so
+// a batch exchange costs exactly what the equivalent row exchange
+// does. Sent values must not be mutated after the call.
+func AllToAllSized[T any](r *Rank, send []T, elems func(T) int) ([]T, error) {
+	w := r.w
+	p := r.Size()
+	if len(send) != p {
+		return nil, errSendLen(len(send), p)
+	}
+	// The whole send vector is published through the rank's slot as ONE
+	// interface box; receivers index into it. Boxing each destination
+	// cell into the exchange matrix cost p allocations per rank per
+	// collective (p² per exchange world-wide) on the columnar hot path.
+	w.slots[r.id] = send
+	total := 0
+	for dst := 0; dst < p; dst++ {
+		if dst != r.id {
+			total += elems(send[dst])
+		}
+	}
+	r.chargeXfer(total)
+	if err := r.Barrier(); err != nil {
+		return nil, err
+	}
+	recv := make([]T, p)
+	for src := 0; src < p; src++ {
+		if row := w.slots[src]; row != nil {
+			recv[src] = row.([]T)[r.id]
+		}
+	}
+	if err := r.Barrier(); err != nil {
+		return nil, err
+	}
+	return recv, nil
+}
+
 // AllReduceFloat64 reduces one float64 across all ranks with op; every
 // rank receives the result.
 func AllReduceFloat64(r *Rank, v float64, op Op) (float64, error) {

@@ -1,7 +1,7 @@
 package obs
 
 import (
-	"runtime/metrics"
+	"runtime"
 )
 
 // Resource attribution (the query cost observatory's ground truth):
@@ -21,7 +21,7 @@ import (
 // the inequality valid in that direction too.
 
 // AllocSnapshot is a point-in-time read of the runtime's cumulative
-// heap allocation counters (runtime/metrics /gc/heap/allocs). Both
+// heap allocation counters (MemStats.TotalAlloc/Mallocs). Both
 // counters are monotone and GC-independent: freed memory never
 // subtracts, so deltas between snapshots are exact allocation volume.
 type AllocSnapshot struct {
@@ -29,21 +29,18 @@ type AllocSnapshot struct {
 	Objects uint64
 }
 
-// allocSampleNames are read together so one metrics.Read call fills a
-// snapshot.
-var allocSampleNames = [...]string{
-	"/gc/heap/allocs:bytes",
-	"/gc/heap/allocs:objects",
-}
-
 // ReadAllocs samples the runtime's cumulative allocation counters.
+// runtime.ReadMemStats (not runtime/metrics): the metrics package's
+// small-object counts lag until the owning P's span is refilled, so a
+// query whose operator ledger accounts nearly everything it allocates
+// (the columnar engine's slabs) could read op-accounted > physical and
+// break the two-ledger invariant. ReadMemStats flushes every mcache
+// first, making the counters exact; its brief stop-the-world is
+// microseconds against millisecond-scale queries.
 func ReadAllocs() AllocSnapshot {
-	var s [len(allocSampleNames)]metrics.Sample
-	for i := range s {
-		s[i].Name = allocSampleNames[i]
-	}
-	metrics.Read(s[:])
-	return AllocSnapshot{Bytes: s[0].Value.Uint64(), Objects: s[1].Value.Uint64()}
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return AllocSnapshot{Bytes: m.TotalAlloc, Objects: m.Mallocs}
 }
 
 // DeltaSince returns the allocation volume between prev and a (bytes,

@@ -32,6 +32,10 @@ type ScanStep struct {
 type JoinStep struct {
 	Pattern sparql.TriplePattern
 	Est     int
+	// OutEst is the planner's estimated output cardinality of the join
+	// — the running-stream size after this step under the cost model
+	// that ordered it (paper §2.4.3).
+	OutEst int
 }
 
 // FilterStep applies a FILTER expression.
@@ -83,7 +87,7 @@ func (p *Plan) Explain() string {
 		case ScanStep:
 			fmt.Fprintf(&sb, "%2d: SCAN %s (est %d)\n", i, n.Pattern, n.Est)
 		case JoinStep:
-			fmt.Fprintf(&sb, "%2d: JOIN %s (est %d)\n", i, n.Pattern, n.Est)
+			fmt.Fprintf(&sb, "%2d: JOIN %s (est %d, out %d)\n", i, n.Pattern, n.Est, n.OutEst)
 		case FilterStep:
 			fmt.Fprintf(&sb, "%2d: FILTER %s\n", i, n.Expr)
 		case UnionStep:
@@ -291,8 +295,42 @@ func compileGroup(elems []sparql.Element, st *Stats) ([]Step, map[string]bool, e
 	// filterBoost is the assumed selectivity credit of enabling a UDF
 	// filter (see DESIGN.md: planner heuristics).
 	const filterBoost = 1000
-	pickNext := func(requireConnected bool) int {
-		best, bestCard := -1, 0
+	// curCard is the estimated cardinality of the running solution
+	// stream, propagated through the join-tree cost model below.
+	curCard := 0
+	// joinOutEst estimates the output cardinality of joining the
+	// running stream (curCard rows) with tp (paper §2.4.3): the
+	// classic |R ⋈ S| = |R|·|S| / Π dv(v) over the k shared variables,
+	// with the per-variable distinct-value count approximated by the
+	// pattern's own cardinality (each matched triple tends to bind a
+	// distinct value for its variables). k = 0 is a cross product.
+	joinOutEst := func(tp sparql.TriplePattern, patCard int) int {
+		k := 0
+		for _, v := range tp.Vars() {
+			if bound[v] {
+				k++
+			}
+		}
+		out := float64(curCard) * float64(patCard)
+		dv := float64(patCard)
+		if dv < 1 {
+			dv = 1
+		}
+		for j := 0; j < k; j++ {
+			out /= dv
+		}
+		if out > float64(st.Total)*float64(st.Total) {
+			out = float64(st.Total) * float64(st.Total)
+		}
+		return int(out)
+	}
+	// pickNext chooses the next pattern. The first pattern is the
+	// plain cardinality minimum (with the filter-enabling boost); later
+	// patterns minimize a join cost = build-side size + estimated
+	// output cardinality, so a small pattern that would explode the
+	// stream loses to a slightly larger one that keeps it narrow.
+	pickNext := func(requireConnected, first bool) (idx, outEst int) {
+		best, bestCost, bestOut := -1, 0, 0
 		for i, tp := range pats {
 			if used[i] {
 				continue
@@ -301,14 +339,27 @@ func compileGroup(elems []sparql.Element, st *Stats) ([]Step, map[string]bool, e
 				continue
 			}
 			card := st.PatternCard(tp)
-			if enablesFilter(tp) {
-				card = card/filterBoost + 1
+			var cost, out int
+			if first {
+				cost = card
+				if enablesFilter(tp) {
+					cost = cost/filterBoost + 1
+				}
+				out = card
+			} else {
+				out = joinOutEst(tp, card)
+				if enablesFilter(tp) {
+					// An enabled pruning filter runs immediately after
+					// this join and is assumed highly selective.
+					out = out/filterBoost + 1
+				}
+				cost = card + out
 			}
-			if best < 0 || card < bestCard {
-				best, bestCard = i, card
+			if best < 0 || cost < bestCost {
+				best, bestCost, bestOut = i, cost, out
 			}
 		}
-		return best
+		return best, bestOut
 	}
 	attachFilters := func() {
 		for i, f := range filters {
@@ -330,11 +381,11 @@ func compileGroup(elems []sparql.Element, st *Stats) ([]Step, map[string]bool, e
 	}
 
 	for n := 0; n < len(pats); n++ {
-		idx := pickNext(n > 0)
+		idx, outEst := pickNext(n > 0, n == 0)
 		if idx < 0 {
 			// Disconnected pattern group: take the cheapest remaining
 			// (executes as a cross product).
-			idx = pickNext(false)
+			idx, outEst = pickNext(false, n == 0)
 		}
 		tp := pats[idx]
 		used[idx] = true
@@ -342,7 +393,11 @@ func compileGroup(elems []sparql.Element, st *Stats) ([]Step, map[string]bool, e
 		if n == 0 {
 			steps = append(steps, ScanStep{Pattern: tp, Est: card})
 		} else {
-			steps = append(steps, JoinStep{Pattern: tp, Est: card})
+			steps = append(steps, JoinStep{Pattern: tp, Est: card, OutEst: outEst})
+		}
+		curCard = outEst
+		if curCard < 1 {
+			curCard = 1
 		}
 		for _, v := range tp.Vars() {
 			bound[v] = true

@@ -8,8 +8,10 @@
 package udf
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -32,7 +34,29 @@ type entry struct {
 	cost    CostFn
 	dynamic bool
 	module  string
+	// pure marks a referentially transparent UDF: identical arguments
+	// always produce the identical result and declared cost. Pure UDFs
+	// are memoized — the registry returns the stored result AND the
+	// stored virtual cost on a hit, so the simulated clock, profiles
+	// and udf_* metrics are byte-identical to re-execution while the
+	// real CPU work is skipped.
+	pure bool
 }
+
+// keyBufPool recycles memo-key scratch buffers across CallUDF calls
+// (pooled as *[]byte so Get/Put themselves do not allocate).
+var keyBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// memoVal is one memoized pure-UDF result.
+type memoVal struct {
+	v    expr.Value
+	cost float64
+}
+
+// memoMaxEntries bounds the memo table; inserts stop (lookups keep
+// working) once the table is full, so a pathological argument stream
+// cannot grow memory without bound.
+const memoMaxEntries = 1 << 18
 
 // Registry holds the available UDFs. Statically registered functions
 // cannot be replaced (they model CGE's load-time shared objects);
@@ -41,11 +65,19 @@ type entry struct {
 type Registry struct {
 	mu      sync.RWMutex
 	entries map[string]*entry
+	// memo caches pure-UDF results (key: name + encoded concrete
+	// arguments). A typed map under its own RWMutex rather than a
+	// sync.Map: indexing a string-keyed map with string(b) compiles to
+	// an allocation-free lookup, so the hot hit path (key built in a
+	// caller stack buffer) performs zero heap allocations, where
+	// sync.Map's any-keyed Load forced two per call.
+	memoMu sync.RWMutex
+	memo   map[string]memoVal
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{entries: map[string]*entry{}}
+	return &Registry{entries: map[string]*entry{}, memo: map[string]memoVal{}}
 }
 
 // Registration errors.
@@ -77,15 +109,21 @@ func (r *Registry) RegisterDynamic(module, method string, fn Func, cost CostFn) 
 	name := module + "." + method
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if e, ok := r.entries[name]; ok && !e.dynamic {
-		return fmt.Errorf("%w: %s", ErrStatic, name)
+	if e, ok := r.entries[name]; ok {
+		if !e.dynamic {
+			return fmt.Errorf("%w: %s", ErrStatic, name)
+		}
+		// Replacing an implementation invalidates memoized results.
+		r.clearMemo()
 	}
 	r.entries[name] = &entry{fn: fn, cost: cost, dynamic: true, module: module}
 	return nil
 }
 
 // UnloadModule removes every dynamic UDF belonging to module and
-// returns how many were removed; used by forced module reload.
+// returns how many were removed; used by forced module reload. The
+// whole memo is dropped: a reloaded implementation may compute
+// different results for the same arguments.
 func (r *Registry) UnloadModule(module string) int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -96,7 +134,61 @@ func (r *Registry) UnloadModule(module string) int {
 			n++
 		}
 	}
+	if n > 0 {
+		r.clearMemo()
+	}
 	return n
+}
+
+// MarkPure declares the named UDF referentially transparent, enabling
+// memoization of its results. The declared cost model (if any) must
+// also be a pure function of the arguments, since a memo hit replays
+// the stored cost. Returns ErrUnknown for unregistered names.
+func (r *Registry) MarkPure(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknown, name)
+	}
+	e.pure = true
+	return nil
+}
+
+// clearMemo drops all memoized results; callers hold r.mu.
+func (r *Registry) clearMemo() {
+	r.memoMu.Lock()
+	r.memo = map[string]memoVal{}
+	r.memoMu.Unlock()
+}
+
+// appendMemoKey encodes a pure-UDF invocation — name plus the concrete
+// argument values (UDFs only ever see resolved values, so the key is
+// stable across dictionary growth) — into dst, which callers pass as a
+// stack buffer so a memo hit allocates nothing. The bool is false when
+// the arguments are not memoizable.
+func appendMemoKey(dst []byte, name string, args []expr.Value) ([]byte, bool) {
+	b := append(dst, name...)
+	for _, a := range args {
+		b = append(b, 0, byte(a.Kind))
+		switch a.Kind {
+		case expr.KindFloat:
+			u := math.Float64bits(a.Num)
+			b = binary.LittleEndian.AppendUint64(b, u)
+		case expr.KindString:
+			b = binary.AppendUvarint(b, uint64(len(a.Str)))
+			b = append(b, a.Str...)
+		case expr.KindBool:
+			if a.Bool {
+				b = append(b, 1)
+			}
+		case expr.KindID:
+			// IDs should never reach a UDF (callers resolve first);
+			// don't memoize if one slips through.
+			return nil, false
+		}
+	}
+	return b, true
 }
 
 // Names returns the sorted registered function names.
@@ -134,15 +226,47 @@ func (r *Registry) IsDynamic(name string) bool {
 func (r *Registry) CallUDF(name string, args []expr.Value) (expr.Value, float64, error) {
 	r.mu.RLock()
 	e, ok := r.entries[name]
+	pure := ok && e.pure
 	r.mu.RUnlock()
 	if !ok {
 		return expr.Null, 0, fmt.Errorf("%w: %s", ErrUnknown, name)
+	}
+	var key string
+	if pure {
+		// The key is built in a pooled buffer (string arguments such as
+		// protein sequences outgrow any stack array) and looked up via
+		// the non-allocating map-index string conversion: a memo hit
+		// costs zero steady-state heap allocations. The string is
+		// materialized only on a miss, when the result is stored.
+		bp := keyBufPool.Get().(*[]byte)
+		b, keyOK := appendMemoKey((*bp)[:0], name, args)
+		*bp = b
+		if keyOK {
+			r.memoMu.RLock()
+			mv, hit := r.memo[string(b)]
+			r.memoMu.RUnlock()
+			if hit {
+				keyBufPool.Put(bp)
+				return mv.v, mv.cost, nil
+			}
+			key = string(b)
+		} else {
+			pure = false
+		}
+		keyBufPool.Put(bp)
 	}
 	start := time.Now()
 	out, err := e.fn(args)
 	cost := time.Since(start).Seconds()
 	if e.cost != nil {
 		cost = e.cost(args)
+	}
+	if pure && err == nil {
+		r.memoMu.Lock()
+		if len(r.memo) < memoMaxEntries {
+			r.memo[key] = memoVal{v: out, cost: cost}
+		}
+		r.memoMu.Unlock()
 	}
 	return out, cost, err
 }

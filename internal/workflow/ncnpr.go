@@ -131,6 +131,16 @@ func New(e *ids.Engine, ds *synth.Dataset, cfg Config, gc *cache.Cache) (*Workfl
 	); err != nil {
 		return nil, err
 	}
+	// All three UDFs are pure: the profile, pIC50 formula and DTBA
+	// surrogate are deterministic in their arguments, and every cost
+	// model is a pure function of the arguments too — so the registry
+	// may memoize results (and replay the stored virtual cost) without
+	// perturbing the simulated clock or the profiling counters.
+	for _, name := range []string{"ncnpr.sw", "ncnpr.pic50", "ncnpr.dtba"} {
+		if err := e.Reg.MarkPure(name); err != nil {
+			return nil, err
+		}
+	}
 	return w, nil
 }
 
