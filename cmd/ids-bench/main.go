@@ -6,6 +6,7 @@
 //
 //	ids-bench [-scale paper|ci] [-exp all|table1|table2|fig4a|fig4b|fig5|rebalance|reorder|whatis|cachetiers]
 //	          [-trace-out trace.json] [-concurrency N] [-load-queries Q]
+//	          [-vectors N [-vec-dim D] [-vec-k K] [-vec-ef EF]]
 //	ids-bench -compare baseline.json new.json
 //
 // -trace-out additionally runs the NCNPR inner query with span tracing
@@ -18,12 +19,19 @@
 // p50/p99 latency for both. With -trace-out the load points are
 // embedded in the JSON summary.
 //
+// -vectors N runs the HNSW-vs-brute access-path benchmark on a seeded
+// N-vector corpus; combined with -concurrency and -bench-out the point
+// is embedded in the baseline JSON so -compare gates on the index's
+// speedup and recall too.
+//
 // -compare is the regression gate: it diffs two -bench-out baselines
-// (QPS, p50/p99 latency, allocs and mallocs per query) and exits
-// non-zero when any metric regressed past its threshold. Thresholds
-// are configurable via -max-qps-drop, -max-p50-growth, -max-p99-growth,
-// -max-alloc-growth, and -max-mallocs-growth (fractions; 0.3 = 30%).
-// CI runs this against the committed BENCH_<date>.json baseline.
+// (QPS, p50/p99 latency, allocs and mallocs per query, and the vector
+// point when the baseline carries one) and exits non-zero when any
+// metric regressed past its threshold. Thresholds are configurable via
+// -max-qps-drop, -max-p50-growth, -max-p99-growth, -max-alloc-growth,
+// -max-mallocs-growth, -max-vec-speedup-drop (fractions; 0.3 = 30%),
+// and -min-vec-recall (absolute floor). CI runs this against the
+// committed BENCH_<date>.json baseline.
 //
 // The "paper" scale uses the paper's node counts (64/128/256 x 32
 // ranks) and a 1e-3 rendition of its 66M sequence comparisons; expect
@@ -50,6 +58,10 @@ func main() {
 	concurrency := flag.Int("concurrency", 0, "load mode: concurrent query workers (0 = run experiments instead)")
 	loadQueries := flag.Int("load-queries", 64, "load mode: total queries per concurrency level")
 	benchOut := flag.String("bench-out", "", `load mode: write a machine-readable baseline JSON here ("auto" = BENCH_<date>.json)`)
+	vectors := flag.Int("vectors", 0, "vector bench: corpus size for the HNSW-vs-brute access-path point (0 = skip)")
+	vecDim := flag.Int("vec-dim", 32, "vector bench: dimensionality")
+	vecK := flag.Int("vec-k", 10, "vector bench: top-k per query")
+	vecEf := flag.Int("vec-ef", 64, "vector bench: HNSW query beam (efSearch)")
 	chaosSeed := flag.Int64("chaos-seed", 0, "replay one chaos schedule by seed, with verbose narration (non-zero exit on an invariant violation)")
 	compare := flag.Bool("compare", false, "regression gate: diff two baseline JSON files (args: baseline.json new.json), exit 1 on regression")
 	// Threshold flags default to the real defaults (not a 0 sentinel)
@@ -61,6 +73,8 @@ func main() {
 	flag.Float64Var(&th.MaxP99Growth, "max-p99-growth", defTh.MaxP99Growth, "compare: max tolerated fractional p99 latency growth")
 	flag.Float64Var(&th.MaxAllocGrowth, "max-alloc-growth", defTh.MaxAllocGrowth, "compare: max tolerated fractional alloc-bytes-per-query growth")
 	flag.Float64Var(&th.MaxMallocsGrowth, "max-mallocs-growth", defTh.MaxMallocsGrowth, "compare: max tolerated fractional mallocs-per-query growth")
+	flag.Float64Var(&th.MaxVecSpeedupDrop, "max-vec-speedup-drop", defTh.MaxVecSpeedupDrop, "compare: max tolerated fractional HNSW-speedup drop")
+	flag.Float64Var(&th.MinVecRecall, "min-vec-recall", defTh.MinVecRecall, "compare: absolute recall@k floor for the vector point")
 	flag.Parse()
 
 	if *chaosSeed != 0 {
@@ -69,11 +83,13 @@ func main() {
 
 	if *compare {
 		for name, v := range map[string]float64{
-			"-max-qps-drop":       th.MaxQPSDrop,
-			"-max-p50-growth":     th.MaxP50Growth,
-			"-max-p99-growth":     th.MaxP99Growth,
-			"-max-alloc-growth":   th.MaxAllocGrowth,
-			"-max-mallocs-growth": th.MaxMallocsGrowth,
+			"-max-qps-drop":         th.MaxQPSDrop,
+			"-max-p50-growth":       th.MaxP50Growth,
+			"-max-p99-growth":       th.MaxP99Growth,
+			"-max-alloc-growth":     th.MaxAllocGrowth,
+			"-max-mallocs-growth":   th.MaxMallocsGrowth,
+			"-max-vec-speedup-drop": th.MaxVecSpeedupDrop,
+			"-min-vec-recall":       th.MinVecRecall,
 		} {
 			if v < 0 {
 				fmt.Fprintf(os.Stderr, "compare: %s must be >= 0 (got %g)\n", name, v)
@@ -94,6 +110,21 @@ func main() {
 		os.Exit(2)
 	}
 
+	// The vector point runs before the load alloc bracket so its
+	// corpus churn doesn't pollute per-query allocation numbers.
+	var vecPoint *experiments.VectorBenchPoint
+	if *vectors > 0 {
+		p, err := runVectorBench(*vectors, *vecDim, *vecK, *vecEf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vector bench: %v\n", err)
+			os.Exit(1)
+		}
+		vecPoint = p
+		if *concurrency == 0 {
+			return // vector-only run: skip the experiment tables
+		}
+	}
+
 	if *concurrency > 0 {
 		// Alloc accounting brackets the load run so BENCH_<date>.json
 		// carries per-query allocation alongside QPS and latency.
@@ -107,7 +138,7 @@ func main() {
 		}
 		runtime.ReadMemStats(&msAfter)
 		if *benchOut != "" {
-			if err := writeBenchReport(sc, *benchOut, load, msBefore, msAfter); err != nil {
+			if err := writeBenchReport(sc, *benchOut, load, vecPoint, msBefore, msAfter); err != nil {
 				fmt.Fprintf(os.Stderr, "bench-out: %v\n", err)
 				os.Exit(1)
 			}
@@ -187,7 +218,7 @@ func runLoad(sc experiments.Scale, concurrency, queries int) ([]experiments.Load
 // names the file BENCH_<date>.json in the working directory. The
 // report types live in internal/experiments so the -compare gate and
 // its tests share them.
-func writeBenchReport(sc experiments.Scale, path string, load []experiments.LoadPoint, before, after runtime.MemStats) error {
+func writeBenchReport(sc experiments.Scale, path string, load []experiments.LoadPoint, vec *experiments.VectorBenchPoint, before, after runtime.MemStats) error {
 	date := time.Now().Format("2006-01-02")
 	if path == "auto" {
 		path = fmt.Sprintf("BENCH_%s.json", date)
@@ -198,6 +229,7 @@ func writeBenchReport(sc experiments.Scale, path string, load []experiments.Load
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Load:       load,
+		Vector:     vec,
 		Alloc: experiments.BenchAlloc{
 			AllocBytesTotal: after.TotalAlloc - before.TotalAlloc,
 			MallocsTotal:    after.Mallocs - before.Mallocs,
@@ -217,6 +249,27 @@ func writeBenchReport(sc experiments.Scale, path string, load []experiments.Load
 	fmt.Printf("\nbench baseline: %s (%.0f B/query, %.0f mallocs/query over %d queries)\n",
 		path, rep.Alloc.AllocBytesPerQuery, rep.Alloc.MallocsPerQuery, rep.Alloc.TotalQueries)
 	return nil
+}
+
+// runVectorBench measures the HNSW access path against the exact scan
+// on a seeded corpus and prints the point that lands in the baseline.
+func runVectorBench(vectors, dim, k, ef int) (*experiments.VectorBenchPoint, error) {
+	opts := experiments.DefaultVectorBenchOptions()
+	opts.Vectors, opts.Dim, opts.K, opts.EfSearch = vectors, dim, k, ef
+	fmt.Printf("\n### vector access path (%d vectors, dim %d, k %d, M %d, efC %d, efS %d)\n\n",
+		opts.Vectors, opts.Dim, opts.K, opts.M, opts.EfConstruction, opts.EfSearch)
+	pt, err := experiments.VectorBench(opts)
+	if err != nil {
+		return nil, err
+	}
+	t := metrics.NewTable("HNSW vs brute-force top-k (seeded corpus and queries)",
+		"path", "p50(ms)", "recall@k", "visited(mean)")
+	t.AddRow("brute", fmt.Sprintf("%.4f", pt.BruteP50Ms), "1.0000", pt.Vectors)
+	t.AddRow("hnsw", fmt.Sprintf("%.4f", pt.HNSWP50Ms), fmt.Sprintf("%.4f", pt.Recall),
+		fmt.Sprintf("%.0f", pt.VisitedMean))
+	t.Render(os.Stdout)
+	fmt.Printf("\nbuild %.2fs; speedup %.1fx (brute p50 / hnsw p50)\n", pt.BuildSec, pt.Speedup)
+	return pt, nil
 }
 
 // runCompare is the bench regression gate: it diffs the new baseline

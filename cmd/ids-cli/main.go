@@ -4,6 +4,8 @@
 // Usage:
 //
 //	ids-cli -e http://host:port query  [-explain] 'SELECT ...'
+//	ids-cli -e http://host:port vector upsert -store fp -key <iri> 0.1 0.2 0.3
+//	ids-cli -e http://host:port vector search -store fp -key <iri> -k 10
 //	ids-cli -e http://host:port module -name mymod -file code.ids [-reload]
 //	ids-cli -e http://host:port stats
 //	ids-cli -e http://host:port profile
@@ -26,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 
 	"ids/internal/ids"
@@ -34,7 +37,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ids-cli -e <endpoint> <query|update|module|snapshot|checkpoint|stats|profile|metrics|trace|flightrec> [args]")
+	fmt.Fprintln(os.Stderr, "usage: ids-cli -e <endpoint> <query|update|vector|module|snapshot|checkpoint|stats|profile|metrics|trace|flightrec> [args]")
 	os.Exit(2)
 }
 
@@ -52,6 +55,63 @@ func runUpdate(c *ids.Client, args []string) error {
 		fmt.Printf("%s: applied %d of %d triples\n", res.Kind, res.Applied, res.Total)
 	}
 	return nil
+}
+
+// runVector drives the vector endpoints:
+//
+//	ids-cli vector upsert -store fp -key <iri> 0.1 0.2 0.3
+//	ids-cli vector search -store fp -key <iri> -k 10
+func runVector(c *ids.Client, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("vector requires a subcommand: upsert|search")
+	}
+	sub, args := args[0], args[1:]
+	fs := flag.NewFlagSet("vector "+sub, flag.ExitOnError)
+	store := fs.String("store", "", "vector store name")
+	key := fs.String("key", "", "vector key (e.g. the entity IRI)")
+	k := fs.Int("k", 10, "neighbours to return (search)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *store == "" || *key == "" {
+		return fmt.Errorf("vector %s requires -store and -key", sub)
+	}
+	switch sub {
+	case "upsert":
+		if fs.NArg() == 0 {
+			return fmt.Errorf("vector upsert requires the vector components as arguments")
+		}
+		vec := make([]float32, fs.NArg())
+		for i, a := range fs.Args() {
+			v, err := strconv.ParseFloat(a, 32)
+			if err != nil {
+				return fmt.Errorf("vector component %q: %w", a, err)
+			}
+			vec[i] = float32(v)
+		}
+		res, err := c.VectorUpsert(*store, *key, vec)
+		if err != nil {
+			return err
+		}
+		if res.LSN > 0 {
+			fmt.Printf("%s: %s[%q] <- %d dims (lsn %d)\n", res.Kind, *store, *key, len(vec), res.LSN)
+		} else {
+			fmt.Printf("%s: %s[%q] <- %d dims\n", res.Kind, *store, *key, len(vec))
+		}
+		return nil
+	case "search":
+		hits, err := c.VectorSearch(*store, *key, *k)
+		if err != nil {
+			return err
+		}
+		t := metrics.NewTable(fmt.Sprintf("top-%d of %s near %q", *k, *store, *key), "key", "score")
+		for _, h := range hits {
+			t.AddRow(h.Key, fmt.Sprintf("%.6f", h.Score))
+		}
+		t.Render(os.Stdout)
+		return nil
+	}
+	return fmt.Errorf("unknown vector subcommand %q (want upsert|search)", sub)
 }
 
 func runCheckpoint(c *ids.Client) error {
@@ -78,6 +138,8 @@ func main() {
 		err = runQuery(c, args[1:])
 	case "update":
 		err = runUpdate(c, args[1:])
+	case "vector":
+		err = runVector(c, args[1:])
 	case "module":
 		err = runModule(c, args[1:])
 	case "snapshot":

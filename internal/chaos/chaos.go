@@ -78,6 +78,10 @@ type Report struct {
 	// produce identical logs.
 	FaultEvents []string `json:"fault_events"`
 	Violations  []string `json:"violations,omitempty"`
+
+	// indeterminateOp is the parsed form of Indeterminate, kept so the
+	// equivalence check can replay it without re-parsing the string.
+	indeterminateOp *wop
 }
 
 // Ok reports whether every invariant held.
@@ -108,6 +112,9 @@ var classes = []faultClass{
 	{"checkpoint-enospc", func(rng *rand.Rand, n int) []fault.Rule {
 		return []fault.Rule{{Op: fault.OpWrite, Path: "snap-*.tmp", Nth: 1, Err: fault.ErrNoSpace}}
 	}},
+	{"vecs-checkpoint-enospc", func(rng *rand.Rand, n int) []fault.Rule {
+		return []fault.Rule{{Op: fault.OpWrite, Path: "vecs-*.tmp", Nth: 1, Err: fault.ErrNoSpace}}
+	}},
 	{"manifest-rename-error", func(rng *rand.Rand, n int) []fault.Rule {
 		return []fault.Rule{{Op: fault.OpRename, Path: "MANIFEST", Nth: 1}}
 	}},
@@ -128,23 +135,70 @@ var compareQueries = []string{
 	`SELECT ?s WHERE { ?s <http://x/tag> "tag1" . ?s <http://x/desc> ?d . } ORDER BY ?s`,
 }
 
-// workload builds the seeded insert/delete mix (the same shape the
-// durability tests use, but drawn from the schedule's own rng).
-func workload(rng *rand.Rand, n int) []string {
-	out := make([]string, 0, n)
+// wop is one workload operation: a SPARQL update statement or a
+// vector upsert (vec non-nil). Both travel through the same WAL, so
+// the schedules interleave them freely.
+type wop struct {
+	update string
+	store  string
+	key    string
+	vec    []float32
+}
+
+func (o wop) isVec() bool { return o.vec != nil }
+
+func (o wop) String() string {
+	if o.isVec() {
+		return fmt.Sprintf("VECTOR UPSERT %s[%s] %v", o.store, o.key, o.vec)
+	}
+	return o.update
+}
+
+// apply runs the op against an engine directly (shadow replay path).
+func (o wop) apply(e *ids.Engine) error {
+	if o.isVec() {
+		_, err := e.VectorUpsert(o.store, o.key, o.vec)
+		return err
+	}
+	_, err := e.Update(o.update)
+	return err
+}
+
+// send runs the op over HTTP (live workload path).
+func (o wop) send(cli *ids.Client) error {
+	if o.isVec() {
+		_, err := cli.VectorUpsert(o.store, o.key, o.vec)
+		return err
+	}
+	_, err := cli.Update(o.update)
+	return err
+}
+
+// workload builds the seeded insert/delete/vector-upsert mix (the same
+// shape the durability tests use, but drawn from the schedule's own
+// rng). Vector components are small dyadic rationals so the JSON round
+// trip over HTTP is bit-exact.
+func workload(rng *rand.Rand, n int) []wop {
+	out := make([]wop, 0, n)
 	for i := 0; i < n; i++ {
 		subj := fmt.Sprintf("http://x/e%d", rng.Intn(20))
-		switch rng.Intn(4) {
+		switch rng.Intn(5) {
 		case 0:
-			out = append(out, fmt.Sprintf(
-				`DELETE DATA { <%s> <http://x/tag> "tag%d" . }`, subj, rng.Intn(5)))
+			out = append(out, wop{update: fmt.Sprintf(
+				`DELETE DATA { <%s> <http://x/tag> "tag%d" . }`, subj, rng.Intn(5))})
 		case 1:
-			out = append(out, fmt.Sprintf(
+			out = append(out, wop{update: fmt.Sprintf(
 				`INSERT DATA { <%s> <http://x/desc> "entity %d described with token%d" . }`,
-				subj, i, rng.Intn(8)))
+				subj, i, rng.Intn(8))})
+		case 2:
+			vec := make([]float32, 4)
+			for d := range vec {
+				vec[d] = float32(rng.Intn(200)-100) / 8
+			}
+			out = append(out, wop{store: "emb", key: subj, vec: vec})
 		default:
-			out = append(out, fmt.Sprintf(
-				`INSERT DATA { <%s> <http://x/tag> "tag%d" . }`, subj, rng.Intn(5)))
+			out = append(out, wop{update: fmt.Sprintf(
+				`INSERT DATA { <%s> <http://x/tag> "tag%d" . }`, subj, rng.Intn(5))})
 		}
 	}
 	return out
@@ -255,8 +309,9 @@ func Run(opts Options) (*Report, error) {
 // are tolerated — that is what the checkpoint fault classes exercise).
 // It returns the acked updates in order and fills the Report's
 // degraded/indeterminate fields.
-func driveWorkload(rep *Report, cli *ids.Client, rng *rand.Rand, n int, logf func(string, ...any)) []string {
-	var acked []string
+func driveWorkload(rep *Report, cli *ids.Client, rng *rand.Rand, n int, logf func(string, ...any)) []wop {
+	var acked []wop
+	var indeterminate *wop
 	for i, u := range workload(rng, n) {
 		if i > 0 && i%7 == 0 {
 			if _, err := cli.Query(compareQueries[0]); err != nil {
@@ -268,7 +323,7 @@ func driveWorkload(rep *Report, cli *ids.Client, rng *rand.Rand, n int, logf fun
 				logf("chaos: checkpoint at op %d failed (tolerated): %v", i, err)
 			}
 		}
-		_, err := cli.Update(u)
+		err := u.send(cli)
 		switch {
 		case err == nil:
 			if rep.Degraded {
@@ -281,12 +336,15 @@ func driveWorkload(rep *Report, cli *ids.Client, rng *rand.Rand, n int, logf fun
 			// must now be read-only degraded and the update is the one
 			// allowed indeterminate.
 			rep.Degraded = true
-			rep.Indeterminate = u
+			u := u
+			indeterminate = &u
+			rep.Indeterminate = u.String()
 			logf("chaos: update %d failed, engine degrading: %v", i, err)
 		default:
 			logf("chaos: update %d rejected while degraded: %v", i, err)
 		}
 	}
+	rep.indeterminateOp = indeterminate
 	return acked
 }
 
@@ -316,18 +374,18 @@ func checkDegradedSurface(rep *Report, cli *ids.Client, logf func(string, ...any
 // engine replaying exactly the acked updates; on mismatch it retries
 // with the indeterminate update appended (an fsync-failed frame is
 // durable on disk even though the client saw an error).
-func checkEquivalence(rep *Report, recovered *ids.Engine, topo mpp.Topology, acked []string, logf func(string, ...any)) {
+func checkEquivalence(rep *Report, recovered *ids.Engine, topo mpp.Topology, acked []wop, logf func(string, ...any)) {
 	shadow, err := shadowEngine(topo, acked)
 	if err != nil {
 		rep.violate("shadow engine: %v", err)
 		return
 	}
 	if diff := engineDiff(recovered, shadow); diff != "" {
-		if rep.Indeterminate == "" {
+		if rep.indeterminateOp == nil {
 			rep.violate("recovery-equivalence: %s", diff)
 			return
 		}
-		if _, err := shadow.Update(rep.Indeterminate); err != nil {
+		if err := rep.indeterminateOp.apply(shadow); err != nil {
 			rep.violate("shadow replay of indeterminate update: %v", err)
 			return
 		}
@@ -340,17 +398,17 @@ func checkEquivalence(rep *Report, recovered *ids.Engine, topo mpp.Topology, ack
 	logf("chaos: recovery-equivalence holds over %d acked updates", len(acked))
 }
 
-// shadowEngine replays updates into a fresh non-durable engine.
-func shadowEngine(topo mpp.Topology, updates []string) (*ids.Engine, error) {
+// shadowEngine replays ops into a fresh non-durable engine.
+func shadowEngine(topo mpp.Topology, ops []wop) (*ids.Engine, error) {
 	g := kg.New(topo.Size())
 	g.Seal()
 	e, err := ids.NewEngine(g, topo)
 	if err != nil {
 		return nil, err
 	}
-	for _, u := range updates {
-		if _, err := e.Update(u); err != nil {
-			return nil, fmt.Errorf("replaying %q: %w", u, err)
+	for _, o := range ops {
+		if err := o.apply(e); err != nil {
+			return nil, fmt.Errorf("replaying %q: %w", o, err)
 		}
 	}
 	return e, nil
@@ -371,6 +429,22 @@ func engineDiff(a, b *ids.Engine) string {
 		if !reflect.DeepEqual(a.Strings(ra), b.Strings(rb)) {
 			return fmt.Sprintf("query %q: recovered %d rows, shadow %d rows (contents differ)",
 				q, len(ra.Rows), len(rb.Rows))
+		}
+	}
+	// Vector probes: exact brute-force top-k anchored at every workload
+	// key. Search never consults the approximate index, so identical
+	// stores return identical (hits, error) pairs — the error matters
+	// because store "emb" (or a key) may legitimately not exist when no
+	// vector op was acked, and that too must match.
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("http://x/e%d", i)
+		ha, ea := a.VectorSearch("emb", key, 5)
+		hb, eb := b.VectorSearch("emb", key, 5)
+		if fmt.Sprint(ea) != fmt.Sprint(eb) {
+			return fmt.Sprintf("vector search %q: recovered err %v, shadow err %v", key, ea, eb)
+		}
+		if !reflect.DeepEqual(ha, hb) {
+			return fmt.Sprintf("vector search %q: recovered %v, shadow %v", key, ha, hb)
 		}
 	}
 	return ""

@@ -25,6 +25,10 @@ type BenchReport struct {
 	GOMAXPROCS int         `json:"gomaxprocs"`
 	Load       []LoadPoint `json:"load"`
 	Alloc      BenchAlloc  `json:"alloc"`
+	// Vector, when present, is the HNSW-vs-brute access-path point
+	// (ids-bench -vectors N). Optional so pre-vector baselines keep
+	// parsing; the gate only engages when the baseline carries one.
+	Vector *VectorBenchPoint `json:"vector,omitempty"`
 }
 
 // BenchAlloc is the allocation delta across the load run.
@@ -76,17 +80,26 @@ type CompareThresholds struct {
 	MaxP99Growth     float64 // fractional p99 latency growth
 	MaxAllocGrowth   float64 // fractional alloc-bytes-per-query growth
 	MaxMallocsGrowth float64 // fractional mallocs-per-query growth
+	// Vector-point limits. Speedup is a timing ratio measured on one
+	// host, so its drop limit is loose; recall is seeded-deterministic
+	// and gets an absolute floor instead of a relative one.
+	MaxVecSpeedupDrop float64 // fractional HNSW-over-brute speedup drop
+	MinVecRecall      float64 // absolute recall@k floor
 }
 
 // DefaultCompareThresholds: QPS may halve, p50 may double, p99 may
-// triple, allocs/mallocs per query may grow 30%.
+// triple, allocs/mallocs per query may grow 30%; the vector speedup
+// may halve but must stay measured, and recall may never dip below
+// 0.95 regardless of the baseline.
 func DefaultCompareThresholds() CompareThresholds {
 	return CompareThresholds{
-		MaxQPSDrop:       0.50,
-		MaxP50Growth:     1.00,
-		MaxP99Growth:     2.00,
-		MaxAllocGrowth:   0.30,
-		MaxMallocsGrowth: 0.30,
+		MaxQPSDrop:        0.50,
+		MaxP50Growth:      1.00,
+		MaxP99Growth:      2.00,
+		MaxAllocGrowth:    0.30,
+		MaxMallocsGrowth:  0.30,
+		MaxVecSpeedupDrop: 0.50,
+		MinVecRecall:      0.95,
 	}
 }
 
@@ -170,6 +183,33 @@ func CompareBench(base, nw *BenchReport, th CompareThresholds) []Regression {
 			Base:   base.Alloc.MallocsPerQuery, New: nw.Alloc.MallocsPerQuery,
 			Change: g, Limit: th.MaxMallocsGrowth,
 		})
+	}
+	if base.Vector != nil {
+		switch {
+		case nw.Vector == nil:
+			// Same rule as a dropped load point: coverage must not
+			// silently shrink once the baseline has a vector point.
+			regs = append(regs, Regression{
+				Metric: "vector_point_missing",
+				Base:   float64(base.Vector.Vectors), New: 0, Change: -1, Limit: 0,
+			})
+		default:
+			if drop := -relGrowth(base.Vector.Speedup, nw.Vector.Speedup); drop > th.MaxVecSpeedupDrop {
+				regs = append(regs, Regression{
+					Metric: "vector_speedup",
+					Base:   base.Vector.Speedup, New: nw.Vector.Speedup,
+					Change: -drop, Limit: -th.MaxVecSpeedupDrop,
+				})
+			}
+			if nw.Vector.Recall < th.MinVecRecall {
+				regs = append(regs, Regression{
+					Metric: "vector_recall",
+					Base:   base.Vector.Recall, New: nw.Vector.Recall,
+					Change: relGrowth(base.Vector.Recall, nw.Vector.Recall),
+					Limit:  th.MinVecRecall,
+				})
+			}
+		}
 	}
 	return regs
 }

@@ -19,6 +19,12 @@ func benchFixture() BenchReport {
 			AllocBytesPerQuery: 20 << 20, MallocsTotal: 1_000_000,
 			MallocsPerQuery: 62_500, GCCycles: 12,
 		},
+		Vector: &VectorBenchPoint{
+			Vectors: 100_000, Dim: 32, K: 10, M: 16,
+			EfConstruction: 100, EfSearch: 64, Queries: 200,
+			BruteP50Ms: 2.0, HNSWP50Ms: 0.05, Speedup: 40, Recall: 0.98,
+			VisitedMean: 900,
+		},
 	}
 }
 
@@ -59,6 +65,9 @@ func TestCompareBenchSyntheticRegressions(t *testing.T) {
 		{"alloc growth", func(r *BenchReport) { r.Alloc.AllocBytesPerQuery *= 1.5 }, "alloc_bytes_per_query"},
 		{"mallocs growth", func(r *BenchReport) { r.Alloc.MallocsPerQuery *= 1.5 }, "mallocs_per_query"},
 		{"dropped load point", func(r *BenchReport) { r.Load = r.Load[:1] }, "load_point_missing"},
+		{"vector speedup collapse", func(r *BenchReport) { r.Vector.Speedup = 5 }, "vector_speedup"},
+		{"vector recall below floor", func(r *BenchReport) { r.Vector.Recall = 0.90 }, "vector_recall"},
+		{"dropped vector point", func(r *BenchReport) { r.Vector = nil }, "vector_point_missing"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -123,8 +132,41 @@ func TestBenchReportRoundTrip(t *testing.T) {
 	}
 	if got.Date != rep.Date || got.Scale != rep.Scale || len(got.Load) != 2 ||
 		got.Load[1].QPS != rep.Load[1].QPS ||
-		got.Alloc.MallocsPerQuery != rep.Alloc.MallocsPerQuery {
+		got.Alloc.MallocsPerQuery != rep.Alloc.MallocsPerQuery ||
+		got.Vector == nil || *got.Vector != *rep.Vector {
 		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+// A pre-vector baseline (Vector absent) must not trip the vector gate
+// even when the new run carries a point.
+func TestCompareBenchVectorAbsentBaseline(t *testing.T) {
+	base := benchFixture()
+	base.Vector = nil
+	nw := benchFixture()
+	if regs := CompareBench(&base, &nw, DefaultCompareThresholds()); len(regs) != 0 {
+		t.Fatalf("absent-baseline vector point produced regressions: %v", regs)
+	}
+}
+
+// TestVectorBenchSmall runs the real measurement at toy scale: the
+// point must take the hnsw path and clear the recall floor (speedup is
+// not asserted — a 2k corpus is too small for a stable timing ratio).
+func TestVectorBenchSmall(t *testing.T) {
+	opts := DefaultVectorBenchOptions()
+	opts.Vectors, opts.Queries = 2000, 30
+	pt, err := VectorBench(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Recall < 0.95 {
+		t.Fatalf("recall@%d = %.4f, want >= 0.95", pt.K, pt.Recall)
+	}
+	if pt.VisitedMean <= 0 || pt.BruteP50Ms <= 0 || pt.HNSWP50Ms <= 0 {
+		t.Fatalf("degenerate point: %+v", pt)
+	}
+	if pt.Vectors != 2000 || pt.Dim != 32 || pt.BuildSec <= 0 {
+		t.Fatalf("point shape: %+v", pt)
 	}
 }
 

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"ids/internal/vecstore"
+	"ids/internal/vecstore/hnsw"
+)
+
+// Vector access-path benchmark: one committed point proving the HNSW
+// index earns its place against the exact scan. The corpus and query
+// set are seeded, so recall is reproducible; latency is hardware-bound
+// and gated loosely (see CompareBench).
+
+// VectorBenchOptions parameterizes one vector bench point.
+type VectorBenchOptions struct {
+	Vectors        int   // corpus size
+	Dim            int   // vector dimensionality
+	K              int   // top-k per query
+	M              int   // HNSW max neighbors per layer
+	EfConstruction int   // HNSW build beam
+	EfSearch       int   // HNSW query beam
+	Queries        int   // query count per access path
+	Clusters       int   // mixture components of the synthetic corpus
+	Seed           int64 // corpus + query seed
+}
+
+// DefaultVectorBenchOptions is the committed baseline shape: 100k
+// 32-dim vectors, top-10, the planner's default index parameters.
+// The corpus is a mixture of Gaussians (unit-scale centers, unit
+// spread — heavily overlapping): embedding spaces are clustered, and
+// i.i.d. noise is the structureless worst case no real corpus shows.
+func DefaultVectorBenchOptions() VectorBenchOptions {
+	return VectorBenchOptions{
+		Vectors: 100_000, Dim: 32, K: 10,
+		M: 16, EfConstruction: 200, EfSearch: 64,
+		Queries: 200, Clusters: 256, Seed: 42,
+	}
+}
+
+// VectorBenchPoint is the measured outcome, embedded in BenchReport.
+type VectorBenchPoint struct {
+	Vectors        int     `json:"vectors"`
+	Dim            int     `json:"dim"`
+	K              int     `json:"k"`
+	M              int     `json:"m"`
+	EfConstruction int     `json:"ef_construction"`
+	EfSearch       int     `json:"ef_search"`
+	Queries        int     `json:"queries"`
+	Clusters       int     `json:"clusters"`
+	BuildSec       float64 `json:"build_sec"`
+	BruteP50Ms     float64 `json:"brute_p50_ms"`
+	HNSWP50Ms      float64 `json:"hnsw_p50_ms"`
+	Speedup        float64 `json:"speedup"` // brute p50 / hnsw p50
+	Recall         float64 `json:"recall"`  // recall@k vs the exact scan
+	VisitedMean    float64 `json:"visited_mean"`
+}
+
+// VectorBench fills a seeded store, builds the HNSW index, and runs
+// the same query set through the exact scan and the index, measuring
+// p50 latency for both and recall@k of the index against the scan.
+func VectorBench(opts VectorBenchOptions) (*VectorBenchPoint, error) {
+	if opts.Vectors <= 0 || opts.Dim <= 0 || opts.K <= 0 || opts.Queries <= 0 {
+		return nil, fmt.Errorf("experiments: vector bench needs positive vectors/dim/k/queries, got %+v", opts)
+	}
+	if opts.Clusters <= 0 {
+		opts.Clusters = 1
+	}
+	s, err := vecstore.New(opts.Dim, vecstore.L2)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	centers := make([][]float32, opts.Clusters)
+	for c := range centers {
+		centers[c] = make([]float32, opts.Dim)
+		for j := range centers[c] {
+			centers[c][j] = float32(rng.NormFloat64())
+		}
+	}
+	sample := func(dst []float32) {
+		ctr := centers[rng.Intn(len(centers))]
+		for j := range dst {
+			dst[j] = ctr[j] + float32(rng.NormFloat64())
+		}
+	}
+	v := make([]float32, opts.Dim)
+	for i := 0; i < opts.Vectors; i++ {
+		sample(v)
+		if err := s.Add(fmt.Sprintf("v%07d", i), v); err != nil {
+			return nil, err
+		}
+	}
+	buildStart := time.Now()
+	if err := s.EnableHNSW(hnsw.Config{
+		M: opts.M, EfConstruction: opts.EfConstruction,
+		EfSearch: opts.EfSearch, Seed: opts.Seed,
+	}); err != nil {
+		return nil, err
+	}
+	pt := &VectorBenchPoint{
+		Vectors: opts.Vectors, Dim: opts.Dim, K: opts.K,
+		M: opts.M, EfConstruction: opts.EfConstruction, EfSearch: opts.EfSearch,
+		Queries: opts.Queries, Clusters: opts.Clusters,
+		BuildSec: time.Since(buildStart).Seconds(),
+	}
+
+	queries := make([][]float32, opts.Queries)
+	for qi := range queries {
+		q := make([]float32, opts.Dim)
+		sample(q)
+		queries[qi] = q
+	}
+
+	truth := make([][]vecstore.Result, opts.Queries)
+	bruteMs := make([]float64, opts.Queries)
+	for qi, q := range queries {
+		t0 := time.Now()
+		hits, err := s.Search(q, opts.K)
+		if err != nil {
+			return nil, err
+		}
+		bruteMs[qi] = float64(time.Since(t0)) / 1e6
+		truth[qi] = hits
+	}
+
+	hnswMs := make([]float64, opts.Queries)
+	found, want, visited := 0, 0, 0
+	for qi, q := range queries {
+		t0 := time.Now()
+		hits, info, err := s.SearchHNSW(q, opts.K, opts.EfSearch)
+		if err != nil {
+			return nil, err
+		}
+		hnswMs[qi] = float64(time.Since(t0)) / 1e6
+		if info.Index != "hnsw" {
+			return nil, fmt.Errorf("experiments: vector bench took the %q path, want hnsw", info.Index)
+		}
+		visited += info.Visited
+		set := make(map[string]bool, len(truth[qi]))
+		for _, r := range truth[qi] {
+			set[r.Key] = true
+		}
+		for _, r := range hits {
+			if set[r.Key] {
+				found++
+			}
+		}
+		want += len(truth[qi])
+	}
+
+	pt.BruteP50Ms = p50(bruteMs)
+	pt.HNSWP50Ms = p50(hnswMs)
+	if pt.HNSWP50Ms > 0 {
+		pt.Speedup = pt.BruteP50Ms / pt.HNSWP50Ms
+	}
+	if want > 0 {
+		pt.Recall = float64(found) / float64(want)
+	}
+	pt.VisitedMean = float64(visited) / float64(opts.Queries)
+	return pt, nil
+}
+
+func p50(samples []float64) float64 {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	return percentile(s, 0.50)
+}

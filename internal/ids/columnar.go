@@ -231,6 +231,41 @@ func (e *Engine) runStepsBatch(ctx context.Context, r *mpp.Rank, steps []plan.St
 			} else if err := join(unionB, "join", false); err != nil {
 				return nil, err
 			}
+		case plan.SimilarStep:
+			if s.Semi {
+				r.SetPhase("filter")
+			} else {
+				r.SetPhase("scan")
+			}
+			ot := startOp(rec, r)
+			fb0, fm0 := a.Fresh()
+			ids, info, err := e.knnHits(s.Sim, r.ID() == 0)
+			if err != nil {
+				return nil, err
+			}
+			exec.ChargeKNN(r, info.Visited)
+			if s.Semi {
+				col := b.Col(s.Sim.Var)
+				if col < 0 {
+					return nil, fmt.Errorf("ids: SIMILAR semi-join variable ?%s not in stream", s.Sim.Var)
+				}
+				in := b.Len()
+				b = exec.SemiFilterBatch(a, b, col, knnKeepSet(ids))
+				db, dm := freshSince(a, fb0, fm0)
+				ot.record(rec, r, obs.OpSample{Depth: depth, Op: "knn", Label: s.Sim.String(),
+					RowsIn: in, RowsOut: b.Len(), AllocBytes: db, Mallocs: dm,
+					Note: knnNote(info, true)})
+			} else {
+				t := exec.KNNBatch(a, s.Sim.Var, knnPartition(ids, r.ID(), e.Topo.Size()))
+				db, dm := freshSince(a, fb0, fm0)
+				ot.record(rec, r, obs.OpSample{Depth: depth, Op: "knn", Label: s.Sim.String(),
+					RowsOut: t.Len(), AllocBytes: db, Mallocs: dm, Note: knnNote(info, false)})
+				if b == nil {
+					b = t
+				} else if err := join(t, "join", false); err != nil {
+					return nil, err
+				}
+			}
 		case plan.OptionalStep:
 			bt, err := e.runStepsBatch(ctx, r, s.Body, nil, rec, profs, a, depth+1)
 			if err != nil {

@@ -10,6 +10,7 @@ import (
 
 	"ids/internal/fault"
 	"ids/internal/kg"
+	"ids/internal/vecstore"
 	"ids/internal/wal"
 )
 
@@ -92,6 +93,11 @@ func snapName(lsn uint64) string {
 	return fmt.Sprintf("snap-%016x.idsnap", lsn)
 }
 
+// vecsName names the vector-store container covering records 1..lsn.
+func vecsName(lsn uint64) string {
+	return fmt.Sprintf("vecs-%016x.idsvecs", lsn)
+}
+
 // openDurable performs the read-side of recovery: load the manifest's
 // snapshot (if any) re-sharded to nshards, open the log (repairing a
 // torn tail), and cross-check the two. The returned graph is nil on
@@ -102,7 +108,7 @@ func openDurable(cfg DurabilityConfig, nshards int, rec *RecoveryStats, lg *slog
 	}
 	// A crash mid-checkpoint can strand temp files; they are never
 	// referenced by the manifest, so sweep them.
-	for _, pat := range []string{"snap-*.tmp", wal.ManifestName + ".tmp-*"} {
+	for _, pat := range []string{"snap-*.tmp", "vecs-*.tmp", wal.ManifestName + ".tmp-*"} {
 		stale, _ := cfg.FS.Glob(filepath.Join(cfg.Dir, pat))
 		for _, s := range stale {
 			cfg.FS.Remove(s)
@@ -309,17 +315,34 @@ func (d *durability) writeCheckpoint() (CheckpointInfo, error) {
 	}
 	defer fsys.Remove(tmp.Name()) // no-op after a successful rename
 
-	// The engine read lock makes (graph contents, LastLSN) a
-	// consistent pair: appends happen only under the writer lock.
+	// The engine read lock makes (graph contents, vector stores,
+	// LastLSN) a consistent triple: appends and vector upserts happen
+	// only under the writer lock.
+	var vtmp fault.File
 	d.e.mu.RLock()
 	lsn := d.log.LastLSN()
 	err = d.e.Graph.Save(tmp)
+	hasVecs := err == nil && len(d.e.vectors) > 0
+	if hasVecs {
+		if vtmp, err = fsys.CreateTemp(dir, "vecs-*.tmp"); err == nil {
+			defer fsys.Remove(vtmp.Name())
+			err = vecstore.SaveSet(vtmp, d.e.vectors)
+		}
+	}
 	d.e.mu.RUnlock()
 	if err == nil {
 		err = tmp.Sync()
 	}
 	if cerr := tmp.Close(); err == nil {
 		err = cerr
+	}
+	if vtmp != nil {
+		if err == nil {
+			err = vtmp.Sync()
+		}
+		if cerr := vtmp.Close(); err == nil {
+			err = cerr
+		}
 	}
 	if err != nil {
 		return CheckpointInfo{}, err
@@ -328,10 +351,17 @@ func (d *durability) writeCheckpoint() (CheckpointInfo, error) {
 	if err := fsys.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
 		return CheckpointInfo{}, err
 	}
+	vname := ""
+	if vtmp != nil {
+		vname = vecsName(lsn)
+		if err := fsys.Rename(vtmp.Name(), filepath.Join(dir, vname)); err != nil {
+			return CheckpointInfo{}, err
+		}
+	}
 	if err := fsys.SyncDir(dir); err != nil {
 		return CheckpointInfo{}, err
 	}
-	if err := wal.WriteManifestFS(fsys, dir, wal.Manifest{Snapshot: name, LastLSN: lsn}); err != nil {
+	if err := wal.WriteManifestFS(fsys, dir, wal.Manifest{Snapshot: name, LastLSN: lsn, Vectors: vname}); err != nil {
 		return CheckpointInfo{}, err
 	}
 	// Only after the manifest durably points at the new snapshot may
@@ -339,10 +369,12 @@ func (d *durability) writeCheckpoint() (CheckpointInfo, error) {
 	if err := d.log.TruncateBefore(lsn + 1); err != nil {
 		return CheckpointInfo{}, err
 	}
-	stale, _ := fsys.Glob(filepath.Join(dir, "snap-*.idsnap"))
-	for _, s := range stale {
-		if filepath.Base(s) != name {
-			fsys.Remove(s)
+	for _, pat := range []string{"snap-*.idsnap", "vecs-*.idsvecs"} {
+		stale, _ := fsys.Glob(filepath.Join(dir, pat))
+		for _, s := range stale {
+			if b := filepath.Base(s); b != name && b != vname {
+				fsys.Remove(s)
+			}
 		}
 	}
 	return CheckpointInfo{Snapshot: name, LastLSN: lsn}, nil

@@ -714,6 +714,48 @@ func (e *Engine) runSteps(ctx context.Context, r *mpp.Rank, steps []plan.Step, t
 				jt.record(rec, r, obs.OpSample{Depth: depth, Op: "join", RowsIn: in, RowsOut: tab.Len(),
 					AllocBytes: jb, Mallocs: jm})
 			}
+		case plan.SimilarStep:
+			if s.Semi {
+				r.SetPhase("filter")
+			} else {
+				r.SetPhase("scan")
+			}
+			ot := startOp(rec, r)
+			ids, info, err := e.knnHits(s.Sim, r.ID() == 0)
+			if err != nil {
+				return nil, err
+			}
+			exec.ChargeKNN(r, info.Visited)
+			if s.Semi {
+				col := tab.Col(s.Sim.Var)
+				if col < 0 {
+					return nil, fmt.Errorf("ids: SIMILAR semi-join variable ?%s not in stream", s.Sim.Var)
+				}
+				in := tab.Len()
+				tab = exec.SemiFilterTable(tab, col, knnKeepSet(ids))
+				ot.record(rec, r, obs.OpSample{Depth: depth, Op: "knn", Label: s.Sim.String(),
+					RowsIn: in, RowsOut: tab.Len(), Note: knnNote(info, true)})
+			} else {
+				t := exec.KNNTable(s.Sim.Var, knnPartition(ids, r.ID(), e.Topo.Size()))
+				kb, km := t.Footprint()
+				ot.record(rec, r, obs.OpSample{Depth: depth, Op: "knn", Label: s.Sim.String(),
+					RowsOut: t.Len(), AllocBytes: kb, Mallocs: km, Note: knnNote(info, false)})
+				if tab == nil {
+					tab = t
+				} else {
+					r.SetPhase("join")
+					jt := startOp(rec, r)
+					in := tab.Len() + t.Len()
+					build := t.Len()
+					tab, err = exec.HashJoin(r, tab, t)
+					if err != nil {
+						return nil, err
+					}
+					jb, jm := joinFootprint(tab, build)
+					jt.record(rec, r, obs.OpSample{Depth: depth, Op: "join", RowsIn: in, RowsOut: tab.Len(),
+						AllocBytes: jb, Mallocs: jm})
+				}
+			}
 		case plan.OptionalStep:
 			bt, err := e.runSteps(ctx, r, s.Body, nil, rec, profs, depth+1)
 			if err != nil {

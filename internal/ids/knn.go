@@ -1,0 +1,123 @@
+package ids
+
+import (
+	"fmt"
+	"time"
+
+	"ids/internal/dict"
+	"ids/internal/plan"
+	"ids/internal/sparql"
+	"ids/internal/vecstore"
+)
+
+// rebuildStatsLocked swaps in fresh planner statistics: graph
+// cardinalities plus per-store vector counts for SIMILAR selectivity.
+// Caller holds the writer lock.
+func (e *Engine) rebuildStatsLocked() {
+	st := plan.StatsFromGraph(e.Graph)
+	if len(e.vectors) > 0 {
+		st.Vectors = make(map[string]int, len(e.vectors))
+		for name, vs := range e.vectors {
+			st.Vectors[name] = vs.Len()
+		}
+	}
+	e.stats.Store(st)
+}
+
+// SIMILAR execution support: the planner-visible kNN access path
+// (plan.SimilarStep) runs here. Every rank executes the identical
+// deterministic top-k search — the store index is shared and the
+// result is a function of (store, query, k, ef) — so no broadcast is
+// needed: access mode partitions the hit list round-robin by rank, and
+// semi mode filters each rank's stream partition against the full
+// top-k key set.
+
+// similarStore resolves the store a SIMILAR clause targets. An empty
+// name selects the sole attached store. Caller holds the engine read
+// lock.
+func (e *Engine) similarStore(name string) (*vecstore.Store, error) {
+	if name == "" {
+		switch len(e.vectors) {
+		case 0:
+			return nil, fmt.Errorf("ids: SIMILAR requires an attached vector store")
+		case 1:
+			for _, vs := range e.vectors {
+				return vs, nil
+			}
+		}
+		return nil, fmt.Errorf("ids: SIMILAR must name a store (%d attached)", len(e.vectors))
+	}
+	vs, ok := e.vectors[name]
+	if !ok {
+		return nil, fmt.Errorf("ids: no vector store %q attached", name)
+	}
+	return vs, nil
+}
+
+// knnHits runs the top-k search for a SIMILAR clause and maps the hit
+// keys to dictionary IDs (IRI first, then literal). Hits without a
+// graph term are dropped — they cannot join. The rank 0 caller also
+// feeds the ids_vector_* metrics.
+func (e *Engine) knnHits(sp sparql.SimilarPattern, observe bool) ([]dict.ID, vecstore.SearchInfo, error) {
+	vs, err := e.similarStore(sp.Store)
+	if err != nil {
+		return nil, vecstore.SearchInfo{}, err
+	}
+	q := sp.Vec
+	if q == nil {
+		if q, err = vs.Get(sp.Key); err != nil {
+			return nil, vecstore.SearchInfo{}, fmt.Errorf("ids: SIMILAR anchor: %w", err)
+		}
+	}
+	start := time.Now()
+	hits, info, err := vs.SearchHNSW(q, sp.K, 0)
+	if err != nil {
+		return nil, vecstore.SearchInfo{}, err
+	}
+	if observe {
+		e.met.vecSearchSeconds.Observe(time.Since(start).Seconds())
+		e.met.vecVisited.Add(float64(info.Visited))
+	}
+	ids := make([]dict.ID, 0, len(hits))
+	for _, h := range hits {
+		if id, ok := e.Graph.Dict.LookupIRI(h.Key); ok {
+			ids = append(ids, id)
+			continue
+		}
+		if id, ok := e.Graph.Dict.Lookup(dict.Term{Kind: dict.Literal, Value: h.Key}); ok {
+			ids = append(ids, id)
+		}
+	}
+	return ids, info, nil
+}
+
+// knnPartition returns this rank's round-robin share of the hit list
+// (access mode emits each hit on exactly one rank).
+func knnPartition(ids []dict.ID, rank, size int) []dict.ID {
+	out := make([]dict.ID, 0, len(ids)/size+1)
+	for i, id := range ids {
+		if i%size == rank {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// knnKeepSet builds the semi-join membership set over all hits.
+func knnKeepSet(ids []dict.ID) map[dict.ID]bool {
+	keep := make(map[dict.ID]bool, len(ids))
+	for _, id := range ids {
+		keep[id] = true
+	}
+	return keep
+}
+
+// knnNote renders the EXPLAIN ANALYZE attribution for a kNN operator.
+func knnNote(info vecstore.SearchInfo, semi bool) string {
+	mode := "access"
+	if semi {
+		mode = "semi"
+	}
+	return fmt.Sprintf("index=%s visited=%d candidates=%d ef=%d mode=%s",
+		info.Index, info.Visited, info.Candidates, info.Ef, mode)
+}

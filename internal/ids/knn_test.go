@@ -1,0 +1,228 @@
+package ids
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"ids/internal/dict"
+	"ids/internal/kg"
+	"ids/internal/mpp"
+	"ids/internal/vecstore"
+	"ids/internal/vecstore/hnsw"
+)
+
+// knnEngine builds a 2-rank engine over ten compounds c0..c9 laid out
+// on a line in vector space (so nearest neighbours are unambiguous),
+// with an HNSW-indexed store attached under "fp". Keys are the
+// compound IRIs plus one literal-keyed extra.
+func knnEngine(t *testing.T, columnar bool) *Engine {
+	t.Helper()
+	g := kg.New(2)
+	iri := func(s string) dict.Term { return dict.Term{Kind: dict.IRI, Value: s} }
+	lit := func(s string) dict.Term { return dict.Term{Kind: dict.Literal, Value: s} }
+	for i := 0; i < 10; i++ {
+		c := fmt.Sprintf("http://x/c%d", i)
+		g.Add(iri(c), iri("http://x/name"), lit(fmt.Sprintf("c%d", i)))
+		if i < 2 {
+			g.Add(iri(c), iri("http://x/rare"), lit("r"))
+		}
+	}
+	g.Seal()
+	e, err := NewEngine(g, mpp.Topology{Nodes: 1, RanksPerNode: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Opts.Columnar = columnar
+	vs, err := vecstore.New(2, vecstore.L2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := vs.Add(fmt.Sprintf("http://x/c%d", i), []float32{float32(i), 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A key with no graph term: must be silently dropped from joins.
+	if err := vs.Add("orphan", []float32{0.1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := vs.EnableHNSW(hnsw.Config{M: 4, EfConstruction: 32, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AttachVectors("fp", vs); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func sortedStrings(e *Engine, res *Result) []string {
+	rows := e.Strings(res)
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = strings.Join(r, "|")
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestSimilarHybridQuery(t *testing.T) {
+	for _, columnar := range []bool{false, true} {
+		e := knnEngine(t, columnar)
+		res, err := e.Query(`SELECT ?c ?n WHERE {
+			SIMILAR(?c, [0 0], 3, "fp") .
+			?c <http://x/name> ?n .
+		}`)
+		if err != nil {
+			t.Fatalf("columnar=%v: %v", columnar, err)
+		}
+		got := sortedStrings(e, res)
+		// Top-3 of [0 0] are c0, c1, c2 plus "orphan" — which has no
+		// graph term and is dropped, leaving c0 and c1 (k=3 includes
+		// orphan). Distances: c0=0, orphan=0.1, c1=1.
+		want := []string{
+			`<http://x/c0>|"c0"`,
+			`<http://x/c1>|"c1"`,
+		}
+		if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+			t.Fatalf("columnar=%v rows = %v", columnar, got)
+		}
+	}
+}
+
+func TestSimilarKeyAnchor(t *testing.T) {
+	e := knnEngine(t, true)
+	// Anchor by stored key (IRI form): nearest to c9 are c9, c8, c7.
+	res, err := e.Query(`SELECT ?n WHERE {
+		SIMILAR(?c, <http://x/c9>, 3, "fp") .
+		?c <http://x/name> ?n .
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sortedStrings(e, res)
+	want := []string{`"c7"`, `"c8"`, `"c9"`}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("rows = %v", got)
+	}
+}
+
+func TestSimilarSemiJoin(t *testing.T) {
+	for _, columnar := range []bool{false, true} {
+		e := knnEngine(t, columnar)
+		// The rare pattern (2 rows) is cheaper than K=8 candidates, so
+		// the planner scans first and applies SIMILAR as a semi-join.
+		// Top-8 of [9 0] are c9..c3 + c2: excludes c0, c1? No — top-8
+		// by distance from x=9: c9(0) c8(1) .. c2(7), so c0 and c1 are
+		// out; the rare rows are c0, c1 → empty result.
+		qs := `SELECT ?c WHERE {
+			?c <http://x/rare> "r" .
+			SIMILAR(?c, [9 0], 8, "fp")
+		}`
+		res, err := e.QueryTraced(qs)
+		if err != nil {
+			t.Fatalf("columnar=%v: %v", columnar, err)
+		}
+		if len(res.Rows) != 0 {
+			t.Fatalf("columnar=%v rows = %v", columnar, e.Strings(res))
+		}
+		if !strings.Contains(res.Plan.Explain(), "KNN-SEMI") {
+			t.Fatalf("columnar=%v plan:\n%s", columnar, res.Plan.Explain())
+		}
+		// Anchored near c0 instead, both rare compounds survive.
+		res, err = e.Query(`SELECT ?c WHERE {
+			?c <http://x/rare> "r" .
+			SIMILAR(?c, [0 0], 8, "fp")
+		}`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 2 {
+			t.Fatalf("columnar=%v rows = %v", columnar, e.Strings(res))
+		}
+	}
+}
+
+func TestSimilarExplainAnalyze(t *testing.T) {
+	e := knnEngine(t, true)
+	res, err := e.QueryTraced(`SELECT ?n WHERE {
+		SIMILAR(?c, [0 0], 3, "fp") .
+		?c <http://x/name> ?n .
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Plan.Explain(), "KNN SIMILAR(?c") {
+		t.Fatalf("plan missing KNN access path:\n%s", res.Plan.Explain())
+	}
+	if res.Trace == nil {
+		t.Fatal("no trace")
+	}
+	found := false
+	for _, op := range res.Trace.Ops {
+		if op.Op != "knn" {
+			continue
+		}
+		found = true
+		note := op.Note
+		if !strings.Contains(note, "index=hnsw") || !strings.Contains(note, "visited=") ||
+			!strings.Contains(note, "ef=") || !strings.Contains(note, "mode=access") {
+			t.Fatalf("knn op note = %q", note)
+		}
+	}
+	if !found {
+		t.Fatalf("no knn op in trace: %+v", res.Trace.Ops)
+	}
+}
+
+func TestSimilarRowColumnarEquivalence(t *testing.T) {
+	queries := []string{
+		`SELECT ?c ?n WHERE { SIMILAR(?c, [4 0], 5, "fp") . ?c <http://x/name> ?n . } ORDER BY ?n`,
+		`SELECT ?c WHERE { ?c <http://x/rare> "r" . SIMILAR(?c, [0 0], 4, "fp") }`,
+		`SELECT ?c WHERE { SIMILAR(?c, "orphan", 4, "fp") }`,
+	}
+	for _, qs := range queries {
+		row := knnEngine(t, false)
+		col := knnEngine(t, true)
+		rr, err := row.Query(qs)
+		if err != nil {
+			t.Fatalf("row %q: %v", qs, err)
+		}
+		cr, err := col.Query(qs)
+		if err != nil {
+			t.Fatalf("columnar %q: %v", qs, err)
+		}
+		a, b := sortedStrings(row, rr), sortedStrings(col, cr)
+		if fmt.Sprint(a) != fmt.Sprint(b) {
+			t.Fatalf("%q diverged:\nrow: %v\ncol: %v", qs, a, b)
+		}
+	}
+}
+
+func TestSimilarErrors(t *testing.T) {
+	e := knnEngine(t, true)
+	if _, err := e.Query(`SELECT ?c WHERE { SIMILAR(?c, [0 0], 3, "nope") }`); err == nil {
+		t.Fatal("unknown store accepted")
+	}
+	if _, err := e.Query(`SELECT ?c WHERE { SIMILAR(?c, "ghost", 3, "fp") }`); err == nil {
+		t.Fatal("unknown anchor key accepted")
+	}
+	if _, err := e.Query(`SELECT ?c WHERE { SIMILAR(?c, [0 0 0], 3, "fp") }`); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	// Default store resolution: exactly one store attached → no name needed.
+	if _, err := e.Query(`SELECT ?c WHERE { SIMILAR(?c, [0 0], 3) }`); err != nil {
+		t.Fatalf("single-store default failed: %v", err)
+	}
+}
+
+func TestSimilarMetrics(t *testing.T) {
+	e := knnEngine(t, true)
+	if _, err := e.Query(`SELECT ?c WHERE { SIMILAR(?c, [0 0], 3, "fp") }`); err != nil {
+		t.Fatal(err)
+	}
+	if v := e.met.vecVisited.Value(); v <= 0 {
+		t.Fatalf("ids_vector_visited_nodes_total = %v", v)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -15,6 +16,7 @@ import (
 	"ids/internal/kg"
 	"ids/internal/mpp"
 	"ids/internal/obs"
+	"ids/internal/vecstore"
 	"ids/internal/wal"
 )
 
@@ -225,6 +227,26 @@ func (Launcher) Launch(cfg LaunchConfig) (*Instance, error) {
 	e.SetLogger(lg)
 	var dur *durability
 	if log != nil {
+		// Restore the vector stores the manifest's checkpoint captured
+		// BEFORE replaying the log: replayed vector upserts mutate
+		// these stores exactly as the live upserts did.
+		if man != nil && man.Vectors != "" {
+			dcfg := cfg.Durability.withDefaults()
+			f, err := dcfg.FS.Open(filepath.Join(dcfg.Dir, man.Vectors))
+			if err != nil {
+				return fail(fmt.Errorf("ids: manifest vectors: %w", err))
+			}
+			stores, err := vecstore.LoadSet(f)
+			f.Close()
+			if err != nil {
+				return fail(fmt.Errorf("ids: manifest vectors %s: %w", man.Vectors, err))
+			}
+			for name, vs := range stores {
+				if err := e.AttachVectors(name, vs); err != nil {
+					return fail(err)
+				}
+			}
+		}
 		// Replay the log tail through the normal update path, then
 		// attach the log so new updates append to it.
 		from := uint64(0)

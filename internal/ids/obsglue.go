@@ -41,6 +41,10 @@ type engineMetrics struct {
 
 	rebalanceMoved *obs.Counter
 
+	vecSearchSeconds *obs.Histogram // SIMILAR top-k search latency
+	vecVisited       *obs.Counter   // distance evaluations during SIMILAR searches
+	vecUpserts       *obs.Counter   // vector upserts applied
+
 	queryAllocBytes *obs.Histogram // per-query physical allocation histogram
 	allocBytesTotal *obs.Counter
 	mallocsTotal    *obs.Counter
@@ -102,6 +106,9 @@ func newEngineMetrics() *engineMetrics {
 	reg.Describe("ids_op_mallocs_total", "Operator-accounted heap objects by operator (traced queries), summed over ranks.")
 	reg.Describe("ids_op_cpu_seconds_total", "Operator CPU-proxy seconds by operator (traced queries), summed over ranks.")
 	reg.Describe("ids_build_info", "Build metadata; always 1. Labels carry version, Go version, GOMAXPROCS and fsync policy.")
+	reg.Describe("ids_vector_search_seconds", "SIMILAR top-k vector search latency histogram (one observation per query-level search).")
+	reg.Describe("ids_vector_visited_nodes_total", "Distance evaluations performed by SIMILAR vector searches.")
+	reg.Describe("ids_vector_upserts_total", "Vector upserts applied (live updates plus WAL replay).")
 	reg.Describe("ids_flightrec_captures_total", "Flight-recorder captures (budget-breaching queries with profiles pinned).")
 	reg.Describe("ids_flightrec_suppressed_total", "Flight-recorder captures suppressed by the rate limit.")
 	obs.RegisterRuntimeCollectors(reg)
@@ -120,6 +127,9 @@ func newEngineMetrics() *engineMetrics {
 		resultCacheHits:   reg.Counter("ids_result_cache_hits_total"),
 		resultCacheMisses: reg.Counter("ids_result_cache_misses_total"),
 		rebalanceMoved:    reg.Counter("exec_rebalance_rows_moved_total"),
+		vecSearchSeconds:  reg.Histogram("ids_vector_search_seconds", nil),
+		vecVisited:        reg.Counter("ids_vector_visited_nodes_total"),
+		vecUpserts:        reg.Counter("ids_vector_upserts_total"),
 		queryAllocBytes:   reg.Histogram("ids_query_alloc_bytes", DefAllocBuckets),
 		allocBytesTotal:   reg.Counter("ids_query_alloc_bytes_total"),
 		mallocsTotal:      reg.Counter("ids_query_mallocs_total"),

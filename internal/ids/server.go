@@ -332,6 +332,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/update", s.handleUpdate)
+	mux.HandleFunc("/vector/upsert", s.handleVectorUpsert)
+	mux.HandleFunc("/vector/search", s.handleVectorSearch)
 	mux.HandleFunc("/module", s.handleModule)
 	mux.HandleFunc("/profile", s.handleProfile)
 	mux.HandleFunc("/stats", s.handleStats)

@@ -190,6 +190,34 @@ func TestSlowQueryCapture(t *testing.T) {
 	}
 }
 
+// TestVectorMetricsExported runs a SIMILAR query through the HTTP
+// surface and asserts the vector-search telemetry shows up on
+// /metrics: a populated ids_vector_search_seconds histogram and a
+// nonzero visited-nodes counter.
+func TestVectorMetricsExported(t *testing.T) {
+	e := knnEngine(t, true)
+	s := NewServer(e)
+	c, done := clientFor(t, s)
+	defer done()
+
+	if _, err := c.Query(`SELECT ?c WHERE { SIMILAR(?c, [0 0], 3, "fp") }`); err != nil {
+		t.Fatal(err)
+	}
+	text, err := c.MetricsText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, `ids_vector_search_seconds_bucket{le="+Inf"} 1`) {
+		t.Fatalf("metrics missing populated vector search histogram:\n%s", text)
+	}
+	if !strings.Contains(text, "ids_vector_visited_nodes_total") {
+		t.Fatalf("metrics missing visited-nodes counter:\n%s", text)
+	}
+	if v := e.Metrics().Counter("ids_vector_visited_nodes_total").Value(); v <= 0 {
+		t.Fatalf("ids_vector_visited_nodes_total = %v", v)
+	}
+}
+
 // TestTraceEvictedQID404 overflows the ring and checks the evicted
 // qid answers 404 while a recent one still resolves.
 func TestTraceEvictedQID404(t *testing.T) {

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"ids/internal/dict"
-	"ids/internal/plan"
 	"ids/internal/sparql"
 	"ids/internal/text"
 	"ids/internal/wal"
@@ -110,7 +109,7 @@ func (e *Engine) applyLocked(kind wal.Kind, triples []wal.TermTriple) *UpdateRes
 	}
 	e.updates.Add(1)
 	e.met.updates.Inc()
-	e.stats.Store(plan.StatsFromGraph(e.Graph))
+	e.rebuildStatsLocked()
 	if e.textIndex != nil {
 		// Rebuild over the changed literals; predicates restriction is
 		// not retained (documented: re-enable with predicates to
@@ -121,7 +120,8 @@ func (e *Engine) applyLocked(kind wal.Kind, triples []wal.TermTriple) *UpdateRes
 }
 
 // replayWAL applies every log record with LSN > from through the
-// normal update path (applyLocked), so recovery rebuilds planner
+// normal update path (applyLocked / applyVecLocked), so recovery
+// rebuilds planner
 // statistics, the update epoch, and (if enabled) the text index with
 // exactly the live engine's state transitions; result-cache entries
 // are epoch-keyed, so the replayed epoch count invalidates pre-crash
@@ -134,10 +134,19 @@ func (e *Engine) replayWAL(l *wal.Log, from uint64) (int, error) {
 	lg.Info("wal replay started", "from_lsn", from+1)
 	n := 0
 	err := l.Replay(from+1, func(rec wal.Record) error {
-		if rec.Kind != wal.KindInsert && rec.Kind != wal.KindDelete {
+		switch rec.Kind {
+		case wal.KindInsert, wal.KindDelete:
+			e.applyLocked(rec.Kind, rec.Triples)
+		case wal.KindVecUpsert:
+			if rec.Vec == nil {
+				return fmt.Errorf("ids: wal record %d has no vector payload", rec.LSN)
+			}
+			if err := e.applyVecLocked(rec.Vec.Store, rec.Vec.Key, rec.Vec.Metric, rec.Vec.Vec); err != nil {
+				return fmt.Errorf("ids: wal record %d: %w", rec.LSN, err)
+			}
+		default:
 			return fmt.Errorf("ids: wal record %d has unknown kind %d", rec.LSN, rec.Kind)
 		}
-		e.applyLocked(rec.Kind, rec.Triples)
 		n++
 		return nil
 	})

@@ -34,6 +34,9 @@ func (e *Engine) AttachVectors(name string, vs *vecstore.Store) error {
 		return fmt.Errorf("ids: vector store %q already attached", name)
 	}
 	e.vectors[name] = vs
+	// Publish the store's cardinality to the planner so SIMILAR
+	// selectivity estimates see it immediately.
+	e.rebuildStatsLocked()
 	e.mu.Unlock()
 
 	simOf := func(a, b string) (float64, error) {

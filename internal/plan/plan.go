@@ -59,11 +59,30 @@ type OptionalStep struct {
 	Vars []string
 }
 
+// SimilarStep is a vector-store kNN access path compiled from a
+// SIMILAR clause. In access mode (Semi false) it produces the top-K
+// hit keys as bindings of the clause variable, joining them into the
+// running stream (cross product when the variable is new to a
+// non-empty stream). In semi mode (Semi true) the variable is already
+// bound, and the step filters the stream to rows whose value is a
+// member of the global top-K set.
+type SimilarStep struct {
+	Sim sparql.SimilarPattern
+	// Est is the candidate cardinality of the access path (= K).
+	Est int
+	// Semi selects membership-filter mode over access mode.
+	Semi bool
+	// OutEst is the estimated output cardinality of the stream after
+	// this step.
+	OutEst int
+}
+
 func (ScanStep) isStep()     {}
 func (JoinStep) isStep()     {}
 func (FilterStep) isStep()   {}
 func (UnionStep) isStep()    {}
 func (OptionalStep) isStep() {}
+func (SimilarStep) isStep()  {}
 
 // Plan is an executable query plan.
 type Plan struct {
@@ -94,6 +113,12 @@ func (p *Plan) Explain() string {
 			fmt.Fprintf(&sb, "%2d: UNION of %d branches over %v\n", i, len(n.Branches), n.Vars)
 		case OptionalStep:
 			fmt.Fprintf(&sb, "%2d: OPTIONAL over %v\n", i, n.Vars)
+		case SimilarStep:
+			mode := "KNN"
+			if n.Semi {
+				mode = "KNN-SEMI"
+			}
+			fmt.Fprintf(&sb, "%2d: %s %s (est %d, out %d)\n", i, mode, n.Sim, n.Est, n.OutEst)
 		}
 	}
 	if p.Distinct {
@@ -112,7 +137,25 @@ func (p *Plan) Explain() string {
 type Stats struct {
 	Total      int
 	Predicates map[dict.ID]int
-	dict       *dict.Dict
+	// Vectors maps attached vector-store names to their vector counts,
+	// so SIMILAR semi-join selectivity (K/N) can be estimated. Nil when
+	// no stores are attached.
+	Vectors map[string]int
+	dict    *dict.Dict
+}
+
+// VecCount returns the vector count of the named store; an empty name
+// selects the sole attached store. Returns 0 when unknown.
+func (st *Stats) VecCount(name string) int {
+	if name == "" {
+		if len(st.Vectors) == 1 {
+			for _, n := range st.Vectors {
+				return n
+			}
+		}
+		return 0
+	}
+	return st.Vectors[name]
 }
 
 // StatsFromGraph collects planner statistics from a sealed graph.
@@ -231,6 +274,7 @@ func compileGroup(elems []sparql.Element, st *Stats) ([]Step, map[string]bool, e
 	var filters []sparql.Filter
 	var unions []sparql.UnionPattern
 	var optionals []sparql.OptionalPattern
+	var sims []sparql.SimilarPattern
 	for _, el := range elems {
 		switch n := el.(type) {
 		case sparql.TriplePattern:
@@ -241,12 +285,15 @@ func compileGroup(elems []sparql.Element, st *Stats) ([]Step, map[string]bool, e
 			unions = append(unions, n)
 		case sparql.OptionalPattern:
 			optionals = append(optionals, n)
+		case sparql.SimilarPattern:
+			sims = append(sims, n)
 		}
 	}
 
 	var steps []Step
 	bound := map[string]bool{}
 	used := make([]bool, len(pats))
+	simUsed := make([]bool, len(sims))
 	filterUsed := make([]bool, len(filters))
 
 	connected := func(tp sparql.TriplePattern) bool {
@@ -263,12 +310,12 @@ func compileGroup(elems []sparql.Element, st *Stats) ([]Step, map[string]bool, e
 	// space early (the paper orders its UDF ladder "by increasing
 	// cost and pruning power"), so the planner assumes an enabled
 	// filter is highly selective.
-	enablesFilter := func(tp sparql.TriplePattern) bool {
+	enablesFilter := func(vars []string) bool {
 		newBound := map[string]bool{}
 		for v := range bound {
 			newBound[v] = true
 		}
-		for _, v := range tp.Vars() {
+		for _, v := range vars {
 			newBound[v] = true
 		}
 		for i, f := range filters {
@@ -304,9 +351,9 @@ func compileGroup(elems []sparql.Element, st *Stats) ([]Step, map[string]bool, e
 	// with the per-variable distinct-value count approximated by the
 	// pattern's own cardinality (each matched triple tends to bind a
 	// distinct value for its variables). k = 0 is a cross product.
-	joinOutEst := func(tp sparql.TriplePattern, patCard int) int {
+	joinOutEst := func(vars []string, patCard int) int {
 		k := 0
-		for _, v := range tp.Vars() {
+		for _, v := range vars {
 			if bound[v] {
 				k++
 			}
@@ -324,13 +371,36 @@ func compileGroup(elems []sparql.Element, st *Stats) ([]Step, map[string]bool, e
 		}
 		return int(out)
 	}
-	// pickNext chooses the next pattern. The first pattern is the
-	// plain cardinality minimum (with the filter-enabling boost); later
-	// patterns minimize a join cost = build-side size + estimated
-	// output cardinality, so a small pattern that would explode the
-	// stream loses to a slightly larger one that keeps it narrow.
-	pickNext := func(requireConnected, first bool) (idx, outEst int) {
-		best, bestCost, bestOut := -1, 0, 0
+	// simOutEst estimates the output of a SIMILAR step given the
+	// running stream. Semi mode keeps the K/N fraction of the stream
+	// (membership in the global top-K set); access mode over a
+	// non-empty stream is a join on no shared variables, i.e. a cross
+	// product with the K hits.
+	simOutEst := func(sp sparql.SimilarPattern, semi bool) int {
+		if !semi {
+			return joinOutEst([]string{sp.Var}, sp.K)
+		}
+		n := st.VecCount(sp.Store)
+		if n < sp.K {
+			// Unknown store size: assume a mildly selective semi-join.
+			n = sp.K * 16
+		}
+		out := int(float64(curCard) * float64(sp.K) / float64(n))
+		if out < 1 {
+			out = 1
+		}
+		return out
+	}
+	// pickNext chooses the next access path — triple pattern or SIMILAR
+	// clause. The first pick is the plain cardinality minimum (with the
+	// filter-enabling boost); later picks minimize a join cost =
+	// build-side size + estimated output cardinality, so a small
+	// pattern that would explode the stream loses to a slightly larger
+	// one that keeps it narrow. A SIMILAR clause costs its candidate K
+	// as an access path and the semi-join output when its variable is
+	// already bound.
+	pickNext := func(requireConnected, first bool) (idx, simIdx, outEst int) {
+		best, bestSim, bestCost, bestOut := -1, -1, 0, 0
 		for i, tp := range pats {
 			if used[i] {
 				continue
@@ -342,24 +412,55 @@ func compileGroup(elems []sparql.Element, st *Stats) ([]Step, map[string]bool, e
 			var cost, out int
 			if first {
 				cost = card
-				if enablesFilter(tp) {
+				if enablesFilter(tp.Vars()) {
 					cost = cost/filterBoost + 1
 				}
 				out = card
 			} else {
-				out = joinOutEst(tp, card)
-				if enablesFilter(tp) {
+				out = joinOutEst(tp.Vars(), card)
+				if enablesFilter(tp.Vars()) {
 					// An enabled pruning filter runs immediately after
 					// this join and is assumed highly selective.
 					out = out/filterBoost + 1
 				}
 				cost = card + out
 			}
-			if best < 0 || cost < bestCost {
-				best, bestCost, bestOut = i, cost, out
+			if best < 0 && bestSim < 0 || cost < bestCost {
+				best, bestSim, bestCost, bestOut = i, -1, cost, out
 			}
 		}
-		return best, bestOut
+		for i, sp := range sims {
+			if simUsed[i] {
+				continue
+			}
+			semi := bound[sp.Var]
+			if requireConnected && !semi {
+				continue
+			}
+			var cost, out int
+			if first {
+				cost = sp.K
+				if enablesFilter([]string{sp.Var}) {
+					cost = cost/filterBoost + 1
+				}
+				out = sp.K
+			} else if semi {
+				out = simOutEst(sp, true)
+				// Membership probe over the stream; no build side beyond
+				// the K-hit set.
+				cost = sp.K + out
+			} else {
+				out = simOutEst(sp, false)
+				if enablesFilter([]string{sp.Var}) {
+					out = out/filterBoost + 1
+				}
+				cost = sp.K + out
+			}
+			if best < 0 && bestSim < 0 || cost < bestCost {
+				best, bestSim, bestCost, bestOut = -1, i, cost, out
+			}
+		}
+		return best, bestSim, bestOut
 	}
 	attachFilters := func() {
 		for i, f := range filters {
@@ -380,26 +481,40 @@ func compileGroup(elems []sparql.Element, st *Stats) ([]Step, map[string]bool, e
 		}
 	}
 
-	for n := 0; n < len(pats); n++ {
-		idx, outEst := pickNext(n > 0, n == 0)
-		if idx < 0 {
+	for n := 0; n < len(pats)+len(sims); n++ {
+		idx, simIdx, outEst := pickNext(n > 0, n == 0)
+		if idx < 0 && simIdx < 0 {
 			// Disconnected pattern group: take the cheapest remaining
 			// (executes as a cross product).
-			idx, outEst = pickNext(false, n == 0)
+			idx, simIdx, outEst = pickNext(false, n == 0)
 		}
-		tp := pats[idx]
-		used[idx] = true
-		card := st.PatternCard(tp)
-		if n == 0 {
-			steps = append(steps, ScanStep{Pattern: tp, Est: card})
+		var newVars []string
+		if simIdx >= 0 {
+			sp := sims[simIdx]
+			simUsed[simIdx] = true
+			steps = append(steps, SimilarStep{
+				Sim:    sp,
+				Est:    sp.K,
+				Semi:   bound[sp.Var],
+				OutEst: outEst,
+			})
+			newVars = []string{sp.Var}
 		} else {
-			steps = append(steps, JoinStep{Pattern: tp, Est: card, OutEst: outEst})
+			tp := pats[idx]
+			used[idx] = true
+			card := st.PatternCard(tp)
+			if n == 0 {
+				steps = append(steps, ScanStep{Pattern: tp, Est: card})
+			} else {
+				steps = append(steps, JoinStep{Pattern: tp, Est: card, OutEst: outEst})
+			}
+			newVars = tp.Vars()
 		}
 		curCard = outEst
 		if curCard < 1 {
 			curCard = 1
 		}
-		for _, v := range tp.Vars() {
+		for _, v := range newVars {
 			bound[v] = true
 		}
 		attachFilters()

@@ -212,3 +212,88 @@ func TestExplainRendering(t *testing.T) {
 		}
 	}
 }
+
+func TestBuildSimilarAccessPath(t *testing.T) {
+	g := testGraph()
+	st := StatsFromGraph(g)
+	st.Vectors = map[string]int{"fp": 1000}
+	// SIMILAR (K=5) is the cheapest access path; the common pattern
+	// joins against its bound variable.
+	q := mustQuery(t, `SELECT ?s ?v WHERE {
+		?s <http://x/common> ?v .
+		SIMILAR(?s, "anchor", 5, "fp")
+	}`)
+	p, err := Build(q, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, ok := p.Steps[0].(SimilarStep)
+	if !ok {
+		t.Fatalf("step 0 = %T, want SimilarStep", p.Steps[0])
+	}
+	if sim.Semi || sim.Est != 5 || sim.Sim.Store != "fp" {
+		t.Fatalf("access step = %+v", sim)
+	}
+	if _, ok := p.Steps[1].(JoinStep); !ok {
+		t.Fatalf("step 1 = %T, want JoinStep", p.Steps[1])
+	}
+	if !strings.Contains(p.Explain(), "KNN SIMILAR(?s") {
+		t.Fatalf("Explain missing KNN line:\n%s", p.Explain())
+	}
+}
+
+func TestBuildSimilarSemiJoin(t *testing.T) {
+	g := testGraph()
+	st := StatsFromGraph(g)
+	st.Vectors = map[string]int{"fp": 10}
+	// Huge K makes the access path expensive, so the planner scans the
+	// rare pattern first and applies SIMILAR as a semi-join filter.
+	q := mustQuery(t, `SELECT ?s WHERE {
+		?s <http://x/rare> ?r .
+		SIMILAR(?s, [1 2 3], 500, "fp")
+	}`)
+	p, err := Build(q, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.Steps[0].(ScanStep); !ok {
+		t.Fatalf("step 0 = %T, want ScanStep", p.Steps[0])
+	}
+	sim, ok := p.Steps[1].(SimilarStep)
+	if !ok {
+		t.Fatalf("step 1 = %T, want SimilarStep", p.Steps[1])
+	}
+	if !sim.Semi {
+		t.Fatalf("expected semi mode: %+v", sim)
+	}
+	if !strings.Contains(p.Explain(), "KNN-SEMI") {
+		t.Fatalf("Explain missing KNN-SEMI:\n%s", p.Explain())
+	}
+}
+
+func TestBuildSimilarOnly(t *testing.T) {
+	g := testGraph()
+	q := mustQuery(t, `SELECT ?x WHERE { SIMILAR(?x, [1 2], 3) }`)
+	p, err := Build(q, StatsFromGraph(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Steps) != 1 {
+		t.Fatalf("steps = %v", p.Steps)
+	}
+	sim := p.Steps[0].(SimilarStep)
+	if sim.Semi || sim.OutEst != 3 {
+		t.Fatalf("step = %+v", sim)
+	}
+}
+
+func TestVecCount(t *testing.T) {
+	st := &Stats{Vectors: map[string]int{"a": 7}}
+	if st.VecCount("a") != 7 || st.VecCount("") != 7 || st.VecCount("b") != 0 {
+		t.Fatal("VecCount single-store resolution")
+	}
+	st.Vectors["b"] = 3
+	if st.VecCount("") != 0 {
+		t.Fatal("ambiguous empty name must return 0")
+	}
+}

@@ -15,6 +15,15 @@ func FuzzSPARQLParse(f *testing.F) {
 		`SELECT ?s WHERE { ?s <http://x/p> ?v . FILTER(?v > 3) } ORDER BY DESC(?v)`,
 		`INSERT DATA { <http://x/a> <http://x/p> "o" . }`,
 		`DELETE DATA { <http://x/a> <http://x/p> "o"^^<http://www.w3.org/2001/XMLSchema#integer> . }`,
+		`SELECT ?x WHERE { SIMILAR(?x, <http://x/compound/42>, 10) }`,
+		`SELECT ?x ?n WHERE { SIMILAR(?x, "aspirin", 5, "fingerprints") . ?x <http://x/name> ?n . }`,
+		`SELECT ?x WHERE { SIMILAR(?x, [0.1 -2 3.5e-1 4], 3) . }`,
+		`PREFIX c: <http://x/c/> SELECT ?x WHERE { SIMILAR(?x, c:42, 7) }`,
+		`SELECT ?x WHERE { SIMILAR(?x, [], 3) }`,
+		`SELECT ?x WHERE { SIMILAR(?x, [1 2], 0) }`,
+		`SELECT ?x WHERE { SIMILAR(?x, [1 2], 2.5) }`,
+		`SELECT ?x WHERE { SIMILAR(?x, [1 2 }`,
+		`SELECT ?x WHERE { SIMILAR(?x, "k", 3, ?v) }`,
 		`SELECT * WHERE { ?s ?p ?o`,
 		`SELECT ?s WHERE { ?s ?p "unterminated }`,
 		"SELECT ?s WHERE { ?s ?p \"\x00\xff\" . }",

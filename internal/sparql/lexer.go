@@ -1,9 +1,11 @@
 // Package sparql implements the query language front end of IDS: a
 // SPARQL subset covering SELECT/WHERE basic graph patterns, FILTER
 // expressions with UDF calls, PREFIX declarations, DISTINCT, ORDER BY,
-// LIMIT and OFFSET. The paper's queries (reviewed-protein search,
-// inhibitor retrieval, similarity/potency/affinity filters, docking
-// calls) are all expressible in this subset.
+// LIMIT and OFFSET, plus a SIMILAR(?x, <key|vector>, k) clause that
+// exposes vector-store nearest-neighbour search as a joinable pattern.
+// The paper's queries (reviewed-protein search, inhibitor retrieval,
+// similarity/potency/affinity filters, docking calls) are all
+// expressible in this subset.
 package sparql
 
 import (
@@ -26,6 +28,8 @@ const (
 	tokRBrace
 	tokLParen
 	tokRParen
+	tokLBracket
+	tokRBracket
 	tokDot
 	tokComma
 	tokSemicolon
@@ -101,6 +105,12 @@ func (l *lexer) next() (token, error) {
 	case c == ')':
 		l.pos++
 		return token{kind: tokRParen, text: ")", pos: start}, nil
+	case c == '[':
+		l.pos++
+		return token{kind: tokLBracket, text: "[", pos: start}, nil
+	case c == ']':
+		l.pos++
+		return token{kind: tokRBracket, text: "]", pos: start}, nil
 	case c == ',':
 		l.pos++
 		return token{kind: tokComma, text: ",", pos: start}, nil

@@ -68,14 +68,49 @@ type OptionalPattern struct {
 	Body []Element
 }
 
+// SimilarPattern is a SIMILAR(?x, <anchor>, k[, "store"]) clause: an
+// approximate nearest-neighbour access path over an attached vector
+// store, joinable with ordinary triple patterns. The anchor is either
+// a stored key (IRI or string literal) or an inline vector literal
+// [v1 v2 ...]; ?x binds to the keys of the top-k hits.
+type SimilarPattern struct {
+	Var string
+	// Key is the anchor key when the query vector is looked up from
+	// the store; KeyIsIRI records whether it was written as an IRI.
+	Key      string
+	KeyIsIRI bool
+	// Vec is the inline query vector (nil when Key is set).
+	Vec []float32
+	// K is the number of neighbours requested.
+	K int
+	// Store optionally names the vector store; empty selects the
+	// engine's only attached store.
+	Store string
+}
+
+func (sp SimilarPattern) String() string {
+	anchor := fmt.Sprintf("%q", sp.Key)
+	if sp.KeyIsIRI {
+		anchor = "<" + sp.Key + ">"
+	}
+	if sp.Vec != nil {
+		anchor = fmt.Sprintf("[%d-dim vector]", len(sp.Vec))
+	}
+	if sp.Store != "" {
+		return fmt.Sprintf("SIMILAR(?%s, %s, %d, %q)", sp.Var, anchor, sp.K, sp.Store)
+	}
+	return fmt.Sprintf("SIMILAR(?%s, %s, %d)", sp.Var, anchor, sp.K)
+}
+
 // Element is a WHERE-clause element: TriplePattern, Filter,
-// UnionPattern or OptionalPattern.
+// UnionPattern, OptionalPattern or SimilarPattern.
 type Element interface{ isElement() }
 
 func (TriplePattern) isElement()   {}
 func (Filter) isElement()          {}
 func (UnionPattern) isElement()    {}
 func (OptionalPattern) isElement() {}
+func (SimilarPattern) isElement()  {}
 
 // OrderKey is one ORDER BY key.
 type OrderKey struct {
@@ -111,6 +146,17 @@ func (q *Query) Patterns() []TriplePattern {
 	for _, e := range q.Where {
 		if tp, ok := e.(TriplePattern); ok {
 			out = append(out, tp)
+		}
+	}
+	return out
+}
+
+// Similars returns the SIMILAR elements of the WHERE clause in order.
+func (q *Query) Similars() []SimilarPattern {
+	var out []SimilarPattern
+	for _, e := range q.Where {
+		if sp, ok := e.(SimilarPattern); ok {
+			out = append(out, sp)
 		}
 	}
 	return out
@@ -290,6 +336,11 @@ func (p *parser) parseElements() ([]Element, error) {
 				return nil, err
 			}
 			out = append(out, OptionalPattern{Body: body})
+		case p.isKeyword("similar"):
+			if err := p.parseSimilar(); err != nil {
+				return nil, err
+			}
+			flush()
 		case p.tok.kind == tokLBrace:
 			u, err := p.parseUnion()
 			if err != nil {
@@ -550,6 +601,97 @@ func (p *parser) parseTriple() error {
 		return nil
 	}
 	return p.errf("expected '.' after triple pattern, got %s", p.tok)
+}
+
+// parseSimilar parses SIMILAR(?x, <iri>|"key"|[v1 v2 ...], k[, "store"]).
+func (p *parser) parseSimilar() error {
+	if err := p.advance(); err != nil { // consume SIMILAR
+		return err
+	}
+	if err := p.expect(tokLParen, "'(' after SIMILAR"); err != nil {
+		return err
+	}
+	if p.tok.kind != tokVar {
+		return p.errf("expected variable as first SIMILAR argument, got %s", p.tok)
+	}
+	sp := SimilarPattern{Var: p.tok.text}
+	if err := p.advance(); err != nil {
+		return err
+	}
+	if err := p.expect(tokComma, "','"); err != nil {
+		return err
+	}
+	switch p.tok.kind {
+	case tokIRI:
+		sp.Key, sp.KeyIsIRI = p.tok.text, true
+		if err := p.advance(); err != nil {
+			return err
+		}
+	case tokPName:
+		parts := strings.SplitN(p.tok.text, ":", 2)
+		base, ok := p.q.Prefixes[parts[0]]
+		if !ok {
+			return p.errf("undeclared prefix %q", parts[0])
+		}
+		sp.Key, sp.KeyIsIRI = base+parts[1], true
+		if err := p.advance(); err != nil {
+			return err
+		}
+	case tokString:
+		sp.Key = p.tok.text
+		if err := p.advance(); err != nil {
+			return err
+		}
+	case tokLBracket:
+		if err := p.advance(); err != nil {
+			return err
+		}
+		for p.tok.kind == tokNumber {
+			sp.Vec = append(sp.Vec, float32(p.tok.num))
+			if err := p.advance(); err != nil {
+				return err
+			}
+		}
+		if len(sp.Vec) == 0 {
+			return p.errf("empty vector literal in SIMILAR")
+		}
+		if err := p.expect(tokRBracket, "']' closing vector literal"); err != nil {
+			return err
+		}
+	default:
+		return p.errf("expected key or vector literal in SIMILAR, got %s", p.tok)
+	}
+	if err := p.expect(tokComma, "','"); err != nil {
+		return err
+	}
+	if p.tok.kind != tokNumber || p.tok.num != float64(int(p.tok.num)) || int(p.tok.num) <= 0 {
+		return p.errf("expected positive integer k in SIMILAR, got %s", p.tok)
+	}
+	sp.K = int(p.tok.num)
+	if err := p.advance(); err != nil {
+		return err
+	}
+	if p.tok.kind == tokComma {
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if p.tok.kind != tokString {
+			return p.errf("expected store name string in SIMILAR, got %s", p.tok)
+		}
+		sp.Store = p.tok.text
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+	if err := p.expect(tokRParen, "')' closing SIMILAR"); err != nil {
+		return err
+	}
+	p.q.Where = append(p.q.Where, sp)
+	// Optional trailing dot.
+	if p.tok.kind == tokDot {
+		return p.advance()
+	}
+	return nil
 }
 
 func (p *parser) parseFilter() error {

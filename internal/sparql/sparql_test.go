@@ -388,3 +388,63 @@ func BenchmarkParse(b *testing.B) {
 		}
 	}
 }
+
+func TestParseSimilar(t *testing.T) {
+	q, err := Parse(`
+		PREFIX c: <http://x/c/>
+		SELECT ?x ?n WHERE {
+			SIMILAR(?x, c:42, 10, "fp") .
+			?x <http://x/name> ?n .
+			SIMILAR(?y, "aspirin", 5)
+			SIMILAR(?z, [0.5 -1 2.5e-1], 3) .
+		}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sims := q.Similars()
+	if len(sims) != 3 {
+		t.Fatalf("Similars = %v", sims)
+	}
+	a := sims[0]
+	if a.Var != "x" || a.Key != "http://x/c/42" || !a.KeyIsIRI || a.K != 10 || a.Store != "fp" {
+		t.Fatalf("first SIMILAR = %+v", a)
+	}
+	b := sims[1]
+	if b.Var != "y" || b.Key != "aspirin" || b.KeyIsIRI || b.K != 5 || b.Store != "" {
+		t.Fatalf("second SIMILAR = %+v", b)
+	}
+	c := sims[2]
+	if c.Var != "z" || len(c.Vec) != 3 || c.Vec[1] != -1 || c.Vec[2] != 0.25 || c.K != 3 {
+		t.Fatalf("third SIMILAR = %+v", c)
+	}
+	if len(q.Patterns()) != 1 {
+		t.Fatalf("Patterns = %v", q.Patterns())
+	}
+	if s := a.String(); !strings.Contains(s, "<http://x/c/42>") || !strings.Contains(s, `"fp"`) {
+		t.Fatalf("String = %s", s)
+	}
+	if s := c.String(); !strings.Contains(s, "3-dim vector") {
+		t.Fatalf("String = %s", s)
+	}
+}
+
+func TestParseSimilarErrors(t *testing.T) {
+	bad := []string{
+		`SELECT ?x WHERE { SIMILAR(?x, [], 3) }`,
+		`SELECT ?x WHERE { SIMILAR(?x, [1 2], 0) }`,
+		`SELECT ?x WHERE { SIMILAR(?x, [1 2], -4) }`,
+		`SELECT ?x WHERE { SIMILAR(?x, [1 2], 2.5) }`,
+		`SELECT ?x WHERE { SIMILAR("notavar", [1 2], 3) }`,
+		`SELECT ?x WHERE { SIMILAR(?x, ?y, 3) }`,
+		`SELECT ?x WHERE { SIMILAR(?x, u:1, 3) }`,
+		`SELECT ?x WHERE { SIMILAR(?x, "k", 3, ?v) }`,
+		`SELECT ?x WHERE { SIMILAR(?x, "k", 3 `,
+		`SELECT ?x WHERE { SIMILAR(?x, [1 2 }`,
+		`SELECT ?x WHERE { SIMILAR ?x }`,
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded", s)
+		}
+	}
+}

@@ -1,0 +1,594 @@
+// Package hnsw implements a Hierarchical Navigable Small World graph
+// index (Malkov & Yashunin 2016) over an external vector collection.
+// The index stores only graph structure — node levels and per-layer
+// adjacency — and reads vector geometry through a Distancer, so the
+// owning store (internal/vecstore) remains the single copy of the
+// data and an upserted vector changes search geometry immediately.
+//
+// Determinism: node levels derive from a seeded splitmix64 stream
+// keyed by (seed, node id), not from insertion-time RNG state, so
+// rebuilding the index from a snapshot reproduces the exact level
+// assignment of the incremental build. All candidate orderings break
+// distance ties by node id, making search results reproducible and
+// comparable against brute-force ground truth.
+//
+// Concurrency: Insert takes the exclusive lock; Search takes the read
+// lock, so any number of searches run concurrently with each other
+// and serialize only against inserts.
+package hnsw
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Distancer provides distances to stored vectors. Lower is closer
+// (vecstore adapts its uniform higher-is-better score by negation).
+// Implementations must be safe for concurrent calls; the index holds
+// its own lock but multiple searches read through it at once.
+type Distancer interface {
+	// Distance returns the distance between stored vectors i and j.
+	Distance(i, j int) float64
+	// DistanceTo returns the distance from query q to stored vector i.
+	DistanceTo(q []float32, i int) float64
+}
+
+// Config tunes the index. The zero value takes the defaults below.
+type Config struct {
+	// M is the maximum neighbor count per node on layers > 0; layer 0
+	// allows 2M. Default 16.
+	M int
+	// EfConstruction is the candidate-list width during insert.
+	// Default 200.
+	EfConstruction int
+	// EfSearch is the default candidate-list width during search
+	// (overridable per call). Default 64.
+	EfSearch int
+	// Seed keys the deterministic level assignment. Default 1.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.M <= 0 {
+		c.M = 16
+	}
+	if c.EfConstruction <= 0 {
+		c.EfConstruction = 200
+	}
+	if c.EfSearch <= 0 {
+		c.EfSearch = 64
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// SearchStats describes one search for EXPLAIN ANALYZE and metrics.
+type SearchStats struct {
+	// Visited is the number of distance evaluations performed.
+	Visited int
+	// Candidates is the size of the layer-0 candidate set the top-k
+	// was drawn from.
+	Candidates int
+	// Ef is the candidate-list width the search ran with.
+	Ef int
+}
+
+// Index is the HNSW graph. Node ids are the dense indexes of the
+// owning store (0..n-1, append-only).
+type Index struct {
+	mu   sync.RWMutex
+	cfg  Config
+	mL   float64 // level normalization 1/ln(M)
+	dist Distancer
+
+	levels   []int32     // levels[id] = top layer of node id
+	links    [][][]int32 // links[id][layer] = neighbor ids
+	entry    int32
+	maxLevel int32
+
+	// ctxPool recycles per-search scratch (visited stamps and heaps).
+	// A beam search over 100k nodes touches a few thousand of them; a
+	// fresh map per search was the dominant cost of the hot path.
+	ctxPool sync.Pool
+}
+
+// searchCtx is the reusable beam-search scratch. The visited array is
+// epoch-stamped: visited[id] == epoch means id was seen during the
+// current search, so resets are O(1) instead of O(n).
+type searchCtx struct {
+	visited []uint32
+	epoch   uint32
+	cands   minHeap
+	results maxHeap
+}
+
+// getCtx returns scratch sized for the current node count. The caller
+// holds ix.mu (read or write), so len(ix.levels) is stable until the
+// matching putCtx.
+func (ix *Index) getCtx() *searchCtx {
+	sc, _ := ix.ctxPool.Get().(*searchCtx)
+	if sc == nil {
+		sc = &searchCtx{}
+	}
+	if n := len(ix.levels); len(sc.visited) < n {
+		sc.visited = make([]uint32, n+n/2+16)
+	}
+	sc.epoch++
+	if sc.epoch == 0 { // wrapped: clear stale stamps once
+		for i := range sc.visited {
+			sc.visited[i] = 0
+		}
+		sc.epoch = 1
+	}
+	sc.cands = sc.cands[:0]
+	sc.results = sc.results[:0]
+	return sc
+}
+
+func (ix *Index) putCtx(sc *searchCtx) { ix.ctxPool.Put(sc) }
+
+// New creates an empty index over the given distancer.
+func New(cfg Config, dist Distancer) *Index {
+	cfg = cfg.withDefaults()
+	return &Index{
+		cfg:   cfg,
+		mL:    1 / math.Log(float64(cfg.M)),
+		dist:  dist,
+		entry: -1,
+	}
+}
+
+// Config returns the index's effective (defaulted) configuration.
+func (ix *Index) Config() Config { return ix.cfg }
+
+// Len returns the number of indexed nodes.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.levels)
+}
+
+// splitmix64 is the level-assignment hash: a full-avalanche mix of the
+// seed and node id, giving each node an i.i.d.-uniform draw that is a
+// pure function of (seed, id).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// levelFor draws node id's level: floor(-ln(U) * mL), the geometric
+// layer distribution of the HNSW paper.
+func (ix *Index) levelFor(id int) int32 {
+	h := splitmix64(uint64(ix.cfg.Seed) ^ uint64(id)*0x9e3779b97f4a7c15)
+	// Map to (0,1]; avoid u == 0.
+	u := (float64(h>>11) + 1) / float64(1<<53)
+	return int32(-math.Log(u) * ix.mL)
+}
+
+// Insert adds node id to the graph. The id must equal Len() (dense,
+// append-only, matching the owning store); the vector must already be
+// readable through the Distancer.
+func (ix *Index) Insert(id int) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if id != len(ix.levels) {
+		return fmt.Errorf("hnsw: insert id %d out of order (have %d nodes)", id, len(ix.levels))
+	}
+	level := ix.levelFor(id)
+	ix.levels = append(ix.levels, level)
+	ix.links = append(ix.links, make([][]int32, level+1))
+	if ix.entry < 0 {
+		ix.entry = int32(id)
+		ix.maxLevel = level
+		return nil
+	}
+	ix.linkNode(int32(id), level)
+	if level > ix.maxLevel {
+		ix.maxLevel = level
+		ix.entry = int32(id)
+	}
+	return nil
+}
+
+// Reinsert relinks an existing node after its vector was overwritten:
+// old edges to and from the node are dropped and the node is wired
+// back in at its original level with the new geometry.
+func (ix *Index) Reinsert(id int) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if id < 0 || id >= len(ix.levels) {
+		return fmt.Errorf("hnsw: reinsert of unknown node %d", id)
+	}
+	if len(ix.levels) == 1 {
+		return nil
+	}
+	// Drop edges pointing at id, then id's own edges.
+	for l := int32(0); l <= ix.levels[id]; l++ {
+		for _, nb := range ix.links[id][l] {
+			ix.dropEdge(nb, l, int32(id))
+		}
+		ix.links[id][l] = ix.links[id][l][:0]
+	}
+	if ix.entry == int32(id) {
+		// Relinking searches start from the entry point; make sure it
+		// is not the (currently unlinked) node itself.
+		ix.entry = ix.otherNode(int32(id))
+	}
+	ix.linkNode(int32(id), ix.levels[id])
+	if ix.levels[id] > ix.maxLevel {
+		ix.maxLevel = ix.levels[id]
+		ix.entry = int32(id)
+	}
+	return nil
+}
+
+// otherNode returns any node other than id (caller guarantees one
+// exists), preferring the highest-level one so descent still works.
+func (ix *Index) otherNode(id int32) int32 {
+	best, bestLevel := int32(-1), int32(-1)
+	for n := range ix.levels {
+		if int32(n) == id {
+			continue
+		}
+		if ix.levels[n] > bestLevel {
+			best, bestLevel = int32(n), ix.levels[n]
+		}
+	}
+	ix.maxLevel = bestLevel
+	return best
+}
+
+// dropEdge removes dst from src's layer-l adjacency.
+func (ix *Index) dropEdge(src, l, dst int32) {
+	nbs := ix.links[src][l]
+	for i, nb := range nbs {
+		if nb == dst {
+			ix.links[src][l] = append(nbs[:i], nbs[i+1:]...)
+			return
+		}
+	}
+}
+
+// linkNode wires node id (with top layer `level`) into the graph.
+// Caller holds the write lock; the entry point must differ from id.
+func (ix *Index) linkNode(id, level int32) {
+	ep := ix.entry
+	epDist := ix.dist.Distance(int(id), int(ep))
+	// Greedy descent through layers above the node's level.
+	for l := ix.maxLevel; l > level; l-- {
+		ep, epDist = ix.greedyStep(nil, int(id), ep, epDist, l)
+	}
+	maxL := level
+	if ix.maxLevel < maxL {
+		maxL = ix.maxLevel
+	}
+	for l := maxL; l >= 0; l-- {
+		cands := ix.searchLayerByNode(int(id), ep, epDist, ix.cfg.EfConstruction, l)
+		m := ix.cfg.M
+		selected := ix.selectNeighborsByNode(int(id), cands, m)
+		ix.links[id][l] = append(ix.links[id][l][:0], selected...)
+		maxConn := ix.maxConn(l)
+		for _, nb := range selected {
+			ix.links[nb][l] = append(ix.links[nb][l], id)
+			if len(ix.links[nb][l]) > maxConn {
+				ix.pruneNeighbors(nb, l, maxConn)
+			}
+		}
+		if len(cands) > 0 {
+			ep, epDist = cands[0].id, cands[0].dist
+		}
+	}
+}
+
+// maxConn is the neighbor cap: 2M on layer 0, M above.
+func (ix *Index) maxConn(l int32) int {
+	if l == 0 {
+		return 2 * ix.cfg.M
+	}
+	return ix.cfg.M
+}
+
+// cand is a (node, distance) pair; orderings always break distance
+// ties by id so traversal is deterministic.
+type cand struct {
+	id   int32
+	dist float64
+}
+
+func candLess(a, b cand) bool {
+	if a.dist != b.dist {
+		return a.dist < b.dist
+	}
+	return a.id < b.id
+}
+
+// minHeap is a closest-first heap of candidates.
+type minHeap []cand
+
+func (h *minHeap) push(c cand) {
+	*h = append(*h, c)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !candLess((*h)[i], (*h)[p]) {
+			break
+		}
+		(*h)[i], (*h)[p] = (*h)[p], (*h)[i]
+		i = p
+	}
+}
+
+func (h *minHeap) pop() cand {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && candLess(old[l], old[s]) {
+			s = l
+		}
+		if r < n && candLess(old[r], old[s]) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		old[i], old[s] = old[s], old[i]
+		i = s
+	}
+	return top
+}
+
+// maxHeap is a farthest-first heap (the bounded result set).
+type maxHeap []cand
+
+func (h *maxHeap) push(c cand) {
+	*h = append(*h, c)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !candLess((*h)[p], (*h)[i]) {
+			break
+		}
+		(*h)[i], (*h)[p] = (*h)[p], (*h)[i]
+		i = p
+	}
+}
+
+func (h *maxHeap) pop() cand {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && candLess(old[s], old[l]) {
+			s = l
+		}
+		if r < n && candLess(old[s], old[r]) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		old[i], old[s] = old[s], old[i]
+		i = s
+	}
+	return top
+}
+
+// distFn abstracts "distance from the search anchor to node i": a
+// query vector during search, a stored node during construction.
+type distFn func(i int) float64
+
+// greedyStep walks layer l greedily from ep toward the anchor until no
+// neighbor improves. Exactly one of q / nodeID anchors the walk.
+func (ix *Index) greedyStep(q []float32, nodeID int, ep int32, epDist float64, l int32) (int32, float64) {
+	df := ix.anchor(q, nodeID)
+	for {
+		improved := false
+		for _, nb := range ix.links[ep][l] {
+			if q == nil && int(nb) == nodeID {
+				continue
+			}
+			d := df(int(nb))
+			if d < epDist || (d == epDist && nb < ep) {
+				ep, epDist = nb, d
+				improved = true
+			}
+		}
+		if !improved {
+			return ep, epDist
+		}
+	}
+}
+
+func (ix *Index) anchor(q []float32, nodeID int) distFn {
+	if q != nil {
+		return func(i int) float64 { return ix.dist.DistanceTo(q, i) }
+	}
+	return func(i int) float64 { return ix.dist.Distance(nodeID, i) }
+}
+
+// searchLayer is Algorithm 2: beam search of width ef on layer l from
+// entry point ep, returning up to ef candidates sorted closest-first.
+// visited counts distance evaluations.
+func (ix *Index) searchLayer(q []float32, nodeID int, ep int32, epDist float64, ef int, l int32, visited *int) []cand {
+	df := ix.anchor(q, nodeID)
+	sc := ix.getCtx()
+	defer ix.putCtx(sc)
+	sc.visited[ep] = sc.epoch
+	if nodeID >= 0 && q == nil {
+		sc.visited[nodeID] = sc.epoch
+	}
+	candidates, results := &sc.cands, &sc.results
+	candidates.push(cand{ep, epDist})
+	results.push(cand{ep, epDist})
+	for len(*candidates) > 0 {
+		c := candidates.pop()
+		if len(*results) >= ef && candLess((*results)[0], c) {
+			break
+		}
+		for _, nb := range ix.links[c.id][l] {
+			if sc.visited[nb] == sc.epoch {
+				continue
+			}
+			sc.visited[nb] = sc.epoch
+			d := df(int(nb))
+			if visited != nil {
+				*visited++
+			}
+			if len(*results) < ef || candLess(cand{nb, d}, (*results)[0]) {
+				candidates.push(cand{nb, d})
+				results.push(cand{nb, d})
+				if len(*results) > ef {
+					results.pop()
+				}
+			}
+		}
+	}
+	out := make([]cand, len(*results))
+	copy(out, *results)
+	sortCands(out)
+	return out
+}
+
+// searchLayerByNode anchors the beam search at a stored node
+// (construction path).
+func (ix *Index) searchLayerByNode(nodeID int, ep int32, epDist float64, ef int, l int32) []cand {
+	return ix.searchLayer(nil, nodeID, ep, epDist, ef, l, nil)
+}
+
+// sortCands sorts closest-first with the id tie-break (insertion sort
+// is fine: ef is small).
+func sortCands(cs []cand) {
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && candLess(cs[j], cs[j-1]); j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}
+
+// selectNeighborsByNode is Algorithm 4's heuristic: keep a candidate
+// only if it is closer to the anchor node than to every already-kept
+// neighbor, which spreads edges across directions instead of
+// clustering them. Falls back to plain closest-first fill if the
+// heuristic keeps fewer than m.
+func (ix *Index) selectNeighborsByNode(nodeID int, cands []cand, m int) []int32 {
+	out := make([]int32, 0, m)
+	for _, c := range cands {
+		if len(out) >= m {
+			break
+		}
+		if int(c.id) == nodeID {
+			continue
+		}
+		keep := true
+		for _, s := range out {
+			if ix.dist.Distance(int(c.id), int(s)) < c.dist {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, c.id)
+		}
+	}
+	if len(out) < m {
+		for _, c := range cands {
+			if len(out) >= m {
+				break
+			}
+			if int(c.id) == nodeID || containsID(out, c.id) {
+				continue
+			}
+			out = append(out, c.id)
+		}
+	}
+	return out
+}
+
+func containsID(s []int32, id int32) bool {
+	for _, x := range s {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// pruneNeighbors re-selects node nb's layer-l adjacency down to m with
+// the same diversity heuristic used at insert.
+func (ix *Index) pruneNeighbors(nb int32, l int32, m int) {
+	nbs := ix.links[nb][l]
+	cands := make([]cand, len(nbs))
+	for i, x := range nbs {
+		cands[i] = cand{x, ix.dist.Distance(int(nb), int(x))}
+	}
+	sortCands(cands)
+	ix.links[nb][l] = ix.selectNeighborsByNode(int(nb), cands, m)
+}
+
+// Search returns the k nearest node ids to q (closest first, distance
+// ties by id), beam width ef (<=0 takes Config.EfSearch; ef is raised
+// to k). Concurrent-safe under the read lock.
+func (ix *Index) Search(q []float32, k, ef int) ([]int32, SearchStats, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if ef <= 0 {
+		ef = ix.cfg.EfSearch
+	}
+	if ef < k {
+		ef = k
+	}
+	st := SearchStats{Ef: ef}
+	if ix.entry < 0 {
+		return nil, st, nil
+	}
+	ep := ix.entry
+	epDist := ix.dist.DistanceTo(q, int(ep))
+	st.Visited = 1
+	for l := ix.maxLevel; l > 0; l-- {
+		ep, epDist = ix.greedySearchStep(q, ep, epDist, l, &st.Visited)
+	}
+	cands := ix.searchLayer(q, -1, ep, epDist, ef, 0, &st.Visited)
+	st.Candidates = len(cands)
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]int32, k)
+	for i := 0; i < k; i++ {
+		out[i] = cands[i].id
+	}
+	return out, st, nil
+}
+
+// greedySearchStep is greedyStep with visit counting (query path).
+func (ix *Index) greedySearchStep(q []float32, ep int32, epDist float64, l int32, visited *int) (int32, float64) {
+	for {
+		improved := false
+		for _, nb := range ix.links[ep][l] {
+			d := ix.dist.DistanceTo(q, int(nb))
+			*visited++
+			if d < epDist || (d == epDist && nb < ep) {
+				ep, epDist = nb, d
+				improved = true
+			}
+		}
+		if !improved {
+			return ep, epDist
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package hnsw
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// sliceDist is a test Distancer over an in-memory vector slice
+// (Euclidean). Appends are guarded by mu so the concurrent test is
+// race-clean; reads take the read lock.
+type sliceDist struct {
+	mu   sync.RWMutex
+	vecs [][]float32
+}
+
+func (d *sliceDist) add(v []float32) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.vecs = append(d.vecs, v)
+	return len(d.vecs) - 1
+}
+
+func (d *sliceDist) at(i int) []float32 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.vecs[i]
+}
+
+func l2(a, b []float32) float64 {
+	s := 0.0
+	for i := range a {
+		dd := float64(a[i]) - float64(b[i])
+		s += dd * dd
+	}
+	return math.Sqrt(s)
+}
+
+func (d *sliceDist) Distance(i, j int) float64 {
+	return l2(d.at(i), d.at(j))
+}
+
+func (d *sliceDist) DistanceTo(q []float32, i int) float64 {
+	return l2(q, d.at(i))
+}
+
+func randVec(rng *rand.Rand, dim int) []float32 {
+	v := make([]float32, dim)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+	}
+	return v
+}
+
+func buildIndex(t *testing.T, n, dim int, seed int64) (*Index, *sliceDist) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	d := &sliceDist{}
+	ix := New(Config{M: 8, EfConstruction: 64, EfSearch: 48, Seed: seed}, d)
+	for i := 0; i < n; i++ {
+		id := d.add(randVec(rng, dim))
+		if err := ix.Insert(id); err != nil {
+			t.Fatalf("insert %d: %v", id, err)
+		}
+	}
+	return ix, d
+}
+
+func bruteTopK(d *sliceDist, q []float32, k int) []int32 {
+	type nd struct {
+		id int32
+		dd float64
+	}
+	var all []nd
+	for i := range d.vecs {
+		all = append(all, nd{int32(i), l2(q, d.vecs[i])})
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].dd != all[b].dd {
+			return all[a].dd < all[b].dd
+		}
+		return all[a].id < all[b].id
+	})
+	out := make([]int32, 0, k)
+	for i := 0; i < k && i < len(all); i++ {
+		out = append(out, all[i].id)
+	}
+	return out
+}
+
+func TestLevelAssignmentDeterministic(t *testing.T) {
+	a := New(Config{M: 16, Seed: 7}, &sliceDist{})
+	b := New(Config{M: 16, Seed: 7}, &sliceDist{})
+	for i := 0; i < 1000; i++ {
+		if la, lb := a.levelFor(i), b.levelFor(i); la != lb {
+			t.Fatalf("node %d: levels differ %d vs %d", i, la, lb)
+		}
+	}
+	// Level distribution sanity: most nodes on layer 0, a thin tail up.
+	zero := 0
+	for i := 0; i < 1000; i++ {
+		if a.levelFor(i) == 0 {
+			zero++
+		}
+	}
+	if zero < 800 || zero == 1000 {
+		t.Fatalf("implausible level distribution: %d/1000 at layer 0", zero)
+	}
+}
+
+func TestSearchFindsNeighbors(t *testing.T) {
+	ix, d := buildIndex(t, 500, 8, 42)
+	rng := rand.New(rand.NewSource(99))
+	hitSum, want := 0, 0
+	for qi := 0; qi < 20; qi++ {
+		q := randVec(rng, 8)
+		got, st, err := ix.Search(q, 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Visited == 0 || st.Candidates == 0 || st.Ef != 64 {
+			t.Fatalf("bad stats %+v", st)
+		}
+		truth := bruteTopK(d, q, 10)
+		set := map[int32]bool{}
+		for _, id := range truth {
+			set[id] = true
+		}
+		for _, id := range got {
+			if set[id] {
+				hitSum++
+			}
+		}
+		want += len(truth)
+	}
+	recall := float64(hitSum) / float64(want)
+	if recall < 0.9 {
+		t.Fatalf("recall %.3f below 0.9", recall)
+	}
+}
+
+func TestSearchDeterministicAcrossRebuilds(t *testing.T) {
+	a, d := buildIndex(t, 300, 6, 5)
+	b := New(a.Config(), d)
+	for i := 0; i < 300; i++ {
+		if err := b.Insert(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := randVec(rand.New(rand.NewSource(1)), 6)
+	ra, _, _ := a.Search(q, 10, 32)
+	rb, _, _ := b.Search(q, 10, 32)
+	if len(ra) != len(rb) {
+		t.Fatalf("result lengths differ: %d vs %d", len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("rebuild diverged at %d: %d vs %d", i, ra[i], rb[i])
+		}
+	}
+}
+
+func TestInsertOutOfOrder(t *testing.T) {
+	ix := New(Config{}, &sliceDist{})
+	if err := ix.Insert(3); err == nil {
+		t.Fatal("expected error for out-of-order insert")
+	}
+}
+
+func TestEmptySearch(t *testing.T) {
+	ix := New(Config{}, &sliceDist{})
+	got, st, err := ix.Search([]float32{1}, 5, 0)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty index search: got %v err %v", got, err)
+	}
+	if st.Ef == 0 {
+		t.Fatal("stats should carry the defaulted ef")
+	}
+}
+
+func TestReinsertKeepsSearchable(t *testing.T) {
+	ix, d := buildIndex(t, 200, 4, 11)
+	// Overwrite node 50 far away and relink; it must be findable at
+	// its new position.
+	d.mu.Lock()
+	d.vecs[50] = []float32{100, 100, 100, 100}
+	d.mu.Unlock()
+	if err := ix.Reinsert(50); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ix.Search([]float32{100, 100, 100, 100}, 1, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 50 {
+		t.Fatalf("expected node 50 nearest after reinsert, got %v", got)
+	}
+}
+
+// TestConcurrentInsertSearch is the -race stress: one writer streams
+// inserts while readers search.
+func TestConcurrentInsertSearch(t *testing.T) {
+	d := &sliceDist{}
+	ix := New(Config{M: 8, EfConstruction: 32, Seed: 3}, d)
+	rng := rand.New(rand.NewSource(8))
+	// Seed a few nodes so searches have something to traverse.
+	for i := 0; i < 10; i++ {
+		d.add(randVec(rng, 8))
+		if err := ix.Insert(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, _, err := ix.Search(randVec(r, 8), 5, 16); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int64(w))
+	}
+	for i := 10; i < 400; i++ {
+		d.add(randVec(rng, 8))
+		if err := ix.Insert(i); err != nil {
+			t.Error(err)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,156 @@
+package vecstore
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"ids/internal/vecstore/hnsw"
+)
+
+// Recall@k harness: HNSW search must recover at least 95% of the exact
+// brute-force top-k across all three metrics and several beam widths.
+// Corpus and queries are seeded, so a recall regression is a code
+// change, not noise.
+
+func fillStore(t testing.TB, metric Metric, n, dim int, seed int64) *Store {
+	t.Helper()
+	s, err := New(dim, metric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]float32, dim)
+	for i := 0; i < n; i++ {
+		for j := range v {
+			v[j] = float32(rng.NormFloat64())
+		}
+		if err := s.Add(fmt.Sprintf("v%05d", i), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func recallAt(t *testing.T, s *Store, k, ef, queries int, seed int64) float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	q := make([]float32, s.Dim())
+	hits, want := 0, 0
+	for qi := 0; qi < queries; qi++ {
+		for j := range q {
+			q[j] = float32(rng.NormFloat64())
+		}
+		truth, err := s.Search(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx, info, err := s.SearchHNSW(q, k, ef)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Index != "hnsw" {
+			t.Fatalf("expected hnsw access path, got %q", info.Index)
+		}
+		if info.Ef != ef || info.Visited == 0 {
+			t.Fatalf("bad search info %+v", info)
+		}
+		set := make(map[string]bool, len(truth))
+		for _, r := range truth {
+			set[r.Key] = true
+		}
+		for _, r := range approx {
+			if set[r.Key] {
+				hits++
+			}
+		}
+		want += len(truth)
+	}
+	return float64(hits) / float64(want)
+}
+
+func TestHNSWRecallAcrossMetricsAndEf(t *testing.T) {
+	const (
+		n, dim  = 2000, 16
+		k       = 10
+		queries = 40
+	)
+	for _, metric := range []Metric{Cosine, Dot, L2} {
+		s := fillStore(t, metric, n, dim, 1234)
+		if err := s.EnableHNSW(hnsw.Config{M: 16, EfConstruction: 120, EfSearch: 64, Seed: 7}); err != nil {
+			t.Fatal(err)
+		}
+		for _, ef := range []int{32, 64, 128} {
+			r := recallAt(t, s, k, ef, queries, 4321)
+			t.Logf("metric=%s ef=%d recall@%d=%.4f", metric, ef, k, r)
+			if r < 0.95 {
+				t.Errorf("metric=%s ef=%d recall@%d = %.4f, want >= 0.95", metric, ef, k, r)
+			}
+		}
+	}
+}
+
+// Higher beam widths may not lower recall on the seeded corpus.
+func TestHNSWRecallMonotonicEf(t *testing.T) {
+	s := fillStore(t, L2, 1500, 12, 99)
+	if err := s.EnableHNSW(hnsw.Config{M: 12, EfConstruction: 100, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	lo := recallAt(t, s, 10, 16, 30, 5)
+	hi := recallAt(t, s, 10, 256, 30, 5)
+	if hi+1e-9 < lo {
+		t.Fatalf("recall fell as ef grew: ef=16 %.4f vs ef=256 %.4f", lo, hi)
+	}
+}
+
+// The store-level -race stress: concurrent Add/Upsert against
+// SearchHNSW, exercising the Store.mu / hnsw.Index.mu lock pairing.
+func TestStoreConcurrentUpsertSearchHNSW(t *testing.T) {
+	s := fillStore(t, Cosine, 64, 8, 17)
+	if err := s.EnableHNSW(hnsw.Config{M: 8, EfConstruction: 48, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			q := make([]float32, 8)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for j := range q {
+					q[j] = float32(rng.NormFloat64())
+				}
+				if _, _, err := s.SearchHNSW(q, 5, 24); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int64(w))
+	}
+	rng := rand.New(rand.NewSource(42))
+	v := make([]float32, 8)
+	for i := 0; i < 300; i++ {
+		for j := range v {
+			v[j] = float32(rng.NormFloat64())
+		}
+		// Every third write overwrites an existing key (Reinsert path).
+		key := fmt.Sprintf("w%04d", i)
+		if i%3 == 0 {
+			key = fmt.Sprintf("v%05d", i%64)
+		}
+		if _, err := s.Upsert(key, v); err != nil {
+			t.Error(err)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,290 @@
+package vecstore
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"ids/internal/vecstore/hnsw"
+)
+
+// Binary snapshot of one store, used by the engine's checkpointer so
+// recovery restores vector state without replaying the whole WAL.
+//
+//	magic "IDSVEC1\n" | metric u8 | hnsw u8 |
+//	[hnsw: M uvarint, efConstruction uvarint, efSearch uvarint, seed varint] |
+//	dim uvarint | n uvarint | n x (key string, dim x float32le)
+//
+// strings are uvarint length + bytes. Entries are written in
+// insertion order, so a loaded store rebuilds its HNSW index with the
+// exact node ids — and therefore the exact deterministic levels — of
+// the store that was saved.
+
+const snapMagic = "IDSVEC1\n"
+
+func writeUvarint(w *bufio.Writer, v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+func writeVarint(w *bufio.Writer, v int64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+func writeString(w *bufio.Writer, s string) error {
+	if err := writeUvarint(w, uint64(len(s))); err != nil {
+		return err
+	}
+	_, err := w.WriteString(s)
+	return err
+}
+
+// Save writes the store's binary snapshot (vectors plus index
+// configuration; the HNSW graph itself is rebuilt on load).
+func (s *Store) Save(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(snapMagic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(byte(s.metric)); err != nil {
+		return err
+	}
+	hnswOn := byte(0)
+	if s.hnswIdx != nil {
+		hnswOn = 1
+	}
+	if err := bw.WriteByte(hnswOn); err != nil {
+		return err
+	}
+	if hnswOn == 1 {
+		for _, v := range []uint64{uint64(s.hnswCfg.M), uint64(s.hnswCfg.EfConstruction), uint64(s.hnswCfg.EfSearch)} {
+			if err := writeUvarint(bw, v); err != nil {
+				return err
+			}
+		}
+		if err := writeVarint(bw, s.hnswCfg.Seed); err != nil {
+			return err
+		}
+	}
+	if err := writeUvarint(bw, uint64(s.dim)); err != nil {
+		return err
+	}
+	if err := writeUvarint(bw, uint64(len(s.keys))); err != nil {
+		return err
+	}
+	var f4 [4]byte
+	for i, key := range s.keys {
+		if err := writeString(bw, key); err != nil {
+			return err
+		}
+		for _, x := range s.vecs[i] {
+			binary.LittleEndian.PutUint32(f4[:], math.Float32bits(x))
+			if _, err := bw.Write(f4[:]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func readUvarint(r *bufio.Reader) (uint64, error) {
+	return binary.ReadUvarint(r)
+}
+
+func readString(r *bufio.Reader, max int) (string, error) {
+	n, err := readUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(max) {
+		return "", fmt.Errorf("vecstore: string length %d exceeds limit", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// maxSnapKeyBytes bounds one key in a snapshot (corruption guard).
+const maxSnapKeyBytes = 1 << 20
+
+// Load reads a snapshot written by Save and rebuilds the store,
+// including its HNSW index when one was enabled.
+func Load(r io.Reader) (*Store, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(snapMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("vecstore: snapshot header: %w", err)
+	}
+	if string(magic) != snapMagic {
+		return nil, fmt.Errorf("vecstore: bad snapshot magic %q", magic)
+	}
+	mb, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if mb > byte(L2) {
+		return nil, fmt.Errorf("vecstore: unknown metric %d in snapshot", mb)
+	}
+	hnswOn, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	var cfg hnsw.Config
+	if hnswOn == 1 {
+		var vals [3]uint64
+		for i := range vals {
+			if vals[i], err = readUvarint(br); err != nil {
+				return nil, err
+			}
+		}
+		seed, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, err
+		}
+		cfg = hnsw.Config{M: int(vals[0]), EfConstruction: int(vals[1]), EfSearch: int(vals[2]), Seed: seed}
+	}
+	dim64, err := readUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	n64, err := readUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if dim64 == 0 || dim64 > 1<<20 {
+		return nil, fmt.Errorf("vecstore: implausible dimension %d in snapshot", dim64)
+	}
+	s, err := New(int(dim64), Metric(mb))
+	if err != nil {
+		return nil, err
+	}
+	vec := make([]float32, dim64)
+	var f4 [4]byte
+	for i := uint64(0); i < n64; i++ {
+		key, err := readString(br, maxSnapKeyBytes)
+		if err != nil {
+			return nil, err
+		}
+		for j := range vec {
+			if _, err := io.ReadFull(br, f4[:]); err != nil {
+				return nil, err
+			}
+			vec[j] = math.Float32frombits(binary.LittleEndian.Uint32(f4[:]))
+		}
+		if err := s.Add(key, vec); err != nil {
+			return nil, err
+		}
+	}
+	if hnswOn == 1 {
+		if err := s.EnableHNSW(cfg); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Multi-store container, used by the engine's checkpoint to persist
+// every attached store in one file:
+//
+//	magic "IDSVECS\n" | n uvarint | n x (name string, blob-len uvarint,
+//	single-store snapshot bytes)
+//
+// Stores are written in sorted name order, and each single-store blob
+// is length-prefixed so LoadSet reads exactly the saved bytes.
+
+const setMagic = "IDSVECS\n"
+
+// SaveSet writes every store in the map as one container snapshot.
+func SaveSet(w io.Writer, stores map[string]*Store) error {
+	names := make([]string, 0, len(stores))
+	for name := range stores {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(setMagic); err != nil {
+		return err
+	}
+	if err := writeUvarint(bw, uint64(len(names))); err != nil {
+		return err
+	}
+	var blob bytes.Buffer
+	for _, name := range names {
+		if err := writeString(bw, name); err != nil {
+			return err
+		}
+		blob.Reset()
+		if err := stores[name].Save(&blob); err != nil {
+			return err
+		}
+		if err := writeUvarint(bw, uint64(blob.Len())); err != nil {
+			return err
+		}
+		if _, err := bw.Write(blob.Bytes()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// maxSetBlobBytes bounds one store's blob in a container (corruption
+// guard).
+const maxSetBlobBytes = 1 << 32
+
+// LoadSet reads a container written by SaveSet.
+func LoadSet(r io.Reader) (map[string]*Store, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(setMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("vecstore: container header: %w", err)
+	}
+	if string(magic) != setMagic {
+		return nil, fmt.Errorf("vecstore: bad container magic %q", magic)
+	}
+	n, err := readUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*Store, n)
+	for i := uint64(0); i < n; i++ {
+		name, err := readString(br, maxSnapKeyBytes)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("vecstore: duplicate store %q in container", name)
+		}
+		sz, err := readUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if sz == 0 || sz > maxSetBlobBytes {
+			return nil, fmt.Errorf("vecstore: implausible blob size %d for store %q", sz, name)
+		}
+		lr := io.LimitReader(br, int64(sz))
+		s, err := Load(lr)
+		if err != nil {
+			return nil, fmt.Errorf("vecstore: store %q: %w", name, err)
+		}
+		// Load's internal buffering may stop short of the blob end;
+		// drain so the next name starts at the right offset.
+		if _, err := io.Copy(io.Discard, lr); err != nil {
+			return nil, err
+		}
+		out[name] = s
+	}
+	return out, nil
+}

@@ -14,6 +14,8 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+
+	"ids/internal/vecstore/hnsw"
 )
 
 // Metric selects the similarity/distance function.
@@ -45,6 +47,11 @@ var (
 	ErrExists      = errors.New("vecstore: key already exists")
 )
 
+// dimError wraps ErrDimMismatch with the offending sizes.
+func dimError(got, want int) error {
+	return fmt.Errorf("%w: got %d, want %d", ErrDimMismatch, got, want)
+}
+
 // Result is one search hit.
 type Result struct {
 	Key string
@@ -59,13 +66,23 @@ type Store struct {
 	dim    int
 	metric Metric
 	keys   []string
-	vecs   [][]float32
-	norms  []float64
-	index  map[string]int
+	// data is the contiguous backing array; vecs[i] is the view
+	// data[i*dim:(i+1)*dim]. One flat allocation keeps graph-order
+	// (random) access cache-friendly — with one heap object per vector
+	// the HNSW hot loop stalled on a pointer chase per distance.
+	data  []float32
+	vecs  [][]float32
+	norms []float64
+	index map[string]int
 
 	// IVF index state (nil until BuildIVF).
 	centroids [][]float32
 	lists     [][]int
+
+	// HNSW index state (nil until EnableHNSW); maintained
+	// incrementally by Add/Upsert.
+	hnswIdx *hnsw.Index
+	hnswCfg hnsw.Config
 }
 
 // New creates a store for dim-dimensional vectors under the metric.
@@ -79,6 +96,9 @@ func New(dim int, metric Metric) (*Store, error) {
 // Dim returns the store's dimensionality.
 func (s *Store) Dim() int { return s.dim }
 
+// Metric returns the store's similarity metric.
+func (s *Store) Metric() Metric { return s.metric }
+
 // Len returns the number of stored vectors.
 func (s *Store) Len() int {
 	s.mu.RLock()
@@ -86,7 +106,8 @@ func (s *Store) Len() int {
 	return len(s.keys)
 }
 
-// Add inserts a vector under key. Adding invalidates any IVF index.
+// Add inserts a vector under key. Adding invalidates any IVF index;
+// an enabled HNSW index is extended incrementally.
 func (s *Store) Add(key string, vec []float32) error {
 	if len(vec) != s.dim {
 		return fmt.Errorf("%w: got %d, want %d", ErrDimMismatch, len(vec), s.dim)
@@ -96,14 +117,54 @@ func (s *Store) Add(key string, vec []float32) error {
 	if _, ok := s.index[key]; ok {
 		return fmt.Errorf("%w: %s", ErrExists, key)
 	}
-	cp := make([]float32, len(vec))
-	copy(cp, vec)
-	s.index[key] = len(s.keys)
+	return s.appendLocked(key, vec)
+}
+
+// appendLocked appends a new (key, vec) entry; caller holds the write
+// lock and has checked dimension and key uniqueness.
+func (s *Store) appendLocked(key string, vec []float32) error {
+	oldCap := cap(s.data)
+	s.data = append(s.data, vec...)
+	if cap(s.data) != oldCap {
+		// The backing array moved: re-point every existing view.
+		for i := range s.vecs {
+			s.vecs[i] = s.data[i*s.dim : (i+1)*s.dim : (i+1)*s.dim]
+		}
+	}
+	n := len(s.keys)
+	cp := s.data[n*s.dim : (n+1)*s.dim : (n+1)*s.dim]
+	s.index[key] = n
 	s.keys = append(s.keys, key)
 	s.vecs = append(s.vecs, cp)
 	s.norms = append(s.norms, norm(cp))
 	s.centroids, s.lists = nil, nil
+	if s.hnswIdx != nil {
+		return s.hnswIdx.Insert(len(s.keys) - 1)
+	}
 	return nil
+}
+
+// Upsert inserts the vector under key or overwrites an existing entry
+// in place. It reports whether a new entry was created. Overwrites
+// relink the HNSW node at its new position; both paths invalidate any
+// IVF index.
+func (s *Store) Upsert(key string, vec []float32) (created bool, err error) {
+	if len(vec) != s.dim {
+		return false, fmt.Errorf("%w: got %d, want %d", ErrDimMismatch, len(vec), s.dim)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i, ok := s.index[key]
+	if !ok {
+		return true, s.appendLocked(key, vec)
+	}
+	copy(s.vecs[i], vec)
+	s.norms[i] = norm(s.vecs[i])
+	s.centroids, s.lists = nil, nil
+	if s.hnswIdx != nil {
+		return false, s.hnswIdx.Reinsert(i)
+	}
+	return false, nil
 }
 
 // Get returns the vector stored under key.
@@ -127,12 +188,47 @@ func norm(v []float32) float64 {
 	return math.Sqrt(ss)
 }
 
+// dot and l2 are 4-way unrolled: independent accumulators break the
+// serial FP-add dependency chain that otherwise bounds every distance
+// evaluation (both the brute scan and the HNSW hot loop).
 func dot(a, b []float32) float64 {
-	s := 0.0
-	for i := range a {
+	b = b[:len(a)]
+	var s0, s1, s2, s3 float64
+	n := len(a) &^ 3
+	for i := 0; i < n; i += 4 {
+		s0 += float64(a[i]) * float64(b[i])
+		s1 += float64(a[i+1]) * float64(b[i+1])
+		s2 += float64(a[i+2]) * float64(b[i+2])
+		s3 += float64(a[i+3]) * float64(b[i+3])
+	}
+	s := s0 + s1 + s2 + s3
+	for i := n; i < len(a); i++ {
 		s += float64(a[i]) * float64(b[i])
 	}
 	return s
+}
+
+// l2 returns the Euclidean distance between a and b.
+func l2(a, b []float32) float64 {
+	b = b[:len(a)]
+	var s0, s1, s2, s3 float64
+	n := len(a) &^ 3
+	for i := 0; i < n; i += 4 {
+		d0 := float64(a[i]) - float64(b[i])
+		d1 := float64(a[i+1]) - float64(b[i+1])
+		d2 := float64(a[i+2]) - float64(b[i+2])
+		d3 := float64(a[i+3]) - float64(b[i+3])
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+	}
+	s := s0 + s1 + s2 + s3
+	for i := n; i < len(a); i++ {
+		d := float64(a[i]) - float64(b[i])
+		s += d * d
+	}
+	return math.Sqrt(s)
 }
 
 // score computes the uniform higher-is-better score.
@@ -147,25 +243,31 @@ func (s *Store) score(q []float32, qnorm float64, i int) float64 {
 	case Dot:
 		return dot(q, s.vecs[i])
 	default:
-		ss := 0.0
-		v := s.vecs[i]
-		for j := range q {
-			d := float64(q[j]) - float64(v[j])
-			ss += d * d
-		}
-		return -math.Sqrt(ss)
+		return -l2(q, s.vecs[i])
 	}
 }
 
-// resultHeap is a min-heap on Score holding the current top-k.
+// resultHeap is a min-heap holding the current top-k with the worst
+// hit on top. "Worse" is lower score, with equal scores broken by
+// greater key — so equal-score hits resolve deterministically by key
+// and brute-force, IVF and HNSW results stay comparable regardless of
+// insertion order.
 type resultHeap []Result
 
+// worseThan reports whether a ranks strictly below b.
+func worseThan(a, b Result) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Key > b.Key
+}
+
 func (h resultHeap) Len() int           { return len(h) }
-func (h resultHeap) Less(i, j int) bool { return h[i].Score < h[j].Score }
+func (h resultHeap) Less(i, j int) bool { return worseThan(h[i], h[j]) }
 func (h resultHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
 func (h *resultHeap) Push(x any)        { *h = append(*h, x.(Result)) }
 func (h *resultHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
-func (h resultHeap) worst() float64     { return h[0].Score }
+func (h resultHeap) worst() Result      { return h[0] }
 
 // Search returns the top-k hits for the query, brute force.
 func (s *Store) Search(q []float32, k int) ([]Result, error) {
@@ -185,11 +287,11 @@ func (s *Store) searchIn(q []float32, k int, candidates []int) []Result {
 	qn := norm(q)
 	h := make(resultHeap, 0, k+1)
 	consider := func(i int) {
-		sc := s.score(q, qn, i)
+		r := Result{Key: s.keys[i], Score: s.score(q, qn, i)}
 		if len(h) < k {
-			heap.Push(&h, Result{Key: s.keys[i], Score: sc})
-		} else if k > 0 && sc > h.worst() {
-			h[0] = Result{Key: s.keys[i], Score: sc}
+			heap.Push(&h, r)
+		} else if k > 0 && worseThan(h.worst(), r) {
+			h[0] = r
 			heap.Fix(&h, 0)
 		}
 	}
@@ -204,14 +306,28 @@ func (s *Store) searchIn(q []float32, k int, candidates []int) []Result {
 	}
 	out := make([]Result, len(h))
 	copy(out, h)
-	sort.Slice(out, func(a, b int) bool { return out[a].Score > out[b].Score })
+	sortResults(out)
 	return out
+}
+
+// sortResults orders hits best-first: score descending, equal scores
+// by key ascending.
+func sortResults(out []Result) {
+	sort.Slice(out, func(a, b int) bool { return worseThan(out[b], out[a]) })
 }
 
 // BuildIVF partitions the stored vectors into nlist clusters with
 // k-means (iters iterations, deterministic from seed). Search can then
 // probe only the closest nprobe lists.
 func (s *Store) BuildIVF(nlist, iters int, seed int64) error {
+	return s.BuildIVFRand(nlist, iters, rand.New(rand.NewSource(seed)))
+}
+
+// BuildIVFRand is BuildIVF seeded from an explicit random source, so
+// callers own the determinism of the k-means initialization outright
+// (nothing in this package ever touches the package-level math/rand
+// state).
+func (s *Store) BuildIVFRand(nlist, iters int, rng *rand.Rand) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	n := len(s.vecs)
@@ -221,7 +337,6 @@ func (s *Store) BuildIVF(nlist, iters int, seed int64) error {
 	if nlist <= 0 || nlist > n {
 		nlist = int(math.Sqrt(float64(n))) + 1
 	}
-	rng := rand.New(rand.NewSource(seed))
 	// k-means++ style init: random distinct picks.
 	perm := rng.Perm(n)
 	centroids := make([][]float32, nlist)

@@ -21,6 +21,10 @@ const ManifestName = "MANIFEST"
 type Manifest struct {
 	Snapshot string `json:"snapshot"`
 	LastLSN  uint64 `json:"last_lsn"`
+	// Vectors names the vector-store snapshot covering the same LSN
+	// range ("" when the engine had no vector stores at checkpoint
+	// time — older manifests simply lack the field).
+	Vectors string `json:"vectors,omitempty"`
 }
 
 // ReadManifest loads the manifest from dir; (nil, nil) when none
@@ -44,6 +48,9 @@ func ReadManifestFS(fsys fault.FS, dir string) (*Manifest, error) {
 	}
 	if m.Snapshot == "" || m.Snapshot != filepath.Base(m.Snapshot) {
 		return nil, fmt.Errorf("wal: corrupt manifest: bad snapshot name %q", m.Snapshot)
+	}
+	if m.Vectors != "" && m.Vectors != filepath.Base(m.Vectors) {
+		return nil, fmt.Errorf("wal: corrupt manifest: bad vectors name %q", m.Vectors)
 	}
 	return &m, nil
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"math"
 
 	"ids/internal/dict"
 )
@@ -15,8 +16,16 @@ import (
 // where length = len(body) and the checksum covers the body only. The
 // body is the varint-encoded record:
 //
-//	lsn uvarint | epoch uvarint | kind u8 | ntriples uvarint |
+//	lsn uvarint | epoch uvarint | kind u8 | payload
+//
+// For KindInsert/KindDelete the payload is
+//
+//	ntriples uvarint |
 //	per triple, per term (S,P,O): kind u8, value string, datatype string
+//
+// and for KindVecUpsert it is
+//
+//	store string | key string | metric u8 | dim uvarint | dim x float32le
 //
 // strings are uvarint length + bytes. The fixed header makes frame
 // boundaries self-describing, and the checksum turns any torn or
@@ -28,8 +37,9 @@ type Kind uint8
 
 // Record kinds.
 const (
-	KindInsert Kind = 1
-	KindDelete Kind = 2
+	KindInsert    Kind = 1
+	KindDelete    Kind = 2
+	KindVecUpsert Kind = 3
 )
 
 // String renders the kind like the corresponding update statement.
@@ -39,6 +49,8 @@ func (k Kind) String() string {
 		return "INSERT DATA"
 	case KindDelete:
 		return "DELETE DATA"
+	case KindVecUpsert:
+		return "VECTOR UPSERT"
 	}
 	return fmt.Sprintf("wal.Kind(%d)", uint8(k))
 }
@@ -50,8 +62,20 @@ type TermTriple struct {
 	S, P, O dict.Term
 }
 
+// VecUpsert is the payload of a KindVecUpsert record: one vector
+// written to a named store. The metric travels with the record so
+// replay can create a store the snapshot has never seen with the same
+// search semantics the live engine used.
+type VecUpsert struct {
+	Store  string
+	Key    string
+	Metric uint8
+	Vec    []float32
+}
+
 // Record is one durable update: all triples of a single INSERT DATA /
-// DELETE DATA statement, applied atomically on replay.
+// DELETE DATA statement (or one vector upsert), applied atomically on
+// replay.
 type Record struct {
 	// LSN is the log sequence number, assigned contiguously from 1 by
 	// Append.
@@ -60,8 +84,10 @@ type Record struct {
 	// (informational; recovery re-derives it by replaying).
 	Epoch uint64
 	Kind  Kind
-	// Triples is the statement payload.
+	// Triples is the statement payload (KindInsert/KindDelete).
 	Triples []TermTriple
+	// Vec is the vector payload (KindVecUpsert only).
+	Vec *VecUpsert
 }
 
 // frameHeaderLen is the fixed per-frame prefix: length + checksum.
@@ -93,6 +119,19 @@ func encodeBody(rec Record) []byte {
 	b = appendUvarint(b, rec.LSN)
 	b = appendUvarint(b, rec.Epoch)
 	b = append(b, byte(rec.Kind))
+	if rec.Kind == KindVecUpsert {
+		v := rec.Vec
+		b = appendString(b, v.Store)
+		b = appendString(b, v.Key)
+		b = append(b, v.Metric)
+		b = appendUvarint(b, uint64(len(v.Vec)))
+		var f4 [4]byte
+		for _, x := range v.Vec {
+			binary.LittleEndian.PutUint32(f4[:], math.Float32bits(x))
+			b = append(b, f4[:]...)
+		}
+		return b
+	}
 	b = appendUvarint(b, uint64(len(rec.Triples)))
 	for _, t := range rec.Triples {
 		for _, term := range [3]dict.Term{t.S, t.P, t.O} {
@@ -167,7 +206,37 @@ func decodeBody(body []byte) (Record, error) {
 		return rec, err
 	}
 	rec.Kind = Kind(kb)
-	if rec.Kind != KindInsert && rec.Kind != KindDelete {
+	switch rec.Kind {
+	case KindInsert, KindDelete:
+	case KindVecUpsert:
+		v := &VecUpsert{}
+		if v.Store, err = c.str(); err != nil {
+			return rec, err
+		}
+		if v.Key, err = c.str(); err != nil {
+			return rec, err
+		}
+		if v.Metric, err = c.byte(); err != nil {
+			return rec, err
+		}
+		dim, err := c.uvarint()
+		if err != nil {
+			return rec, err
+		}
+		if dim == 0 || dim > uint64(len(body)-c.off)/4 {
+			return rec, fmt.Errorf("wal: vector dimension %d exceeds body", dim)
+		}
+		v.Vec = make([]float32, dim)
+		for i := range v.Vec {
+			v.Vec[i] = math.Float32frombits(binary.LittleEndian.Uint32(c.b[c.off : c.off+4]))
+			c.off += 4
+		}
+		rec.Vec = v
+		if c.off != len(body) {
+			return rec, fmt.Errorf("wal: %d trailing bytes in body", len(body)-c.off)
+		}
+		return rec, nil
+	default:
 		return rec, fmt.Errorf("wal: unknown record kind %d", kb)
 	}
 	n, err := c.uvarint()

@@ -316,3 +316,62 @@ func TestReplayFromFilters(t *testing.T) {
 		t.Fatalf("replay from 4 = %v", lsns)
 	}
 }
+
+func TestVecUpsertRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Fsync: FsyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Record{LSN: 1, Epoch: 1, Kind: KindVecUpsert,
+		Vec: &VecUpsert{Store: "fp", Key: "http://x/c1", Metric: 2, Vec: []float32{1, -2.5, 0.125}}}
+	if _, err := l.Append(Record{Epoch: 1, Kind: KindVecUpsert, Vec: want.Vec}); err != nil {
+		t.Fatal(err)
+	}
+	// A triple record interleaves fine with vector records.
+	if _, err := l.Append(Record{Epoch: 2, Kind: KindInsert, Triples: []TermTriple{{
+		S: dict.Term{Kind: dict.IRI, Value: "http://x/s"},
+		P: dict.Term{Kind: dict.IRI, Value: "http://x/p"},
+		O: dict.Term{Kind: dict.Literal, Value: "o"},
+	}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l, err = Open(Options{Dir: dir, Fsync: FsyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var got []Record
+	if err := l.Replay(0, func(rec Record) error {
+		got = append(got, rec)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || !reflect.DeepEqual(got[0], want) {
+		t.Fatalf("replay = %+v", got)
+	}
+	if got[1].Kind != KindInsert || got[1].Vec != nil {
+		t.Fatalf("second record = %+v", got[1])
+	}
+	if s := KindVecUpsert.String(); s != "VECTOR UPSERT" {
+		t.Fatalf("kind string = %q", s)
+	}
+}
+
+func TestVecUpsertDecodeRejectsOverlongDim(t *testing.T) {
+	// Hand-build a body whose declared dimension exceeds the payload.
+	b := appendUvarint(nil, 1)         // lsn
+	b = appendUvarint(b, 1)            // epoch
+	b = append(b, byte(KindVecUpsert)) // kind
+	b = appendString(b, "fp")          // store
+	b = appendString(b, "k")           // key
+	b = append(b, 0)                   // metric
+	b = appendUvarint(b, 1<<30)        // dim: implausible
+	if _, err := decodeBody(b); err == nil {
+		t.Fatal("overlong dimension accepted")
+	}
+}
