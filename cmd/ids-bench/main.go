@@ -27,7 +27,10 @@
 // -compare is the regression gate: it diffs two -bench-out baselines
 // (QPS, p50/p99 latency, allocs and mallocs per query, and the vector
 // point when the baseline carries one) and exits non-zero when any
-// metric regressed past its threshold. Thresholds are configurable via
+// metric regressed past its threshold. When both baselines carry a
+// fingerprint table, it also flags any query shape newly entering the
+// top-3 by allocation share — workload drift a fixed-metric gate
+// cannot see. Thresholds are configurable via
 // -max-qps-drop, -max-p50-growth, -max-p99-growth, -max-alloc-growth,
 // -max-mallocs-growth, -max-vec-speedup-drop (fractions; 0.3 = 30%),
 // and -min-vec-recall (absolute floor). CI runs this against the
@@ -131,14 +134,14 @@ func main() {
 		var msBefore, msAfter runtime.MemStats
 		runtime.GC()
 		runtime.ReadMemStats(&msBefore)
-		load, err := runLoad(sc, *concurrency, *loadQueries)
+		load, fps, err := runLoad(sc, *concurrency, *loadQueries)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "load: %v\n", err)
 			os.Exit(1)
 		}
 		runtime.ReadMemStats(&msAfter)
 		if *benchOut != "" {
-			if err := writeBenchReport(sc, *benchOut, load, vecPoint, msBefore, msAfter); err != nil {
+			if err := writeBenchReport(sc, *benchOut, load, fps, vecPoint, msBefore, msAfter); err != nil {
 				fmt.Fprintf(os.Stderr, "bench-out: %v\n", err)
 				os.Exit(1)
 			}
@@ -184,7 +187,7 @@ func main() {
 
 // runLoad measures query throughput at concurrency 1 and at the
 // requested level, printing QPS and latency quantiles for both.
-func runLoad(sc experiments.Scale, concurrency, queries int) ([]experiments.LoadPoint, error) {
+func runLoad(sc experiments.Scale, concurrency, queries int) ([]experiments.LoadPoint, []experiments.FingerprintPoint, error) {
 	nodes := sc.NodesList[0]
 	fmt.Printf("\n### load (scale=%s, %d nodes, %d queries per level)\n\n", sc.Name, nodes, queries)
 	levels := []int{1}
@@ -192,12 +195,16 @@ func runLoad(sc experiments.Scale, concurrency, queries int) ([]experiments.Load
 		levels = append(levels, concurrency)
 	}
 	var pts []experiments.LoadPoint
+	// The last (highest-concurrency) level's fingerprint table lands
+	// in the baseline: it covers the run the gate's metrics come from.
+	var fps []experiments.FingerprintPoint
 	for _, c := range levels {
-		pt, err := experiments.ConcurrentLoad(sc, nodes, c, queries)
+		pt, f, err := experiments.ConcurrentLoadStats(sc, nodes, c, queries)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		pts = append(pts, *pt)
+		fps = f
 	}
 	t := metrics.NewTable("concurrent query load (engine-level, snapshot-isolated reads)",
 		"concurrency", "queries", "errors", "wall(s)", "QPS", "p50(ms)", "p99(ms)")
@@ -211,25 +218,36 @@ func runLoad(sc experiments.Scale, concurrency, queries int) ([]experiments.Load
 		fmt.Printf("\nspeedup at concurrency %d: %.2fx QPS over serial\n",
 			pts[1].Concurrency, pts[1].QPS/pts[0].QPS)
 	}
-	return pts, nil
+	if len(fps) > 0 {
+		ft := metrics.NewTable("top fingerprints (workload observatory over the last level)",
+			"fingerprint", "count", "alloc-share", "p99(s)")
+		for _, f := range fps {
+			ft.AddRow(f.Fingerprint, f.Count,
+				fmt.Sprintf("%.1f%%", 100*f.AllocShare), fmt.Sprintf("%.6f", f.LatencyP99))
+		}
+		fmt.Println()
+		ft.Render(os.Stdout)
+	}
+	return pts, fps, nil
 }
 
 // writeBenchReport writes the load-mode baseline JSON; path "auto"
 // names the file BENCH_<date>.json in the working directory. The
 // report types live in internal/experiments so the -compare gate and
 // its tests share them.
-func writeBenchReport(sc experiments.Scale, path string, load []experiments.LoadPoint, vec *experiments.VectorBenchPoint, before, after runtime.MemStats) error {
+func writeBenchReport(sc experiments.Scale, path string, load []experiments.LoadPoint, fps []experiments.FingerprintPoint, vec *experiments.VectorBenchPoint, before, after runtime.MemStats) error {
 	date := time.Now().Format("2006-01-02")
 	if path == "auto" {
 		path = fmt.Sprintf("BENCH_%s.json", date)
 	}
 	rep := experiments.BenchReport{
-		Date:       date,
-		Scale:      sc.Name,
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Load:       load,
-		Vector:     vec,
+		Date:         date,
+		Scale:        sc.Name,
+		GoVersion:    runtime.Version(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Load:         load,
+		Vector:       vec,
+		Fingerprints: fps,
 		Alloc: experiments.BenchAlloc{
 			AllocBytesTotal: after.TotalAlloc - before.TotalAlloc,
 			MallocsTotal:    after.Mallocs - before.Mallocs,

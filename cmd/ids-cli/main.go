@@ -11,6 +11,7 @@
 //	ids-cli -e http://host:port profile
 //	ids-cli -e http://host:port metrics
 //	ids-cli -e http://host:port trace  q000001
+//	ids-cli -e http://host:port insights [-top N] [-q]
 //	ids-cli -e http://host:port flightrec [qid] [-artifact heap|goroutine -o file]
 //
 // query -explain runs the query with span tracing and renders the
@@ -37,7 +38,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ids-cli -e <endpoint> <query|update|vector|module|snapshot|checkpoint|stats|profile|metrics|trace|flightrec> [args]")
+	fmt.Fprintln(os.Stderr, "usage: ids-cli -e <endpoint> <query|update|vector|module|snapshot|checkpoint|stats|profile|metrics|trace|insights|flightrec> [args]")
 	os.Exit(2)
 }
 
@@ -156,6 +157,8 @@ func main() {
 		err = runTrace(c, args[1:])
 	case "flightrec":
 		err = runFlightRec(c, args[1:])
+	case "insights":
+		err = runInsights(c, args[1:])
 	default:
 		usage()
 	}
@@ -311,6 +314,44 @@ func runFlightRec(c *ids.Client, args []string) error {
 		rec.Trace.Render(os.Stdout, true)
 	}
 	fmt.Printf("\nprofiles: ids-cli flightrec %s -artifact heap|goroutine\n", qid)
+	return nil
+}
+
+// runInsights renders the workload observatory: the top fingerprints
+// by observed count, with rolling latency/allocation quantiles,
+// cache-hit rate, tail-retained trace counts, and linked flight
+// records, plus the observatory totals footer.
+func runInsights(c *ids.Client, args []string) error {
+	fs := flag.NewFlagSet("insights", flag.ExitOnError)
+	top := fs.Int("top", 10, "fingerprint rows to show (0 = all tracked)")
+	showQuery := fs.Bool("q", false, "include each fingerprint's exemplar query text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	snap, err := c.Insights(*top)
+	if err != nil {
+		return err
+	}
+	t := metrics.NewTable(
+		fmt.Sprintf("workload insights: %d queries, %d shapes tracked (top-%d sketch, 1-in-%d tail sample)",
+			snap.TotalQueries, snap.Tracked, snap.TopK, snap.SampleN),
+		"fingerprint", "count", "err", "hit%", "p50(s)", "p99(s)", "alloc-p99", "alloc-share", "tail", "flightrec", "last-qid")
+	for _, f := range snap.Fingerprints {
+		t.AddRow(f.Fingerprint, f.Count, f.Errors,
+			fmt.Sprintf("%.0f", 100*f.CacheHitRate),
+			fmt.Sprintf("%.6f", f.LatencyP50), fmt.Sprintf("%.6f", f.LatencyP99),
+			obs.FormatBytes(int64(f.AllocP99)),
+			fmt.Sprintf("%.1f%%", 100*f.AllocShare),
+			f.Retained, strings.Join(f.FlightRecords, " "), f.LastQID)
+	}
+	t.Render(os.Stdout)
+	if *showQuery {
+		for _, f := range snap.Fingerprints {
+			fmt.Printf("%s  %s\n", f.Fingerprint, f.Query)
+		}
+	}
+	fmt.Printf("totals: %d errors, %s attributed, %d tail-retained traces, %d sketch takeovers\n",
+		snap.TotalErrors, obs.FormatBytes(int64(snap.TotalAlloc)), snap.RetainedTraces, snap.Takeovers)
 	return nil
 }
 

@@ -428,12 +428,12 @@ func FilterBatch(r *mpp.Rank, b *Batch, e expr.Expr, funcs expr.FuncResolver,
 	if opts.Reorder {
 		chain = expr.ReorderChain(chain, prof)
 	}
-	if opts.Logger != nil && opts.Logger.Enabled(nil, slog.LevelDebug) && len(chain) > 1 {
+	if opts.Logger != nil && opts.Logger.Enabled(opts.logCtx(), slog.LevelDebug) && len(chain) > 1 {
 		order := make([]string, len(chain))
 		for i, c := range chain {
 			order[i] = c.String()
 		}
-		opts.Logger.Debug("filter conjunct order",
+		opts.Logger.DebugContext(opts.logCtx(), "filter conjunct order",
 			"rank", r.ID(), "reordered", opts.Reorder, "order", strings.Join(order, " AND "))
 	}
 
@@ -455,7 +455,7 @@ func FilterBatch(r *mpp.Rank, b *Batch, e expr.Expr, funcs expr.FuncResolver,
 		}
 		stats.RebalanceSeconds = r.Now() - vt0
 		if opts.Logger != nil && (stats.Rebalance.Sent > 0 || stats.Rebalance.Received > 0) {
-			opts.Logger.Debug("filter rebalanced solutions",
+			opts.Logger.DebugContext(opts.logCtx(), "filter rebalanced solutions",
 				"rank", r.ID(), "rows_before", stats.RowsBefore,
 				"sent", stats.Rebalance.Sent, "received", stats.Rebalance.Received,
 				"vt_seconds", stats.RebalanceSeconds)

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"log/slog"
 	"strings"
 
@@ -27,6 +28,19 @@ type FilterOpts struct {
 	// Callers typically set it on one rank only to avoid N identical
 	// lines per query.
 	Logger *slog.Logger
+	// Ctx is the request context passed to Logger calls, so the obs
+	// handler stamps qid and traceparent onto operator-level lines
+	// without the caller binding attributes by hand. Nil falls back to
+	// context.Background().
+	Ctx context.Context
+}
+
+// logCtx returns the context FILTER log lines carry.
+func (o FilterOpts) logCtx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // FilterStats reports what one rank's FILTER evaluation did.
@@ -83,12 +97,12 @@ func Filter(r *mpp.Rank, t *Table, e expr.Expr, funcs expr.FuncResolver,
 	if opts.Reorder {
 		chain = expr.ReorderChain(chain, prof)
 	}
-	if opts.Logger != nil && opts.Logger.Enabled(nil, slog.LevelDebug) && len(chain) > 1 {
+	if opts.Logger != nil && opts.Logger.Enabled(opts.logCtx(), slog.LevelDebug) && len(chain) > 1 {
 		order := make([]string, len(chain))
 		for i, c := range chain {
 			order[i] = c.String()
 		}
-		opts.Logger.Debug("filter conjunct order",
+		opts.Logger.DebugContext(opts.logCtx(), "filter conjunct order",
 			"rank", r.ID(), "reordered", opts.Reorder, "order", strings.Join(order, " AND "))
 	}
 
@@ -113,7 +127,7 @@ func Filter(r *mpp.Rank, t *Table, e expr.Expr, funcs expr.FuncResolver,
 		}
 		stats.RebalanceSeconds = r.Now() - vt0
 		if opts.Logger != nil && (stats.Rebalance.Sent > 0 || stats.Rebalance.Received > 0) {
-			opts.Logger.Debug("filter rebalanced solutions",
+			opts.Logger.DebugContext(opts.logCtx(), "filter rebalanced solutions",
 				"rank", r.ID(), "rows_before", stats.RowsBefore,
 				"sent", stats.Rebalance.Sent, "received", stats.Rebalance.Received,
 				"vt_seconds", stats.RebalanceSeconds)

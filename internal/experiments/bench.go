@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 )
 
 // Bench baselines and the regression gate. ids-bench -bench-out writes
@@ -29,6 +30,23 @@ type BenchReport struct {
 	// (ids-bench -vectors N). Optional so pre-vector baselines keep
 	// parsing; the gate only engages when the baseline carries one.
 	Vector *VectorBenchPoint `json:"vector,omitempty"`
+	// Fingerprints, when present, is the workload observatory's view of
+	// the load run: the top query fingerprints with their share of
+	// attributed allocation. Optional so pre-insights baselines keep
+	// parsing; the top-3-by-alloc-share gate only engages when the
+	// baseline carries rows.
+	Fingerprints []FingerprintPoint `json:"fingerprints,omitempty"`
+}
+
+// FingerprintPoint is one query shape's row in the baseline: its
+// workload fingerprint, observed count, fraction of attributed
+// allocation, and rolling p99 latency over the load run.
+type FingerprintPoint struct {
+	Fingerprint string  `json:"fingerprint"`
+	Count       uint64  `json:"count"`
+	AllocShare  float64 `json:"alloc_share"`
+	LatencyP99  float64 `json:"latency_p99_seconds"`
+	Query       string  `json:"query,omitempty"`
 }
 
 // BenchAlloc is the allocation delta across the load run.
@@ -107,6 +125,7 @@ func DefaultCompareThresholds() CompareThresholds {
 type Regression struct {
 	Metric      string  `json:"metric"`
 	Concurrency int     `json:"concurrency,omitempty"` // 0 for run-wide metrics
+	Fingerprint string  `json:"fingerprint,omitempty"` // set for fingerprint-gate breaches
 	Base        float64 `json:"base"`
 	New         float64 `json:"new"`
 	Change      float64 `json:"change"` // signed fraction (+0.4 = 40% worse)
@@ -117,6 +136,9 @@ func (r Regression) String() string {
 	scope := ""
 	if r.Concurrency > 0 {
 		scope = fmt.Sprintf(" @ concurrency %d", r.Concurrency)
+	}
+	if r.Fingerprint != "" {
+		scope = fmt.Sprintf(" [fp %s]", r.Fingerprint)
 	}
 	return fmt.Sprintf("%s%s: %.4g -> %.4g (%+.0f%%, limit %+.0f%%)",
 		r.Metric, scope, r.Base, r.New, 100*r.Change, 100*r.Limit)
@@ -211,5 +233,40 @@ func CompareBench(base, nw *BenchReport, th CompareThresholds) []Regression {
 			}
 		}
 	}
+	// Workload-shape gate: a fingerprint entering the new run's top-3
+	// by alloc share that the baseline's top-3 does not contain means
+	// the allocation profile shifted to a new query shape — exactly the
+	// drift a fixed-metric gate misses. Engages only when both reports
+	// carry fingerprint tables.
+	if len(base.Fingerprints) > 0 && len(nw.Fingerprints) > 0 {
+		baseTop := map[string]bool{}
+		for _, f := range topByAllocShare(base.Fingerprints, 3) {
+			baseTop[f.Fingerprint] = true
+		}
+		for _, f := range topByAllocShare(nw.Fingerprints, 3) {
+			if !baseTop[f.Fingerprint] {
+				regs = append(regs, Regression{
+					Metric: "fingerprint_new_in_top3_alloc", Fingerprint: f.Fingerprint,
+					Base: 0, New: f.AllocShare, Change: f.AllocShare, Limit: 0,
+				})
+			}
+		}
+	}
 	return regs
+}
+
+// topByAllocShare returns the n highest-alloc-share fingerprints
+// (ties broken by fingerprint for determinism).
+func topByAllocShare(fps []FingerprintPoint, n int) []FingerprintPoint {
+	s := append([]FingerprintPoint(nil), fps...)
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].AllocShare != s[j].AllocShare {
+			return s[i].AllocShare > s[j].AllocShare
+		}
+		return s[i].Fingerprint < s[j].Fingerprint
+	})
+	if len(s) > n {
+		s = s[:n]
+	}
+	return s
 }

@@ -28,6 +28,50 @@ func benchFixture() BenchReport {
 	}
 }
 
+func fpFixture() []FingerprintPoint {
+	return []FingerprintPoint{
+		{Fingerprint: "aaaa", Count: 100, AllocShare: 0.50},
+		{Fingerprint: "bbbb", Count: 80, AllocShare: 0.30},
+		{Fingerprint: "cccc", Count: 60, AllocShare: 0.15},
+		{Fingerprint: "dddd", Count: 40, AllocShare: 0.05},
+	}
+}
+
+// TestCompareBenchFingerprintGate: a shape entering the new run's
+// top-3 by alloc share is flagged; reshuffles within the same top-3
+// set, or baselines without fingerprint tables, are not.
+func TestCompareBenchFingerprintGate(t *testing.T) {
+	th := DefaultCompareThresholds()
+
+	base, nw := benchFixture(), benchFixture()
+	base.Fingerprints, nw.Fingerprints = fpFixture(), fpFixture()
+	if regs := CompareBench(&base, &nw, th); len(regs) != 0 {
+		t.Fatalf("identical fingerprint tables flagged: %v", regs)
+	}
+
+	// dddd overtakes cccc in alloc share: new entrant in top-3.
+	nw.Fingerprints[3].AllocShare = 0.25
+	nw.Fingerprints[2].AllocShare = 0.02
+	regs := CompareBench(&base, &nw, th)
+	if len(regs) != 1 || regs[0].Metric != "fingerprint_new_in_top3_alloc" || regs[0].Fingerprint != "dddd" {
+		t.Fatalf("expected dddd flagged as new top-3 entrant, got %v", regs)
+	}
+
+	// A reshuffle of the existing top-3 is not drift.
+	nw.Fingerprints = fpFixture()
+	nw.Fingerprints[0].AllocShare, nw.Fingerprints[2].AllocShare = 0.15, 0.50
+	if regs := CompareBench(&base, &nw, th); len(regs) != 0 {
+		t.Fatalf("top-3 reshuffle flagged: %v", regs)
+	}
+
+	// Pre-insights baseline: gate must stay disengaged.
+	base.Fingerprints = nil
+	nw.Fingerprints = []FingerprintPoint{{Fingerprint: "eeee", AllocShare: 0.9}}
+	if regs := CompareBench(&base, &nw, th); len(regs) != 0 {
+		t.Fatalf("fingerprint gate engaged without a baseline table: %v", regs)
+	}
+}
+
 func TestCompareBenchNoRegression(t *testing.T) {
 	base := benchFixture()
 	nw := benchFixture()

@@ -59,16 +59,24 @@ func percentile(sorted []float64, q float64) float64 {
 // is measured (not the simulated MPP clock): the point is to observe
 // how throughput scales with concurrent queries on real cores.
 func ConcurrentLoad(sc Scale, nodes, concurrency, queries int) (*LoadPoint, error) {
+	pt, _, err := ConcurrentLoadStats(sc, nodes, concurrency, queries)
+	return pt, err
+}
+
+// ConcurrentLoadStats is ConcurrentLoad plus the engine's workload
+// observatory view of the run: the top fingerprints by observed count,
+// for the baseline's fingerprint table.
+func ConcurrentLoadStats(sc Scale, nodes, concurrency, queries int) (*LoadPoint, []FingerprintPoint, error) {
 	topo := mpp.Topology{Nodes: nodes, RanksPerNode: sc.RanksPerNode}
 	w, err := sc.newWorkflow(topo, nil, sc.SWCostEffective())
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	q := w.InnerQuery(sc.SWThreshold)
 	// Warm once so dictionary decoding and UDF profiles are populated
 	// before the clock starts.
 	if _, err := w.Engine.Query(q); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	lat := make([]float64, queries)
@@ -108,5 +116,15 @@ func ConcurrentLoad(sc Scale, nodes, concurrency, queries int) (*LoadPoint, erro
 	if wall > 0 {
 		pt.QPS = float64(queries) / wall
 	}
-	return pt, nil
+	var fps []FingerprintPoint
+	for _, f := range w.Engine.Insights().TopK(0) {
+		fps = append(fps, FingerprintPoint{
+			Fingerprint: f.Fingerprint,
+			Count:       f.Count,
+			AllocShare:  f.AllocShare,
+			LatencyP99:  f.LatencyP99,
+			Query:       f.Query,
+		})
+	}
+	return pt, fps, nil
 }

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"ids/internal/obs"
+	"ids/internal/obs/insights"
 	"ids/internal/udf"
 )
 
@@ -56,11 +57,24 @@ func IsOverloaded(err error) (time.Duration, bool) {
 }
 
 func (c *Client) post(path string, in, out any) error {
+	return c.postHdr(path, nil, in, out)
+}
+
+// postHdr is post with extra request headers (e.g. traceparent).
+func (c *Client) postHdr(path string, hdr map[string]string, in, out any) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return err
 	}
-	resp, err := c.HTTP.Post(c.Base+path, "application/json", bytes.NewReader(body))
+	req, err := http.NewRequest(http.MethodPost, c.Base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		return err
 	}
@@ -101,6 +115,33 @@ func (c *Client) get(path string, out any) error {
 func (c *Client) Query(q string) (*QueryResponse, error) {
 	var out QueryResponse
 	if err := c.post("/query", QueryRequest{Query: q}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// QueryTraceparent runs a query remotely under an existing W3C trace
+// context: the header joins the server's spans to the caller's
+// distributed trace, and the response echoes the resolved value.
+func (c *Client) QueryTraceparent(q, traceparent string) (*QueryResponse, error) {
+	var out QueryResponse
+	hdr := map[string]string{"traceparent": traceparent}
+	if err := c.postHdr("/query", hdr, QueryRequest{Query: q}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Insights fetches the workload observatory snapshot (GET /insights):
+// per-fingerprint heavy-hitter statistics plus observatory totals.
+// top > 0 limits the fingerprint rows.
+func (c *Client) Insights(top int) (*insights.Snapshot, error) {
+	path := "/insights"
+	if top > 0 {
+		path += "?top=" + strconv.Itoa(top)
+	}
+	var out insights.Snapshot
+	if err := c.get(path, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

@@ -163,18 +163,14 @@ func (e *Engine) runStepsBatch(ctx context.Context, r *mpp.Rank, steps []plan.St
 			r.SetPhase("filter")
 			ft := startOp(rec, r)
 			fb0, fm0 := a.Fresh()
-			var optLog *slog.Logger
-			if flog != nil {
-				optLog = flog
-				if qid := obs.QID(ctx); qid != "" {
-					optLog = flog.With("qid", qid)
-				}
-			}
 			nb, fstats, err := exec.FilterBatch(r, b, s.Expr, e.Reg, prof, e.res(), exec.FilterOpts{
 				Reorder:     e.Opts.Reorder,
 				Rebalance:   e.Opts.Rebalance,
 				SpeedFactor: speed,
-				Logger:      optLog,
+				Logger:      flog,
+				// Request context: the obs handler stamps qid and
+				// traceparent onto operator lines.
+				Ctx: ctx,
 			}, a)
 			if err != nil {
 				return nil, err

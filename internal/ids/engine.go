@@ -24,6 +24,7 @@ import (
 	"ids/internal/kg"
 	"ids/internal/mpp"
 	"ids/internal/obs"
+	"ids/internal/obs/insights"
 	"ids/internal/plan"
 	"ids/internal/script"
 	"ids/internal/sparql"
@@ -119,6 +120,10 @@ type Engine struct {
 	degraded atomic.Pointer[string]
 	// tracing makes every query collect a span trace (Result.Trace).
 	tracing atomic.Bool
+	// workload is the insights observatory: per-fingerprint rolling
+	// statistics and the tail-sampling decision for every query (never
+	// nil; see ConfigureInsights).
+	workload atomic.Pointer[insights.Observatory]
 	// log is the engine's structured logger (never nil; defaults to the
 	// nop logger). Query-path records carry the qid from the context.
 	log atomic.Pointer[slog.Logger]
@@ -155,6 +160,7 @@ func NewEngine(g *kg.Graph, topo mpp.Topology) (*Engine, error) {
 	e.cres = expr.NewCachedResolver(expr.DictResolver{Dict: g.Dict})
 	e.stats.Store(plan.StatsFromGraph(g))
 	e.log.Store(obs.NopLogger())
+	e.workload.Store(insights.New(insights.Config{}))
 	e.profilers = make([]*udf.Profiler, topo.Size())
 	for i := range e.profilers {
 		e.profilers[i] = udf.NewProfiler()
@@ -194,6 +200,18 @@ func (e *Engine) SetLogger(l *slog.Logger) { e.log.Store(obs.OrNop(l)) }
 // Logger returns the engine's structured logger (never nil).
 func (e *Engine) Logger() *slog.Logger { return e.log.Load() }
 
+// Insights returns the workload observatory (never nil): the
+// per-fingerprint heavy-hitter statistics and tail-sampling decisions
+// accumulated over every query this engine ran.
+func (e *Engine) Insights() *insights.Observatory { return e.workload.Load() }
+
+// ConfigureInsights replaces the workload observatory with one built
+// from cfg (called by the serving layer to align tail thresholds with
+// the slow-query budgets). Resets accumulated statistics.
+func (e *Engine) ConfigureInsights(cfg insights.Config) {
+	e.workload.Store(insights.New(cfg))
+}
+
 // Result is a completed query.
 type Result struct {
 	Vars   []string
@@ -203,6 +221,10 @@ type Result struct {
 	// Trace is the query's span trace (nil unless tracing was enabled
 	// for this query).
 	Trace *obs.QueryTrace
+	// Tail is the tail-sampling verdict the workload observatory made
+	// for this query (nil for cache hits and untracked paths): whether
+	// the full trace is worth retaining, and why.
+	Tail *insights.Decision
 }
 
 // Decode renders a row value as a display string using the engine's
@@ -336,6 +358,11 @@ func (e *Engine) queryLocked(ctx context.Context, qs string, traced bool) (*Resu
 	q, err := sparql.Parse(qs)
 	if err != nil {
 		e.met.queryErrors.Inc()
+		// Unparseable queries share fingerprint 0: still counted, so a
+		// flood of garbage shows up as one hot (error-only) shape.
+		e.observeWorkload(ctx, insights.Observation{
+			Query: qs, Seconds: time.Since(start).Seconds(), Error: true,
+		})
 		e.Logger().ErrorContext(ctx, "query parse failed", "err", err)
 		return nil, err
 	}
@@ -364,6 +391,10 @@ func (e *Engine) execute(ctx context.Context, q *sparql.Query, traced bool, qs s
 	pl, err := plan.Build(q, e.stats.Load())
 	if err != nil {
 		e.met.queryErrors.Inc()
+		e.observeWorkload(ctx, insights.Observation{
+			Fingerprint: plan.Fingerprint(q), Query: qs,
+			Seconds: time.Since(start).Seconds(), Error: true,
+		})
 		lg.ErrorContext(ctx, "query plan failed", "err", err)
 		return nil, err
 	}
@@ -402,7 +433,7 @@ func (e *Engine) execute(ctx context.Context, q *sparql.Query, traced bool, qs s
 	execStart := time.Now()
 	rows := make([][][]expr.Value, e.Topo.Size())
 	var vars []string
-	report, err := mpp.Run(e.Topo, e.Net, e.Seed, func(r *mpp.Rank) error {
+	report, err := mpp.RunCtx(ctx, e.Topo, e.Net, e.Seed, func(r *mpp.Rank) error {
 		var rec *obs.RankRecorder
 		if recs != nil {
 			rec = recs[r.ID()]
@@ -427,6 +458,11 @@ func (e *Engine) execute(ctx context.Context, q *sparql.Query, traced bool, qs s
 	}
 	if err != nil {
 		e.met.queryErrors.Inc()
+		allocB, _ := obs.ReadAllocs().DeltaSince(alloc0)
+		e.observeWorkload(ctx, insights.Observation{
+			Fingerprint: pl.Fingerprint, Query: qs,
+			Seconds: time.Since(start).Seconds(), AllocBytes: allocB, Error: true,
+		})
 		lg.ErrorContext(ctx, "query execution failed", "err", err,
 			"wall_seconds", time.Since(start).Seconds())
 		return nil, err
@@ -445,6 +481,10 @@ func (e *Engine) execute(ctx context.Context, q *sparql.Query, traced bool, qs s
 		}
 		tr := obs.BuildTrace(id, qs, start, recs, true)
 		tr.Status = "ok"
+		tr.Fingerprint = plan.FormatFingerprint(pl.Fingerprint)
+		if tc, ok := obs.TraceContextFrom(ctx); ok {
+			tr.TraceParent = tc.String()
+		}
 		tr.ParseSeconds = parseSec
 		tr.PlanSeconds = planSec
 		tr.ExecSeconds = time.Since(execStart).Seconds()
@@ -479,9 +519,23 @@ func (e *Engine) execute(ctx context.Context, q *sparql.Query, traced bool, qs s
 		res.Trace = tr
 	}
 	e.met.observeQuery(res, report, wall, ru)
+	_, degraded := e.Degraded()
+	res.Tail = e.observeWorkload(ctx, insights.Observation{
+		Fingerprint: pl.Fingerprint, Query: qs,
+		Seconds: wall, AllocBytes: allocB, Rows: len(res.Rows), Degraded: degraded,
+	})
 	lg.DebugContext(ctx, "query done",
 		"rows", len(res.Rows), "wall_seconds", wall, "makespan_seconds", report.Makespan)
 	return res, nil
+}
+
+// observeWorkload records one finished query with the workload
+// observatory, stamping the context's qid, and returns the tail
+// decision.
+func (e *Engine) observeWorkload(ctx context.Context, ob insights.Observation) *insights.Decision {
+	ob.QID = obs.QID(ctx)
+	d := e.workload.Load().Observe(ob)
+	return &d
 }
 
 // RunPlan executes the plan steps on one rank and returns the final
@@ -628,20 +682,14 @@ func (e *Engine) runSteps(ctx context.Context, r *mpp.Rank, steps []plan.Step, t
 		case plan.FilterStep:
 			r.SetPhase("filter")
 			ft := startOp(rec, r)
-			var optLog *slog.Logger
-			if flog != nil {
-				optLog = flog
-				if qid := obs.QID(ctx); qid != "" {
-					// exec logs without the request context, so bind the
-					// qid as a plain attribute to keep correlation.
-					optLog = flog.With("qid", qid)
-				}
-			}
 			t, fstats, err := exec.Filter(r, tab, s.Expr, e.Reg, prof, res, exec.FilterOpts{
 				Reorder:     e.Opts.Reorder,
 				Rebalance:   e.Opts.Rebalance,
 				SpeedFactor: speed,
-				Logger:      optLog,
+				Logger:      flog,
+				// The request context rides along so the obs handler
+				// stamps qid and traceparent onto operator lines.
+				Ctx: ctx,
 			})
 			if err != nil {
 				return nil, err

@@ -1,0 +1,71 @@
+package ids
+
+import (
+	"net/http"
+	"strconv"
+
+	"ids/internal/obs"
+)
+
+// Serving layer of the workload observatory (DESIGN.md §13): the
+// /insights endpoint, the bounded fingerprint metric export, and the
+// OTLP trace export hook. The aggregation itself lives in the engine
+// (internal/obs/insights) so embedded callers get it without HTTP.
+
+// exportTrace writes one tail-retained trace to the configured OTLP
+// exporter. Export failures are logged, never surfaced to the query:
+// a broken collector must not fail queries.
+func (s *Server) exportTrace(tr *obs.QueryTrace) {
+	if s.exporter == nil || tr == nil {
+		return
+	}
+	if err := s.exporter.Export(tr); err != nil {
+		s.log.Warn("trace export failed", "qid", tr.ID, "err", err)
+	}
+}
+
+// handleInsights serves the workload observatory (GET /insights): the
+// top-k fingerprint table with rolling latency/allocation quantiles,
+// cache-hit rates and tail-retention counts, plus observatory totals.
+// ?top=N limits the fingerprint rows. Flight-recorder captures are
+// joined in by fingerprint, so a hot shape links straight to its
+// breach evidence.
+func (s *Server) handleInsights(w http.ResponseWriter, r *http.Request) {
+	snap := s.Engine.Insights().Snapshot()
+	if top, err := strconv.Atoi(r.URL.Query().Get("top")); err == nil && top > 0 && top < len(snap.Fingerprints) {
+		snap.Fingerprints = snap.Fingerprints[:top]
+	}
+	// Join breach captures onto their shapes: the flight recorder is
+	// tiny (ring of ~8), so a scan per row set is fine.
+	byFP := map[string][]string{}
+	for _, rec := range s.flightrec.Index() {
+		if rec.Fingerprint != "" {
+			byFP[rec.Fingerprint] = append(byFP[rec.Fingerprint], rec.QID)
+		}
+	}
+	for i := range snap.Fingerprints {
+		snap.Fingerprints[i].FlightRecords = byFP[snap.Fingerprints[i].Fingerprint]
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// registerFingerprintMetrics exports the observatory's top shapes as
+// labelled Prometheus series, refreshed at scrape time. The row count
+// is bounded by PromTopK (label-cardinality guard): a shape that
+// leaves the top-k stops updating but its last-seen series remains,
+// which Prometheus handles as a stale counter.
+func (s *Server) registerFingerprintMetrics(reg *obs.Registry) {
+	reg.Describe("ids_fingerprint_queries_total", "Queries observed per workload fingerprint (top-k only).")
+	reg.Describe("ids_fingerprint_errors_total", "Errors observed per workload fingerprint (top-k only).")
+	reg.Describe("ids_fingerprint_alloc_bytes_total", "Bytes attributed per workload fingerprint (top-k only).")
+	reg.Describe("ids_fingerprint_latency_p99_seconds", "Rolling p99 latency per workload fingerprint (top-k only).")
+	reg.AddCollector(func(r *obs.Registry) {
+		o := s.Engine.Insights()
+		for _, row := range o.TopK(o.Config().PromTopK) {
+			r.Counter("ids_fingerprint_queries_total", "fp", row.Fingerprint).Set(float64(row.Count))
+			r.Counter("ids_fingerprint_errors_total", "fp", row.Fingerprint).Set(float64(row.Errors))
+			r.Counter("ids_fingerprint_alloc_bytes_total", "fp", row.Fingerprint).Set(float64(row.AllocTotal))
+			r.Gauge("ids_fingerprint_latency_p99_seconds", "fp", row.Fingerprint).Set(row.LatencyP99)
+		}
+	})
+}

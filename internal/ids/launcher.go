@@ -16,6 +16,7 @@ import (
 	"ids/internal/kg"
 	"ids/internal/mpp"
 	"ids/internal/obs"
+	"ids/internal/obs/insights"
 	"ids/internal/vecstore"
 	"ids/internal/wal"
 )
@@ -51,6 +52,16 @@ type LaunchConfig struct {
 	SlowQueryAllocBytes int64
 	// TraceRingSize bounds the retained trace ring (default 64).
 	TraceRingSize int
+	// TailSampleN retains every N-th query of each fingerprint in the
+	// tail-sampling pipeline (0 → default; negative disables sampling).
+	TailSampleN int
+	// InsightsTopK bounds the workload observatory's fingerprint sketch
+	// (0 → default).
+	InsightsTopK int
+	// TraceExportDest, when non-empty, exports tail-retained traces as
+	// OTLP-JSON: an http(s):// URL POSTs to a collector, anything else
+	// appends JSON lines to that file path.
+	TraceExportDest string
 	// OnListen, when set, is called with the bound address as soon as
 	// the listener accepts connections — before recovery runs — so
 	// callers can observe the not-yet-ready window (/readyz is 503).
@@ -95,6 +106,7 @@ type Instance struct {
 	Recovery *RecoveryStats
 
 	dur      *durability
+	exporter *insights.Exporter
 	ln       net.Listener
 	httpSrv  *http.Server
 	handler  atomic.Pointer[http.Handler]
@@ -284,11 +296,19 @@ func (Launcher) Launch(cfg LaunchConfig) (*Instance, error) {
 	if cfg.Durability != nil {
 		e.SetBuildInfo(cfg.Durability.withDefaults().Fsync.String())
 	}
+	exp, err := insights.NewExporter(cfg.TraceExportDest)
+	if err != nil {
+		return fail(err)
+	}
+	inst.exporter = exp
 	srv := NewServerConfig(e, ServerConfig{
 		Admission:           cfg.Admission,
 		SlowQuerySeconds:    cfg.SlowQuerySeconds,
 		SlowQueryAllocBytes: cfg.SlowQueryAllocBytes,
 		TraceRingSize:       cfg.TraceRingSize,
+		TailSampleN:         cfg.TailSampleN,
+		InsightsTopK:        cfg.InsightsTopK,
+		TraceExporter:       exp,
 		Logger:              lg,
 	})
 	srv.SetHealth(health)
@@ -348,6 +368,9 @@ func (inst *Instance) Teardown() error {
 			if derr := inst.dur.close(); err == nil {
 				err = derr
 			}
+		}
+		if cerr := inst.exporter.Close(); err == nil {
+			err = cerr
 		}
 		for _, a := range inst.Agents {
 			a.Logf("teardown")

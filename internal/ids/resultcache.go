@@ -9,6 +9,8 @@ import (
 	"ids/internal/fam"
 	"ids/internal/mpp"
 	"ids/internal/obs"
+	"ids/internal/obs/insights"
+	"ids/internal/plan"
 )
 
 // Result caching — the paper's §8 first next step realized: IDS
@@ -63,10 +65,16 @@ func (e *Engine) resultKey(query string) string {
 // one engine read lock, so an update can never interleave: the stashed
 // result always matches the epoch baked into its key.
 func (e *Engine) CachedQuery(qs string) (*Result, bool, error) {
+	return e.CachedQueryCtx(context.Background(), qs)
+}
+
+// CachedQueryCtx is CachedQuery with a caller context carrying the qid
+// and trace context (see QueryCtx).
+func (e *Engine) CachedQueryCtx(ctx context.Context, qs string) (*Result, bool, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.resultCache == nil {
-		res, err := e.queryLocked(context.Background(), qs, e.tracing.Load())
+		res, err := e.queryLocked(ctx, qs, e.tracing.Load())
 		return res, false, err
 	}
 	key := e.resultKey(qs)
@@ -81,12 +89,21 @@ func (e *Engine) CachedQuery(qs string) (*Result, bool, error) {
 				PhaseSum: map[string]float64{"cache": m.Seconds},
 			}
 			e.met.resultCacheHits.Inc()
-			return &Result{Vars: tab.Vars, Rows: tab.Rows, Report: rep}, true, nil
+			// Cache hits skip plan.Build, so the fingerprint is computed
+			// from the query text here: the observatory's cache-hit rate
+			// per shape only makes sense if hits land on the same row as
+			// executions.
+			res := &Result{Vars: tab.Vars, Rows: tab.Rows, Report: rep}
+			res.Tail = e.observeWorkload(ctx, insights.Observation{
+				Fingerprint: plan.FingerprintString(qs), Query: qs,
+				Seconds: m.Seconds, Rows: len(res.Rows), CacheHit: true,
+			})
+			return res, true, nil
 		}
 		// Corrupt entry: fall through to recompute (and overwrite).
 	}
 	e.met.resultCacheMisses.Inc()
-	res, err := e.queryLocked(context.Background(), qs, e.tracing.Load())
+	res, err := e.queryLocked(ctx, qs, e.tracing.Load())
 	if err != nil {
 		return nil, false, err
 	}

@@ -15,6 +15,8 @@ import (
 	"time"
 
 	"ids/internal/obs"
+	"ids/internal/obs/insights"
+	"ids/internal/plan"
 	"ids/internal/wal"
 )
 
@@ -201,6 +203,12 @@ type Server struct {
 	slowAllocBytes int64
 	flightrecCaps  *obs.Counter
 	flightrecSuppr *obs.Counter
+
+	// exporter, when set, writes tail-retained traces as OTLP-JSON to
+	// a file or collector endpoint (the -trace-export flag).
+	exporter *insights.Exporter
+	retained *obs.Counter
+	dropped  *obs.Counter
 }
 
 // ServerConfig tunes the HTTP layer beyond admission control.
@@ -224,6 +232,17 @@ type ServerConfig struct {
 	FlightRecorderMinInterval time.Duration
 	// TraceRingSize bounds the retained trace ring (default 64).
 	TraceRingSize int
+	// TailSampleN retains every N-th query of each fingerprint in the
+	// tail pipeline regardless of cost (0 selects the insights default;
+	// negative disables 1-in-N sampling, leaving slow/error/alloc as
+	// the only retention reasons).
+	TailSampleN int
+	// InsightsTopK bounds the workload observatory's fingerprint sketch
+	// (0 selects the insights default).
+	InsightsTopK int
+	// TraceExporter, when non-nil, receives every tail-retained trace
+	// as OTLP-JSON (see insights.NewExporter / the -trace-export flag).
+	TraceExporter *insights.Exporter
 	// Logger receives request/slow-query lines (default: engine logger).
 	Logger *slog.Logger
 }
@@ -241,15 +260,28 @@ type QueryRequest struct {
 // GET /trace?id=<qid>, and the query's latency lands in the
 // ids_query_duration_seconds histogram.
 type QueryResponse struct {
-	QID      string             `json:"qid"`
-	Vars     []string           `json:"vars"`
-	Rows     [][]string         `json:"rows"`
-	Makespan float64            `json:"makespan_seconds"`
-	Phases   map[string]float64 `json:"phases"`
-	Plan     string             `json:"plan"`
-	WallTime float64            `json:"wall_seconds"`
-	TraceID  string             `json:"trace_id,omitempty"`
-	Trace    *obs.QueryTrace    `json:"trace,omitempty"`
+	QID string `json:"qid"`
+	// TraceParent is the query's resolved W3C trace context: the
+	// caller's ingested `traceparent` header when one was sent, else a
+	// freshly minted one — so external callers correlate their
+	// distributed trace with this qid without scraping /trace.
+	TraceParent string             `json:"traceparent,omitempty"`
+	Vars        []string           `json:"vars"`
+	Rows        [][]string         `json:"rows"`
+	Makespan    float64            `json:"makespan_seconds"`
+	Phases      map[string]float64 `json:"phases"`
+	Plan        string             `json:"plan"`
+	WallTime    float64            `json:"wall_seconds"`
+	TraceID     string             `json:"trace_id,omitempty"`
+	// Fingerprint is the query's workload shape hash — the key into
+	// GET /insights and the ids_fingerprint_* metric series.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// TailRetained/TailReason report the tail-sampling decision: when
+	// true, the full trace is pinned past ring eviction (and exported,
+	// if an exporter is configured) for the listed reason(s).
+	TailRetained bool            `json:"tail_retained,omitempty"`
+	TailReason   string          `json:"tail_reason,omitempty"`
+	Trace        *obs.QueryTrace `json:"trace,omitempty"`
 }
 
 // ModuleRequest is the /module payload.
@@ -307,7 +339,18 @@ func NewServerConfig(e *Engine, cfg ServerConfig) *Server {
 	case frInterval < 0:
 		frInterval = 0 // disabled (tests)
 	}
-	return &Server{
+	// Align the workload observatory's tail thresholds with the
+	// server's slow-query budgets, so "slow" means the same thing on
+	// the WARN line, the flight recorder, and the tail sampler.
+	e.ConfigureInsights(insights.Config{
+		TopK:        cfg.InsightsTopK,
+		SampleN:     cfg.TailSampleN,
+		SlowSeconds: cfg.SlowQuerySeconds,
+		AllocBudget: cfg.SlowQueryAllocBytes,
+	})
+	reg.Describe("ids_tail_retained_total", "Traces retained by the tail sampler.")
+	reg.Describe("ids_tail_dropped_total", "Traces not retained by the tail sampler (recent-ring only).")
+	s := &Server{
 		Engine:         e,
 		adm:            newAdmission(cfg.Admission, reg),
 		log:            obs.OrNop(lg),
@@ -317,7 +360,12 @@ func NewServerConfig(e *Engine, cfg ServerConfig) *Server {
 		slowAllocBytes: cfg.SlowQueryAllocBytes,
 		flightrecCaps:  reg.Counter("ids_flightrec_captures_total"),
 		flightrecSuppr: reg.Counter("ids_flightrec_suppressed_total"),
+		exporter:       cfg.TraceExporter,
+		retained:       reg.Counter("ids_tail_retained_total"),
+		dropped:        reg.Counter("ids_tail_dropped_total"),
 	}
+	s.registerFingerprintMetrics(reg)
+	return s
 }
 
 // SetHealth wires the launcher's lifecycle state into GET /readyz.
@@ -342,6 +390,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/trace", s.handleTrace)
 	mux.HandleFunc("/traces", s.handleTraces)
+	mux.HandleFunc("/insights", s.handleInsights)
 	mux.HandleFunc("/debug/flightrec", s.handleFlightRec)
 	return mux
 }
@@ -392,6 +441,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// the 429 log line and the client's retry logging share the id.
 	qid := obs.NewQID()
 	ctx := obs.WithQID(r.Context(), qid)
+	// W3C trace context: join the caller's distributed trace when a
+	// valid traceparent header arrives, else mint a fresh one. The
+	// resolved value rides the request context (log lines, WAL append,
+	// operator spans) and is echoed in the response header and body so
+	// the caller can correlate without scraping /trace.
+	tc, tcErr := obs.ParseTraceparent(r.Header.Get("traceparent"))
+	if tcErr != nil {
+		tc = obs.NewTraceContext()
+	}
+	ctx = obs.WithTraceContext(ctx, tc)
+	w.Header().Set("Traceparent", tc.String())
 	slot, queueWait, err := s.adm.admit(ctx)
 	if err != nil {
 		if errors.Is(err, errQueueFull) || errors.Is(err, errQueueTimeout) {
@@ -414,38 +474,64 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	wall := time.Since(start).Seconds()
 	s.queries.Add(1)
 	if err != nil {
-		// Failed queries retain a stub trace so the qid still resolves.
-		s.ring.Put(&obs.QueryTrace{
+		// Failed queries retain a full stub trace — errors are always a
+		// tail-worthy outcome — so the qid still resolves and the failure
+		// reaches the export pipeline alongside slow successes.
+		stub := &obs.QueryTrace{
 			ID: qid, Query: req.Query, Start: start,
 			Status: "error", Error: err.Error(), WallSeconds: wall,
 			QueueWaitSeconds: queueWait.Seconds(),
-		})
-		s.log.Error("query failed", "qid", qid, "wall_seconds", wall, "err", err)
+			Fingerprint:      plan.FormatFingerprint(plan.FingerprintString(req.Query)),
+			TraceParent:      tc.String(),
+		}
+		s.ring.PutRetained(stub, true, "error")
+		s.retained.Inc()
+		s.exportTrace(stub)
+		s.log.ErrorContext(ctx, "query failed", "wall_seconds", wall, "err", err)
 		writeErr(w, http.StatusBadRequest, err)
 		return
+	}
+	var retain bool
+	var reason string
+	if res.Tail != nil {
+		retain, reason = res.Tail.Retain, res.Tail.Reason()
 	}
 	if res.Trace != nil {
 		res.Trace.WallSeconds = wall
 		res.Trace.QueueWaitSeconds = queueWait.Seconds()
-		slow := s.ring.Put(res.Trace)
+		s.ring.PutRetained(res.Trace, retain, reason)
+		if retain {
+			s.retained.Inc()
+			s.exportTrace(res.Trace)
+		} else {
+			s.dropped.Inc()
+		}
+		// "slow" keeps its pre-tail-sampling contract: the WARN line,
+		// ids_slow_queries_total, and the flight recorder fire exactly
+		// when the tail decision includes the slow reason.
+		slow := strings.Contains(","+reason+",", ",slow,")
 		if slow {
 			s.slowTotal.Inc()
-			s.log.Warn("slow query", "qid", qid,
+			s.log.WarnContext(ctx, "slow query",
 				"wall_seconds", wall, "threshold_seconds", s.ring.Threshold(),
 				"rows", len(res.Rows), "query", req.Query)
 		}
 		s.maybeFlightCapture(qid, slow, wall, res.Trace)
 	}
-	s.log.Info("query done", "qid", qid,
+	s.log.InfoContext(ctx, "query done",
 		"wall_seconds", wall, "rows", len(res.Rows), "makespan_seconds", res.Report.Makespan)
 	resp := QueryResponse{
-		QID:      qid,
-		Vars:     res.Vars,
-		Rows:     s.Engine.Strings(res),
-		Makespan: res.Report.Makespan,
-		Phases:   res.Report.Phases,
-		Plan:     res.Plan.Explain(),
-		WallTime: wall,
+		QID:          qid,
+		TraceParent:  tc.String(),
+		Vars:         res.Vars,
+		Rows:         s.Engine.Strings(res),
+		Makespan:     res.Report.Makespan,
+		Phases:       res.Report.Phases,
+		Plan:         res.Plan.Explain(),
+		WallTime:     wall,
+		Fingerprint:  plan.FormatFingerprint(res.Plan.Fingerprint),
+		TailRetained: retain,
+		TailReason:   reason,
 	}
 	if res.Trace != nil {
 		resp.TraceID = res.Trace.ID

@@ -222,7 +222,9 @@ func TestVectorMetricsExported(t *testing.T) {
 // qid answers 404 while a recent one still resolves.
 func TestTraceEvictedQID404(t *testing.T) {
 	e := newEngine(t, 4)
-	s := NewServerConfig(e, ServerConfig{TraceRingSize: 4})
+	// Tail sampling off: it would pin the first trace of the shape,
+	// which is exactly the eviction this test wants to observe.
+	s := NewServerConfig(e, ServerConfig{TraceRingSize: 4, TailSampleN: -1})
 	c, done := clientFor(t, s)
 	defer done()
 

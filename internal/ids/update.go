@@ -1,6 +1,7 @@
 package ids
 
 import (
+	"context"
 	"fmt"
 
 	"ids/internal/dict"
@@ -38,6 +39,14 @@ type UpdateResult struct {
 // is bumped so result-cache keys derived before the update can never
 // serve a post-update query, and an enabled text index is rebuilt.
 func (e *Engine) Update(us string) (*UpdateResult, error) {
+	return e.UpdateCtx(context.Background(), us)
+}
+
+// UpdateCtx is Update with a caller context: the qid and traceparent
+// it carries stamp the WAL-append log line, extending trace
+// correlation to the durability path — an externally traced request
+// that mutates the graph stays one trace through the log append.
+func (e *Engine) UpdateCtx(ctx context.Context, us string) (*UpdateResult, error) {
 	u, err := sparql.ParseUpdate(us)
 	if err != nil {
 		return nil, err
@@ -83,7 +92,7 @@ func (e *Engine) Update(us string) (*UpdateResult, error) {
 	if e.walNotify != nil {
 		e.walNotify()
 	}
-	e.Logger().Debug("update applied",
+	e.Logger().DebugContext(ctx, "update applied",
 		"kind", res.Kind, "applied", res.Applied, "total", res.Total, "lsn", lsn)
 	return res, nil
 }

@@ -14,6 +14,7 @@
 package mpp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -91,6 +92,7 @@ type World struct {
 type Rank struct {
 	w     *World
 	id    int
+	ctx   context.Context
 	vt    float64 // virtual clock, seconds
 	phase string
 	acc   map[string]float64 // phase -> accumulated virtual seconds
@@ -102,6 +104,17 @@ type Rank struct {
 
 // ID returns the rank's index in [0, Size).
 func (r *Rank) ID() int { return r.id }
+
+// Context returns the job's launch context (Background for Run
+// without ctx). It carries cross-cutting request values — the query's
+// qid and traceparent — into rank-side operators, standing in for the
+// metadata an MPI launcher would ship alongside the job.
+func (r *Rank) Context() context.Context {
+	if r.ctx == nil {
+		return context.Background()
+	}
+	return r.ctx
+}
 
 // Size returns the number of ranks in the world.
 func (r *Rank) Size() int { return r.w.topo.Size() }
@@ -240,6 +253,13 @@ func (rep *Report) String() string {
 // of them. It returns the timing report and the first error any rank
 // produced. On error the collectives abort, releasing blocked ranks.
 func Run(topo Topology, net NetModel, seed int64, body func(r *Rank) error) (*Report, error) {
+	return RunCtx(context.Background(), topo, net, seed, body)
+}
+
+// RunCtx is Run with a launch context: every rank's Context() returns
+// ctx, so request-scoped values (qid, traceparent) propagate into
+// rank goroutines without widening the body signature.
+func RunCtx(ctx context.Context, topo Topology, net NetModel, seed int64, body func(r *Rank) error) (*Report, error) {
 	if err := topo.Validate(); err != nil {
 		return nil, err
 	}
@@ -262,6 +282,7 @@ func Run(topo Topology, net NetModel, seed int64, body func(r *Rank) error) (*Re
 		r := &Rank{
 			w:     w,
 			id:    i,
+			ctx:   ctx,
 			acc:   make(map[string]float64),
 			phase: "main",
 			rng:   rand.New(rand.NewSource(seed ^ int64(uint64(i+1)*0x9e3779b97f4a7c15>>1))),

@@ -26,9 +26,13 @@ const DefaultFlightRecInterval = time.Second
 
 // FlightRecord is one captured budget breach.
 type FlightRecord struct {
-	QID      string    `json:"qid"`
-	Reason   string    `json:"reason"` // "latency", "alloc", or "latency+alloc"
-	Captured time.Time `json:"captured"`
+	QID    string `json:"qid"`
+	Reason string `json:"reason"` // "latency", "alloc", or "latency+alloc"
+	// Fingerprint is the breaching query's workload shape (copied from
+	// the trace), so repeated breaches of one shape are linkable — and
+	// /insights can surface "this hot fingerprint has flight records".
+	Fingerprint string    `json:"fingerprint,omitempty"`
+	Captured    time.Time `json:"captured"`
 	// WallSeconds/AllocBytes are the measurements that tripped the
 	// budget (alloc_bytes 0 when only latency tripped and no resource
 	// block was captured).
@@ -49,6 +53,7 @@ type FlightRecord struct {
 type FlightIndexEntry struct {
 	QID             string    `json:"qid"`
 	Reason          string    `json:"reason"`
+	Fingerprint     string    `json:"fingerprint,omitempty"`
 	Captured        time.Time `json:"captured"`
 	WallSeconds     float64   `json:"wall_seconds"`
 	AllocBytes      int64     `json:"alloc_bytes"`
@@ -114,6 +119,9 @@ func (f *FlightRecorder) Capture(qid, reason string, wall float64, allocBytes in
 		QID: qid, Reason: reason, Captured: now,
 		WallSeconds: wall, AllocBytes: allocBytes, Trace: tr,
 	}
+	if tr != nil {
+		rec.Fingerprint = tr.Fingerprint
+	}
 	var heap, gor bytes.Buffer
 	if p := pprof.Lookup("heap"); p != nil {
 		_ = p.WriteTo(&heap, 0)
@@ -156,7 +164,7 @@ func (f *FlightRecorder) Index() []FlightIndexEntry {
 	for i := 0; i < f.countLocked(); i++ {
 		rec := f.atLocked(i)
 		out = append(out, FlightIndexEntry{
-			QID: rec.QID, Reason: rec.Reason, Captured: rec.Captured,
+			QID: rec.QID, Reason: rec.Reason, Fingerprint: rec.Fingerprint, Captured: rec.Captured,
 			WallSeconds: rec.WallSeconds, AllocBytes: rec.AllocBytes,
 			HeapBytes:      len(rec.HeapProfile),
 			GoroutineBytes: len(rec.GoroutineProfile),

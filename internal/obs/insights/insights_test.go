@@ -1,0 +1,253 @@
+package insights
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"ids/internal/obs"
+)
+
+func TestObservatoryAggregatesByFingerprint(t *testing.T) {
+	o := New(Config{TopK: 8, SampleN: -1})
+	for i := 0; i < 10; i++ {
+		o.Observe(Observation{
+			Fingerprint: 0xaaaa, Query: "SELECT a", QID: fmt.Sprintf("q%d", i),
+			Seconds: 0.001, AllocBytes: 1 << 20, Rows: 5,
+		})
+	}
+	for i := 0; i < 3; i++ {
+		o.Observe(Observation{Fingerprint: 0xbbbb, Query: "SELECT b", Seconds: 0.1, AllocBytes: 1 << 10, CacheHit: i == 2})
+	}
+	o.Observe(Observation{Fingerprint: 0xbbbb, Error: true, Seconds: 0.0001})
+
+	s := o.Snapshot()
+	if s.TotalQueries != 14 || s.TotalErrors != 1 || s.Tracked != 2 {
+		t.Fatalf("snapshot totals: %+v", s)
+	}
+	top := s.Fingerprints
+	if len(top) != 2 || top[0].Fingerprint != "000000000000aaaa" {
+		t.Fatalf("top order wrong: %+v", top)
+	}
+	a, b := top[0], top[1]
+	if a.Count != 10 || a.Rows != 50 || a.Query != "SELECT a" || a.LastQID != "q9" {
+		t.Fatalf("aaaa row: %+v", a)
+	}
+	if b.Count != 4 || b.Errors != 1 || b.CacheHits != 1 {
+		t.Fatalf("bbbb row: %+v", b)
+	}
+	if b.CacheHitRate != 0.25 {
+		t.Fatalf("cache hit rate = %v, want 0.25", b.CacheHitRate)
+	}
+	// p50 latency of shape a should land near 1ms on the log scale.
+	if a.LatencyP50 < 0.0004 || a.LatencyP50 > 0.004 {
+		t.Fatalf("latency p50 = %v, want ~1ms", a.LatencyP50)
+	}
+	if a.AllocP50 < float64(1<<19) || a.AllocP50 > float64(1<<21) {
+		t.Fatalf("alloc p50 = %v, want ~1MiB", a.AllocP50)
+	}
+	// Alloc share: a has 10MiB of ~10.004MiB total.
+	if a.AllocShare < 0.99 || a.AllocShare > 1.0 {
+		t.Fatalf("alloc share = %v", a.AllocShare)
+	}
+	if math.Abs(a.AllocShare+b.AllocShare-1.0) > 1e-9 {
+		t.Fatalf("shares do not sum to 1: %v + %v", a.AllocShare, b.AllocShare)
+	}
+}
+
+// TestSketchBoundedMemory: the sketch never exceeds TopK entries no
+// matter how many distinct fingerprints stream through — the
+// acceptance-criteria property.
+func TestSketchBoundedMemory(t *testing.T) {
+	o := New(Config{TopK: 16, SampleN: -1})
+	// A heavy hitter interleaved with 10k distinct one-off shapes.
+	for i := 0; i < 10000; i++ {
+		o.Observe(Observation{Fingerprint: uint64(1000 + i), Seconds: 1e-4})
+		if i%10 == 0 {
+			o.Observe(Observation{Fingerprint: 7, Seconds: 1e-4})
+		}
+	}
+	s := o.Snapshot()
+	if s.Tracked > 16 {
+		t.Fatalf("sketch grew to %d entries, cap 16", s.Tracked)
+	}
+	if s.TotalQueries != 11000 {
+		t.Fatalf("total = %d", s.TotalQueries)
+	}
+	// The heavy hitter must survive the churn and report >= its true
+	// count (space-saving never undercounts a tracked key).
+	for _, r := range s.Fingerprints {
+		if r.Fingerprint == "0000000000000007" {
+			if r.Count < 1000 {
+				t.Fatalf("heavy hitter count %d < true 1000", r.Count)
+			}
+			return
+		}
+	}
+	t.Fatal("heavy hitter evicted from sketch")
+}
+
+func TestTailDecision(t *testing.T) {
+	o := New(Config{TopK: 8, SampleN: 4, SlowSeconds: 0.5, AllocBudget: 1 << 20})
+
+	// First occurrence of a shape: always sampled.
+	d := o.Observe(Observation{Fingerprint: 1, Seconds: 0.001})
+	if !d.Retain || d.Reason() != "sample" {
+		t.Fatalf("first occurrence: %+v", d)
+	}
+	// Occurrences 2..4 of the same shape: dropped (fast, no budget hit).
+	for i := 0; i < 3; i++ {
+		if d := o.Observe(Observation{Fingerprint: 1, Seconds: 0.001}); d.Retain {
+			t.Fatalf("occurrence %d retained: %+v", i+2, d)
+		}
+	}
+	// Occurrence 5 = counter 4 → 1-in-4 fires again.
+	if d := o.Observe(Observation{Fingerprint: 1, Seconds: 0.001}); !d.Retain {
+		t.Fatal("1-in-N sample did not fire on schedule")
+	}
+	// Slow, error, alloc reasons compose.
+	d = o.Observe(Observation{Fingerprint: 1, Seconds: 0.9, Error: true, AllocBytes: 2 << 20})
+	if !d.Retain || d.Reason() != "slow,error,alloc" {
+		t.Fatalf("composite decision: %+v", d)
+	}
+	// Sampling disabled: fast healthy queries are never retained.
+	o2 := New(Config{TopK: 8, SampleN: -1, SlowSeconds: 0.5})
+	if d := o2.Observe(Observation{Fingerprint: 9, Seconds: 0.001}); d.Retain {
+		t.Fatalf("retained with sampling off: %+v", d)
+	}
+}
+
+func TestTopKLimit(t *testing.T) {
+	o := New(Config{TopK: 32, SampleN: -1})
+	for i := 0; i < 20; i++ {
+		for j := 0; j <= i; j++ {
+			o.Observe(Observation{Fingerprint: uint64(100 + i)})
+		}
+	}
+	top := o.TopK(3)
+	if len(top) != 3 {
+		t.Fatalf("TopK(3) returned %d rows", len(top))
+	}
+	if top[0].Count != 20 || top[1].Count != 19 || top[2].Count != 18 {
+		t.Fatalf("TopK order: %+v", top)
+	}
+}
+
+func TestOTLPExportFile(t *testing.T) {
+	tc := obs.NewTraceContext()
+	tr := &obs.QueryTrace{
+		ID: "q000123", Query: "SELECT ?s WHERE { ?s ?p ?o . }",
+		Fingerprint: "00000000deadbeef", TraceParent: tc.String(), TailReason: "slow",
+		Start: time.Unix(1700000000, 0), Status: "ok",
+		ParseSeconds: 0.001, PlanSeconds: 0.002, ExecSeconds: 0.01, WallSeconds: 0.013,
+		Ranks: 2, Rows: 7,
+		Ops: []obs.OpTrace{
+			{Op: "scan", Label: "?s ?p ?o", RowsOut: 100, WallMax: 0.004, AllocBytes: 4096},
+			{Op: "gather", RowsIn: 100, RowsOut: 7, WallMax: 0.001},
+		},
+	}
+
+	req := OTLPFromTrace(tr)
+	spans := req.ResourceSpans[0].ScopeSpans[0].Spans
+	if len(spans) != 1+3+2 {
+		t.Fatalf("span count = %d, want 6 (root + 3 lifecycle + 2 ops)", len(spans))
+	}
+	root := spans[0]
+	wantTrace := strings.Split(tc.String(), "-")[1]
+	if root.TraceID != wantTrace {
+		t.Fatalf("root trace id %s, want propagated %s", root.TraceID, wantTrace)
+	}
+	if root.ParentSpanID == "" {
+		t.Fatal("root span lost the caller's parent span")
+	}
+	for _, sp := range spans[1:] {
+		if sp.TraceID != wantTrace {
+			t.Fatalf("span %s on wrong trace %s", sp.Name, sp.TraceID)
+		}
+	}
+	// Determinism: same trace → same span ids.
+	again := OTLPFromTrace(tr)
+	for i := range spans {
+		if again.ResourceSpans[0].ScopeSpans[0].Spans[i].SpanID != spans[i].SpanID {
+			t.Fatalf("span id %d not deterministic", i)
+		}
+	}
+
+	// File exporter writes one JSONL line per trace.
+	path := filepath.Join(t.TempDir(), "traces.jsonl")
+	ex, err := NewExporter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Export(tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Export(tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("exported %d lines, want 2", len(lines))
+	}
+	var parsed OTLPRequest
+	if err := json.Unmarshal([]byte(lines[0]), &parsed); err != nil {
+		t.Fatalf("export line not valid OTLP JSON: %v", err)
+	}
+	if got, _ := ex.Stats(); got != 2 {
+		t.Fatalf("exported count = %d", got)
+	}
+
+	// No traceparent → deterministic qid-derived trace id, no parent.
+	tr2 := *tr
+	tr2.TraceParent = ""
+	req2 := OTLPFromTrace(&tr2)
+	root2 := req2.ResourceSpans[0].ScopeSpans[0].Spans[0]
+	if root2.TraceID == root.TraceID || len(root2.TraceID) != 32 || root2.ParentSpanID != "" {
+		t.Fatalf("fallback trace id wrong: %+v", root2)
+	}
+}
+
+func TestNewExporterDisabled(t *testing.T) {
+	ex, err := NewExporter("")
+	if err != nil || ex != nil {
+		t.Fatalf("empty dest: ex=%v err=%v", ex, err)
+	}
+	// Nil exporter methods are no-ops.
+	if err := ex.Export(&obs.QueryTrace{ID: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogHistQuantiles(t *testing.T) {
+	h := newLogHist(1e-4, 26)
+	for i := 0; i < 1000; i++ {
+		h.observe(0.01) // 10ms
+	}
+	q := h.quantile(0.5)
+	if q < 0.005 || q > 0.03 {
+		t.Fatalf("p50 of constant 10ms stream = %v", q)
+	}
+	if h.quantile(0.99) < q {
+		t.Fatal("p99 < p50")
+	}
+	var empty logHist
+	empty = newLogHist(1, 4)
+	if empty.quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+}

@@ -49,6 +49,9 @@ func (h qidHandler) Handle(ctx context.Context, r slog.Record) error {
 	if qid := QID(ctx); qid != "" {
 		r.AddAttrs(slog.String("qid", qid))
 	}
+	if tc, ok := TraceContextFrom(ctx); ok {
+		r.AddAttrs(slog.String("traceparent", tc.String()))
+	}
 	return h.Handler.Handle(ctx, r)
 }
 

@@ -15,6 +15,13 @@ import (
 // indented line per rank under each operator.
 func (tr *QueryTrace) Render(w io.Writer, perRank bool) {
 	fmt.Fprintf(w, "EXPLAIN ANALYZE %s  (%d ranks)\n", tr.ID, tr.Ranks)
+	if tr.Fingerprint != "" {
+		fmt.Fprintf(w, "fingerprint %s", tr.Fingerprint)
+		if tr.TailReason != "" {
+			fmt.Fprintf(w, "  tail-retained (%s)", tr.TailReason)
+		}
+		fmt.Fprintln(w)
+	}
 	fmt.Fprintf(w, "parse %.6fs  plan %.6fs  exec %.6fs  wall %.6fs  |  simulated makespan %.6fs\n",
 		tr.ParseSeconds, tr.PlanSeconds, tr.ExecSeconds, tr.WallSeconds, tr.Makespan)
 	if tr.Collectives > 0 {

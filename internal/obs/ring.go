@@ -33,7 +33,12 @@ type TraceIndexEntry struct {
 	WallSeconds float64   `json:"wall_seconds"`
 	Status      string    `json:"status"`
 	Slow        bool      `json:"slow,omitempty"`
-	Query       string    `json:"query"`
+	Fingerprint string    `json:"fingerprint,omitempty"`
+	// Retained/TailReason report the tail-sampling decision: retained
+	// traces are pinned past ring eviction, with the reason(s) why.
+	Retained   bool   `json:"retained,omitempty"`
+	TailReason string `json:"tail_reason,omitempty"`
+	Query      string `json:"query"`
 }
 
 // NewTraceRing builds a ring retaining size recent traces and up to
@@ -63,23 +68,54 @@ func (r *TraceRing) Put(tr *QueryTrace) bool {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.putRingLocked(tr)
+	slow := r.threshold > 0 && tr.WallSeconds >= r.threshold
+	if slow {
+		r.pinLocked(tr)
+	}
+	return slow
+}
+
+// PutRetained is the tail-sampling successor of Put: the retention
+// decision is made by the caller (slow, error, alloc breach, or
+// per-fingerprint 1-in-N — see insights.Observatory), not by the
+// ring's wall-time threshold. The trace always enters the recent
+// ring; when retain is true it is additionally pinned past eviction
+// with reason stamped as its TailReason.
+func (r *TraceRing) PutRetained(tr *QueryTrace, retain bool, reason string) {
+	if tr == nil {
+		return
+	}
+	if retain {
+		tr.TailReason = reason
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.putRingLocked(tr)
+	if retain {
+		r.pinLocked(tr)
+	}
+}
+
+// putRingLocked writes tr into the circular buffer.
+func (r *TraceRing) putRingLocked(tr *QueryTrace) {
 	r.ring[r.next] = tr
 	r.next++
 	if r.next == len(r.ring) {
 		r.next = 0
 		r.wrapped = true
 	}
-	slow := r.threshold > 0 && tr.WallSeconds >= r.threshold
-	if slow {
-		r.slow = append(r.slow, tr)
-		if len(r.slow) > r.slowCap {
-			// FIFO: drop the oldest pinned slow trace.
-			copy(r.slow, r.slow[1:])
-			r.slow[len(r.slow)-1] = nil
-			r.slow = r.slow[:len(r.slow)-1]
-		}
+}
+
+// pinLocked appends tr to the bounded FIFO of pinned traces.
+func (r *TraceRing) pinLocked(tr *QueryTrace) {
+	r.slow = append(r.slow, tr)
+	if len(r.slow) > r.slowCap {
+		// FIFO: drop the oldest pinned trace.
+		copy(r.slow, r.slow[1:])
+		r.slow[len(r.slow)-1] = nil
+		r.slow = r.slow[:len(r.slow)-1]
 	}
-	return slow
 }
 
 // Get returns the retained trace with the given ID, searching the ring
@@ -144,6 +180,10 @@ func (r *TraceRing) Index() []TraceIndexEntry {
 	return out
 }
 
+// Retained lists the pinned (tail-retained and slow) traces
+// newest-first.
+func (r *TraceRing) Retained() []TraceIndexEntry { return r.Slow() }
+
 // Slow lists the pinned slow traces newest-first.
 func (r *TraceRing) Slow() []TraceIndexEntry {
 	r.mu.Lock()
@@ -170,6 +210,9 @@ func (r *TraceRing) entryLocked(tr *QueryTrace) TraceIndexEntry {
 		WallSeconds: tr.WallSeconds,
 		Status:      status,
 		Slow:        r.threshold > 0 && tr.WallSeconds >= r.threshold,
+		Fingerprint: tr.Fingerprint,
+		Retained:    tr.TailReason != "",
+		TailReason:  tr.TailReason,
 		Query:       q,
 	}
 }

@@ -123,6 +123,18 @@ type QueryTrace struct {
 	ID    string    `json:"id"`
 	Query string    `json:"query"`
 	Start time.Time `json:"start"`
+	// Fingerprint is the workload shape hash (plan.FormatFingerprint
+	// form; empty when the query never parsed), linking this trace to
+	// its /insights row.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// TraceParent is the query's W3C trace context — ingested from the
+	// caller's traceparent header or minted at admission — so the trace
+	// joins the caller's distributed trace on export.
+	TraceParent string `json:"traceparent,omitempty"`
+	// TailReason records why the tail sampler retained this trace
+	// ("slow", "error", "alloc", "sample", comma-joined); empty for
+	// traces that only passed through the recent ring.
+	TailReason string `json:"tail_reason,omitempty"`
 	// Status is "ok" or "error"; Error carries the failure message for
 	// error traces so a failed qid is still resolvable after the fact.
 	Status string `json:"status,omitempty"`

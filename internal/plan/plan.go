@@ -89,9 +89,15 @@ type Plan struct {
 	Steps    []Step
 	Select   []string
 	Distinct bool
-	OrderBy  []exec.SortKey
-	Limit    int
-	Offset   int
+	// Fingerprint is the query's workload shape hash (see
+	// fingerprint.go): literals masked, conjunct order canonicalized,
+	// SIMILAR K bucketed. Stamped by Build so every consumer of a plan
+	// (engine, traces, insights sketch, flight recorder) shares one
+	// value computed once.
+	Fingerprint uint64
+	OrderBy     []exec.SortKey
+	Limit       int
+	Offset      int
 	// Aggregates and GroupBy turn the gathered result into grouped
 	// aggregate rows before ordering and projection.
 	Aggregates []exec.AggSpec
@@ -202,10 +208,11 @@ func (st *Stats) PatternCard(p sparql.TriplePattern) int {
 // be bound by the WHERE clause.
 func Build(q *sparql.Query, st *Stats) (*Plan, error) {
 	p := &Plan{
-		Select:   q.Select,
-		Distinct: q.Distinct,
-		Limit:    q.Limit,
-		Offset:   q.Offset,
+		Select:      q.Select,
+		Distinct:    q.Distinct,
+		Limit:       q.Limit,
+		Offset:      q.Offset,
+		Fingerprint: Fingerprint(q),
 	}
 	for _, k := range q.OrderBy {
 		p.OrderBy = append(p.OrderBy, exec.SortKey{Var: k.Var, Desc: k.Desc})
