@@ -1,0 +1,85 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"ids/internal/conformance"
+)
+
+// confFlags carries the -conformance-* flag values from main.
+type confFlags struct {
+	n       int
+	seed    int64
+	ranks   int
+	outJSON string
+	outMD   string
+	compare string
+}
+
+// runConformance executes the conformance sweep and returns the
+// process exit code: 0 clean, 1 on P0 outcomes or a gated regression,
+// 2 on usage/IO errors.
+func runConformance(cf confFlags) int {
+	if cf.n <= 0 || cf.ranks <= 0 {
+		fmt.Fprintln(os.Stderr, "conformance: -conformance-n and -conformance-ranks must be positive")
+		return 2
+	}
+	w, err := conformance.NewWorld(cf.ranks)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "conformance: building world: %v\n", err)
+		return 2
+	}
+	qs := conformance.Generate(cf.seed, cf.n)
+	rep := w.RunAll(cf.seed, qs)
+
+	fmt.Printf("conformance: %d queries (seed %d, %d ranks)\n", rep.N, rep.Seed, rep.Ranks)
+	fmt.Printf("%-16s %8s %8s %8s\n", "category", "queries", "pass", "rate")
+	for _, cs := range rep.Categories {
+		fmt.Printf("%-16s %8d %8d %7.2f%%\n", cs.Name, cs.Total, cs.Pass, cs.Rate())
+	}
+	for _, o := range rep.Failures {
+		fmt.Printf("%s [%s] %s\n  %s\n", o.Priority, o.Bucket, o.Query.Text, o.Detail)
+	}
+
+	if cf.outJSON != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "conformance: encoding report: %v\n", err)
+			return 2
+		}
+		if err := os.WriteFile(cf.outJSON, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "conformance: %v\n", err)
+			return 2
+		}
+		fmt.Printf("conformance: wrote JSON report to %s\n", cf.outJSON)
+	}
+	if cf.outMD != "" {
+		if err := os.WriteFile(cf.outMD, []byte(rep.Markdown()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "conformance: %v\n", err)
+			return 2
+		}
+		fmt.Printf("conformance: wrote markdown report to %s\n", cf.outMD)
+	}
+
+	code := 0
+	if cf.compare != "" {
+		base, err := os.ReadFile(cf.compare)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "conformance: reading baseline: %v\n", err)
+			return 2
+		}
+		if err := conformance.Compare(string(base), rep); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			code = 1
+		} else {
+			fmt.Printf("conformance: no regression against %s\n", cf.compare)
+		}
+	}
+	if n := rep.P0Count(); n > 0 {
+		fmt.Fprintf(os.Stderr, "conformance: %d P0 outcomes (crash/wrong-answer)\n", n)
+		code = 1
+	}
+	return code
+}

@@ -8,6 +8,16 @@
 //	          [-trace-out trace.json] [-concurrency N] [-load-queries Q]
 //	          [-vectors N [-vec-dim D] [-vec-k K] [-vec-ef EF]]
 //	ids-bench -compare baseline.json new.json
+//	ids-bench -conformance [-conformance-n N] [-conformance-seed S]
+//	          [-conformance-md CONFORMANCE.md] [-conformance-out report.json]
+//	          [-conformance-compare CONFORMANCE.md]
+//
+// -conformance runs the SPARQL conformance sweep: a seeded corpus of
+// generated queries executes on both engines (row oracle vs columnar
+// default) and every outcome lands in a taxonomy bucket. The markdown
+// report regenerates CONFORMANCE.md; -conformance-compare gates a run
+// against the committed copy and exits 1 when any per-category
+// success rate regresses or any P0 (crash/wrong-answer) appears.
 //
 // -trace-out additionally runs the NCNPR inner query with span tracing
 // and writes a JSON trace summary (the EXPLAIN ANALYZE tree plus the
@@ -67,6 +77,14 @@ func main() {
 	vecEf := flag.Int("vec-ef", 64, "vector bench: HNSW query beam (efSearch)")
 	chaosSeed := flag.Int64("chaos-seed", 0, "replay one chaos schedule by seed, with verbose narration (non-zero exit on an invariant violation)")
 	compare := flag.Bool("compare", false, "regression gate: diff two baseline JSON files (args: baseline.json new.json), exit 1 on regression")
+	confRun := flag.Bool("conformance", false, "run the SPARQL conformance sweep instead of the experiments")
+	var cf confFlags
+	flag.IntVar(&cf.n, "conformance-n", 2000, "conformance: corpus size")
+	flag.Int64Var(&cf.seed, "conformance-seed", 1, "conformance: generator seed")
+	flag.IntVar(&cf.ranks, "conformance-ranks", 2, "conformance: ranks in the differential world")
+	flag.StringVar(&cf.outJSON, "conformance-out", "", "conformance: write the machine-readable JSON report here")
+	flag.StringVar(&cf.outMD, "conformance-md", "", "conformance: write the markdown report (CONFORMANCE.md) here")
+	flag.StringVar(&cf.compare, "conformance-compare", "", "conformance: baseline CONFORMANCE.md to gate against; exit 1 on any per-category success-rate regression")
 	// Threshold flags default to the real defaults (not a 0 sentinel)
 	// so 0 is a valid explicit value: fail on any regression at all.
 	defTh := experiments.DefaultCompareThresholds()
@@ -82,6 +100,10 @@ func main() {
 
 	if *chaosSeed != 0 {
 		os.Exit(runChaosSeed(*chaosSeed))
+	}
+
+	if *confRun {
+		os.Exit(runConformance(cf))
 	}
 
 	if *compare {

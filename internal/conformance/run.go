@@ -1,0 +1,148 @@
+package conformance
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"ids/internal/ids"
+	"ids/internal/mpp"
+	"ids/internal/sparql"
+)
+
+// Taxonomy buckets. Unsupported features use the compound form
+// "unsupported-feature/<kw>" so the report separates, say, MINUS from
+// property paths. Classification is structural — errors.As on
+// *sparql.Error, errors.Is on mpp.ErrPanic — never message matching.
+const (
+	BucketOK          = "ok"
+	BucketParseError  = "parse-error"
+	BucketPlanError   = "plan-error"
+	BucketWrongAnswer = "wrong-answer"
+	BucketCrash       = "crash"
+
+	unsupportedPrefix = "unsupported-feature/"
+)
+
+// Outcome is the classified result of one query.
+type Outcome struct {
+	Query    Query  `json:"query"`
+	Bucket   string `json:"bucket"`
+	Priority string `json:"priority,omitempty"`
+	Detail   string `json:"detail,omitempty"`
+}
+
+// priorityFor ranks an outcome for the burn-down list. Crashes and
+// engine divergence are P0 regardless of what was expected; any other
+// query landing outside its expected bucket is P1 (the harness or the
+// engine is wrong about the dialect); expected rejections are P3
+// book-keeping.
+func priorityFor(expect, bucket string) string {
+	switch {
+	case bucket == BucketCrash || bucket == BucketWrongAnswer:
+		return "P0"
+	case bucket != expect:
+		return "P1"
+	case bucket == BucketOK:
+		return ""
+	default:
+		return "P3"
+	}
+}
+
+// Run executes one query through parse → plan → execute on both
+// engines and buckets the outcome. A panic anywhere in the pipeline —
+// including one recovered into an mpp rank error — is a crash, never
+// a test failure, so the sweep keeps going and reports totals.
+func (w *World) Run(q Query) (o Outcome) {
+	o = Outcome{Query: q}
+	defer func() {
+		if rec := recover(); rec != nil {
+			o.Bucket = BucketCrash
+			o.Detail = fmt.Sprintf("panic: %v", rec)
+		}
+		o.Priority = priorityFor(q.Expect, o.Bucket)
+	}()
+
+	if _, err := sparql.Parse(q.Text); err != nil {
+		var se *sparql.Error
+		if errors.As(err, &se) && se.Code == sparql.ErrUnsupported {
+			o.Bucket = unsupportedPrefix + se.Feature
+		} else {
+			o.Bucket = BucketParseError
+		}
+		o.Detail = err.Error()
+		return o
+	}
+
+	rres, rerr := w.Row.Query(q.Text)
+	cres, cerr := w.Col.Query(q.Text)
+	if errors.Is(rerr, mpp.ErrPanic) || errors.Is(cerr, mpp.ErrPanic) {
+		o.Bucket = BucketCrash
+		o.Detail = fmt.Sprintf("row: %v; col: %v", rerr, cerr)
+		return o
+	}
+	if (rerr == nil) != (cerr == nil) {
+		o.Bucket = BucketWrongAnswer
+		o.Detail = fmt.Sprintf("error divergence — row: %v; col: %v", rerr, cerr)
+		return o
+	}
+	if rerr != nil {
+		// Parsed, but rejected downstream of the front end (planner
+		// validation, KNN space checks, ...): the plan-error bucket.
+		o.Bucket = BucketPlanError
+		o.Detail = rerr.Error()
+		return o
+	}
+
+	if diff := diffResults(w.Row, rres, w.Col, cres); diff != "" {
+		o.Bucket = BucketWrongAnswer
+		o.Detail = diff
+		return o
+	}
+	o.Bucket = BucketOK
+	return o
+}
+
+// diffResults compares the two engines' results as sorted row sets
+// (SPARQL imposes no order beyond ORDER BY, and the generator makes
+// every LIMIT window total-ordered). Empty string means identical.
+func diffResults(rowE *ids.Engine, rres *ids.Result, colE *ids.Engine, cres *ids.Result) string {
+	if strings.Join(rres.Vars, ",") != strings.Join(cres.Vars, ",") {
+		return fmt.Sprintf("header divergence — row %v, col %v", rres.Vars, cres.Vars)
+	}
+	rs, cs := renderSorted(rowE, rres), renderSorted(colE, cres)
+	if len(rs) != len(cs) {
+		return fmt.Sprintf("row-count divergence — row %d, col %d", len(rs), len(cs))
+	}
+	for i := range rs {
+		if rs[i] != cs[i] {
+			return fmt.Sprintf("row divergence at sorted index %d — row %q, col %q", i, rs[i], cs[i])
+		}
+	}
+	return ""
+}
+
+func renderSorted(e *ids.Engine, res *ids.Result) []string {
+	rows := e.Strings(res)
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = strings.Join(r, "\x1f")
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RunAll sweeps the corpus and folds the outcomes into a report. The
+// seed is recorded in the report so the run is reproducible from the
+// markdown header alone.
+func (w *World) RunAll(seed int64, qs []Query) *Report {
+	rep := newReport(w.Ranks)
+	rep.Seed = seed
+	for _, q := range qs {
+		rep.add(w.Run(q))
+	}
+	rep.finish()
+	return rep
+}

@@ -88,6 +88,7 @@ func (e *Engine) runPlanBatch(ctx context.Context, r *mpp.Rank, pl *plan.Plan, r
 	db, dm := freshSince(a, fb0, fm0)
 	ot.record(rec, r, obs.OpSample{Op: "gather", RowsIn: in, RowsOut: tab.Len(),
 		AllocBytes: gb + db, Mallocs: gm + dm})
+	tab = e.applyBinds(r, pl, tab, rec)
 	if len(pl.Aggregates) > 0 {
 		ot := startOp(rec, r)
 		in := tab.Len()
@@ -261,6 +262,20 @@ func (e *Engine) runStepsBatch(ctx context.Context, r *mpp.Rank, steps []plan.St
 				} else if err := join(t, "join", false); err != nil {
 					return nil, err
 				}
+			}
+		case plan.ValuesStep:
+			r.SetPhase("scan")
+			ot := startOp(rec, r)
+			fb0, fm0 := a.Fresh()
+			rows := exec.ResolveValues(s.Values, e.Graph.Dict)
+			t := exec.ValuesBatch(r, a, s.Values.Vars, rows)
+			db, dm := freshSince(a, fb0, fm0)
+			ot.record(rec, r, obs.OpSample{Depth: depth, Op: "values", Label: s.Values.String(),
+				RowsOut: t.Len(), AllocBytes: db, Mallocs: dm})
+			if b == nil {
+				b = t
+			} else if err := join(t, "join", false); err != nil {
+				return nil, err
 			}
 		case plan.OptionalStep:
 			bt, err := e.runStepsBatch(ctx, r, s.Body, nil, rec, profs, a, depth+1)

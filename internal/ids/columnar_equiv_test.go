@@ -83,6 +83,21 @@ var equivQueries = []string{
 	`SELECT (COUNT(?s) AS ?n) WHERE { ?s <http://x/desc> ?d . }`,
 	`SELECT ?t (COUNT(?s) AS ?n) (MIN(?v) AS ?lo) (MAX(?v) AS ?hi) WHERE { ?s <http://x/tag> ?t . ?s <http://x/score> ?v . } GROUP BY ?t ORDER BY ?t`,
 	`SELECT ?t (AVG(?v) AS ?m) WHERE { ?s <http://x/tag> ?t . ?s <http://x/score> ?v . FILTER(?v > 10) } GROUP BY ?t ORDER BY ?t`,
+	// BIND computed columns (post-gather, shared by both engines).
+	`SELECT ?s ?v2 WHERE { ?s <http://x/score> ?v . BIND(?v * 2 AS ?v2) } ORDER BY ?s`,
+	`SELECT ?s ?d WHERE { ?s <http://x/score> ?v . BIND(?v - 50 AS ?d) FILTER(?d > 0) }`,
+	`SELECT ?t ?flag WHERE { ?s <http://x/tag> ?t . BIND(?t = "tag1" AS ?flag) } LIMIT 300`,
+	`SELECT ?b (COUNT(?s) AS ?n) WHERE { ?s <http://x/score> ?v . BIND(?v > 50 AS ?b) } GROUP BY ?b`,
+	`SELECT ?s ?sum WHERE { ?s <http://x/score> ?v . OPTIONAL { ?s <http://x/desc> ?d . } BIND(?v + 1 AS ?sum) } ORDER BY ?sum LIMIT 20`,
+	// VALUES inline data: seed, join on shared vars, UNDEF, unknown
+	// terms, trailing form.
+	`SELECT ?s ?v WHERE { VALUES ?s { <http://x/e1> <http://x/e2> <http://x/e3> } ?s <http://x/score> ?v . }`,
+	`SELECT ?s ?t WHERE { ?s <http://x/tag> ?t . VALUES ?t { "tag0" "tag2" } }`,
+	`SELECT ?s ?t ?v WHERE { VALUES (?s ?t) { (<http://x/e1> "tag1") (<http://x/e2> "tag2") } ?s <http://x/tag> ?t . ?s <http://x/score> ?v . }`,
+	`SELECT ?s WHERE { ?s <http://x/tag> "tag1" . } VALUES ?s { <http://x/e1> <http://x/e6> <http://x/nosuch> }`,
+	`SELECT ?s ?v ?w WHERE { VALUES (?s ?w) { (<http://x/e1> "x") (UNDEF "y") } ?s <http://x/score> ?v . }`,
+	// BIND and VALUES composed.
+	`SELECT ?s ?v2 WHERE { VALUES ?s { <http://x/e1> <http://x/e5> } ?s <http://x/score> ?v . BIND(?v * 10 AS ?v2) } ORDER BY ?v2`,
 }
 
 // sortedRows renders a result as a sorted slice of row strings.

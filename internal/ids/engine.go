@@ -590,6 +590,7 @@ func (e *Engine) runPlanRec(ctx context.Context, r *mpp.Rank, pl *plan.Plan, rec
 	gb, gm := tab.FootprintShallow()
 	ot.record(rec, r, obs.OpSample{Op: "gather", RowsIn: in, RowsOut: tab.Len(),
 		AllocBytes: gb, Mallocs: gm})
+	tab = e.applyBinds(r, pl, tab, rec)
 	if len(pl.Aggregates) > 0 {
 		ot := startOp(rec, r)
 		in := tab.Len()
@@ -610,6 +611,29 @@ func (e *Engine) runPlanRec(ctx context.Context, r *mpp.Rank, pl *plan.Plan, rec
 		return nil, err
 	}
 	return tab, nil
+}
+
+// applyBinds runs the plan's BIND columns and their dependent
+// post-filters on the gathered table — the shared late phase of both
+// engines (exec/bind.go explains why BIND sits post-gather).
+func (e *Engine) applyBinds(r *mpp.Rank, pl *plan.Plan, tab *exec.Table, rec *obs.RankRecorder) *exec.Table {
+	res := e.res()
+	if len(pl.Binds) > 0 {
+		ot := startOp(rec, r)
+		in := tab.Len()
+		tab = exec.ApplyBinds(r, tab, pl.Binds, e.Reg, res)
+		ab, am := tab.Footprint()
+		ot.record(rec, r, obs.OpSample{Op: "bind", RowsIn: in, RowsOut: tab.Len(),
+			Label: fmt.Sprintf("%d columns", len(pl.Binds)), AllocBytes: ab, Mallocs: am})
+	}
+	if len(pl.PostFilters) > 0 {
+		ot := startOp(rec, r)
+		in := tab.Len()
+		tab = exec.ApplyPostFilters(r, tab, pl.PostFilters, e.Reg, res)
+		ot.record(rec, r, obs.OpSample{Op: "filter", RowsIn: in, RowsOut: tab.Len(),
+			Note: "post-bind"})
+	}
+	return tab
 }
 
 // runSteps executes a step list against the rank's shard, starting
@@ -803,6 +827,30 @@ func (e *Engine) runSteps(ctx context.Context, r *mpp.Rank, steps []plan.Step, t
 					jt.record(rec, r, obs.OpSample{Depth: depth, Op: "join", RowsIn: in, RowsOut: tab.Len(),
 						AllocBytes: jb, Mallocs: jm})
 				}
+			}
+		case plan.ValuesStep:
+			r.SetPhase("scan")
+			ot := startOp(rec, r)
+			rows := exec.ResolveValues(s.Values, e.Graph.Dict)
+			t := exec.ValuesTable(r, s.Values.Vars, rows)
+			vb, vm := t.Footprint()
+			ot.record(rec, r, obs.OpSample{Depth: depth, Op: "values", Label: s.Values.String(),
+				RowsOut: t.Len(), AllocBytes: vb, Mallocs: vm})
+			if tab == nil {
+				tab = t
+			} else {
+				r.SetPhase("join")
+				jt := startOp(rec, r)
+				in := tab.Len() + t.Len()
+				build := t.Len()
+				var err error
+				tab, err = exec.HashJoin(r, tab, t)
+				if err != nil {
+					return nil, err
+				}
+				jb, jm := joinFootprint(tab, build)
+				jt.record(rec, r, obs.OpSample{Depth: depth, Op: "join", RowsIn: in, RowsOut: tab.Len(),
+					AllocBytes: jb, Mallocs: jm})
 			}
 		case plan.OptionalStep:
 			bt, err := e.runSteps(ctx, r, s.Body, nil, rec, profs, depth+1)

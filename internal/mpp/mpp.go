@@ -15,12 +15,18 @@ package mpp
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 	"slices"
 	"sync"
 )
+
+// ErrPanic marks a rank-body panic converted into an error by RunCtx's
+// recovery. Callers (crash classifiers, the conformance taxonomy)
+// detect it with errors.Is rather than matching message text.
+var ErrPanic = errors.New("mpp: panic")
 
 // Topology describes the simulated machine: how many nodes and how
 // many ranks are placed on each node. It mirrors the paper's
@@ -292,7 +298,7 @@ func RunCtx(ctx context.Context, topo Topology, net NetModel, seed int64, body f
 			defer wg.Done()
 			defer func() {
 				if rec := recover(); rec != nil {
-					err := fmt.Errorf("mpp: rank %d panicked: %v", r.id, rec)
+					err := fmt.Errorf("%w: rank %d panicked: %v", ErrPanic, r.id, rec)
 					r.err = err
 					w.bar.abort(err)
 				}

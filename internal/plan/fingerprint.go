@@ -192,6 +192,34 @@ func fpElement(el sparql.Element) uint64 {
 	case sparql.OptionalPattern:
 		f.str("opt")
 		f.u64(fpGroup(n.Body))
+	case sparql.Bind:
+		f.str("bind")
+		f.str(n.Var)
+		f.u64(fpExpr(n.Expr))
+	case sparql.ValuesPattern:
+		f.str("values")
+		for _, v := range n.Vars {
+			f.str(v)
+		}
+		// Data rows hash as an unordered set with literal cells masked
+		// (like pattern literals) and the row count bucketed: swapping
+		// constants in an inline data block keeps the shape, growing it
+		// by an order of magnitude does not.
+		f.num(bucketPow2(len(n.Rows)))
+		hs := make([]uint64, 0, len(n.Rows))
+		for _, row := range n.Rows {
+			rf := newFPW()
+			rf.str("vrow")
+			for _, c := range row {
+				if c.Undef {
+					rf.str("undef")
+					continue
+				}
+				fpTerm(&rf, c.Term)
+			}
+			hs = append(hs, rf.h)
+		}
+		f.unordered(hs)
 	case sparql.SimilarPattern:
 		f.str("similar")
 		f.str(n.Var)

@@ -77,12 +77,26 @@ type SimilarStep struct {
 	OutEst int
 }
 
+// ValuesStep joins an inline VALUES data block into the running
+// stream. Like any access path it is costed by the greedy join
+// orderer: its Est is the block's row count, and it can seed the
+// stream or hash-join in (cross product when it shares no variables).
+type ValuesStep struct {
+	Values sparql.ValuesPattern
+	// Est is the data-block row count.
+	Est int
+	// OutEst is the estimated output cardinality of the stream after
+	// this step.
+	OutEst int
+}
+
 func (ScanStep) isStep()     {}
 func (JoinStep) isStep()     {}
 func (FilterStep) isStep()   {}
 func (UnionStep) isStep()    {}
 func (OptionalStep) isStep() {}
 func (SimilarStep) isStep()  {}
+func (ValuesStep) isStep()   {}
 
 // Plan is an executable query plan.
 type Plan struct {
@@ -102,6 +116,14 @@ type Plan struct {
 	// aggregate rows before ordering and projection.
 	Aggregates []exec.AggSpec
 	GroupBy    []string
+	// Binds are BIND(expr AS ?var) columns computed on the gathered
+	// table (every rank holds the full solution set there, so
+	// evaluation is deterministic), in query order, before
+	// PostFilters, aggregation, ordering, and projection.
+	Binds []exec.BindSpec
+	// PostFilters are FILTER expressions that reference bind aliases;
+	// they run row-locally right after Binds.
+	PostFilters []expr.Expr
 }
 
 // Explain renders the plan for logs and the CLI.
@@ -125,10 +147,18 @@ func (p *Plan) Explain() string {
 				mode = "KNN-SEMI"
 			}
 			fmt.Fprintf(&sb, "%2d: %s %s (est %d, out %d)\n", i, mode, n.Sim, n.Est, n.OutEst)
+		case ValuesStep:
+			fmt.Fprintf(&sb, "%2d: VALUES %s (est %d, out %d)\n", i, n.Values, n.Est, n.OutEst)
 		}
 	}
 	if p.Distinct {
 		sb.WriteString("    DISTINCT\n")
+	}
+	for _, b := range p.Binds {
+		fmt.Fprintf(&sb, "    BIND(%s AS ?%s)\n", b.Expr, b.Var)
+	}
+	for _, f := range p.PostFilters {
+		fmt.Fprintf(&sb, "    POST-FILTER %s\n", f)
 	}
 	if len(p.OrderBy) > 0 {
 		fmt.Fprintf(&sb, "    ORDER BY %v\n", p.OrderBy)
@@ -222,7 +252,43 @@ func Build(q *sparql.Query, st *Stats) (*Plan, error) {
 	}
 	p.GroupBy = q.GroupBy
 
-	steps, bound, err := compileGroup(q.Where, st)
+	// Split off top-level BINDs and the filters that depend on their
+	// aliases: both run on the gathered table (see Plan.Binds), so the
+	// group compiler below never sees them. BIND nested inside UNION or
+	// OPTIONAL is rejected by compileGroup.
+	bindAlias := map[string]bool{}
+	var binds []sparql.Bind
+	for _, el := range q.Where {
+		if b, ok := el.(sparql.Bind); ok {
+			binds = append(binds, b)
+			bindAlias[b.Var] = true
+		}
+	}
+	var groupElems []sparql.Element
+	var postFilters []sparql.Filter
+	for _, el := range q.Where {
+		switch n := el.(type) {
+		case sparql.Bind:
+			continue
+		case sparql.Filter:
+			usesAlias := false
+			for _, v := range expr.Vars(n.Expr) {
+				if bindAlias[v] {
+					usesAlias = true
+					break
+				}
+			}
+			if usesAlias {
+				postFilters = append(postFilters, n)
+				continue
+			}
+			groupElems = append(groupElems, el)
+		default:
+			groupElems = append(groupElems, el)
+		}
+	}
+
+	steps, bound, err := compileGroup(groupElems, st)
 	if err != nil {
 		return nil, err
 	}
@@ -230,6 +296,29 @@ func Build(q *sparql.Query, st *Stats) (*Plan, error) {
 		return nil, fmt.Errorf("plan: query has no triple patterns")
 	}
 	p.Steps = steps
+
+	// Validate binds in query order: inputs must be bound by the graph
+	// part or an earlier alias, and an alias must be a fresh variable.
+	for _, b := range binds {
+		if bound[b.Var] {
+			return nil, fmt.Errorf("plan: BIND ?%s is already bound", b.Var)
+		}
+		for _, v := range expr.Vars(b.Expr) {
+			if !bound[v] {
+				return nil, fmt.Errorf("plan: BIND expression references unbound variable ?%s", v)
+			}
+		}
+		bound[b.Var] = true
+		p.Binds = append(p.Binds, exec.BindSpec{Var: b.Var, Expr: b.Expr})
+	}
+	for _, f := range postFilters {
+		for _, v := range expr.Vars(f.Expr) {
+			if !bound[v] {
+				return nil, fmt.Errorf("plan: FILTER references unbound variable(s): %s", f.Expr)
+			}
+		}
+		p.PostFilters = append(p.PostFilters, f.Expr)
+	}
 
 	aliases := map[string]bool{}
 	grouped := map[string]bool{}
@@ -282,6 +371,7 @@ func compileGroup(elems []sparql.Element, st *Stats) ([]Step, map[string]bool, e
 	var unions []sparql.UnionPattern
 	var optionals []sparql.OptionalPattern
 	var sims []sparql.SimilarPattern
+	var vals []sparql.ValuesPattern
 	for _, el := range elems {
 		switch n := el.(type) {
 		case sparql.TriplePattern:
@@ -294,6 +384,13 @@ func compileGroup(elems []sparql.Element, st *Stats) ([]Step, map[string]bool, e
 			optionals = append(optionals, n)
 		case sparql.SimilarPattern:
 			sims = append(sims, n)
+		case sparql.ValuesPattern:
+			vals = append(vals, n)
+		case sparql.Bind:
+			// Build strips top-level binds before compiling; reaching
+			// one here means it sits inside a UNION branch or OPTIONAL
+			// body, where the gathered-table execution point is wrong.
+			return nil, nil, fmt.Errorf("plan: BIND inside UNION/OPTIONAL groups is not supported")
 		}
 	}
 
@@ -301,6 +398,7 @@ func compileGroup(elems []sparql.Element, st *Stats) ([]Step, map[string]bool, e
 	bound := map[string]bool{}
 	used := make([]bool, len(pats))
 	simUsed := make([]bool, len(sims))
+	valUsed := make([]bool, len(vals))
 	filterUsed := make([]bool, len(filters))
 
 	connected := func(tp sparql.TriplePattern) bool {
@@ -406,8 +504,9 @@ func compileGroup(elems []sparql.Element, st *Stats) ([]Step, map[string]bool, e
 	// one that keeps it narrow. A SIMILAR clause costs its candidate K
 	// as an access path and the semi-join output when its variable is
 	// already bound.
-	pickNext := func(requireConnected, first bool) (idx, simIdx, outEst int) {
-		best, bestSim, bestCost, bestOut := -1, -1, 0, 0
+	pickNext := func(requireConnected, first bool) (idx, simIdx, valIdx, outEst int) {
+		best, bestSim, bestVal, bestCost, bestOut := -1, -1, -1, 0, 0
+		none := func() bool { return best < 0 && bestSim < 0 && bestVal < 0 }
 		for i, tp := range pats {
 			if used[i] {
 				continue
@@ -432,8 +531,8 @@ func compileGroup(elems []sparql.Element, st *Stats) ([]Step, map[string]bool, e
 				}
 				cost = card + out
 			}
-			if best < 0 && bestSim < 0 || cost < bestCost {
-				best, bestSim, bestCost, bestOut = i, -1, cost, out
+			if none() || cost < bestCost {
+				best, bestSim, bestVal, bestCost, bestOut = i, -1, -1, cost, out
 			}
 		}
 		for i, sp := range sims {
@@ -463,11 +562,46 @@ func compileGroup(elems []sparql.Element, st *Stats) ([]Step, map[string]bool, e
 				}
 				cost = sp.K + out
 			}
-			if best < 0 && bestSim < 0 || cost < bestCost {
-				best, bestSim, bestCost, bestOut = -1, i, cost, out
+			if none() || cost < bestCost {
+				best, bestSim, bestVal, bestCost, bestOut = -1, i, -1, cost, out
 			}
 		}
-		return best, bestSim, bestOut
+		for i, vp := range vals {
+			if valUsed[i] {
+				continue
+			}
+			if requireConnected {
+				conn := false
+				for _, v := range vp.Vars {
+					if bound[v] {
+						conn = true
+						break
+					}
+				}
+				if !conn {
+					continue
+				}
+			}
+			card := len(vp.Rows)
+			var cost, out int
+			if first {
+				cost = card
+				if enablesFilter(vp.Vars) {
+					cost = cost/filterBoost + 1
+				}
+				out = card
+			} else {
+				out = joinOutEst(vp.Vars, card)
+				if enablesFilter(vp.Vars) {
+					out = out/filterBoost + 1
+				}
+				cost = card + out
+			}
+			if none() || cost < bestCost {
+				best, bestSim, bestVal, bestCost, bestOut = -1, -1, i, cost, out
+			}
+		}
+		return best, bestSim, bestVal, bestOut
 	}
 	attachFilters := func() {
 		for i, f := range filters {
@@ -488,15 +622,24 @@ func compileGroup(elems []sparql.Element, st *Stats) ([]Step, map[string]bool, e
 		}
 	}
 
-	for n := 0; n < len(pats)+len(sims); n++ {
-		idx, simIdx, outEst := pickNext(n > 0, n == 0)
-		if idx < 0 && simIdx < 0 {
+	for n := 0; n < len(pats)+len(sims)+len(vals); n++ {
+		idx, simIdx, valIdx, outEst := pickNext(n > 0, n == 0)
+		if idx < 0 && simIdx < 0 && valIdx < 0 {
 			// Disconnected pattern group: take the cheapest remaining
 			// (executes as a cross product).
-			idx, simIdx, outEst = pickNext(false, n == 0)
+			idx, simIdx, valIdx, outEst = pickNext(false, n == 0)
 		}
 		var newVars []string
-		if simIdx >= 0 {
+		if valIdx >= 0 {
+			vp := vals[valIdx]
+			valUsed[valIdx] = true
+			steps = append(steps, ValuesStep{
+				Values: vp,
+				Est:    len(vp.Rows),
+				OutEst: outEst,
+			})
+			newVars = vp.Vars
+		} else if simIdx >= 0 {
 			sp := sims[simIdx]
 			simUsed[simIdx] = true
 			steps = append(steps, SimilarStep{

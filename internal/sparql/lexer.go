@@ -68,7 +68,13 @@ type lexer struct {
 }
 
 func (l *lexer) errf(pos int, format string, args ...any) error {
-	return fmt.Errorf("sparql: at offset %d: %s", pos, fmt.Sprintf(format, args...))
+	return &Error{
+		Code:    ErrSyntax,
+		Offset:  pos,
+		Msg:     fmt.Sprintf(format, args...),
+		Context: excerpt(l.in, pos),
+		lexical: true,
+	}
 }
 
 func (l *lexer) next() (token, error) {
@@ -203,7 +209,15 @@ func (l *lexer) next() (token, error) {
 		}
 		l.pos++
 		return token{kind: tokString, text: sb.String(), pos: start}, nil
-	case c == '-' || c >= '0' && c <= '9':
+	case c == '-':
+		// "-3" / "-.5" are negative literals; a bare "-" is the
+		// subtraction operator ("?v - 3").
+		if n := l.peekAt(1); n >= '0' && n <= '9' || n == '.' {
+			return l.number(start)
+		}
+		l.pos++
+		return token{kind: tokMinus, text: "-", pos: start}, nil
+	case c >= '0' && c <= '9':
 		return l.number(start)
 	case c == '.':
 		// Dot terminator vs leading-dot number.

@@ -102,8 +102,56 @@ func (sp SimilarPattern) String() string {
 	return fmt.Sprintf("SIMILAR(?%s, %s, %d)", sp.Var, anchor, sp.K)
 }
 
+// Bind is a BIND(expr AS ?var) element: it extends each solution row
+// with a computed column. Expression evaluation errors bind the
+// variable to null (the W3C "error means unbound" rule).
+type Bind struct {
+	Var  string
+	Expr expr.Expr
+}
+
+func (b Bind) String() string {
+	return fmt.Sprintf("BIND(%s AS ?%s)", b.Expr, b.Var)
+}
+
+// ValuesCell is one position of a VALUES data row: a concrete RDF
+// term, or UNDEF (no binding for this row).
+type ValuesCell struct {
+	Undef bool
+	Term  dict.Term
+}
+
+func (c ValuesCell) String() string {
+	if c.Undef {
+		return "UNDEF"
+	}
+	return c.Term.String()
+}
+
+// ValuesPattern is an inline data block: VALUES ?x { t1 t2 ... } or
+// VALUES (?x ?y) { (t1 t2) (t3 t4) ... }. It joins with the rest of
+// the group like a table of |Rows| solutions over Vars.
+type ValuesPattern struct {
+	Vars []string
+	Rows [][]ValuesCell
+}
+
+func (vp ValuesPattern) String() string {
+	var sb strings.Builder
+	sb.WriteString("VALUES (")
+	for i, v := range vp.Vars {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString("?" + v)
+	}
+	fmt.Fprintf(&sb, ") { %d rows }", len(vp.Rows))
+	return sb.String()
+}
+
 // Element is a WHERE-clause element: TriplePattern, Filter,
-// UnionPattern, OptionalPattern or SimilarPattern.
+// UnionPattern, OptionalPattern, SimilarPattern, Bind or
+// ValuesPattern.
 type Element interface{ isElement() }
 
 func (TriplePattern) isElement()   {}
@@ -111,6 +159,8 @@ func (Filter) isElement()          {}
 func (UnionPattern) isElement()    {}
 func (OptionalPattern) isElement() {}
 func (SimilarPattern) isElement()  {}
+func (Bind) isElement()            {}
+func (ValuesPattern) isElement()   {}
 
 // OrderKey is one ORDER BY key.
 type OrderKey struct {
@@ -173,6 +223,30 @@ func (q *Query) Filters() []Filter {
 	return out
 }
 
+// Binds returns the top-level BIND elements of the WHERE clause in
+// order.
+func (q *Query) Binds() []Bind {
+	var out []Bind
+	for _, e := range q.Where {
+		if b, ok := e.(Bind); ok {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// ValuesBlocks returns the VALUES elements of the WHERE clause in
+// order.
+func (q *Query) ValuesBlocks() []ValuesPattern {
+	var out []ValuesPattern
+	for _, e := range q.Where {
+		if vp, ok := e.(ValuesPattern); ok {
+			out = append(out, vp)
+		}
+	}
+	return out
+}
+
 // rdfType is the IRI the 'a' keyword expands to.
 const rdfType = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
 
@@ -209,7 +283,25 @@ func (p *parser) advance() error {
 }
 
 func (p *parser) errf(format string, args ...any) error {
-	return fmt.Errorf("sparql: near offset %d: %s", p.tok.pos, fmt.Sprintf(format, args...))
+	return &Error{
+		Code:    ErrSyntax,
+		Offset:  p.tok.pos,
+		Msg:     fmt.Sprintf(format, args...),
+		Context: excerpt(p.lex.in, p.tok.pos),
+	}
+}
+
+// unsupported reports a recognised-but-unimplemented W3C construct.
+// The feature tag is the stable taxonomy key ("minus", "subquery",
+// "property-path", ...), independent of message wording.
+func (p *parser) unsupported(feature string) error {
+	return &Error{
+		Code:    ErrUnsupported,
+		Feature: feature,
+		Offset:  p.tok.pos,
+		Msg:     fmt.Sprintf("%s is not supported in this SPARQL subset", strings.ToUpper(feature)),
+		Context: excerpt(p.lex.in, p.tok.pos),
+	}
 }
 
 func (p *parser) isKeyword(kw string) bool {
@@ -248,6 +340,11 @@ func (p *parser) parseQuery() error {
 		p.q.Prefixes[ns] = p.tok.text
 		if err := p.advance(); err != nil {
 			return err
+		}
+	}
+	for _, form := range []string{"ask", "construct", "describe"} {
+		if p.isKeyword(form) {
+			return p.unsupported(form)
 		}
 	}
 	if err := p.expectKeyword("select"); err != nil {
@@ -341,7 +438,26 @@ func (p *parser) parseElements() ([]Element, error) {
 				return nil, err
 			}
 			flush()
+		case p.isKeyword("bind"):
+			if err := p.parseBind(); err != nil {
+				return nil, err
+			}
+			flush()
+		case p.isKeyword("values"):
+			if err := p.parseValues(); err != nil {
+				return nil, err
+			}
+			flush()
+		case p.isKeyword("minus"):
+			return nil, p.unsupported("minus")
+		case p.isKeyword("graph"):
+			return nil, p.unsupported("graph")
+		case p.isKeyword("service"):
+			return nil, p.unsupported("service")
 		case p.tok.kind == tokLBrace:
+			if p.next.kind == tokIdent && strings.EqualFold(p.next.text, "select") {
+				return nil, p.unsupported("subquery")
+			}
 			u, err := p.parseUnion()
 			if err != nil {
 				return nil, err
@@ -363,6 +479,9 @@ func (p *parser) parseUnion() (UnionPattern, error) {
 	for {
 		if err := p.expect(tokLBrace, "'{'"); err != nil {
 			return u, err
+		}
+		if p.isKeyword("select") {
+			return u, p.unsupported("subquery")
 		}
 		branch, err := p.parseElements()
 		if err != nil {
@@ -527,6 +646,12 @@ func (p *parser) parseModifiers() error {
 			if err := p.advance(); err != nil {
 				return err
 			}
+		case p.isKeyword("values"):
+			// Trailing VALUES (W3C "inline data" after the query body)
+			// joins like an in-group block; append it to WHERE.
+			if err := p.parseValues(); err != nil {
+				return err
+			}
 		case p.tok.kind == tokEOF:
 			return nil
 		default:
@@ -579,6 +704,12 @@ func (p *parser) parseTriple() error {
 		pr, err := p.term()
 		if err != nil {
 			return err
+		}
+		// A path operator directly after the predicate term marks a
+		// W3C property path (p/q, p*, p+), which this subset does not
+		// implement.
+		if p.tok.kind == tokSlash || p.tok.kind == tokStar || p.tok.kind == tokPlus {
+			return p.unsupported("property-path")
 		}
 		o, err := p.term()
 		if err != nil {
@@ -698,6 +829,9 @@ func (p *parser) parseFilter() error {
 	if err := p.advance(); err != nil { // consume FILTER
 		return err
 	}
+	if p.isKeyword("not") || p.isKeyword("exists") {
+		return p.unsupported("not-exists")
+	}
 	if err := p.expect(tokLParen, "'(' after FILTER"); err != nil {
 		return err
 	}
@@ -709,6 +843,138 @@ func (p *parser) parseFilter() error {
 		return err
 	}
 	p.q.Where = append(p.q.Where, Filter{Expr: e})
+	// Optional trailing dot.
+	if p.tok.kind == tokDot {
+		return p.advance()
+	}
+	return nil
+}
+
+// parseBind parses BIND(expr AS ?var).
+func (p *parser) parseBind() error {
+	if err := p.advance(); err != nil { // consume BIND
+		return err
+	}
+	if err := p.expect(tokLParen, "'(' after BIND"); err != nil {
+		return err
+	}
+	e, err := p.parseOr()
+	if err != nil {
+		return err
+	}
+	if err := p.expectKeyword("as"); err != nil {
+		return err
+	}
+	if p.tok.kind != tokVar {
+		return p.errf("expected variable after AS in BIND, got %s", p.tok)
+	}
+	b := Bind{Var: p.tok.text, Expr: e}
+	if err := p.advance(); err != nil {
+		return err
+	}
+	if err := p.expect(tokRParen, "')' closing BIND"); err != nil {
+		return err
+	}
+	p.q.Where = append(p.q.Where, b)
+	// Optional trailing dot.
+	if p.tok.kind == tokDot {
+		return p.advance()
+	}
+	return nil
+}
+
+// valuesCell parses one VALUES data cell: UNDEF or a concrete term.
+func (p *parser) valuesCell() (ValuesCell, error) {
+	if p.isKeyword("undef") {
+		return ValuesCell{Undef: true}, p.advance()
+	}
+	tv, err := p.term()
+	if err != nil {
+		return ValuesCell{}, err
+	}
+	if tv.IsVar {
+		return ValuesCell{}, p.errf("variable ?%s not allowed in VALUES data", tv.Var)
+	}
+	return ValuesCell{Term: tv.Term}, nil
+}
+
+// parseValues parses an inline data block in either form:
+//
+//	VALUES ?x { t1 t2 ... }
+//	VALUES (?x ?y) { (t1 t2) (UNDEF t4) ... }
+func (p *parser) parseValues() error {
+	if err := p.advance(); err != nil { // consume VALUES
+		return err
+	}
+	vp := ValuesPattern{}
+	single := false
+	switch p.tok.kind {
+	case tokVar:
+		single = true
+		vp.Vars = []string{p.tok.text}
+		if err := p.advance(); err != nil {
+			return err
+		}
+	case tokLParen:
+		if err := p.advance(); err != nil {
+			return err
+		}
+		for p.tok.kind == tokVar {
+			vp.Vars = append(vp.Vars, p.tok.text)
+			if err := p.advance(); err != nil {
+				return err
+			}
+		}
+		if len(vp.Vars) == 0 {
+			return p.errf("VALUES requires at least one variable")
+		}
+		if err := p.expect(tokRParen, "')' closing VALUES variable list"); err != nil {
+			return err
+		}
+	default:
+		return p.errf("expected variable or '(' after VALUES, got %s", p.tok)
+	}
+	if err := p.expect(tokLBrace, "'{' opening VALUES data block"); err != nil {
+		return err
+	}
+	for p.tok.kind != tokRBrace {
+		if p.tok.kind == tokEOF {
+			return p.errf("unterminated VALUES data block")
+		}
+		if single {
+			c, err := p.valuesCell()
+			if err != nil {
+				return err
+			}
+			vp.Rows = append(vp.Rows, []ValuesCell{c})
+			continue
+		}
+		if err := p.expect(tokLParen, "'(' opening VALUES data row"); err != nil {
+			return err
+		}
+		var row []ValuesCell
+		for p.tok.kind != tokRParen {
+			if p.tok.kind == tokEOF {
+				return p.errf("unterminated VALUES data row")
+			}
+			c, err := p.valuesCell()
+			if err != nil {
+				return err
+			}
+			row = append(row, c)
+		}
+		if len(row) != len(vp.Vars) {
+			return p.errf("VALUES data row has %d terms, want %d", len(row), len(vp.Vars))
+		}
+		if err := p.advance(); err != nil { // ')'
+			return err
+		}
+		vp.Rows = append(vp.Rows, row)
+	}
+	if err := p.advance(); err != nil { // '}'
+		return err
+	}
+	p.q.Where = append(p.q.Where, vp)
 	// Optional trailing dot.
 	if p.tok.kind == tokDot {
 		return p.advance()
@@ -888,6 +1154,9 @@ func (p *parser) parsePrimary() (expr.Expr, error) {
 		}
 		if err := p.advance(); err != nil {
 			return nil, err
+		}
+		if p.tok.kind == tokLBrace && (strings.EqualFold(name, "exists") || strings.EqualFold(name, "not")) {
+			return nil, p.unsupported("not-exists")
 		}
 		if p.tok.kind != tokLParen {
 			return nil, p.errf("expected '(' after function name %q", name)

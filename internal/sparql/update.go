@@ -1,7 +1,6 @@
 package sparql
 
 import (
-	"fmt"
 	"strings"
 
 	"ids/internal/dict"
@@ -106,17 +105,17 @@ func ParseUpdate(input string) (*Update, error) {
 	for _, el := range p.q.Where {
 		tp, ok := el.(TriplePattern)
 		if !ok {
-			return nil, fmt.Errorf("sparql: FILTER not allowed in %s", u.Kind)
+			return nil, p.errf("only ground triples allowed in %s", u.Kind)
 		}
 		for _, tv := range []TermOrVar{tp.S, tp.P, tp.O} {
 			if tv.IsVar {
-				return nil, fmt.Errorf("sparql: variable ?%s in %s payload", tv.Var, u.Kind)
+				return nil, p.errf("variable ?%s in %s payload", tv.Var, u.Kind)
 			}
 		}
 		u.Triples = append(u.Triples, GroundTriple{S: tp.S.Term, P: tp.P.Term, O: tp.O.Term})
 	}
 	if len(u.Triples) == 0 {
-		return nil, fmt.Errorf("sparql: empty %s payload", u.Kind)
+		return nil, p.errf("empty %s payload", u.Kind)
 	}
 	return u, nil
 }
